@@ -1,0 +1,216 @@
+//! Security audits: descriptor leaks, privilege inheritance, and shared
+//! ASLR layouts (the zygote problem).
+
+use crate::report::{Finding, Report, Severity};
+use fpr_exec::shared_bits;
+use fpr_kernel::{KResult, Kernel, Pid};
+use serde::{Deserialize, Serialize};
+
+/// Maximum comparable layout bits (4 bases × 34 bits, see
+/// [`fpr_exec::shared_bits`]).
+pub const MAX_LAYOUT_BITS: u32 = 4 * 34;
+
+/// Audits what `child` inherited from `parent` that it plausibly should
+/// not have.
+pub fn audit_inheritance(kernel: &Kernel, parent: Pid, child: Pid) -> KResult<Report> {
+    let p = kernel.process(parent)?;
+    let c = kernel.process(child)?;
+    let mut report = Report::new();
+
+    // Descriptors beyond stdio that came across.
+    let leaked: Vec<u32> = c
+        .fds
+        .iter()
+        .filter(|(fd, entry)| fd.0 > 2 && p.fds.iter().any(|(_, pe)| pe.ofd == entry.ofd))
+        .map(|(fd, _)| fd.0)
+        .collect();
+    if !leaked.is_empty() {
+        report.push(Finding::new(
+            Severity::Warning,
+            "FD_LEAK",
+            format!(
+                "child shares {} non-stdio descriptor(s) with the parent: fds {:?}",
+                leaked.len(),
+                leaked
+            ),
+        ));
+    }
+
+    // Full-privilege inheritance.
+    if c.cred.euid == 0 && c.cred.caps.count() > 0 {
+        report.push(Finding::new(
+            Severity::Warning,
+            "PRIVILEGE_INHERITED",
+            format!(
+                "child runs as euid 0 with {} capability bit(s)",
+                c.cred.caps.count()
+            ),
+        ));
+    }
+
+    // Shared address-space layout.
+    let bits = shared_bits(&p.layout, &c.layout);
+    if bits == MAX_LAYOUT_BITS {
+        report.push(Finding::new(
+            Severity::Critical,
+            "SHARED_ASLR",
+            "child shares the parent's entire address-space layout; one info-leak in either \
+             defeats ASLR for both"
+                .to_string(),
+        ));
+    } else if bits > MAX_LAYOUT_BITS / 2 {
+        report.push(Finding::new(
+            Severity::Warning,
+            "PARTIAL_SHARED_ASLR",
+            format!("child shares {bits}/{MAX_LAYOUT_BITS} layout bits with the parent"),
+        ));
+    }
+    Ok(report)
+}
+
+/// Summary of layout diversity across a set of sibling processes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZygoteReport {
+    /// Number of children analysed.
+    pub children: usize,
+    /// Mean pairwise shared layout bits.
+    pub mean_shared_bits: f64,
+    /// Number of pairs sharing the complete layout.
+    pub identical_pairs: usize,
+    /// Effective residual entropy: layout bits *not* shared on average.
+    pub effective_entropy_bits: f64,
+}
+
+/// Measures pairwise layout sharing among `pids` (e.g. all children of a
+/// zygote, or all independently spawned workers).
+pub fn zygote_entropy(kernel: &Kernel, pids: &[Pid]) -> KResult<ZygoteReport> {
+    let layouts: Vec<_> = pids
+        .iter()
+        .map(|p| kernel.process(*p).map(|pr| pr.layout))
+        .collect::<KResult<Vec<_>>>()?;
+    let mut total = 0u64;
+    let mut pairs = 0usize;
+    let mut identical = 0usize;
+    for i in 0..layouts.len() {
+        for j in i + 1..layouts.len() {
+            let bits = shared_bits(&layouts[i], &layouts[j]);
+            total += bits as u64;
+            pairs += 1;
+            if bits == MAX_LAYOUT_BITS {
+                identical += 1;
+            }
+        }
+    }
+    let mean = if pairs == 0 {
+        0.0
+    } else {
+        total as f64 / pairs as f64
+    };
+    Ok(ZygoteReport {
+        children: pids.len(),
+        mean_shared_bits: mean,
+        identical_pairs: identical,
+        effective_entropy_bits: MAX_LAYOUT_BITS as f64 - mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpr_api::{fork, posix_spawn, SpawnAttrs};
+    use fpr_exec::{AslrConfig, Image, ImageRegistry};
+    use fpr_kernel::OpenFlags;
+
+    fn world() -> (Kernel, Pid, ImageRegistry) {
+        let mut k = Kernel::boot();
+        let init = k.create_init("init").unwrap();
+        let mut reg = ImageRegistry::new();
+        reg.register("/bin/tool", Image::small("tool"));
+        (k, init, reg)
+    }
+
+    #[test]
+    fn forked_child_flags_shared_aslr_and_fd_leak() {
+        let (mut k, p, reg) = world();
+        // Give the parent a real layout and an extra fd.
+        fpr_exec::execve(&mut k, p, &reg, "/bin/tool", AslrConfig::default(), 9).unwrap();
+        k.open(p, "/secret", OpenFlags::RDWR, true).unwrap();
+        let c = fork(&mut k, p).unwrap();
+        let r = audit_inheritance(&k, p, c).unwrap();
+        assert!(r.findings.iter().any(|f| f.code == "SHARED_ASLR"));
+        assert!(r.findings.iter().any(|f| f.code == "FD_LEAK"));
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn spawned_child_is_clean() {
+        let (mut k, p, reg) = world();
+        fpr_exec::execve(&mut k, p, &reg, "/bin/tool", AslrConfig::default(), 9).unwrap();
+        k.open(p, "/secret", OpenFlags::RDWR, true).unwrap();
+        // posix_spawn inherits stdio but the secret fd is closed via action.
+        let c = posix_spawn(
+            &mut k,
+            p,
+            &reg,
+            "/bin/tool",
+            &[fpr_api::FileAction::Close {
+                fd: fpr_kernel::Fd(3),
+            }],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            10,
+        )
+        .unwrap();
+        let r = audit_inheritance(&k, p, c).unwrap();
+        assert!(!r.findings.iter().any(|f| f.code == "SHARED_ASLR"));
+        assert!(!r.findings.iter().any(|f| f.code == "FD_LEAK"));
+    }
+
+    #[test]
+    fn zygote_children_share_everything() {
+        let (mut k, p, reg) = world();
+        fpr_exec::execve(&mut k, p, &reg, "/bin/tool", AslrConfig::default(), 1).unwrap();
+        let children: Vec<Pid> = (0..5).map(|_| fork(&mut k, p).unwrap()).collect();
+        let z = zygote_entropy(&k, &children).unwrap();
+        assert_eq!(z.identical_pairs, 10, "all pairs identical");
+        assert_eq!(z.mean_shared_bits, MAX_LAYOUT_BITS as f64);
+        assert_eq!(z.effective_entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn spawned_siblings_have_entropy() {
+        let (mut k, p, reg) = world();
+        let children: Vec<Pid> = (0..5)
+            .map(|i| {
+                posix_spawn(
+                    &mut k,
+                    p,
+                    &reg,
+                    "/bin/tool",
+                    &[],
+                    &SpawnAttrs::default(),
+                    AslrConfig::default(),
+                    1000 + i,
+                )
+                .unwrap()
+            })
+            .collect();
+        let z = zygote_entropy(&k, &children).unwrap();
+        assert_eq!(z.identical_pairs, 0);
+        assert!(
+            z.effective_entropy_bits > 50.0,
+            "entropy = {}",
+            z.effective_entropy_bits
+        );
+    }
+
+    #[test]
+    fn zygote_entropy_degenerate_cases() {
+        let (k, p, _) = world();
+        let z = zygote_entropy(&k, &[]).unwrap();
+        assert_eq!(z.children, 0);
+        assert_eq!(z.mean_shared_bits, 0.0);
+        let z1 = zygote_entropy(&k, &[p]).unwrap();
+        assert_eq!(z1.identical_pairs, 0);
+    }
+}

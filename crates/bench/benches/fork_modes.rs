@@ -1,0 +1,56 @@
+//! Criterion bench for E2's ablation: COW fork vs eager fork, and the
+//! page-table-sharing design point (vfork) as the zero-copy floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forkroad_core::experiments::fig1::machine_for;
+use forkroad_core::{Os, OsConfig};
+use fpr_mem::ForkMode;
+use fpr_trace::ProcessShape;
+
+const FOOTPRINTS: [u64; 3] = [512, 4_096, 16_384];
+
+fn setup(footprint: u64) -> (Os, fpr_kernel::Pid) {
+    let mut os = Os::boot(OsConfig {
+        machine: machine_for(footprint),
+        ..Default::default()
+    });
+    let parent = os
+        .make_parent(ProcessShape::with_heap(footprint))
+        .expect("parent fits");
+    (os, parent)
+}
+
+fn bench_fork_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for fp in FOOTPRINTS {
+        for (label, mode) in [("cow", ForkMode::Cow), ("eager", ForkMode::Eager)] {
+            group.bench_with_input(BenchmarkId::new(label, fp), &fp, |b, &fp| {
+                b.iter_batched(
+                    || setup(fp),
+                    |(mut os, parent)| {
+                        os.fork_stats(parent, mode).expect("fork");
+                        os
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("vfork_floor", fp), &fp, |b, &fp| {
+            b.iter_batched(
+                || setup(fp),
+                |(mut os, parent)| {
+                    os.vfork(parent).expect("vfork");
+                    os
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork_modes);
+criterion_main!(benches);

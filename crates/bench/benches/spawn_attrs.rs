@@ -1,0 +1,69 @@
+//! Criterion bench for E7's cost side: posix_spawn with a growing file
+//! action list, and the cross-process builder with growing explicit
+//! grants — attribute application is linear in the request, never in the
+//! parent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forkroad_core::{Os, OsConfig};
+use fpr_api::{FileAction, MemOp, ProcessBuilder, SpawnAttrs};
+use fpr_kernel::{Fd, OpenFlags};
+use fpr_mem::Prot;
+
+fn actions(n: usize) -> Vec<FileAction> {
+    (0..n)
+        .map(|i| FileAction::Open {
+            fd: Fd(10 + i as u32),
+            path: format!("/spawn_file_{i}"),
+            flags: OpenFlags::RDWR,
+            create: true,
+        })
+        .collect()
+}
+
+fn bench_attrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn_attrs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [0usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("posix_spawn_actions", n), &n, |b, &n| {
+            b.iter_batched(
+                || (Os::boot(OsConfig::default()), actions(n)),
+                |(mut os, acts)| {
+                    let init = os.init;
+                    os.spawn(init, "/bin/tool", &acts, &SpawnAttrs::default())
+                        .expect("spawn");
+                    os
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("xproc_mem_grants", n), &n, |b, &n| {
+            b.iter_batched(
+                || Os::boot(OsConfig::default()),
+                |mut os| {
+                    let init = os.init;
+                    let mut builder = ProcessBuilder::new("/bin/tool").mem(MemOp::MapAnon {
+                        tag: 0,
+                        pages: 4,
+                        prot: Prot::RW,
+                    });
+                    for i in 0..n as u64 {
+                        builder = builder.mem(MemOp::Write {
+                            tag: 0,
+                            offset: i % 4,
+                            value: i,
+                        });
+                    }
+                    os.spawn_builder(init, builder).expect("xproc");
+                    os
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attrs);
+criterion_main!(benches);

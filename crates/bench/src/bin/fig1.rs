@@ -1,0 +1,23 @@
+//! E1 / Figure 1 on the simulator: creation latency vs parent footprint.
+
+use forkroad_core::experiments::fig1;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let footprints: Vec<u64> = if quick_mode() {
+        vec![256, 4_096, 65_536]
+    } else {
+        fpr_trace::fig1_footprints()
+    };
+    let fig = fig1::run(&footprints);
+    emit("fig1", &fig.render(), &fig.to_json());
+    let fork = fig.series("fork+exec").expect("series");
+    let spawn = fig.series("posix_spawn").expect("series");
+    println!(
+        "shape check: fork grows {:.1}x across sweep; spawn grows {:.2}x; \
+         fork/spawn at max = {:.1}x",
+        fork.growth_factor().unwrap_or(0.0),
+        spawn.growth_factor().unwrap_or(0.0),
+        fork.last_y().unwrap_or(0.0) / spawn.last_y().unwrap_or(1.0),
+    );
+}

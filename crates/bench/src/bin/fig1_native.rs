@@ -1,0 +1,33 @@
+//! E1 / Figure 1 on the host Linux kernel (cross-check of the simulator).
+
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let mib: Vec<u64> = if quick_mode() {
+        vec![1, 16, 64]
+    } else {
+        vec![1, 4, 16, 64, 128, 256]
+    };
+    let iters = if quick_mode() { 5 } else { 21 };
+    match fpr_native::run_native_fig1(&mib, iters) {
+        Ok(rows) => {
+            let mut fig = fpr_trace::FigureData::new(
+                "fig1_native",
+                "native process creation latency vs parent footprint",
+                "parent MiB",
+                "latency us",
+            );
+            let mut fork = fpr_trace::Series::new("fork+exec");
+            let mut vfork = fpr_trace::Series::new("vfork+exec");
+            let mut spawn = fpr_trace::Series::new("posix_spawn");
+            for r in &rows {
+                fork.push(r.footprint_mib, r.fork_exec_us);
+                vfork.push(r.footprint_mib, r.vfork_exec_us);
+                spawn.push(r.footprint_mib, r.posix_spawn_us);
+            }
+            fig.series = vec![fork, vfork, spawn];
+            emit("fig1_native", &fig.render(), &fig.to_json());
+        }
+        Err(e) => eprintln!("native measurement unavailable: {e}"),
+    }
+}

@@ -1,0 +1,26 @@
+//! E3a on the host kernel: fork + child dirtying a swept fraction of the
+//! parent's buffer.
+
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let mib = if quick_mode() { 8 } else { 64 };
+    let iters = if quick_mode() { 5 } else { 15 };
+    match fpr_native::run_native_cow(mib, &[0.0, 0.25, 0.5, 0.75, 1.0], iters) {
+        Ok(rows) => {
+            let mut fig = fpr_trace::FigureData::new(
+                "fig_cow_native",
+                "native fork + child-dirty total vs touch fraction",
+                "touch fraction",
+                "total us",
+            );
+            let mut s = fpr_trace::Series::new("fork_dirty_wait");
+            for r in &rows {
+                s.push(r.touch_fraction, r.total_us);
+            }
+            fig.series = vec![s];
+            emit("fig_cow_native", &fig.render(), &fig.to_json());
+        }
+        Err(e) => eprintln!("native measurement unavailable: {e}"),
+    }
+}

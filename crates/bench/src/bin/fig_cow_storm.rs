@@ -1,0 +1,15 @@
+//! E3a: COW fault storm — total cost vs post-fork touch fraction.
+
+use forkroad_core::experiments::cow;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let footprint = if quick_mode() { 1_024 } else { 16_384 };
+    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let fig = cow::run(footprint, &fractions);
+    emit("fig_cow_storm", &fig.render(), &fig.to_json());
+    match cow::crossover(&fig) {
+        Some(x) => println!("COW stops winning at touch fraction {x:.2}"),
+        None => println!("COW never crossed eager in this sweep"),
+    }
+}

@@ -1,0 +1,15 @@
+//! E3b: fork and COW-break cost vs CPUs running the parent.
+
+use forkroad_core::experiments::scaling;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let threads: Vec<u32> = if quick_mode() {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
+    let footprint = if quick_mode() { 512 } else { 4_096 };
+    let fig = scaling::run(&threads, footprint);
+    emit("fig_fork_scaling", &fig.render(), &fig.to_json());
+}

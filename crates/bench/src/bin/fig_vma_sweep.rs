@@ -1,0 +1,11 @@
+//! E2b: fork cost vs mapping count at fixed footprint.
+
+use forkroad_core::experiments::vma_sweep;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let pages = if quick_mode() { 1_024 } else { 8_192 };
+    let vmas: Vec<u64> = vec![1, 8, 64, 256, 1_024, 4_096];
+    let fig = vma_sweep::run(pages, &vmas);
+    emit("fig_vma_sweep", &fig.render(), &fig.to_json());
+}

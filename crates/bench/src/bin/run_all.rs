@@ -1,0 +1,67 @@
+//! Runs every experiment binary's driver in sequence (quick sweeps),
+//! printing each figure and table — one command to regenerate the whole
+//! evaluation.
+
+use forkroad_core::experiments::{
+    aslr, breakdown, cow, fig1, forkbomb, overcommit, scaling, stdio, vma_sweep,
+};
+use fpr_bench::emit;
+
+fn main() {
+    println!("=== forkroad evaluation: all experiments (quick sweeps) ===\n");
+    let f1 = fig1::run(&[256, 1_024, 4_096, 16_384, 65_536]);
+    emit("fig1", &f1.render(), &f1.to_json());
+
+    let t2 = breakdown::run(&[256, 1_024, 4_096, 16_384]);
+    emit("tab_fork_breakdown", &t2.render(), &t2.to_json());
+
+    let f2b = vma_sweep::run(2_048, &[1, 16, 256, 1_024]);
+    emit("fig_vma_sweep", &f2b.render(), &f2b.to_json());
+
+    let f3 = cow::run(2_048, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    emit("fig_cow_storm", &f3.render(), &f3.to_json());
+
+    let f4 = scaling::run(&[1, 4, 16, 64], 1_024);
+    emit("fig_fork_scaling", &f4.render(), &f4.to_json());
+
+    let t5 = overcommit::run(&[0.25, 0.45, 0.60, 0.90]);
+    emit("tab_overcommit", &t5.render(), &t5.to_json());
+
+    let t6 = forkroad_core::experiments::threads::run(&[1, 4, 16], &[0.25, 1.0], 20);
+    emit("tab_thread_safety", &t6.render(), &t6.to_json());
+
+    let t7 = stdio::run(&[0, 64, 2_048]);
+    emit("tab_stdio_dup", &t7.render(), &t7.to_json());
+
+    println!("{}", fpr_api::render_matrix());
+
+    let t8 = aslr::run(16);
+    emit("tab_aslr", &t8.render(), &t8.to_json());
+
+    let t9 = forkbomb::run(&[16, 64, 256], 1_024);
+    emit("tab_forkbomb", &t9.render(), &t9.to_json());
+
+    if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
+        println!("# fig_cow_native — host kernel COW storm");
+        println!("{:>16} {:>12}", "touch fraction", "total us");
+        for r in rows {
+            println!("{:>16.2} {:>12.1}", r.touch_fraction, r.total_us);
+        }
+        println!();
+    }
+
+    if let Ok(rows) = fpr_native::run_native_fig1(&[1, 16, 64], 7) {
+        println!("# fig1_native — host kernel cross-check");
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}",
+            "MiB", "fork+exec us", "vfork+exec us", "spawn us"
+        );
+        for r in rows {
+            println!(
+                "{:>10} {:>14.1} {:>14.1} {:>14.1}",
+                r.footprint_mib, r.fork_exec_us, r.vfork_exec_us, r.posix_spawn_us
+            );
+        }
+    }
+    println!("\n=== done ===");
+}

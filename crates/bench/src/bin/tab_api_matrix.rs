@@ -1,0 +1,7 @@
+//! E7: the API capability matrix.
+
+use fpr_api::render_matrix;
+
+fn main() {
+    print!("{}", render_matrix());
+}

@@ -1,0 +1,10 @@
+//! E8a: ASLR layout sharing — zygote forking vs spawn-per-child.
+
+use forkroad_core::experiments::aslr;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let n = if quick_mode() { 8 } else { 32 };
+    let t = aslr::run(n);
+    emit("tab_aslr", &t.render(), &t.to_json());
+}

@@ -1,0 +1,14 @@
+//! E2: fork cost decomposition.
+
+use forkroad_core::experiments::breakdown;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let footprints: Vec<u64> = if quick_mode() {
+        vec![256, 4_096]
+    } else {
+        vec![256, 1_024, 4_096, 16_384, 65_536, 262_144]
+    };
+    let t = breakdown::run(&footprints);
+    emit("tab_fork_breakdown", &t.render(), &t.to_json());
+}

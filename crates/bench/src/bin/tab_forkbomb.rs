@@ -1,0 +1,10 @@
+//! E8b: fork-bomb containment by RLIMIT_NPROC.
+
+use forkroad_core::experiments::forkbomb;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let max_pids = if quick_mode() { 512 } else { 4_096 };
+    let t = forkbomb::run(&[16, 64, 256, u64::MAX], max_pids);
+    emit("tab_forkbomb", &t.render(), &t.to_json());
+}

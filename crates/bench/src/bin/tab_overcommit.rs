@@ -1,0 +1,9 @@
+//! E4: fork-then-touch under the three overcommit policies.
+
+use forkroad_core::experiments::overcommit;
+use fpr_bench::emit;
+
+fn main() {
+    let t = overcommit::run(&[0.25, 0.45, 0.60, 0.90]);
+    emit("tab_overcommit", &t.render(), &t.to_json());
+}

@@ -1,0 +1,45 @@
+//! E7 cost side: posix_spawn latency as the file-action list grows —
+//! linear in the request, never in the parent.
+
+use forkroad_core::{Os, OsConfig};
+use fpr_api::{FileAction, SpawnAttrs};
+use fpr_bench::emit;
+use fpr_kernel::{Fd, OpenFlags};
+use fpr_mem::CYCLES_PER_US;
+use fpr_trace::TableData;
+
+fn main() {
+    let mut t = TableData::new(
+        "tab_spawn_actions",
+        "posix_spawn cost vs file-action count (simulated us)",
+        &["actions", "spawn_us", "us_per_action"],
+    );
+    let mut base_us = 0.0;
+    for n in [0usize, 2, 8, 32, 128] {
+        let mut os = Os::boot(OsConfig::default());
+        let init = os.init;
+        let actions: Vec<FileAction> = (0..n)
+            .map(|i| FileAction::Open {
+                fd: Fd(10 + i as u32),
+                path: format!("/af_{i}"),
+                flags: OpenFlags::RDWR,
+                create: true,
+            })
+            .collect();
+        let (_, cycles) = os.measure(|os| {
+            os.spawn(init, "/bin/tool", &actions, &SpawnAttrs::default())
+                .expect("spawn")
+        });
+        let us = cycles as f64 / CYCLES_PER_US as f64;
+        if n == 0 {
+            base_us = us;
+        }
+        let per = if n > 0 {
+            (us - base_us) / n as f64
+        } else {
+            0.0
+        };
+        t.push_row(vec![n.to_string(), format!("{us:.2}"), format!("{per:.3}")]);
+    }
+    emit("tab_spawn_actions", &t.render(), &t.to_json());
+}

@@ -1,0 +1,9 @@
+//! E6: buffered output duplicated by each creation API.
+
+use forkroad_core::experiments::stdio;
+use fpr_bench::emit;
+
+fn main() {
+    let t = stdio::run(&[0, 64, 512, 2_048]);
+    emit("tab_stdio_dup", &t.render(), &t.to_json());
+}

@@ -1,0 +1,10 @@
+//! E5: post-fork deadlock incidence and auditor detection rate.
+
+use forkroad_core::experiments::threads;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let trials = if quick_mode() { 10 } else { 50 };
+    let t = threads::run(&[1, 2, 4, 8, 16, 32], &[0.25, 0.5, 1.0], trials);
+    emit("tab_thread_safety", &t.render(), &t.to_json());
+}

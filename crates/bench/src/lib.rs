@@ -1,0 +1,30 @@
+//! Shared plumbing for the benchmark binaries: result persistence and a
+//! uniform header.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory experiment outputs are written to (repo-relative).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FORKROAD_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Prints a rendered figure/table and persists its JSON next to it.
+pub fn emit(id: &str, rendered: &str, json: &str) {
+    println!("{rendered}");
+    let path = results_dir().join(format!("{id}.json"));
+    if let Err(e) = fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[saved {}]", path.display());
+    }
+}
+
+/// Parses `--quick` from argv: binaries shrink their sweeps so the whole
+/// suite runs in seconds (used by CI and the run_all binary).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,142 @@
+//! E2: where fork's time goes.
+//!
+//! Decomposes the measured fork cost into page-table-entry copies,
+//! page-table node allocations, VMA clones, and the TLB shootdown, and
+//! checks the components reconcile with the measured total. The paper's
+//! prose claim: beyond modest sizes, the page-table copy dominates even
+//! though no data is copied.
+
+use crate::os::{Os, OsConfig};
+use fpr_mem::ForkMode;
+use fpr_trace::{ProcessShape, TableData};
+
+/// One decomposed fork measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Parent footprint in pages.
+    pub pages: u64,
+    /// Cycles spent copying leaf PTEs.
+    pub pte_cycles: u64,
+    /// Cycles spent allocating the child's page-table nodes.
+    pub node_cycles: u64,
+    /// Cycles spent cloning VMA records.
+    pub vma_cycles: u64,
+    /// Cycles in the TLB shootdown.
+    pub shootdown_cycles: u64,
+    /// Everything else (syscall entry, FD table, bookkeeping).
+    pub other_cycles: u64,
+    /// Measured total.
+    pub total_cycles: u64,
+}
+
+/// Measures and decomposes one fork of a parent with `pages` populated.
+pub fn measure(pages: u64) -> Breakdown {
+    let mut os = Os::boot(OsConfig {
+        machine: super::fig1::machine_for(pages),
+        ..Default::default()
+    });
+    let parent = os
+        .make_parent(ProcessShape::with_heap(pages))
+        .expect("parent fits");
+    let cost = os.kernel.phys.cost().clone();
+    let cpus = os.kernel.cpus_running(parent);
+    let ((_, stats), total) =
+        os.measure(|os| os.fork_stats(parent, ForkMode::Cow).expect("fork fits"));
+
+    let child_nodes = {
+        // The child's table has the same node shape as the parent's
+        // mapped set; read it off the child.
+        let child = *os.kernel.process(parent).unwrap().children.last().unwrap();
+        os.kernel.process(child).unwrap().aspace.pt_nodes() as u64 - 1 // minus root
+    };
+    let pte_cycles = stats.pages_inherited * cost.pte_copy;
+    let node_cycles = child_nodes * cost.pt_node_alloc;
+    let vma_cycles = stats.vmas_cloned as u64 * cost.vma_clone;
+    let shootdown_cycles =
+        cost.tlb_shootdown_base + cost.tlb_shootdown_per_cpu * (cpus.max(1) as u64 - 1);
+    let accounted = pte_cycles + node_cycles + vma_cycles + shootdown_cycles;
+    Breakdown {
+        pages,
+        pte_cycles,
+        node_cycles,
+        vma_cycles,
+        shootdown_cycles,
+        other_cycles: total.saturating_sub(accounted),
+        total_cycles: total,
+    }
+}
+
+/// Runs the sweep and formats the table.
+pub fn run(footprints: &[u64]) -> TableData {
+    let mut t = TableData::new(
+        "tab_fork_breakdown",
+        "fork cost decomposition (cycles)",
+        &[
+            "pages",
+            "pte_copy",
+            "pt_nodes",
+            "vma_clone",
+            "shootdown",
+            "other",
+            "total",
+            "pte_%",
+        ],
+    );
+    for &fp in footprints {
+        let b = measure(fp);
+        t.push_row(vec![
+            b.pages.to_string(),
+            b.pte_cycles.to_string(),
+            b.node_cycles.to_string(),
+            b.vma_cycles.to_string(),
+            b.shootdown_cycles.to_string(),
+            b.other_cycles.to_string(),
+            b.total_cycles.to_string(),
+            format!("{:.1}", 100.0 * b.pte_cycles as f64 / b.total_cycles as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_reconcile_with_total() {
+        let b = measure(4096);
+        let accounted =
+            b.pte_cycles + b.node_cycles + b.vma_cycles + b.shootdown_cycles + b.other_cycles;
+        assert_eq!(accounted, b.total_cycles);
+        // "other" must be small: the decomposition explains the cost.
+        assert!(
+            (b.other_cycles as f64) < 0.1 * b.total_cycles as f64,
+            "unexplained cycles: {} of {}",
+            b.other_cycles,
+            b.total_cycles
+        );
+    }
+
+    #[test]
+    fn pte_copy_dominates_at_scale() {
+        let small = measure(256);
+        let big = measure(16_384);
+        let share = |b: &Breakdown| b.pte_cycles as f64 / b.total_cycles as f64;
+        assert!(
+            share(&big) > share(&small),
+            "PTE share must grow with footprint"
+        );
+        assert!(
+            share(&big) > 0.4,
+            "PTE copy should dominate at 64 MiB: {}",
+            share(&big)
+        );
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let t = run(&[256, 1024]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.render().contains("pte_copy"));
+    }
+}

@@ -1,0 +1,122 @@
+//! E1 / Figure 1: child-creation latency vs parent memory size.
+//!
+//! The paper's single measured figure: `fork`+`exec` latency grows with
+//! the parent's footprint while `posix_spawn` stays flat. This driver
+//! reproduces it on the simulator for four APIs; the `fpr-native` crate
+//! mirrors it on the host kernel.
+
+use crate::os::{Os, OsConfig};
+use fpr_api::{ProcessBuilder, SpawnAttrs};
+use fpr_kernel::MachineConfig;
+use fpr_mem::{OvercommitPolicy, CYCLES_PER_US};
+use fpr_trace::{FigureData, ProcessShape, Series};
+
+/// Builds a machine big enough for a `footprint`-page parent plus slack.
+pub fn machine_for(footprint: u64) -> MachineConfig {
+    MachineConfig {
+        frames: footprint * 2 + 16_384,
+        overcommit: OvercommitPolicy::Always,
+        ..MachineConfig::default()
+    }
+}
+
+/// Runs the Figure 1 sweep over `footprints` (pages of populated parent
+/// heap). Returns latency in simulated microseconds per API.
+pub fn run(footprints: &[u64]) -> FigureData {
+    let mut fig = FigureData::new(
+        "fig1",
+        "process creation latency vs parent footprint",
+        "parent MiB",
+        "latency us",
+    );
+    let mut fork_s = Series::new("fork+exec");
+    let mut vfork_s = Series::new("vfork+exec");
+    let mut spawn_s = Series::new("posix_spawn");
+    let mut xproc_s = Series::new("xproc");
+
+    for &fp in footprints {
+        let mib = fp as f64 * 4096.0 / (1024.0 * 1024.0);
+        let mk = || {
+            let mut os = Os::boot(OsConfig {
+                machine: machine_for(fp),
+                ..Default::default()
+            });
+            let parent = os
+                .make_parent(ProcessShape::with_heap(fp))
+                .expect("parent fits");
+            (os, parent)
+        };
+
+        // fork + exec
+        {
+            let (mut os, parent) = mk();
+            let (_, cycles) = os.measure(|os| {
+                let child = os.fork(parent).expect("fork fits");
+                os.exec(child, "/bin/tool").expect("exec");
+                child
+            });
+            fork_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
+        }
+        // vfork + exec
+        {
+            let (mut os, parent) = mk();
+            let (_, cycles) = os.measure(|os| {
+                let child = os.vfork(parent).expect("vfork");
+                os.exec(child, "/bin/tool").expect("exec");
+                child
+            });
+            vfork_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
+        }
+        // posix_spawn
+        {
+            let (mut os, parent) = mk();
+            let (_, cycles) = os.measure(|os| {
+                os.spawn(parent, "/bin/tool", &[], &SpawnAttrs::default())
+                    .expect("spawn")
+            });
+            spawn_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
+        }
+        // cross-process builder
+        {
+            let (mut os, parent) = mk();
+            let (_, cycles) = os.measure(|os| {
+                os.spawn_builder(parent, ProcessBuilder::new("/bin/tool"))
+                    .expect("xproc")
+            });
+            xproc_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
+        }
+    }
+    fig.series = vec![fork_s, vfork_s, spawn_s, xproc_s];
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_grows_spawn_flat() {
+        // Small sweep keeps the test fast; the shape must already show.
+        let fig = run(&[256, 1024, 4096, 16_384]);
+        let fork = fig.series("fork+exec").unwrap();
+        let spawn = fig.series("posix_spawn").unwrap();
+        let vfork = fig.series("vfork+exec").unwrap();
+        let xproc = fig.series("xproc").unwrap();
+
+        // fork grows super-linearly across a 64x footprint sweep.
+        assert!(
+            fork.growth_factor().unwrap() > 10.0,
+            "fork should grow ~linearly: {:?}",
+            fork.points
+        );
+        // spawn, vfork, xproc are flat (within 5%).
+        for s in [spawn, vfork, xproc] {
+            let g = s.growth_factor().unwrap();
+            assert!((0.95..1.05).contains(&g), "{} not flat: {g}", s.label);
+        }
+        // At the largest size fork is much slower than spawn.
+        assert!(fork.last_y().unwrap() > spawn.last_y().unwrap() * 20.0);
+        // At the smallest size they are within an order of magnitude.
+        assert!(fork.first_y().unwrap() < spawn.first_y().unwrap() * 10.0);
+    }
+}

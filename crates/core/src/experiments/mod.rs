@@ -1,0 +1,17 @@
+//! Experiment drivers: one module per figure/table of the evaluation.
+//!
+//! Every driver returns a [`fpr_trace::FigureData`] or
+//! [`fpr_trace::TableData`]; the `fpr-bench` binaries print and persist
+//! them, and the in-crate tests pin each experiment's required *shape*
+//! (who wins, by what factor, where crossovers fall).
+
+pub mod aslr;
+pub mod breakdown;
+pub mod cow;
+pub mod fig1;
+pub mod forkbomb;
+pub mod overcommit;
+pub mod scaling;
+pub mod stdio;
+pub mod threads;
+pub mod vma_sweep;

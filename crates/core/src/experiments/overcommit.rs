@@ -1,0 +1,195 @@
+//! E4: fork forces memory overcommit.
+//!
+//! Forking a process that uses a large fraction of memory must either be
+//! refused up front (strict accounting) or admitted on credit — in which
+//! case the failure arrives later, as an OOM kill in the middle of
+//! innocent writes. This experiment runs the same fork-then-touch
+//! workload under the three Linux overcommit modes and tabulates who
+//! fails, when, and who dies.
+
+use crate::os::{Os, OsConfig};
+use fpr_kernel::{Errno, MachineConfig, Pid};
+use fpr_mem::{OvercommitPolicy, Prot, Share};
+use fpr_trace::TableData;
+
+/// Outcome of one overcommit cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OvercommitOutcome {
+    /// Human-readable policy name.
+    pub policy: &'static str,
+    /// Parent footprint as a fraction of physical memory.
+    pub ratio: f64,
+    /// What fork returned.
+    pub fork_result: String,
+    /// What happened when the child wrote every page.
+    pub touch_result: String,
+    /// PIDs the OOM killer claimed.
+    pub oom_victims: Vec<Pid>,
+}
+
+fn policy_name(p: OvercommitPolicy) -> &'static str {
+    match p {
+        OvercommitPolicy::Never { .. } => "never(strict)",
+        OvercommitPolicy::Heuristic => "heuristic",
+        OvercommitPolicy::Always => "always",
+    }
+}
+
+/// Runs one cell: a parent occupying `ratio` of memory forks, then the
+/// child writes all its pages (with OOM-kill retry, as a real kernel
+/// would resolve the fault).
+pub fn run_cell(policy: OvercommitPolicy, ratio: f64) -> OvercommitOutcome {
+    let frames: u64 = 8_192;
+    let mut os = Os::boot(OsConfig {
+        machine: MachineConfig {
+            frames,
+            overcommit: policy,
+            ..MachineConfig::default()
+        },
+        ..Default::default()
+    });
+    let parent = os.kernel.allocate_process(os.init, "big").expect("alloc");
+    let pages = ((frames as f64) * ratio) as u64;
+    let base = match os.kernel.mmap_anon(parent, pages, Prot::RW, Share::Private) {
+        Ok(b) => b,
+        Err(e) => {
+            return OvercommitOutcome {
+                policy: policy_name(policy),
+                ratio,
+                fork_result: format!("mmap failed: {e}"),
+                touch_result: "-".into(),
+                oom_victims: vec![],
+            }
+        }
+    };
+    os.kernel
+        .populate(parent, base, pages)
+        .expect("populate fits physically");
+
+    let child = match os.fork(parent) {
+        Ok(c) => c,
+        Err(e) => {
+            return OvercommitOutcome {
+                policy: policy_name(policy),
+                ratio,
+                fork_result: format!("{e}"),
+                touch_result: "-".into(),
+                oom_victims: vec![],
+            }
+        }
+    };
+
+    // The child writes every inherited page; ENOMEM triggers the OOM
+    // killer and the write retries (unless the writer itself was killed).
+    let mut touch_result = "ok".to_string();
+    'touch: for i in 0..pages {
+        loop {
+            match os.kernel.write_mem(child, base.add(i), i) {
+                Ok(_) => break,
+                Err(Errno::Enomem) => match os.kernel.oom_kill() {
+                    Some(victim) if victim == child => {
+                        touch_result = format!("child OOM-killed at page {i}");
+                        break 'touch;
+                    }
+                    Some(_) => continue,
+                    None => {
+                        touch_result = format!("unresolvable OOM at page {i}");
+                        break 'touch;
+                    }
+                },
+                Err(Errno::Esrch) => {
+                    touch_result = format!("child gone at page {i}");
+                    break 'touch;
+                }
+                Err(e) => {
+                    touch_result = format!("error {e} at page {i}");
+                    break 'touch;
+                }
+            }
+        }
+    }
+    OvercommitOutcome {
+        policy: policy_name(policy),
+        ratio,
+        fork_result: "ok".into(),
+        touch_result,
+        oom_victims: os.kernel.oom_kills.clone(),
+    }
+}
+
+/// Runs the policy × ratio grid.
+pub fn run(ratios: &[f64]) -> TableData {
+    let mut t = TableData::new(
+        "tab_overcommit",
+        "fork-then-touch under overcommit policies",
+        &["policy", "ratio", "fork", "child touch", "oom kills"],
+    );
+    for policy in [
+        OvercommitPolicy::Never { ratio: 0.95 },
+        OvercommitPolicy::Heuristic,
+        OvercommitPolicy::Always,
+    ] {
+        for &r in ratios {
+            let o = run_cell(policy, r);
+            t.push_row(vec![
+                o.policy.to_string(),
+                format!("{:.2}", o.ratio),
+                o.fork_result,
+                o.touch_result,
+                o.oom_victims.len().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_fails_up_front_no_oom() {
+        let o = run_cell(OvercommitPolicy::Never { ratio: 0.95 }, 0.6);
+        assert_eq!(
+            o.fork_result, "ENOMEM",
+            "strict accounting refuses the fork"
+        );
+        assert!(o.oom_victims.is_empty());
+    }
+
+    #[test]
+    fn strict_admits_small_forks() {
+        let o = run_cell(OvercommitPolicy::Never { ratio: 0.95 }, 0.3);
+        assert_eq!(o.fork_result, "ok");
+        assert_eq!(o.touch_result, "ok");
+        assert!(o.oom_victims.is_empty());
+    }
+
+    #[test]
+    fn always_admits_then_oom_kills() {
+        let o = run_cell(OvercommitPolicy::Always, 0.6);
+        assert_eq!(o.fork_result, "ok", "overcommit admits the fork");
+        assert!(
+            !o.oom_victims.is_empty(),
+            "the bill arrives at touch time: {:?}",
+            o
+        );
+        assert!(o.touch_result.contains("OOM") || o.touch_result == "ok");
+    }
+
+    #[test]
+    fn heuristic_refuses_oversize_single_charge() {
+        let o = run_cell(OvercommitPolicy::Heuristic, 0.6);
+        // The child's charge (60%) exceeds free memory (40%): refused.
+        assert_eq!(o.fork_result, "ENOMEM");
+        let small = run_cell(OvercommitPolicy::Heuristic, 0.3);
+        assert_eq!(small.fork_result, "ok");
+    }
+
+    #[test]
+    fn grid_renders() {
+        let t = run(&[0.3, 0.6]);
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.render().contains("heuristic"));
+    }
+}

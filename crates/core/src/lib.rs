@@ -1,0 +1,27 @@
+//! # forkroad-core — the *fork() in the road* reproduction, assembled
+//!
+//! Ties the substrates together behind one facade ([`os::Os`]) and ships
+//! the experiment drivers ([`experiments`]) that regenerate every figure
+//! and table of the paper's evaluation. See DESIGN.md for the paper →
+//! module map and EXPERIMENTS.md for measured results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use forkroad_core::os::{Os, OsConfig};
+//! use fpr_api::SpawnAttrs;
+//!
+//! let mut os = Os::boot(OsConfig::default());
+//! let init = os.init;
+//! // The expensive way: duplicate init, then throw the copy away.
+//! let forked = os.fork(init).unwrap();
+//! os.exec(forked, "/bin/sh").unwrap();
+//! // The cheap way: build the child directly.
+//! let spawned = os.spawn(init, "/bin/sh", &[], &SpawnAttrs::default()).unwrap();
+//! assert_eq!(os.kernel.process(spawned).unwrap().name, "sh");
+//! ```
+
+pub mod experiments;
+pub mod os;
+
+pub use os::{Os, OsConfig};

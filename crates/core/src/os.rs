@@ -1,0 +1,289 @@
+//! The `Os` facade: one object bundling the kernel, the image registry
+//! and the ASLR source, with convenience wrappers over the five creation
+//! APIs.
+//!
+//! Everything the examples and experiments need goes through here, so a
+//! downstream user writes `os.fork(pid)` / `os.spawn(pid, "/bin/tool")`
+//! instead of threading four subsystems by hand.
+
+use fpr_api::{FileAction, ProcessBuilder, SpawnAttrs};
+use fpr_exec::{AslrConfig, Image, ImageRegistry};
+use fpr_kernel::{KResult, Kernel, MachineConfig, Pid};
+use fpr_mem::{ForkMode, Prot, Share, Vpn};
+use fpr_trace::ProcessShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`Os::boot`].
+#[derive(Debug, Clone)]
+pub struct OsConfig {
+    /// Machine parameters (frames, CPUs, overcommit, cost model).
+    pub machine: MachineConfig,
+    /// ASLR policy for exec/spawn layouts.
+    pub aslr: AslrConfig,
+    /// Seed for all randomness (layouts, workloads) — same seed, same run.
+    pub seed: u64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig {
+            machine: MachineConfig::default(),
+            aslr: AslrConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// A booted simulated OS.
+#[derive(Debug)]
+pub struct Os {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Registered executable images.
+    pub images: ImageRegistry,
+    /// ASLR policy.
+    pub aslr: AslrConfig,
+    /// PID of init.
+    pub init: Pid,
+    rng: StdRng,
+}
+
+impl Os {
+    /// Boots a machine, creates init, and registers the standard images
+    /// (`/bin/sh`, `/bin/cat`, `/bin/grep`, `/bin/wc`, `/bin/tool`,
+    /// `/bin/server`).
+    pub fn boot(cfg: OsConfig) -> Os {
+        let mut kernel = Kernel::new(cfg.machine);
+        let init = kernel.create_init("init").expect("fresh machine boots");
+        let mut images = ImageRegistry::new();
+        for name in ["sh", "cat", "grep", "wc", "tool"] {
+            images.register(&format!("/bin/{name}"), Image::small(name));
+        }
+        images.register("/bin/server", Image::large("server"));
+        Os {
+            kernel,
+            images,
+            aslr: cfg.aslr,
+            init,
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    /// Boots with defaults.
+    pub fn boot_default() -> Os {
+        Os::boot(OsConfig::default())
+    }
+
+    /// Registers an additional image.
+    pub fn register_image(&mut self, path: &str, image: Image) -> u64 {
+        self.images.register(path, image)
+    }
+
+    /// Draws a fresh ASLR seed.
+    pub fn fresh_seed(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// `fork(2)`.
+    pub fn fork(&mut self, parent: Pid) -> KResult<Pid> {
+        fpr_api::fork(&mut self.kernel, parent)
+    }
+
+    /// Instrumented fork returning work statistics.
+    pub fn fork_stats(
+        &mut self,
+        parent: Pid,
+        mode: ForkMode,
+    ) -> KResult<(Pid, fpr_api::ForkStats)> {
+        let tid = self.kernel.process(parent)?.main_tid();
+        fpr_api::fork_from_thread(&mut self.kernel, parent, tid, mode)
+    }
+
+    /// `vfork(2)`.
+    pub fn vfork(&mut self, parent: Pid) -> KResult<Pid> {
+        fpr_api::vfork(&mut self.kernel, parent)
+    }
+
+    /// `execve(2)` with a fresh random layout.
+    pub fn exec(&mut self, pid: Pid, path: &str) -> KResult<()> {
+        let seed = self.fresh_seed();
+        fpr_exec::execve(&mut self.kernel, pid, &self.images, path, self.aslr, seed)
+    }
+
+    /// `posix_spawn(3)` with a fresh random layout.
+    pub fn spawn(
+        &mut self,
+        parent: Pid,
+        path: &str,
+        actions: &[FileAction],
+        attrs: &SpawnAttrs,
+    ) -> KResult<Pid> {
+        let seed = self.fresh_seed();
+        fpr_api::posix_spawn(
+            &mut self.kernel,
+            parent,
+            &self.images,
+            path,
+            actions,
+            attrs,
+            self.aslr,
+            seed,
+        )
+    }
+
+    /// Starts a cross-process builder spawn with a fresh random layout.
+    pub fn spawn_builder(
+        &mut self,
+        parent: Pid,
+        builder: ProcessBuilder,
+    ) -> KResult<fpr_api::Spawned> {
+        let seed = self.fresh_seed();
+        builder
+            .aslr(self.aslr, seed)
+            .spawn(&mut self.kernel, parent, &self.images)
+    }
+
+    /// Measures the simulated cycles a closure spends.
+    pub fn measure<T>(&mut self, f: impl FnOnce(&mut Os) -> T) -> (T, u64) {
+        let before = self.kernel.cycles.total();
+        let out = f(self);
+        (out, self.kernel.cycles.total() - before)
+    }
+
+    /// Builds a synthetic parent process matching `shape`: execs
+    /// `/bin/tool`, maps and populates the heap across the requested VMA
+    /// count, opens descriptors, and starts threads.
+    pub fn make_parent(&mut self, shape: ProcessShape) -> KResult<Pid> {
+        let pid = self.kernel.allocate_process(self.init, "parent")?;
+        let seed = self.fresh_seed();
+        fpr_exec::execve(
+            &mut self.kernel,
+            pid,
+            &self.images,
+            "/bin/tool",
+            self.aslr,
+            seed,
+        )?;
+        let per_vma = shape.pages_per_vma();
+        let mut mapped = 0;
+        while mapped < shape.heap_pages {
+            let pages = per_vma.min(shape.heap_pages - mapped);
+            let base = self
+                .kernel
+                .mmap_anon(pid, pages, Prot::RW, Share::Private)?;
+            self.kernel.populate(pid, base, pages)?;
+            mapped += pages;
+        }
+        for i in 0..shape.extra_fds {
+            self.kernel.open(
+                pid,
+                &format!("/tmp_fd_{}_{}", pid.0, i),
+                fpr_kernel::OpenFlags::RDWR,
+                true,
+            )?;
+        }
+        for _ in 0..shape.extra_threads {
+            self.kernel.spawn_thread(pid)?;
+        }
+        Ok(pid)
+    }
+
+    /// The base page of the first heap-class VMA mapped after exec (the
+    /// synthetic parent's data region).
+    pub fn first_mmap_base(&self, pid: Pid) -> KResult<Vpn> {
+        let p = self.kernel.process(pid)?;
+        p.aspace
+            .vmas()
+            .find(|v| v.kind == fpr_mem::VmaKind::Mmap)
+            .map(|v| v.start)
+            .ok_or(fpr_kernel::Errno::Enoent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_registers_standard_images() {
+        let os = Os::boot_default();
+        assert!(os.images.lookup("/bin/sh").is_some());
+        assert!(os.images.lookup("/bin/server").is_some());
+        assert_eq!(os.kernel.process(os.init).unwrap().name, "init");
+    }
+
+    #[test]
+    fn same_seed_same_layouts() {
+        let mut a = Os::boot(OsConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let mut b = Os::boot(OsConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let pa = a
+            .spawn(a.init, "/bin/sh", &[], &SpawnAttrs::default())
+            .unwrap();
+        let pb = b
+            .spawn(b.init, "/bin/sh", &[], &SpawnAttrs::default())
+            .unwrap();
+        assert_eq!(
+            a.kernel.process(pa).unwrap().layout,
+            b.kernel.process(pb).unwrap().layout
+        );
+    }
+
+    #[test]
+    fn make_parent_matches_shape() {
+        let mut os = Os::boot_default();
+        let shape = ProcessShape {
+            heap_pages: 64,
+            vma_count: 4,
+            extra_fds: 5,
+            extra_threads: 2,
+        };
+        let pid = os.make_parent(shape).unwrap();
+        let p = os.kernel.process(pid).unwrap();
+        assert!(p.resident_pages() >= 64);
+        assert_eq!(p.threads.len(), 3);
+        assert_eq!(
+            p.fds.open_count(),
+            5,
+            "exec'd process has no stdio; 5 opened"
+        );
+        let mmap_vmas = p
+            .aspace
+            .vmas()
+            .filter(|v| v.kind == fpr_mem::VmaKind::Mmap)
+            .count();
+        assert_eq!(mmap_vmas, 4);
+    }
+
+    #[test]
+    fn measure_counts_cycles() {
+        let mut os = Os::boot_default();
+        let init = os.init;
+        let (_, zero) = os.measure(|_| ());
+        assert_eq!(zero, 0);
+        let (child, cost) = os.measure(|os| os.fork(init).unwrap());
+        assert!(cost > 0);
+        assert!(os.kernel.process(child).is_ok());
+    }
+
+    #[test]
+    fn facade_apis_compose() {
+        let mut os = Os::boot_default();
+        let init = os.init;
+        let c = os
+            .spawn(init, "/bin/cat", &[], &SpawnAttrs::default())
+            .unwrap();
+        assert_eq!(os.kernel.process(c).unwrap().name, "cat");
+        os.exec(c, "/bin/grep").unwrap();
+        assert_eq!(os.kernel.process(c).unwrap().name, "grep");
+        let v = os.vfork(c).unwrap();
+        os.kernel.exit(v, 0).unwrap();
+        os.kernel.waitpid(c, Some(v)).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Address-space layout randomisation.
+//!
+//! Each exec draws fresh random bases for text, heap, mmap arena and
+//! stack. The security experiment (E8) contrasts this with zygote-style
+//! forking, where every child *shares* the parent's layout: one
+//! info-leak in any child reveals the layout of all of them — the attack
+//! the paper cites against fork-based Android app startup.
+
+use fpr_kernel::LayoutInfo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// ASLR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AslrConfig {
+    /// Randomise at all (off = fixed classic layout).
+    pub enabled: bool,
+    /// Bits of entropy per randomised base (Linux mmap default is 28).
+    pub entropy_bits: u32,
+}
+
+impl Default for AslrConfig {
+    fn default() -> Self {
+        AslrConfig {
+            enabled: true,
+            entropy_bits: 28,
+        }
+    }
+}
+
+/// Fixed bases the randomised offsets are added to (VPNs).
+mod bases {
+    /// Text around 0x0000_5555_5000_0000-ish, scaled into VPN space.
+    pub const TEXT: u64 = 0x0000_1000;
+    /// Heap above text.
+    pub const HEAP: u64 = 0x0010_0000;
+    /// The mmap arena.
+    pub const MMAP: u64 = 0x0400_0000;
+    /// Stack near the top of the user half (grows down).
+    pub const STACK: u64 = 0x7000_0000;
+}
+
+/// Draws a layout for one exec, using `seed` for determinism.
+///
+/// The same seed yields the same layout — which is exactly how the zygote
+/// hazard is modelled: forked children inherit the parent's draw, while
+/// spawned/exec'd processes get a fresh seed.
+pub fn randomize(cfg: AslrConfig, seed: u64) -> LayoutInfo {
+    if !cfg.enabled {
+        return LayoutInfo {
+            text_base: bases::TEXT,
+            heap_base: bases::HEAP,
+            mmap_base: bases::MMAP,
+            stack_base: bases::STACK,
+            entropy_bits: 0,
+            aslr_seed: 0,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = (1u64 << cfg.entropy_bits.min(34)) - 1;
+    // Offsets are page-granular and kept within disjoint arenas so the
+    // regions cannot collide regardless of the draw.
+    let draw = |rng: &mut StdRng, span: u64| rng.gen::<u64>() & mask & (span - 1);
+    LayoutInfo {
+        text_base: bases::TEXT + draw(&mut rng, 0x4_0000),
+        heap_base: bases::HEAP + draw(&mut rng, 0x40_0000),
+        mmap_base: bases::MMAP + draw(&mut rng, 0x100_0000),
+        stack_base: bases::STACK + draw(&mut rng, 0x800_0000),
+        entropy_bits: cfg.entropy_bits,
+        aslr_seed: seed,
+    }
+}
+
+/// Counts the layout base bits shared between two layouts — the measure
+/// the security audit reports. Identical layouts share everything.
+pub fn shared_bits(a: &LayoutInfo, b: &LayoutInfo) -> u32 {
+    let fields = [
+        (a.text_base, b.text_base),
+        (a.heap_base, b.heap_base),
+        (a.mmap_base, b.mmap_base),
+        (a.stack_base, b.stack_base),
+    ];
+    fields
+        .iter()
+        .map(|(x, y)| (!(x ^ y)).trailing_ones().min(34))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_aslr_is_fixed() {
+        let cfg = AslrConfig {
+            enabled: false,
+            entropy_bits: 28,
+        };
+        let a = randomize(cfg, 1);
+        let b = randomize(cfg, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.entropy_bits, 0);
+    }
+
+    #[test]
+    fn same_seed_same_layout() {
+        let cfg = AslrConfig::default();
+        assert_eq!(randomize(cfg, 42), randomize(cfg, 42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = AslrConfig::default();
+        let a = randomize(cfg, 1);
+        let b = randomize(cfg, 2);
+        assert_ne!(a, b);
+        assert_ne!(a.stack_base, b.stack_base);
+    }
+
+    #[test]
+    fn regions_stay_ordered_and_disjoint() {
+        let cfg = AslrConfig::default();
+        for seed in 0..200 {
+            let l = randomize(cfg, seed);
+            assert!(l.text_base < l.heap_base, "seed {seed}");
+            assert!(l.heap_base < l.mmap_base, "seed {seed}");
+            assert!(l.mmap_base < l.stack_base, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_bits_full_for_identical() {
+        let cfg = AslrConfig::default();
+        let l = randomize(cfg, 9);
+        assert_eq!(shared_bits(&l, &l), 4 * 34);
+        let other = randomize(cfg, 10);
+        assert!(shared_bits(&l, &other) < 4 * 34);
+    }
+}

@@ -1,0 +1,18 @@
+//! # fpr-exec — program images, loader, ASLR, and exec semantics
+//!
+//! The "other half" of process creation: building a fresh process image.
+//! [`loader::load`] performs O(image-size) work regardless of how big any
+//! existing process is — the property that makes spawn-style APIs flat in
+//! the paper's Figure 1 — and [`exec::execve`] implements the POSIX state
+//! transitions (close-on-exec sweep, signal-handler reset, thread
+//! collapse) that undo most of what fork copied.
+
+pub mod aslr;
+pub mod exec;
+pub mod image;
+pub mod loader;
+
+pub use aslr::{randomize, shared_bits, AslrConfig};
+pub use exec::{execve, execve_args, Env};
+pub use image::{Executable, Image, ImageRegistry};
+pub use loader::{load, STARTUP_TOUCHED_PAGES};

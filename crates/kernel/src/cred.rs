@@ -1,0 +1,134 @@
+//! Process credentials: user/group IDs and a small capability set.
+//!
+//! Fork copies credentials wholesale — one of the paper's security
+//! complaints (the child inherits privilege it may not need). The
+//! cross-process API can instead start a child with reduced credentials.
+
+use serde::{Deserialize, Serialize};
+
+/// Capability bits (a deliberately small subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Caps(pub u32);
+
+impl Caps {
+    /// Override file permission checks.
+    pub const DAC_OVERRIDE: Caps = Caps(1 << 0);
+    /// Send signals to arbitrary processes.
+    pub const KILL: Caps = Caps(1 << 1);
+    /// Exceed resource limits.
+    pub const SYS_RESOURCE: Caps = Caps(1 << 2);
+    /// Change credentials.
+    pub const SETUID: Caps = Caps(1 << 3);
+
+    /// The empty capability set.
+    pub const fn none() -> Caps {
+        Caps(0)
+    }
+
+    /// Full capabilities (root).
+    pub const fn all() -> Caps {
+        Caps(0b1111)
+    }
+
+    /// Returns true if every bit of `other` is held.
+    pub const fn has(self, other: Caps) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns the union of two sets.
+    pub const fn union(self, other: Caps) -> Caps {
+        Caps(self.0 | other.0)
+    }
+
+    /// Removes the bits of `other`.
+    pub const fn drop(self, other: Caps) -> Caps {
+        Caps(self.0 & !other.0)
+    }
+
+    /// Number of capabilities held.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// Credentials of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Credentials {
+    /// Real user ID.
+    pub uid: u32,
+    /// Effective user ID.
+    pub euid: u32,
+    /// Real group ID.
+    pub gid: u32,
+    /// Effective group ID.
+    pub egid: u32,
+    /// Capability set.
+    pub caps: Caps,
+}
+
+impl Credentials {
+    /// Root credentials with all capabilities.
+    pub fn root() -> Credentials {
+        Credentials {
+            uid: 0,
+            euid: 0,
+            gid: 0,
+            egid: 0,
+            caps: Caps::all(),
+        }
+    }
+
+    /// Unprivileged user credentials.
+    pub fn user(uid: u32, gid: u32) -> Credentials {
+        Credentials {
+            uid,
+            euid: uid,
+            gid,
+            egid: gid,
+            caps: Caps::none(),
+        }
+    }
+
+    /// Returns true if the credentials carry root or the given capability.
+    pub fn can(self, cap: Caps) -> bool {
+        self.euid == 0 || self.caps.has(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_can_everything() {
+        let r = Credentials::root();
+        assert!(r.can(Caps::KILL));
+        assert!(r.can(Caps::SETUID));
+        assert_eq!(r.caps.count(), 4);
+    }
+
+    #[test]
+    fn user_without_caps_cannot() {
+        let u = Credentials::user(1000, 1000);
+        assert!(!u.can(Caps::KILL));
+        assert_eq!(u.caps.count(), 0);
+    }
+
+    #[test]
+    fn cap_algebra() {
+        let c = Caps::KILL.union(Caps::SETUID);
+        assert!(c.has(Caps::KILL));
+        assert!(!c.has(Caps::DAC_OVERRIDE));
+        let d = c.drop(Caps::KILL);
+        assert!(!d.has(Caps::KILL));
+        assert!(d.has(Caps::SETUID));
+    }
+
+    #[test]
+    fn user_with_explicit_cap() {
+        let mut u = Credentials::user(1000, 1000);
+        u.caps = u.caps.union(Caps::KILL);
+        assert!(u.can(Caps::KILL));
+        assert!(!u.can(Caps::SYS_RESOURCE));
+    }
+}

@@ -1,0 +1,730 @@
+//! The simulated kernel: machine state, process table, and memory
+//! syscalls.
+//!
+//! [`Kernel`] owns physical memory, the global file/pipe tables, the
+//! scheduler and the process table. The process-creation APIs in
+//! `fpr-api` are implemented *against* this struct — fork and friends are
+//! deliberately not methods here, because the whole point of the paper is
+//! that they can be libraries over lower-level kernel operations.
+
+use crate::error::{Errno, KResult};
+use crate::fdtable::{Fd, FdEntry, FdTable};
+use crate::file::{FileObject, OfdTable, OpenFlags};
+use crate::pid::{Pid, PidAllocator, Tid, TidAllocator};
+use crate::pipe::PipeTable;
+use crate::rlimit::Resource;
+use crate::sched::{Scheduler, Task};
+use crate::task::Process;
+use crate::time::Clock;
+use crate::vfs::Vfs;
+use fpr_mem::{
+    AddressSpace, CommitAccount, CostModel, Cycles, FaultOutcome, OvercommitPolicy, PhysMemory,
+    Prot, Share, TlbModel, VmArea, VmaKind, Vpn,
+};
+use std::collections::BTreeMap;
+
+/// Default base VPN for the mmap arena when a process has no recorded
+/// layout (0x4000_0000 bytes ≫ 12).
+pub const DEFAULT_MMAP_BASE: u64 = 0x4000_0000 >> 12;
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Physical frames (4 KiB each).
+    pub frames: u64,
+    /// Number of CPUs (bounds TLB-shootdown fan-out).
+    pub cpus: u32,
+    /// Overcommit policy.
+    pub overcommit: OvercommitPolicy,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Maximum simultaneously live PIDs.
+    pub max_pids: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            frames: 262_144, // 1 GiB
+            cpus: 4,
+            overcommit: OvercommitPolicy::Heuristic,
+            cost: CostModel::default(),
+            max_pids: 4096,
+        }
+    }
+}
+
+/// The simulated machine and kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    /// Physical memory.
+    pub phys: PhysMemory,
+    /// TLB accounting.
+    pub tlb: TlbModel,
+    /// Global cycle counter (simulated time).
+    pub cycles: Cycles,
+    /// Virtual wall clock.
+    pub clock: Clock,
+    /// Commit accounting under the overcommit policy.
+    pub commit: CommitAccount,
+    /// The filesystem.
+    pub vfs: Vfs,
+    /// Open file descriptions.
+    pub ofds: OfdTable,
+    /// Pipes.
+    pub pipes: PipeTable,
+    /// Run queue.
+    pub sched: Scheduler,
+    /// Console output captured from Tty writes.
+    pub console: Vec<u8>,
+    /// PIDs of processes the OOM killer chose, in order.
+    pub oom_kills: Vec<Pid>,
+    /// Signal deliveries to user handlers, for tests: (pid, handler token).
+    pub handler_log: Vec<(Pid, u64)>,
+    /// Atfork handler executions: (process the handler ran in, token, phase).
+    pub atfork_log: Vec<(Pid, u64, crate::atfork::AtforkPhase)>,
+    /// Pending alarms (see `timer`).
+    pub(crate) alarms: Vec<crate::timer::Alarm>,
+    pub(crate) pids: PidAllocator,
+    pub(crate) tids: TidAllocator,
+    pub(crate) procs: BTreeMap<Pid, Process>,
+    /// Live process count per real uid (RLIMIT_NPROC accounting).
+    pub(crate) user_counts: BTreeMap<u32, u64>,
+}
+
+impl Kernel {
+    /// Boots a machine.
+    pub fn new(cfg: MachineConfig) -> Kernel {
+        Kernel {
+            phys: PhysMemory::new(cfg.frames, cfg.cost),
+            tlb: TlbModel::new(),
+            cycles: Cycles::new(),
+            clock: Clock::new(),
+            commit: CommitAccount::new(cfg.overcommit, cfg.frames),
+            vfs: Vfs::new(),
+            ofds: OfdTable::new(),
+            pipes: PipeTable::new(),
+            sched: Scheduler::new(cfg.cpus),
+            console: Vec::new(),
+            oom_kills: Vec::new(),
+            handler_log: Vec::new(),
+            atfork_log: Vec::new(),
+            alarms: Vec::new(),
+            pids: PidAllocator::new(cfg.max_pids),
+            tids: TidAllocator::new(),
+            procs: BTreeMap::new(),
+            user_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Boots with the default configuration.
+    pub fn boot() -> Kernel {
+        Kernel::new(MachineConfig::default())
+    }
+
+    /// Charges one syscall entry/exit.
+    pub fn charge_syscall(&mut self) {
+        let c = self.phys.cost().syscall;
+        self.cycles.charge(c);
+    }
+
+    /// Creates the init process (PID 1) with stdio descriptors on the
+    /// console.
+    pub fn create_init(&mut self, name: &str) -> KResult<Pid> {
+        let pid = self.pids.alloc()?;
+        let tid = self.tids.alloc();
+        let mut proc = Process::new(pid, pid, name, tid, self.vfs.root());
+        proc.pgid = crate::pgroup::Pgid(pid.0);
+        proc.sid = crate::pgroup::Sid(pid.0);
+        for flags in [OpenFlags::RDONLY, OpenFlags::WRONLY, OpenFlags::WRONLY] {
+            let ofd = self.ofds.insert(FileObject::Tty, flags);
+            proc.fds
+                .install(
+                    FdEntry {
+                        ofd,
+                        cloexec: false,
+                    },
+                    u64::MAX,
+                )
+                .expect("empty table");
+        }
+        *self.user_counts.entry(proc.cred.uid).or_insert(0) += 1;
+        self.sched.enqueue(Task { pid, tid });
+        self.procs.insert(pid, proc);
+        Ok(pid)
+    }
+
+    /// Borrows a process.
+    pub fn process(&self, pid: Pid) -> KResult<&Process> {
+        self.procs.get(&pid).ok_or(Errno::Esrch)
+    }
+
+    /// Mutably borrows a process.
+    pub fn process_mut(&mut self, pid: Pid) -> KResult<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(Errno::Esrch)
+    }
+
+    /// Fails with [`Errno::Esrch`] unless `pid` exists and is not a
+    /// zombie — a zombie has no threads left to issue syscalls.
+    pub fn ensure_alive(&self, pid: Pid) -> KResult<()> {
+        if self.process(pid)?.is_zombie() {
+            Err(Errno::Esrch)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// All live PIDs in order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Number of processes in the table (including zombies).
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Live (running) processes of one uid.
+    pub fn nproc_of(&self, uid: u32) -> u64 {
+        self.user_counts.get(&uid).copied().unwrap_or(0)
+    }
+
+    /// Allocates a new process shell as a child of `ppid`, enforcing
+    /// `RLIMIT_NPROC`. The caller (fork/spawn implementation) populates
+    /// its state. The child starts with an empty address space and FD
+    /// table and is enqueued for scheduling.
+    pub fn allocate_process(&mut self, ppid: Pid, name: &str) -> KResult<Pid> {
+        self.ensure_alive(ppid)?;
+        let (uid, nproc_limit, cwd, cred, rlimits, pgid, sid) = {
+            let p = self.process(ppid)?;
+            (
+                p.cred.uid,
+                p.rlimits.get(Resource::Nproc).soft,
+                p.cwd,
+                p.cred,
+                p.rlimits,
+                p.pgid,
+                p.sid,
+            )
+        };
+        if self.nproc_of(uid) >= nproc_limit {
+            return Err(Errno::Eagain);
+        }
+        let pid = self.pids.alloc()?;
+        let tid = self.tids.alloc();
+        let mut proc = Process::new(pid, ppid, name, tid, cwd);
+        proc.cred = cred;
+        proc.rlimits = rlimits;
+        proc.pgid = pgid;
+        proc.sid = sid;
+        *self.user_counts.entry(uid).or_insert(0) += 1;
+        self.sched.enqueue(Task { pid, tid });
+        self.procs.insert(pid, proc);
+        if let Some(parent) = self.procs.get_mut(&ppid) {
+            parent.children.push(pid);
+        }
+        Ok(pid)
+    }
+
+    /// Number of CPUs currently executing threads of `pid`, at least 1
+    /// (the caller itself runs somewhere).
+    pub fn cpus_running(&self, pid: Pid) -> u32 {
+        self.sched.cpus_running(pid).max(1)
+    }
+
+    /// Resolves the process whose address space `pid` actually operates
+    /// on: itself normally, or the lender for a vfork borrower.
+    pub fn space_owner(&self, pid: Pid) -> KResult<Pid> {
+        let mut cur = pid;
+        for _ in 0..16 {
+            match self.process(cur)?.space_ref {
+                crate::task::SpaceRef::Owned => return Ok(cur),
+                crate::task::SpaceRef::BorrowedFrom(p) => cur = p,
+            }
+        }
+        Err(Errno::Esrch)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory syscalls
+    // ------------------------------------------------------------------
+
+    /// Maps `pages` of anonymous memory with the given protection and
+    /// sharing, returning the chosen base page.
+    pub fn mmap_anon(&mut self, pid: Pid, pages: u64, prot: Prot, share: Share) -> KResult<Vpn> {
+        self.ensure_alive(pid)?;
+        self.charge_syscall();
+        let hint = {
+            let p = self.process(pid)?;
+            if p.layout.mmap_base != 0 {
+                Vpn(p.layout.mmap_base)
+            } else {
+                Vpn(DEFAULT_MMAP_BASE)
+            }
+        };
+        let start = {
+            let p = self.process(pid)?;
+            let limit = p.rlimits.get(Resource::AsPages).soft;
+            if p.aspace.virtual_pages() + pages > limit {
+                return Err(Errno::Enomem);
+            }
+            p.aspace.find_free_range(pages, hint)?
+        };
+        let mut vma = VmArea::anon(start, pages, prot, VmaKind::Mmap);
+        vma.share = share;
+        self.mmap_at(pid, vma)?;
+        Ok(start)
+    }
+
+    /// Maps an explicit VMA (loader path), charging commit.
+    pub fn mmap_at(&mut self, pid: Pid, vma: VmArea) -> KResult<()> {
+        self.ensure_alive(pid)?;
+        let Kernel {
+            phys,
+            commit,
+            cycles,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        let charge = commit_charge_of(&vma);
+        commit.charge(charge, phys.free_frames())?;
+        match p.aspace.mmap(vma, phys, cycles) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                commit.release(charge);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Unmaps a range.
+    pub fn munmap(&mut self, pid: Pid, start: Vpn, pages: u64) -> KResult<u64> {
+        self.ensure_alive(pid)?;
+        self.charge_syscall();
+        let cpus = self.cpus_running(pid);
+        let Kernel {
+            phys,
+            cycles,
+            tlb,
+            commit,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        // Release the commit charge of the VMAs actually covered.
+        let mut release = 0u64;
+        for v in p.aspace.vmas().filter(|v| v.overlaps(start, pages)) {
+            let lo = v.start.0.max(start.0);
+            let hi = v.end().0.min(start.0 + pages);
+            if commit_charge_of(v) > 0 {
+                release += hi - lo;
+            }
+        }
+        let freed = p.aspace.munmap(start, pages, phys, cycles, tlb, cpus)?;
+        commit.release(release);
+        Ok(freed)
+    }
+
+    /// Writes `val` to the page at `vpn` of `pid`, faulting as needed.
+    pub fn write_mem(&mut self, pid: Pid, vpn: Vpn, val: u64) -> KResult<FaultOutcome> {
+        self.ensure_alive(pid)?;
+        let owner = self.space_owner(pid)?;
+        let cpus = self.cpus_running(owner);
+        let Kernel {
+            phys,
+            cycles,
+            tlb,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&owner).ok_or(Errno::Esrch)?;
+        Ok(p.aspace.write(vpn, val, phys, cycles, tlb, cpus)?)
+    }
+
+    /// Reads the page at `vpn` of `pid`, faulting as needed.
+    pub fn read_mem(&mut self, pid: Pid, vpn: Vpn) -> KResult<u64> {
+        self.ensure_alive(pid)?;
+        let owner = self.space_owner(pid)?;
+        let Kernel {
+            phys,
+            cycles,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&owner).ok_or(Errno::Esrch)?;
+        Ok(p.aspace.read(vpn, phys, cycles)?.0)
+    }
+
+    /// Pre-faults a range (`MAP_POPULATE`).
+    pub fn populate(&mut self, pid: Pid, start: Vpn, pages: u64) -> KResult<()> {
+        self.ensure_alive(pid)?;
+        let owner = self.space_owner(pid)?;
+        let Kernel {
+            phys,
+            cycles,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&owner).ok_or(Errno::Esrch)?;
+        Ok(p.aspace.populate(start, pages, phys, cycles)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Fork-support plumbing (used by fpr-api)
+    // ------------------------------------------------------------------
+
+    /// Duplicates `pid`'s descriptor table for a child: every entry takes
+    /// a reference on its open file description, and pipe end counts grow.
+    pub fn clone_fd_table(&mut self, pid: Pid) -> KResult<FdTable> {
+        let entries: Vec<(Fd, FdEntry)> = self.process(pid)?.fds.iter().collect();
+        let mut table = FdTable::new();
+        for (fd, entry) in entries {
+            // Shares the description (and therefore the offset); pipe end
+            // counts follow descriptions, not descriptors, so they are
+            // untouched here.
+            self.ofds.incref(entry.ofd)?;
+            table.install_at(fd, entry, u64::MAX)?;
+        }
+        Ok(table)
+    }
+
+    /// Duplicates `pid`'s address space with fork semantics, charging the
+    /// child's commit against the overcommit policy first.
+    pub fn clone_address_space(
+        &mut self,
+        pid: Pid,
+        mode: fpr_mem::ForkMode,
+    ) -> KResult<AddressSpace> {
+        let cpus = self.cpus_running(pid);
+        let Kernel {
+            phys,
+            cycles,
+            tlb,
+            commit,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        let charge = p.aspace.commit_pages();
+        commit.charge(charge, phys.free_frames())?;
+        match AddressSpace::fork_from(&mut p.aspace, mode, phys, cycles, tlb, cpus) {
+            Ok(space) => Ok(space),
+            Err(e) => {
+                commit.release(charge);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Spawns an additional thread in `pid`.
+    pub fn spawn_thread(&mut self, pid: Pid) -> KResult<Tid> {
+        let tid = self.tids.alloc();
+        let p = self.process_mut(pid)?;
+        p.threads.push(crate::thread::Thread::new(tid));
+        self.sched.enqueue(Task { pid, tid });
+        Ok(tid)
+    }
+
+    /// Registers a userspace lock in `pid`.
+    pub fn register_lock(&mut self, pid: Pid, name_id: u32) -> KResult<crate::sync::LockId> {
+        Ok(self.process_mut(pid)?.locks.register(name_id))
+    }
+
+    /// Acquires a lock for `tid` in `pid`.
+    ///
+    /// Returns [`Errno::Ebusy`] and blocks the thread when contended, and
+    /// [`Errno::Edeadlk`] when the owner no longer exists in the process —
+    /// the post-fork orphaned-lock deadlock.
+    pub fn lock_acquire(&mut self, pid: Pid, tid: Tid, lock: crate::sync::LockId) -> KResult<()> {
+        let p = self.process_mut(pid)?;
+        match p.locks.acquire(lock, tid) {
+            Ok(()) => {
+                if let Some(t) = p.thread_mut(tid) {
+                    t.note_acquired(lock);
+                }
+                Ok(())
+            }
+            Err(Errno::Ebusy) => {
+                let owner = p
+                    .locks
+                    .get(lock)
+                    .and_then(|l| l.owner)
+                    .expect("busy lock has owner");
+                if p.thread(owner).is_none() {
+                    // The owner died with the fork: permanent deadlock.
+                    return Err(Errno::Edeadlk);
+                }
+                if let Some(t) = p.thread_mut(tid) {
+                    t.state = crate::thread::ThreadState::BlockedOnLock(lock);
+                }
+                Err(Errno::Ebusy)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Releases a lock and wakes one blocked waiter.
+    pub fn lock_release(&mut self, pid: Pid, tid: Tid, lock: crate::sync::LockId) -> KResult<()> {
+        let p = self.process_mut(pid)?;
+        p.locks.release(lock, tid)?;
+        if let Some(t) = p.thread_mut(tid) {
+            t.note_released(lock);
+        }
+        if let Some(w) = p
+            .threads
+            .iter_mut()
+            .find(|t| t.state == crate::thread::ThreadState::BlockedOnLock(lock))
+        {
+            w.state = crate::thread::ThreadState::Runnable;
+        }
+        Ok(())
+    }
+
+    /// Parks every thread of `pid` for the duration of a vfork child's
+    /// borrow.
+    pub fn vfork_park(&mut self, pid: Pid, child: Pid) -> KResult<()> {
+        let p = self.process_mut(pid)?;
+        p.park_all_threads();
+        p.vfork_children.push(child);
+        Ok(())
+    }
+
+    /// Returns a vfork borrow: unparks the parent.
+    pub fn vfork_return(&mut self, parent: Pid, child: Pid) -> KResult<()> {
+        let p = self.process_mut(parent)?;
+        p.vfork_children.retain(|c| *c != child);
+        if p.vfork_children.is_empty() {
+            p.unpark_all_threads();
+        }
+        Ok(())
+    }
+
+    /// Destroys `pid`'s owned address space, releasing frames and commit
+    /// charge (exec's teardown path).
+    pub fn destroy_address_space(&mut self, pid: Pid) -> KResult<()> {
+        let commit = self.process(pid)?.aspace.commit_pages();
+        {
+            let Kernel {
+                phys,
+                cycles,
+                procs,
+                ..
+            } = self;
+            let p = procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+            p.aspace.destroy(phys, cycles);
+        }
+        self.commit.release(commit);
+        Ok(())
+    }
+
+    /// Replaces `pid`'s address space with an empty owned one *without*
+    /// destroying the old (used when the old space was borrowed via vfork).
+    pub fn detach_borrowed_space(&mut self, pid: Pid) -> KResult<()> {
+        let p = self.process_mut(pid)?;
+        p.aspace = AddressSpace::new();
+        p.space_ref = crate::task::SpaceRef::Owned;
+        Ok(())
+    }
+
+    /// Releases one descriptor-table entry (public wrapper over the io
+    /// internals, for the exec path in `fpr-exec`).
+    pub fn release_fd_entry(&mut self, entry: FdEntry) -> KResult<()> {
+        crate::io::release_entry(&mut self.ofds, &mut self.pipes, entry)
+    }
+
+    /// Moves `pid`'s per-uid process accounting to `new_uid` (after a
+    /// credential change). The PCB's credential fields are the caller's
+    /// responsibility.
+    pub fn move_uid_accounting(&mut self, pid: Pid, new_uid: u32) -> KResult<()> {
+        let old_uid = {
+            // The PCB may already carry the new uid; account by what the
+            // books say, decrementing whichever entry this pid was under.
+            // Since books are per-uid counters (not per-pid), use ppid
+            // lineage: decrement the parent's uid bucket.
+            let p = self.process(pid)?;
+            let parent = self
+                .process(p.ppid)
+                .map(|pp| pp.cred.uid)
+                .unwrap_or(p.cred.uid);
+            parent
+        };
+        if old_uid == new_uid {
+            return Ok(());
+        }
+        if let Some(c) = self.user_counts.get_mut(&old_uid) {
+            *c = c.saturating_sub(1);
+        }
+        *self.user_counts.entry(new_uid).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Total resident pages across all live processes.
+    pub fn total_resident(&self) -> u64 {
+        self.procs
+            .values()
+            .filter(|p| !p.is_zombie())
+            .map(|p| p.resident_pages())
+            .sum()
+    }
+}
+
+/// Commit charge of one VMA (mirrors `fpr_mem`'s accounting rule).
+fn commit_charge_of(v: &VmArea) -> u64 {
+    match (v.share, v.backing, v.prot.write) {
+        (Share::Private, _, true) => v.pages,
+        (Share::Shared, fpr_mem::Backing::Anon, _) => v.pages,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot_with_init() -> (Kernel, Pid) {
+        let mut k = Kernel::boot();
+        let init = k.create_init("init").unwrap();
+        (k, init)
+    }
+
+    #[test]
+    fn init_has_stdio_on_console() {
+        let (k, init) = boot_with_init();
+        let p = k.process(init).unwrap();
+        assert_eq!(p.fds.open_count(), 3);
+        assert_eq!(p.pid, Pid(1));
+        assert_eq!(k.ofds.live(), 3);
+    }
+
+    #[test]
+    fn allocate_process_links_parent_and_counts_uid() {
+        let (mut k, init) = boot_with_init();
+        let child = k.allocate_process(init, "child").unwrap();
+        assert_eq!(k.process(child).unwrap().ppid, init);
+        assert!(k.process(init).unwrap().children.contains(&child));
+        assert_eq!(k.nproc_of(0), 2);
+    }
+
+    #[test]
+    fn nproc_limit_blocks_allocation() {
+        let (mut k, init) = boot_with_init();
+        k.process_mut(init)
+            .unwrap()
+            .rlimits
+            .set(Resource::Nproc, crate::rlimit::Rlimit::both(2));
+        k.allocate_process(init, "a").unwrap();
+        assert_eq!(k.allocate_process(init, "b"), Err(Errno::Eagain));
+    }
+
+    #[test]
+    fn mmap_write_read_roundtrip() {
+        let (mut k, init) = boot_with_init();
+        let base = k.mmap_anon(init, 4, Prot::RW, Share::Private).unwrap();
+        k.write_mem(init, base, 77).unwrap();
+        assert_eq!(k.read_mem(init, base), Ok(77));
+        assert_eq!(k.read_mem(init, base.add(1)), Ok(0));
+        assert_eq!(k.process(init).unwrap().resident_pages(), 2);
+    }
+
+    #[test]
+    fn mmap_respects_as_rlimit() {
+        let (mut k, init) = boot_with_init();
+        k.process_mut(init)
+            .unwrap()
+            .rlimits
+            .set(Resource::AsPages, crate::rlimit::Rlimit::both(10));
+        assert!(k.mmap_anon(init, 8, Prot::RW, Share::Private).is_ok());
+        assert_eq!(
+            k.mmap_anon(init, 8, Prot::RW, Share::Private),
+            Err(Errno::Enomem)
+        );
+    }
+
+    #[test]
+    fn munmap_releases_commit() {
+        let (mut k, init) = boot_with_init();
+        let before = k.commit.committed();
+        let base = k.mmap_anon(init, 16, Prot::RW, Share::Private).unwrap();
+        assert_eq!(k.commit.committed(), before + 16);
+        k.munmap(init, base, 16).unwrap();
+        assert_eq!(k.commit.committed(), before);
+    }
+
+    #[test]
+    fn commit_limit_never_policy_fails_up_front() {
+        let mut k = Kernel::new(MachineConfig {
+            frames: 100,
+            overcommit: OvercommitPolicy::Never { ratio: 0.5 },
+            ..MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        assert!(k.mmap_anon(init, 40, Prot::RW, Share::Private).is_ok());
+        assert_eq!(
+            k.mmap_anon(init, 40, Prot::RW, Share::Private),
+            Err(Errno::Enomem)
+        );
+    }
+
+    #[test]
+    fn clone_fd_table_shares_descriptions() {
+        let (mut k, init) = boot_with_init();
+        let table = k.clone_fd_table(init).unwrap();
+        assert_eq!(table.open_count(), 3);
+        // Each of the three stdio OFDs now has two references.
+        let entry = table.get(crate::fdtable::STDOUT).unwrap();
+        assert_eq!(k.ofds.refs(entry.ofd), Ok(2));
+    }
+
+    #[test]
+    fn clone_address_space_charges_commit() {
+        let (mut k, init) = boot_with_init();
+        k.mmap_anon(init, 8, Prot::RW, Share::Private).unwrap();
+        let before = k.commit.committed();
+        let space = k.clone_address_space(init, fpr_mem::ForkMode::Cow).unwrap();
+        assert_eq!(k.commit.committed(), before + 8);
+        assert_eq!(space.virtual_pages(), 8);
+    }
+
+    #[test]
+    fn orphaned_lock_is_edeadlk() {
+        let (mut k, init) = boot_with_init();
+        let lock = k
+            .register_lock(init, crate::sync::names::MALLOC_ARENA)
+            .unwrap();
+        // A "ghost" thread that will not survive fork: simulate by
+        // acquiring with a tid that is not in the thread list.
+        let ghost = Tid(9999);
+        k.process_mut(init)
+            .unwrap()
+            .locks
+            .acquire(lock, ghost)
+            .unwrap();
+        let main = k.process(init).unwrap().main_tid();
+        assert_eq!(k.lock_acquire(init, main, lock), Err(Errno::Edeadlk));
+    }
+
+    #[test]
+    fn contended_lock_blocks_then_wakes() {
+        let (mut k, init) = boot_with_init();
+        let lock = k.register_lock(init, crate::sync::names::APP).unwrap();
+        let t2 = k.spawn_thread(init).unwrap();
+        let main = k.process(init).unwrap().main_tid();
+        k.lock_acquire(init, main, lock).unwrap();
+        assert_eq!(k.lock_acquire(init, t2, lock), Err(Errno::Ebusy));
+        assert!(!k
+            .process(init)
+            .unwrap()
+            .thread(t2)
+            .unwrap()
+            .is_schedulable());
+        k.lock_release(init, main, lock).unwrap();
+        assert!(k
+            .process(init)
+            .unwrap()
+            .thread(t2)
+            .unwrap()
+            .is_schedulable());
+        k.lock_acquire(init, t2, lock).unwrap();
+    }
+}

@@ -1,0 +1,390 @@
+//! Process lifecycle: signals, exit, wait, reaping, and the OOM killer.
+
+use crate::error::{Errno, KResult};
+use crate::kernel::Kernel;
+use crate::pid::Pid;
+use crate::signal::{DefaultAction, Disposition, Sig};
+use crate::task::{ProcState, SpaceRef};
+
+/// Exit status the OOM killer assigns (128 + SIGKILL).
+pub const OOM_EXIT_STATUS: i32 = 137;
+
+impl Kernel {
+    /// Installs a signal disposition (`sigaction`).
+    pub fn sigaction(&mut self, pid: Pid, sig: Sig, d: Disposition) -> KResult<()> {
+        if sig.unblockable() && d != Disposition::Default {
+            return Err(Errno::Einval);
+        }
+        self.process_mut(pid)?.signals.set_disposition(sig, d);
+        Ok(())
+    }
+
+    /// Blocks or unblocks a signal (`sigprocmask`).
+    pub fn sigprocmask(&mut self, pid: Pid, sig: Sig, blocked: bool) -> KResult<()> {
+        self.process_mut(pid)?.signals.set_blocked(sig, blocked);
+        Ok(())
+    }
+
+    /// Sends `sig` to `target` and immediately runs delivery.
+    pub fn kill(&mut self, target: Pid, sig: Sig) -> KResult<()> {
+        self.charge_syscall();
+        {
+            let p = self.process_mut(target)?;
+            if p.is_zombie() {
+                return Ok(());
+            }
+            p.signals.raise(sig);
+        }
+        self.deliver_pending(target)
+    }
+
+    /// Delivers every deliverable pending signal of `target`:
+    /// handlers are logged, defaults are applied (terminate/ignore).
+    pub fn deliver_pending(&mut self, target: Pid) -> KResult<()> {
+        loop {
+            let (sig, disp) = {
+                let p = self.process_mut(target)?;
+                match p.signals.take_deliverable() {
+                    None => return Ok(()),
+                    Some(s) => (s, p.signals.disposition(s)),
+                }
+            };
+            match disp {
+                Disposition::Ignore => {}
+                Disposition::Handler(h) => self.handler_log.push((target, h.0)),
+                Disposition::Default => match sig.default_action() {
+                    DefaultAction::Ignore => {}
+                    DefaultAction::Stop => { /* job control not modelled further */ }
+                    DefaultAction::Terminate => {
+                        self.exit(target, 128 + sig.index() as i32)?;
+                        return Ok(());
+                    }
+                },
+            }
+        }
+    }
+
+    /// Terminates `pid` with `status`: flushes user streams, releases
+    /// descriptors and memory, reparents children to init, zombifies, and
+    /// signals the parent with `SIGCHLD`.
+    pub fn exit(&mut self, pid: Pid, status: i32) -> KResult<()> {
+        // 1. Userspace atexit: flush buffered streams (this is where
+        //    fork-duplicated buffer contents become duplicated output).
+        let nstreams = self.process(pid)?.streams.len();
+        for s in 0..nstreams {
+            let _ = self.stream_flush(pid, s);
+        }
+
+        // 2. Release descriptors.
+        let entries = self.process_mut(pid)?.fds.drain();
+        for e in entries {
+            crate::io::release_entry(&mut self.ofds, &mut self.pipes, e)?;
+        }
+
+        // 3. Release memory (vfork borrowers do not own their space).
+        let (space_ref, ppid, children, vfork_children) = {
+            let p = self.process_mut(pid)?;
+            (
+                p.space_ref.clone(),
+                p.ppid,
+                std::mem::take(&mut p.children),
+                std::mem::take(&mut p.vfork_children),
+            )
+        };
+        match space_ref {
+            SpaceRef::Owned => {
+                let commit = {
+                    let p = self.process(pid)?;
+                    p.aspace.commit_pages()
+                };
+                let Kernel {
+                    phys,
+                    cycles,
+                    procs,
+                    ..
+                } = self;
+                let p = procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+                p.aspace.destroy(phys, cycles);
+                self.commit.release(commit);
+            }
+            SpaceRef::BorrowedFrom(parent) => {
+                // Return the borrow; the parent resumes.
+                self.vfork_return(parent, pid)?;
+            }
+        }
+
+        // 4. Any vfork children of the dying process lose their borrow
+        //    target; they are killed too (matching Linux, where the group
+        //    dies together in this pathological case).
+        for c in vfork_children {
+            if self.procs.contains_key(&c) {
+                self.exit(c, OOM_EXIT_STATUS)?;
+            }
+        }
+
+        // 5. Reparent children to init (PID 1).
+        let init = Pid(1);
+        for c in children {
+            if let Some(cp) = self.procs.get_mut(&c) {
+                cp.ppid = init;
+                if let Some(ip) = self.procs.get_mut(&init) {
+                    ip.children.push(c);
+                }
+            }
+        }
+
+        // 6. Off the run queue, cancel timers, zombify, account.
+        self.sched.remove_process(pid);
+        self.clear_alarms(pid);
+        {
+            let p = self.process_mut(pid)?;
+            p.state = ProcState::Zombie(status);
+            for t in &mut p.threads {
+                t.state = crate::thread::ThreadState::Exited;
+            }
+        }
+        let uid = self.process(pid)?.cred.uid;
+        if let Some(c) = self.user_counts.get_mut(&uid) {
+            *c = c.saturating_sub(1);
+        }
+
+        // 7. Tell the parent (or auto-reap if the parent is gone/self).
+        if ppid != pid && self.procs.contains_key(&ppid) {
+            let _ = self.kill(ppid, Sig::Chld);
+        } else {
+            self.reap(pid)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a zombie from the table and frees its PID.
+    fn reap(&mut self, pid: Pid) -> KResult<i32> {
+        let p = self.procs.remove(&pid).ok_or(Errno::Esrch)?;
+        let status = match p.state {
+            ProcState::Zombie(s) => s,
+            ProcState::Running => return Err(Errno::Ebusy),
+        };
+        self.pids.free(pid);
+        Ok(status)
+    }
+
+    /// Waits for a child: reaps and returns `(pid, status)` of a zombie
+    /// child (a specific one if `target` is given). `Ok(None)` means
+    /// children exist but none has exited (the caller would block);
+    /// [`Errno::Echild`] means there is nothing to wait for.
+    pub fn waitpid(&mut self, parent: Pid, target: Option<Pid>) -> KResult<Option<(Pid, i32)>> {
+        self.charge_syscall();
+        let children = self.process(parent)?.children.clone();
+        if children.is_empty() {
+            return Err(Errno::Echild);
+        }
+        let candidates: Vec<Pid> = match target {
+            Some(t) if children.contains(&t) => vec![t],
+            Some(_) => return Err(Errno::Echild),
+            None => children,
+        };
+        for c in candidates {
+            let zombie = self.procs.get(&c).map(|p| p.is_zombie()).unwrap_or(false);
+            if zombie {
+                let status = self.reap(c)?;
+                self.process_mut(parent)?.children.retain(|x| *x != c);
+                return Ok(Some((c, status)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The OOM killer: kills the non-init process with the largest
+    /// resident set. Returns its PID, or `None` if there is no candidate.
+    pub fn oom_kill(&mut self) -> Option<Pid> {
+        let victim = self
+            .procs
+            .values()
+            .filter(|p| !p.is_zombie() && p.pid != Pid(1) && p.space_ref == SpaceRef::Owned)
+            .max_by_key(|p| (p.resident_pages(), std::cmp::Reverse(p.pid)))?
+            .pid;
+        if let Some(p) = self.procs.get_mut(&victim) {
+            p.oom_killed = true;
+        }
+        self.oom_kills.push(victim);
+        self.exit(victim, OOM_EXIT_STATUS).ok()?;
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdtable::STDOUT;
+    use crate::signal::HandlerId;
+    use crate::stdio::BufMode;
+    use fpr_mem::{Prot, Share};
+
+    fn boot() -> (Kernel, Pid) {
+        let mut k = Kernel::boot();
+        let init = k.create_init("init").unwrap();
+        (k, init)
+    }
+
+    fn child_of(k: &mut Kernel, parent: Pid) -> Pid {
+        k.allocate_process(parent, "child").unwrap()
+    }
+
+    #[test]
+    fn exit_then_wait_reaps() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        k.exit(c, 3).unwrap();
+        assert!(k.process(c).unwrap().is_zombie());
+        let (pid, status) = k.waitpid(init, None).unwrap().unwrap();
+        assert_eq!((pid, status), (c, 3));
+        assert_eq!(k.process(c).err(), Some(Errno::Esrch));
+        assert_eq!(k.waitpid(init, None), Err(Errno::Echild));
+    }
+
+    #[test]
+    fn wait_on_running_child_would_block() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        assert_eq!(k.waitpid(init, None), Ok(None));
+        assert_eq!(k.waitpid(init, Some(c)), Ok(None));
+        assert_eq!(k.waitpid(init, Some(Pid(999))), Err(Errno::Echild));
+    }
+
+    #[test]
+    fn exit_flushes_streams_to_console() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        let ofd = k
+            .ofds
+            .insert(crate::file::FileObject::Tty, crate::file::OpenFlags::WRONLY);
+        k.process_mut(c)
+            .unwrap()
+            .fds
+            .install(
+                crate::fdtable::FdEntry {
+                    ofd,
+                    cloexec: false,
+                },
+                64,
+            )
+            .unwrap();
+        let s = k
+            .stream_open(c, crate::fdtable::Fd(0), BufMode::FullyBuffered)
+            .unwrap();
+        k.stream_write(c, s, b"at-exit").unwrap();
+        assert!(k.console.is_empty());
+        k.exit(c, 0).unwrap();
+        assert_eq!(k.console, b"at-exit");
+    }
+
+    #[test]
+    fn exit_releases_memory_and_commit() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        let base = k.mmap_anon(c, 32, Prot::RW, Share::Private).unwrap();
+        k.populate(c, base, 32).unwrap();
+        assert_eq!(k.phys.used_frames(), 32);
+        k.exit(c, 0).unwrap();
+        assert_eq!(k.phys.used_frames(), 0);
+        assert_eq!(k.commit.committed(), 0);
+    }
+
+    #[test]
+    fn children_reparent_to_init() {
+        let (mut k, init) = boot();
+        let a = child_of(&mut k, init);
+        let b = k.allocate_process(a, "grandchild").unwrap();
+        k.exit(a, 0).unwrap();
+        assert_eq!(k.process(b).unwrap().ppid, init);
+        assert!(k.process(init).unwrap().children.contains(&b));
+    }
+
+    #[test]
+    fn default_term_signal_kills() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        k.kill(c, Sig::Term).unwrap();
+        assert!(k.process(c).unwrap().is_zombie());
+    }
+
+    #[test]
+    fn handler_signal_logs_instead_of_killing() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        k.sigaction(c, Sig::Term, Disposition::Handler(HandlerId(42)))
+            .unwrap();
+        k.kill(c, Sig::Term).unwrap();
+        assert!(!k.process(c).unwrap().is_zombie());
+        assert_eq!(k.handler_log, vec![(c, 42)]);
+    }
+
+    #[test]
+    fn blocked_signal_defers_death() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        k.sigprocmask(c, Sig::Term, true).unwrap();
+        k.kill(c, Sig::Term).unwrap();
+        assert!(!k.process(c).unwrap().is_zombie());
+        k.sigprocmask(c, Sig::Term, false).unwrap();
+        k.deliver_pending(c).unwrap();
+        assert!(k.process(c).unwrap().is_zombie());
+    }
+
+    #[test]
+    fn sigkill_cannot_be_handled() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        assert_eq!(
+            k.sigaction(c, Sig::Kill, Disposition::Handler(HandlerId(1))),
+            Err(Errno::Einval)
+        );
+        k.kill(c, Sig::Kill).unwrap();
+        assert!(k.process(c).unwrap().is_zombie());
+    }
+
+    #[test]
+    fn oom_killer_picks_largest_resident() {
+        let (mut k, init) = boot();
+        let small = child_of(&mut k, init);
+        let big = child_of(&mut k, init);
+        let b1 = k.mmap_anon(small, 4, Prot::RW, Share::Private).unwrap();
+        k.populate(small, b1, 4).unwrap();
+        let b2 = k.mmap_anon(big, 64, Prot::RW, Share::Private).unwrap();
+        k.populate(big, b2, 64).unwrap();
+        let victim = k.oom_kill().unwrap();
+        assert_eq!(victim, big);
+        assert!(k.process(big).unwrap().oom_killed);
+        assert_eq!(
+            k.process(big).unwrap().state,
+            ProcState::Zombie(OOM_EXIT_STATUS)
+        );
+        assert!(!k.process(small).unwrap().is_zombie());
+    }
+
+    #[test]
+    fn exit_closes_pipe_ends_signalling_eof() {
+        let (mut k, init) = boot();
+        let c = child_of(&mut k, init);
+        let (r, w) = k.pipe(c).unwrap();
+        // Parent holds the read end too (as after a fork).
+        let entry = k.process(c).unwrap().fds.get(r).unwrap();
+        k.ref_object(entry.ofd).unwrap();
+        k.process_mut(init).unwrap().fds.install(entry, 64).unwrap();
+        let _ = w;
+        k.exit(c, 0).unwrap();
+        // Child's write end died with it: parent sees EOF.
+        let pr = k.process(init).unwrap().fds.highest().unwrap();
+        assert_eq!(k.read_fd(init, pr, 8).unwrap(), crate::io::ReadResult::Eof);
+    }
+
+    #[test]
+    fn console_capture_write_after_exit_of_writer() {
+        let (mut k, init) = boot();
+        k.write_fd(init, STDOUT, b"one").unwrap();
+        let c = child_of(&mut k, init);
+        k.exit(c, 0).unwrap();
+        k.write_fd(init, STDOUT, b"two").unwrap();
+        assert_eq!(k.console, b"onetwo");
+    }
+}

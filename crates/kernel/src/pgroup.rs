@@ -1,0 +1,160 @@
+//! Process groups and sessions — more state fork silently inherits.
+//!
+//! POSIX job control hangs off two more PCB fields that fork copies and
+//! `setsid` resets: the process group (signal-broadcast domain) and the
+//! session. They matter here because `kill(-pgid)` is how shells signal
+//! pipelines — and because they are yet another row in the "what fork
+//! copies" inventory.
+
+use crate::error::{Errno, KResult};
+use crate::kernel::Kernel;
+use crate::pid::Pid;
+use crate::signal::Sig;
+
+/// A process-group identifier (the PID of the group leader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pgid(pub u32);
+
+/// A session identifier (the PID of the session leader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sid(pub u32);
+
+impl Kernel {
+    /// `setpgid(pid, pgid)`: moves `pid` into the group `pgid` (0 = its
+    /// own new group). Only a process or its parent may move it, and only
+    /// within the same session.
+    pub fn setpgid(&mut self, caller: Pid, pid: Pid, pgid: Option<Pgid>) -> KResult<()> {
+        self.ensure_alive(pid)?;
+        let target_sid = self.process(pid)?.sid;
+        if caller != pid && self.process(pid)?.ppid != caller {
+            return Err(Errno::Eperm);
+        }
+        let new = pgid.unwrap_or(Pgid(pid.0));
+        // The target group must exist within the same session (or be the
+        // process's own new group).
+        if new != Pgid(pid.0) {
+            let exists = self
+                .pids()
+                .into_iter()
+                .filter_map(|q| self.process(q).ok())
+                .any(|q| q.pgid == new && q.sid == target_sid);
+            if !exists {
+                return Err(Errno::Eperm);
+            }
+        }
+        self.process_mut(pid)?.pgid = new;
+        Ok(())
+    }
+
+    /// `getpgid(pid)`.
+    pub fn getpgid(&self, pid: Pid) -> KResult<Pgid> {
+        Ok(self.process(pid)?.pgid)
+    }
+
+    /// `setsid()`: makes `pid` the leader of a new session and group.
+    /// Fails if it is already a group leader (POSIX rule).
+    pub fn setsid(&mut self, pid: Pid) -> KResult<Sid> {
+        self.ensure_alive(pid)?;
+        let p = self.process(pid)?;
+        if p.pgid == Pgid(pid.0) {
+            return Err(Errno::Eperm);
+        }
+        let p = self.process_mut(pid)?;
+        p.pgid = Pgid(pid.0);
+        p.sid = Sid(pid.0);
+        Ok(Sid(pid.0))
+    }
+
+    /// `kill(-pgid, sig)`: signals every member of the group.
+    pub fn kill_pgroup(&mut self, pgid: Pgid, sig: Sig) -> KResult<usize> {
+        let members: Vec<Pid> = self
+            .pids()
+            .into_iter()
+            .filter(|q| {
+                self.process(*q)
+                    .map(|p| p.pgid == pgid && !p.is_zombie())
+                    .unwrap_or(false)
+            })
+            .collect();
+        if members.is_empty() {
+            return Err(Errno::Esrch);
+        }
+        let n = members.len();
+        for m in members {
+            self.kill(m, sig)?;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> (Kernel, Pid) {
+        let mut k = Kernel::boot();
+        let init = k.create_init("init").unwrap();
+        (k, init)
+    }
+
+    #[test]
+    fn children_inherit_group_via_allocate() {
+        let (mut k, init) = boot();
+        let c = k.allocate_process(init, "c").unwrap();
+        assert_eq!(k.getpgid(c).unwrap(), k.getpgid(init).unwrap());
+    }
+
+    #[test]
+    fn setpgid_own_group_and_join() {
+        let (mut k, init) = boot();
+        let a = k.allocate_process(init, "a").unwrap();
+        let b = k.allocate_process(init, "b").unwrap();
+        // a leads a new group; b joins it (moved by the parent).
+        k.setpgid(a, a, None).unwrap();
+        assert_eq!(k.getpgid(a).unwrap(), Pgid(a.0));
+        k.setpgid(init, b, Some(Pgid(a.0))).unwrap();
+        assert_eq!(k.getpgid(b).unwrap(), Pgid(a.0));
+    }
+
+    #[test]
+    fn setpgid_by_stranger_is_eperm() {
+        let (mut k, init) = boot();
+        let a = k.allocate_process(init, "a").unwrap();
+        let stranger = k.allocate_process(init, "s").unwrap();
+        assert_eq!(k.setpgid(stranger, a, None), Err(Errno::Eperm));
+    }
+
+    #[test]
+    fn setsid_detaches_and_group_leader_cannot() {
+        let (mut k, init) = boot();
+        let a = k.allocate_process(init, "a").unwrap();
+        let sid = k.setsid(a).unwrap();
+        assert_eq!(sid, Sid(a.0));
+        assert_eq!(k.getpgid(a).unwrap(), Pgid(a.0));
+        // Now a group leader: a second setsid fails.
+        assert_eq!(k.setsid(a), Err(Errno::Eperm));
+    }
+
+    #[test]
+    fn kill_pgroup_signals_all_members() {
+        let (mut k, init) = boot();
+        let a = k.allocate_process(init, "a").unwrap();
+        k.setpgid(a, a, None).unwrap();
+        let b = k.allocate_process(init, "b").unwrap();
+        k.setpgid(init, b, Some(Pgid(a.0))).unwrap();
+        let other = k.allocate_process(init, "other").unwrap();
+        let n = k.kill_pgroup(Pgid(a.0), Sig::Term).unwrap();
+        assert_eq!(n, 2);
+        assert!(k.process(a).unwrap().is_zombie());
+        assert!(k.process(b).unwrap().is_zombie());
+        assert!(
+            !k.process(other).unwrap().is_zombie(),
+            "outsiders untouched"
+        );
+        assert_eq!(
+            k.kill_pgroup(Pgid(a.0), Sig::Term),
+            Err(Errno::Esrch),
+            "group emptied"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Process and thread identifier allocation.
+
+use crate::error::{Errno, KResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pid(pub u32);
+
+/// A thread identifier, unique within the whole machine (like Linux TIDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tid(pub u64);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Allocates PIDs with wraparound and recycling, like Linux's pid bitmap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PidAllocator {
+    next: u32,
+    max: u32,
+    in_use: BTreeSet<u32>,
+}
+
+impl PidAllocator {
+    /// Creates an allocator handing out PIDs `1..=max`.
+    pub fn new(max: u32) -> Self {
+        PidAllocator {
+            next: 1,
+            max,
+            in_use: BTreeSet::new(),
+        }
+    }
+
+    /// Allocates the next free PID, wrapping at `max`.
+    ///
+    /// Fails with [`Errno::Eagain`] when the PID space is exhausted —
+    /// the error a fork bomb eventually sees.
+    pub fn alloc(&mut self) -> KResult<Pid> {
+        if self.in_use.len() as u32 >= self.max {
+            return Err(Errno::Eagain);
+        }
+        loop {
+            let candidate = self.next;
+            self.next = if self.next >= self.max {
+                1
+            } else {
+                self.next + 1
+            };
+            if self.in_use.insert(candidate) {
+                return Ok(Pid(candidate));
+            }
+        }
+    }
+
+    /// Returns a PID to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PID was not allocated.
+    pub fn free(&mut self, pid: Pid) {
+        assert!(
+            self.in_use.remove(&pid.0),
+            "freeing unallocated pid {}",
+            pid.0
+        );
+    }
+
+    /// Number of live PIDs.
+    pub fn live(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// The maximum simultaneously live PIDs.
+    pub fn capacity(&self) -> u32 {
+        self.max
+    }
+}
+
+/// Allocates machine-wide thread IDs monotonically.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TidAllocator {
+    next: u64,
+}
+
+impl TidAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh TID.
+    pub fn alloc(&mut self) -> Tid {
+        self.next += 1;
+        Tid(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pids_start_at_one_and_increment() {
+        let mut a = PidAllocator::new(100);
+        assert_eq!(a.alloc().unwrap(), Pid(1));
+        assert_eq!(a.alloc().unwrap(), Pid(2));
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_eagain() {
+        let mut a = PidAllocator::new(3);
+        for _ in 0..3 {
+            a.alloc().unwrap();
+        }
+        assert_eq!(a.alloc(), Err(Errno::Eagain));
+        a.free(Pid(2));
+        assert_eq!(a.alloc().unwrap(), Pid(2), "wraps and recycles");
+    }
+
+    #[test]
+    fn wraparound_skips_live_pids() {
+        let mut a = PidAllocator::new(4);
+        let pids: Vec<Pid> = (0..4).map(|_| a.alloc().unwrap()).collect();
+        a.free(pids[0]);
+        a.free(pids[2]);
+        // next wrapped to 1; both 1 and 3 free.
+        assert_eq!(a.alloc().unwrap(), Pid(1));
+        assert_eq!(a.alloc().unwrap(), Pid(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated pid")]
+    fn free_unallocated_panics() {
+        let mut a = PidAllocator::new(4);
+        a.free(Pid(1));
+    }
+
+    #[test]
+    fn tids_are_unique() {
+        let mut t = TidAllocator::new();
+        let a = t.alloc();
+        let b = t.alloc();
+        assert_ne!(a, b);
+    }
+}

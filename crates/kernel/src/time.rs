@@ -1,0 +1,62 @@
+//! Virtual time, derived from the cycle counter.
+
+use fpr_mem::CYCLES_PER_US;
+use serde::{Deserialize, Serialize};
+
+/// A monotonic virtual clock.
+///
+/// The kernel advances it from the cycle accumulator so that simulated
+/// timestamps are deterministic across runs and machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clock {
+    ns: u64,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Advances by a number of simulated cycles.
+    pub fn advance_cycles(&mut self, cycles: u64) {
+        // CYCLES_PER_US cycles per µs → 1000 ns per CYCLES_PER_US cycles.
+        self.ns += cycles * 1_000 / CYCLES_PER_US;
+    }
+
+    /// Advances by nanoseconds directly (timer ticks).
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.ns += ns;
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.ns
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.ns / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_convert_to_ns() {
+        let mut c = Clock::new();
+        c.advance_cycles(CYCLES_PER_US); // 1 µs
+        assert_eq!(c.now_ns(), 1_000);
+        assert_eq!(c.now_us(), 1);
+    }
+
+    #[test]
+    fn direct_ns_advance() {
+        let mut c = Clock::new();
+        c.advance_ns(2_500);
+        assert_eq!(c.now_us(), 2);
+        assert_eq!(c.now_ns(), 2_500);
+    }
+}

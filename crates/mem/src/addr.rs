@@ -1,0 +1,187 @@
+//! Address and page-number newtypes shared by the whole memory subsystem.
+//!
+//! The simulator models a 48-bit x86-64-style virtual address space with
+//! 4 KiB pages and four 9-bit page-table levels. Using newtypes rather than
+//! bare `u64`s keeps physical and virtual quantities from being mixed up at
+//! compile time.
+
+use serde::{Deserialize, Serialize};
+
+/// Base-2 logarithm of the page size.
+pub const PAGE_SHIFT: u64 = 12;
+/// Size of one page in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Number of page-table levels (PML4 → PDPT → PD → PT).
+pub const PT_LEVELS: usize = 4;
+/// Number of entries in one page-table node (9 index bits per level).
+pub const PT_ENTRIES: usize = 512;
+/// Number of virtual-address bits that are translated.
+pub const VA_BITS: u64 = 48;
+/// Highest valid user virtual address (exclusive); the upper half is kernel.
+pub const USER_VA_END: u64 = 1 << (VA_BITS - 1);
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+/// A physical frame number (physical address >> [`PAGE_SHIFT`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pfn(pub u64);
+
+/// A virtual page number (virtual address >> [`PAGE_SHIFT`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vpn(pub u64);
+
+impl PhysAddr {
+    /// Returns the frame containing this address.
+    pub fn frame(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the offset of this address within its frame.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl VirtAddr {
+    /// Returns the virtual page containing this address.
+    pub fn page(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the offset of this address within its page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Rounds this address down to a page boundary.
+    pub fn align_down(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Rounds this address up to a page boundary.
+    ///
+    /// Saturates at `u64::MAX & !(PAGE_SIZE - 1)` rather than wrapping.
+    pub fn align_up(self) -> VirtAddr {
+        VirtAddr(self.0.saturating_add(PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+    }
+
+    /// Returns true if this address is page-aligned.
+    pub fn is_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Returns true if this address lies in the translatable user half.
+    pub fn is_user(self) -> bool {
+        self.0 < USER_VA_END
+    }
+}
+
+impl Pfn {
+    /// Returns the base physical address of this frame.
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl Vpn {
+    /// Returns the base virtual address of this page.
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the page-table index for `level`, where level 3 is the root
+    /// (PML4) and level 0 is the leaf page table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= PT_LEVELS`.
+    pub fn pt_index(self, level: usize) -> usize {
+        assert!(level < PT_LEVELS, "page-table level out of range");
+        ((self.0 >> (9 * level)) & 0x1ff) as usize
+    }
+
+    /// Returns the page `n` pages after this one.
+    // Named like `ops::Add::add` on purpose: page arithmetic reads as
+    // `base.add(i)` throughout the codebase and `+` on a (Vpn, u64) pair
+    // would need a heterogeneous Add impl anyway.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, n: u64) -> Vpn {
+        Vpn(self.0 + n)
+    }
+
+    /// Returns true if this page lies in the translatable user half.
+    pub fn is_user(self) -> bool {
+        self.base().is_user()
+    }
+}
+
+/// Converts a byte length to the number of pages needed to cover it.
+pub fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_frame_and_offset() {
+        let a = PhysAddr(0x1234_5678);
+        assert_eq!(a.frame(), Pfn(0x12345));
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.frame().base(), PhysAddr(0x1234_5000));
+    }
+
+    #[test]
+    fn virt_addr_alignment() {
+        let a = VirtAddr(0x1001);
+        assert_eq!(a.align_down(), VirtAddr(0x1000));
+        assert_eq!(a.align_up(), VirtAddr(0x2000));
+        assert!(!a.is_aligned());
+        assert!(VirtAddr(0x1000).is_aligned());
+        assert_eq!(VirtAddr(0x2000).align_up(), VirtAddr(0x2000));
+    }
+
+    #[test]
+    fn align_up_saturates() {
+        let a = VirtAddr(u64::MAX - 1);
+        assert_eq!(a.align_up().0, !(PAGE_SIZE - 1));
+    }
+
+    #[test]
+    fn pt_index_decomposition() {
+        // VPN with distinct 9-bit groups: level 0 = 1, level 1 = 2, etc.
+        let vpn = Vpn(1 | (2 << 9) | (3 << 18) | (4 << 27));
+        assert_eq!(vpn.pt_index(0), 1);
+        assert_eq!(vpn.pt_index(1), 2);
+        assert_eq!(vpn.pt_index(2), 3);
+        assert_eq!(vpn.pt_index(3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn pt_index_rejects_bad_level() {
+        Vpn(0).pt_index(4);
+    }
+
+    #[test]
+    fn user_half_boundary() {
+        assert!(VirtAddr(0).is_user());
+        assert!(VirtAddr(USER_VA_END - 1).is_user());
+        assert!(!VirtAddr(USER_VA_END).is_user());
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+    }
+}

@@ -1,0 +1,629 @@
+//! Per-process address spaces: a VMA list over a four-level page table.
+//!
+//! This module carries the heart of the reproduction: [`AddressSpace::fork_from`]
+//! performs the work the paper identifies as fork's fundamental cost — walking
+//! the parent's VMA list, duplicating every mapping record, copying or
+//! COW-marking every present PTE, and write-protecting the parent (which
+//! requires a TLB shootdown on every CPU running it). Everything is O(mapped
+//! state), not O(1), which is why fork latency in Figure 1 grows with the
+//! parent while `posix_spawn` stays flat.
+
+use crate::addr::{VirtAddr, Vpn};
+use crate::cost::Cycles;
+use crate::error::{MemError, MemResult};
+use crate::phys::PhysMemory;
+use crate::pte::{Pte, PteFlags};
+use crate::tlb::TlbModel;
+use crate::vma::{Backing, Share, VmArea, VmaKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How fork duplicates private pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForkMode {
+    /// Copy-on-write: share frames read-only, copy on first write.
+    Cow,
+    /// Eager: copy every present private page at fork time (pre-COW Unix,
+    /// and the ablation baseline for E2).
+    Eager,
+}
+
+/// Counters describing the work an address space has performed.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AsStats {
+    /// Demand-zero / file-fill faults served.
+    pub demand_faults: u64,
+    /// COW breaks that copied a frame.
+    pub cow_copies: u64,
+    /// COW breaks resolved by re-using a sole-owner frame.
+    pub cow_reuses: u64,
+    /// PTEs copied into children across all forks of this space.
+    pub ptes_copied: u64,
+    /// VMA records cloned across all forks.
+    pub vmas_cloned: u64,
+    /// Pages eagerly copied by `ForkMode::Eager` forks.
+    pub pages_eager_copied: u64,
+}
+
+/// A process address space.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    /// VMAs keyed by start VPN.
+    pub(crate) vmas: BTreeMap<u64, VmArea>,
+    pub(crate) pt: crate::page_table::PageTable,
+    /// Work counters.
+    pub stats: AsStats,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            vmas: BTreeMap::new(),
+            pt: crate::page_table::PageTable::new(),
+            stats: AsStats::default(),
+        }
+    }
+
+    /// Returns the VMA covering `vpn`, if any.
+    pub fn vma_at(&self, vpn: Vpn) -> Option<&VmArea> {
+        self.vmas
+            .range(..=vpn.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(vpn))
+    }
+
+    /// Iterates over all VMAs in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &VmArea> {
+        self.vmas.values()
+    }
+
+    /// Number of VMAs.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Total mapped (resident) pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.pt.mapped_pages()
+    }
+
+    /// Total pages covered by VMAs (virtual size).
+    pub fn virtual_pages(&self) -> u64 {
+        self.vmas.values().map(|v| v.pages).sum()
+    }
+
+    /// Page-table nodes in use (what fork must allocate for the child).
+    pub fn pt_nodes(&self) -> usize {
+        self.pt.node_count()
+    }
+
+    /// Commit charge of this space: pages whose frames the kernel may have
+    /// to materialise (private-writable or anonymous mappings).
+    pub fn commit_pages(&self) -> u64 {
+        self.vmas.values().map(commit_charge).sum()
+    }
+
+    /// Installs a new mapping.
+    ///
+    /// Shared anonymous mappings are populated eagerly so that frames are
+    /// shared with children forked later (the simulator has no global page
+    /// cache; see DESIGN.md).
+    pub fn mmap(
+        &mut self,
+        area: VmArea,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        if area.pages == 0 {
+            return Err(MemError::BadAlignment);
+        }
+        if !area.start.is_user() || !Vpn(area.start.0 + area.pages - 1).is_user() {
+            return Err(MemError::BadAddress);
+        }
+        if self.overlaps(area.start, area.pages) {
+            return Err(MemError::Overlap);
+        }
+        let eager_shared = area.share == Share::Shared;
+        let start = area.start;
+        let pages = area.pages;
+        self.vmas.insert(area.start.0, area);
+        if eager_shared {
+            self.populate(start, pages, phys, cycles)?;
+        }
+        Ok(())
+    }
+
+    /// Returns true if `[start, start+pages)` overlaps an existing VMA.
+    pub fn overlaps(&self, start: Vpn, pages: u64) -> bool {
+        self.vmas.values().any(|v| v.overlaps(start, pages))
+    }
+
+    /// Finds a free aligned run of `pages` pages at or above `hint`.
+    pub fn find_free_range(&self, pages: u64, hint: Vpn) -> MemResult<Vpn> {
+        let mut candidate = hint.0;
+        loop {
+            if !Vpn(candidate + pages.saturating_sub(1)).is_user() {
+                return Err(MemError::Fragmented);
+            }
+            // Find the first VMA that overlaps the candidate run.
+            let conflict = self
+                .vmas
+                .values()
+                .filter(|v| v.overlaps(Vpn(candidate), pages))
+                .map(|v| v.end().0)
+                .max();
+            match conflict {
+                None => return Ok(Vpn(candidate)),
+                Some(end) => candidate = end,
+            }
+        }
+    }
+
+    /// Removes mappings in `[start, start+pages)`, splitting VMAs that
+    /// straddle the boundary and releasing frames.
+    pub fn munmap(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+    ) -> MemResult<u64> {
+        if pages == 0 {
+            return Err(MemError::BadAlignment);
+        }
+        self.split_at(start);
+        self.split_at(Vpn(start.0 + pages));
+        let doomed: Vec<u64> = self
+            .vmas
+            .range(start.0..start.0 + pages)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut released = 0u64;
+        for k in doomed {
+            let v = self.vmas.remove(&k).expect("key just enumerated");
+            for (vpn, pte) in self.pt.leaves_in_range(v.start, v.pages) {
+                self.pt.unmap(vpn).expect("leaf just enumerated");
+                phys.dec_ref(pte.pfn, cycles)?;
+                released += 1;
+            }
+        }
+        if released > 0 {
+            let cost = phys.cost().clone();
+            tlb.shootdown(cpus_running, cycles, &cost);
+        }
+        Ok(released)
+    }
+
+    /// Splits the VMA containing `at` so that `at` becomes a VMA boundary.
+    /// No-op if `at` is already a boundary or unmapped.
+    pub fn split_at(&mut self, at: Vpn) {
+        let key = match self
+            .vmas
+            .range(..at.0)
+            .next_back()
+            .filter(|(_, v)| v.contains(at))
+            .map(|(k, _)| *k)
+        {
+            Some(k) => k,
+            None => return,
+        };
+        let mut low = self.vmas.remove(&key).expect("key just found");
+        let mut high = low.clone();
+        let split_pages = at.0 - low.start.0;
+        low.pages = split_pages;
+        high.start = at;
+        high.pages -= split_pages;
+        if let Backing::File {
+            file_id,
+            page_offset,
+        } = high.backing
+        {
+            high.backing = Backing::File {
+                file_id,
+                page_offset: page_offset + split_pages,
+            };
+        }
+        self.vmas.insert(low.start.0, low);
+        self.vmas.insert(high.start.0, high);
+    }
+
+    /// Changes protection on `[start, start+pages)`, splitting VMAs as
+    /// needed and downgrading PTE permissions (an upgrade takes effect
+    /// lazily through faults, as on real hardware).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mprotect(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        prot: crate::vma::Prot,
+        cycles: &mut Cycles,
+        phys: &PhysMemory,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+    ) -> MemResult<()> {
+        // The whole range must be mapped.
+        let mut covered = 0;
+        for v in self.vmas.values().filter(|v| v.overlaps(start, pages)) {
+            covered += v
+                .pages
+                .min(start.0 + pages - v.start.0)
+                .min(v.end().0 - start.0)
+                .min(pages);
+        }
+        if covered < pages {
+            return Err(MemError::NotMapped);
+        }
+        self.split_at(start);
+        self.split_at(Vpn(start.0 + pages));
+        let keys: Vec<u64> = self
+            .vmas
+            .range(start.0..start.0 + pages)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut downgraded = false;
+        for k in keys {
+            let v = self.vmas.get_mut(&k).expect("key just enumerated");
+            let removing_write = v.prot.write && !prot.write;
+            v.prot = prot;
+            if removing_write {
+                let vs = v.start;
+                let vp = v.pages;
+                for (vpn, pte) in self.pt.leaves_in_range(vs, vp) {
+                    let mut new = pte;
+                    new.flags = new.flags.minus(PteFlags::WRITABLE);
+                    self.pt.update(vpn, new).expect("leaf just enumerated");
+                    downgraded = true;
+                }
+            }
+        }
+        if downgraded {
+            tlb.shootdown(cpus_running, cycles, phys.cost());
+        }
+        Ok(())
+    }
+
+    /// Discards the resident pages of `[start, start+pages)` without
+    /// unmapping the VMAs (`MADV_DONTNEED`): frames are released and the
+    /// next access demand-fills from the backing object.
+    pub fn discard(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+    ) -> MemResult<u64> {
+        if pages == 0 {
+            return Err(MemError::BadAlignment);
+        }
+        // Every page of the range must be covered by some VMA.
+        for i in 0..pages {
+            if self.vma_at(start.add(i)).is_none() {
+                return Err(MemError::NotMapped);
+            }
+        }
+        let mut released = 0;
+        for (vpn, pte) in self.pt.leaves_in_range(start, pages) {
+            self.pt.unmap(vpn).expect("leaf just enumerated");
+            phys.dec_ref(pte.pfn, cycles)?;
+            released += 1;
+        }
+        if released > 0 {
+            let cost = phys.cost().clone();
+            tlb.shootdown(cpus_running, cycles, &cost);
+        }
+        Ok(released)
+    }
+
+    /// Rewrites the fork policy of every page in `[start, start+pages)`,
+    /// splitting VMAs at the boundaries (`madvise` with the fork-related
+    /// advice values).
+    pub fn set_fork_policy(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        f: impl Fn(&mut crate::vma::ForkPolicy),
+    ) -> MemResult<()> {
+        if pages == 0 {
+            return Err(MemError::BadAlignment);
+        }
+        for i in 0..pages {
+            if self.vma_at(start.add(i)).is_none() {
+                return Err(MemError::NotMapped);
+            }
+        }
+        self.split_at(start);
+        self.split_at(Vpn(start.0 + pages));
+        for (_, v) in self.vmas.range_mut(start.0..start.0 + pages) {
+            f(&mut v.fork_policy);
+        }
+        Ok(())
+    }
+
+    /// Pre-faults every page of `[start, start+pages)` (like
+    /// `MAP_POPULATE` / `mlock`), making them resident.
+    pub fn populate(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        for i in 0..pages {
+            let vpn = start.add(i);
+            if self.pt.translate(vpn).is_some() {
+                continue;
+            }
+            self.demand_fill(vpn, phys, cycles)?;
+        }
+        Ok(())
+    }
+
+    /// Observes the logical content of the page at `vpn` *without*
+    /// faulting: present pages read their frame, absent pages report the
+    /// content a fault would install. Test/verification aid.
+    pub fn observe(&self, vpn: Vpn, phys: &PhysMemory) -> MemResult<u64> {
+        let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?;
+        match self.pt.translate(vpn) {
+            Some(pte) => phys.content(pte.pfn),
+            None => Ok(vma.initial_content(vpn)),
+        }
+    }
+
+    /// Returns the PTE for `vpn`, if resident.
+    pub fn translate(&self, vpn: Vpn) -> Option<Pte> {
+        self.pt.translate(vpn)
+    }
+
+    /// Tears down the whole space, releasing every frame. Must be called
+    /// before dropping the space (frames are owned by [`PhysMemory`]).
+    pub fn destroy(&mut self, phys: &mut PhysMemory, cycles: &mut Cycles) {
+        let leaves: Vec<(Vpn, Pte)> = {
+            let mut v = Vec::new();
+            self.pt.for_each_leaf(|vpn, pte| v.push((vpn, pte)));
+            v
+        };
+        for (vpn, pte) in leaves {
+            self.pt.unmap(vpn).expect("leaf just enumerated");
+            phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+        }
+        self.vmas.clear();
+    }
+
+    /// Duplicates `parent` into a new address space, implementing the
+    /// semantics of `fork(2)`.
+    ///
+    /// Work performed (and charged):
+    /// * one VMA-record clone per inherited mapping;
+    /// * one PTE copy per resident page (plus the child's page-table
+    ///   nodes), COW-marking private pages in **both** spaces;
+    /// * for [`ForkMode::Eager`], a full page copy per resident private page;
+    /// * one TLB shootdown across `cpus_running` CPUs, because the
+    ///   parent's writable translations were just write-protected.
+    ///
+    /// `MADV_DONTFORK` mappings are skipped, `MADV_WIPEONFORK` mappings are
+    /// inherited empty, and `MAP_SHARED` mappings alias the same frames.
+    pub fn fork_from(
+        parent: &mut AddressSpace,
+        mode: ForkMode,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+    ) -> MemResult<AddressSpace> {
+        let mut child = AddressSpace::new();
+        let cost = phys.cost().clone();
+        let mut parent_downgraded = false;
+
+        let parent_vmas: Vec<VmArea> = parent.vmas.values().cloned().collect();
+        for vma in parent_vmas {
+            if vma.fork_policy.dont_fork {
+                continue;
+            }
+            cycles.charge(cost.vma_clone);
+            parent.stats.vmas_cloned += 1;
+            child.vmas.insert(vma.start.0, vma.clone());
+            if vma.fork_policy.wipe_on_fork {
+                // Child starts with an empty (demand-zero) range.
+                continue;
+            }
+            for (vpn, pte) in parent.pt.leaves_in_range(vma.start, vma.pages) {
+                cycles.charge(cost.pte_copy);
+                parent.stats.ptes_copied += 1;
+                match (vma.share, mode) {
+                    (Share::Shared, _) => {
+                        phys.inc_ref(pte.pfn)?;
+                        child.pt.map(vpn, pte, cycles, &cost)?;
+                    }
+                    (Share::Private, ForkMode::Eager) => {
+                        let new = phys.copy_frame(pte.pfn, cycles)?;
+                        parent.stats.pages_eager_copied += 1;
+                        child.pt.map(vpn, Pte { pfn: new, ..pte }, cycles, &cost)?;
+                    }
+                    (Share::Private, ForkMode::Cow) => {
+                        phys.inc_ref(pte.pfn)?;
+                        let mut cow = pte;
+                        if cow.is_writable() || cow.is_cow() {
+                            cow.flags = cow.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+                        }
+                        child.pt.map(vpn, cow, cycles, &cost)?;
+                        if pte.is_writable() {
+                            parent.pt.update(vpn, cow).expect("leaf just enumerated");
+                            parent_downgraded = true;
+                        }
+                    }
+                }
+            }
+        }
+        if parent_downgraded || mode == ForkMode::Eager {
+            // The parent's mappings changed (COW) or its pages were read
+            // via their kernel mappings (eager); either way stale
+            // translations must be flushed everywhere the parent runs.
+            tlb.shootdown(cpus_running, cycles, &cost);
+        }
+        Ok(child)
+    }
+}
+
+/// Commit charge of one VMA: pages the kernel may need frames for.
+fn commit_charge(v: &VmArea) -> u64 {
+    match (v.share, v.backing, v.prot.write) {
+        // Private writable memory may all be copied.
+        (Share::Private, _, true) => v.pages,
+        // Shared anonymous memory needs frames exactly once.
+        (Share::Shared, Backing::Anon, _) => v.pages,
+        // Read-only file text/data can always be reconstructed.
+        _ => 0,
+    }
+}
+
+/// Convenience: an anonymous read-write heap VMA of `pages` pages at `start`.
+pub fn heap_vma(start: Vpn, pages: u64) -> VmArea {
+    VmArea::anon(start, pages, crate::vma::Prot::RW, VmaKind::Heap)
+}
+
+/// Convenience: the page containing virtual address `va`.
+pub fn page_of(va: VirtAddr) -> Vpn {
+    va.page()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::vma::Prot;
+
+    fn world(frames: u64) -> (PhysMemory, Cycles, TlbModel) {
+        (
+            PhysMemory::new(frames, CostModel::default()),
+            Cycles::new(),
+            TlbModel::new(),
+        )
+    }
+
+    fn anon(start: u64, pages: u64) -> VmArea {
+        VmArea::anon(Vpn(start), pages, Prot::RW, VmaKind::Mmap)
+    }
+
+    #[test]
+    fn mmap_rejects_overlap_and_zero_len() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(10, 5), &mut phys, &mut cy).unwrap();
+        assert_eq!(
+            a.mmap(anon(12, 1), &mut phys, &mut cy),
+            Err(MemError::Overlap)
+        );
+        assert_eq!(
+            a.mmap(anon(20, 0), &mut phys, &mut cy),
+            Err(MemError::BadAlignment)
+        );
+        assert_eq!(a.vma_count(), 1);
+    }
+
+    #[test]
+    fn vma_at_finds_covering_area() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(10, 5), &mut phys, &mut cy).unwrap();
+        a.mmap(anon(100, 2), &mut phys, &mut cy).unwrap();
+        assert!(a.vma_at(Vpn(12)).is_some());
+        assert!(a.vma_at(Vpn(15)).is_none());
+        assert!(a.vma_at(Vpn(9)).is_none());
+        assert_eq!(a.vma_at(Vpn(101)).unwrap().start, Vpn(100));
+    }
+
+    #[test]
+    fn find_free_range_skips_existing() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(10, 5), &mut phys, &mut cy).unwrap();
+        a.mmap(anon(15, 5), &mut phys, &mut cy).unwrap();
+        assert_eq!(a.find_free_range(3, Vpn(0)).unwrap(), Vpn(0));
+        assert_eq!(a.find_free_range(3, Vpn(10)).unwrap(), Vpn(20));
+        assert_eq!(a.find_free_range(3, Vpn(12)).unwrap(), Vpn(20));
+    }
+
+    #[test]
+    fn populate_makes_resident_and_observe_reads_zero() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(0, 8), &mut phys, &mut cy).unwrap();
+        assert_eq!(a.resident_pages(), 0);
+        a.populate(Vpn(0), 8, &mut phys, &mut cy).unwrap();
+        assert_eq!(a.resident_pages(), 8);
+        assert_eq!(a.observe(Vpn(3), &phys), Ok(0));
+        assert_eq!(a.observe(Vpn(9), &phys), Err(MemError::NotMapped));
+    }
+
+    #[test]
+    fn munmap_splits_straddling_vma() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(0, 10), &mut phys, &mut cy).unwrap();
+        a.populate(Vpn(0), 10, &mut phys, &mut cy).unwrap();
+        let released = a
+            .munmap(Vpn(3), 4, &mut phys, &mut cy, &mut tlb, 1)
+            .unwrap();
+        assert_eq!(released, 4);
+        assert_eq!(a.vma_count(), 2);
+        assert!(a.vma_at(Vpn(2)).is_some());
+        assert!(a.vma_at(Vpn(3)).is_none());
+        assert!(a.vma_at(Vpn(6)).is_none());
+        assert!(a.vma_at(Vpn(7)).is_some());
+        assert_eq!(a.resident_pages(), 6);
+        assert_eq!(phys.used_frames(), 6);
+    }
+
+    #[test]
+    fn destroy_releases_all_frames() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(0, 10), &mut phys, &mut cy).unwrap();
+        a.populate(Vpn(0), 10, &mut phys, &mut cy).unwrap();
+        a.destroy(&mut phys, &mut cy);
+        assert_eq!(phys.used_frames(), 0);
+        assert_eq!(a.resident_pages(), 0);
+    }
+
+    #[test]
+    fn commit_charge_counts_private_writable_only() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(0, 10), &mut phys, &mut cy).unwrap(); // RW private: 10
+        let mut ro = VmArea::anon(Vpn(20), 5, Prot::R, VmaKind::Text);
+        ro.backing = Backing::File {
+            file_id: 1,
+            page_offset: 0,
+        };
+        a.mmap(ro, &mut phys, &mut cy).unwrap(); // RO file: 0
+        assert_eq!(a.commit_pages(), 10);
+    }
+
+    #[test]
+    fn split_at_preserves_file_offsets() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        let mut v = VmArea::anon(Vpn(100), 10, Prot::R, VmaKind::Text);
+        v.backing = Backing::File {
+            file_id: 3,
+            page_offset: 5,
+        };
+        a.mmap(v, &mut phys, &mut cy).unwrap();
+        let before = a.observe(Vpn(107), &phys).unwrap();
+        a.split_at(Vpn(104));
+        assert_eq!(a.vma_count(), 2);
+        assert_eq!(a.observe(Vpn(107), &phys).unwrap(), before);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for memory-subsystem operations.
+
+use std::fmt;
+
+/// Errors returned by the memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// No physical frames are available.
+    OutOfMemory,
+    /// The commit limit would be exceeded under the active overcommit policy.
+    CommitLimit,
+    /// The requested virtual range overlaps an existing mapping.
+    Overlap,
+    /// The address or length is not page-aligned or is zero.
+    BadAlignment,
+    /// The address is outside the user half of the address space.
+    BadAddress,
+    /// No mapping covers the faulting or requested address.
+    NotMapped,
+    /// The access violates the mapping's protection.
+    Protection,
+    /// The requested contiguous run could not be satisfied (fragmentation).
+    Fragmented,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemError::OutOfMemory => "out of physical memory",
+            MemError::CommitLimit => "commit limit exceeded",
+            MemError::Overlap => "virtual range overlaps an existing mapping",
+            MemError::BadAlignment => "address or length not page-aligned or zero",
+            MemError::BadAddress => "address outside user address space",
+            MemError::NotMapped => "no mapping covers the address",
+            MemError::Protection => "access violates mapping protection",
+            MemError::Fragmented => "no contiguous run available",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Result alias for memory operations.
+pub type MemResult<T> = Result<T, MemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(MemError::OutOfMemory.to_string(), "out of physical memory");
+        assert_eq!(
+            MemError::Protection.to_string(),
+            "access violates mapping protection"
+        );
+    }
+}

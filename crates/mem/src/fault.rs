@@ -1,0 +1,330 @@
+//! Page-fault handling: demand fill and copy-on-write breaks.
+//!
+//! After a COW fork, the parent's and child's first write to each shared
+//! page takes a fault, allocates a frame, copies 4 KiB, and shoots down
+//! stale translations. The paper's scaling argument is that this *deferred*
+//! cost can exceed an eager copy once the workload touches enough of its
+//! memory — experiment E3 sweeps the touch fraction to find the crossover.
+
+use crate::addr::Vpn;
+use crate::address_space::AddressSpace;
+use crate::cost::Cycles;
+use crate::error::{MemError, MemResult};
+use crate::phys::PhysMemory;
+use crate::pte::{Pte, PteFlags};
+use crate::tlb::TlbModel;
+use crate::vma::Share;
+use serde::{Deserialize, Serialize};
+
+/// What the fault handler did to satisfy an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// No fault: the translation was already valid for the access.
+    Hit,
+    /// A frame was allocated and filled (zero or file content).
+    DemandFill,
+    /// A COW break that copied the frame.
+    CowCopy,
+    /// A COW break resolved by reclaiming sole ownership (refcount 1).
+    CowReuse,
+}
+
+impl AddressSpace {
+    /// Installs the initial frame for an untouched page (demand-zero or
+    /// file fill) and returns its PTE.
+    pub(crate) fn demand_fill(
+        &mut self,
+        vpn: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<Pte> {
+        let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?.clone();
+        let content = vma.initial_content(vpn);
+        let pfn = if content == 0 {
+            phys.alloc_zeroed(cycles)?
+        } else {
+            phys.alloc_filled(content, cycles)?
+        };
+        let mut flags = PteFlags::USER | PteFlags::ACCESSED;
+        if vma.prot.write {
+            flags = flags | PteFlags::WRITABLE;
+        }
+        if !vma.prot.exec {
+            flags = flags | PteFlags::NX;
+        }
+        if vma.share == Share::Shared {
+            flags = flags | PteFlags::SHARED;
+        }
+        let pte = Pte::new(pfn, flags);
+        let cost = phys.cost().clone();
+        self.pt.map(vpn, pte, cycles, &cost)?;
+        self.stats.demand_faults += 1;
+        Ok(pte)
+    }
+
+    /// Simulated load from the page at `vpn`. Returns the page's logical
+    /// content and what the fault handler had to do.
+    pub fn read(
+        &mut self,
+        vpn: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<(u64, FaultOutcome)> {
+        let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?;
+        if !vma.prot.read {
+            return Err(MemError::Protection);
+        }
+        match self.pt.translate(vpn) {
+            Some(pte) => Ok((phys.content(pte.pfn)?, FaultOutcome::Hit)),
+            None => {
+                cycles.charge(phys.cost().fault_entry);
+                let pte = self.demand_fill(vpn, phys, cycles)?;
+                Ok((phys.content(pte.pfn)?, FaultOutcome::DemandFill))
+            }
+        }
+    }
+
+    /// Simulated store of `value` to the page at `vpn`, breaking COW as
+    /// needed. Returns what the fault handler had to do.
+    pub fn write(
+        &mut self,
+        vpn: Vpn,
+        value: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+    ) -> MemResult<FaultOutcome> {
+        let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?;
+        if !vma.prot.write {
+            return Err(MemError::Protection);
+        }
+        let cost = phys.cost().clone();
+        match self.pt.translate(vpn) {
+            None => {
+                cycles.charge(cost.fault_entry);
+                let pte = self.demand_fill(vpn, phys, cycles)?;
+                phys.write_content(pte.pfn, value)?;
+                self.mark_dirty(vpn);
+                Ok(FaultOutcome::DemandFill)
+            }
+            Some(pte) if pte.is_writable() => {
+                phys.write_content(pte.pfn, value)?;
+                self.mark_dirty(vpn);
+                Ok(FaultOutcome::Hit)
+            }
+            Some(pte) if pte.is_cow() => {
+                cycles.charge(cost.fault_entry);
+                let outcome = if phys.refs(pte.pfn)? == 1 {
+                    // Sole owner: reclaim the frame in place.
+                    let mut new = pte;
+                    new.flags = new
+                        .flags
+                        .minus(PteFlags::COW)
+                        .union(PteFlags::WRITABLE | PteFlags::DIRTY);
+                    self.pt.update(vpn, new).expect("translated above");
+                    self.stats.cow_reuses += 1;
+                    FaultOutcome::CowReuse
+                } else {
+                    let new_pfn = phys.copy_frame(pte.pfn, cycles)?;
+                    phys.dec_ref(pte.pfn, cycles)?;
+                    let mut new = Pte::new(new_pfn, pte.flags);
+                    new.flags = new
+                        .flags
+                        .minus(PteFlags::COW)
+                        .union(PteFlags::WRITABLE | PteFlags::DIRTY);
+                    self.pt.update(vpn, new).expect("translated above");
+                    self.stats.cow_copies += 1;
+                    FaultOutcome::CowCopy
+                };
+                // The stale read-only translation may be cached on any CPU
+                // running this space.
+                tlb.shootdown(cpus_running, cycles, &cost);
+                let pte = self.pt.translate(vpn).expect("just updated");
+                phys.write_content(pte.pfn, value)?;
+                Ok(outcome)
+            }
+            Some(pte) => {
+                // Present, not writable, not COW — but the VMA permits
+                // writes: an `mprotect` upgrade applied lazily. Take the
+                // fault and set the bit (real kernels do exactly this).
+                cycles.charge(cost.fault_entry);
+                let mut new = pte;
+                new.flags = new.flags.union(PteFlags::WRITABLE | PteFlags::DIRTY);
+                self.pt.update(vpn, new).expect("translated above");
+                tlb.invalidate_local(cycles, &cost);
+                phys.write_content(new.pfn, value)?;
+                Ok(FaultOutcome::Hit)
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, vpn: Vpn) {
+        if let Some(mut pte) = self.pt.translate(vpn) {
+            pte.flags = pte.flags.union(PteFlags::DIRTY | PteFlags::ACCESSED);
+            let _ = self.pt.update(vpn, pte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address_space::ForkMode;
+    use crate::cost::CostModel;
+    use crate::vma::{Prot, VmArea, VmaKind};
+
+    fn world(frames: u64) -> (PhysMemory, Cycles, TlbModel) {
+        (
+            PhysMemory::new(frames, CostModel::default()),
+            Cycles::new(),
+            TlbModel::new(),
+        )
+    }
+
+    fn space_with_heap(pages: u64, phys: &mut PhysMemory, cy: &mut Cycles) -> AddressSpace {
+        let mut a = AddressSpace::new();
+        a.mmap(
+            VmArea::anon(Vpn(0), pages, Prot::RW, VmaKind::Heap),
+            phys,
+            cy,
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn first_write_is_demand_fill_then_hit() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut a = space_with_heap(4, &mut phys, &mut cy);
+        assert_eq!(
+            a.write(Vpn(1), 11, &mut phys, &mut cy, &mut tlb, 1),
+            Ok(FaultOutcome::DemandFill)
+        );
+        assert_eq!(
+            a.write(Vpn(1), 12, &mut phys, &mut cy, &mut tlb, 1),
+            Ok(FaultOutcome::Hit)
+        );
+        assert_eq!(a.read(Vpn(1), &mut phys, &mut cy).unwrap().0, 12);
+        assert_eq!(a.stats.demand_faults, 1);
+    }
+
+    #[test]
+    fn read_of_untouched_page_is_zero() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = space_with_heap(4, &mut phys, &mut cy);
+        let (v, o) = a.read(Vpn(2), &mut phys, &mut cy).unwrap();
+        assert_eq!((v, o), (0, FaultOutcome::DemandFill));
+    }
+
+    #[test]
+    fn write_to_readonly_is_protection_error() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(
+            VmArea::anon(Vpn(0), 2, Prot::R, VmaKind::Text),
+            &mut phys,
+            &mut cy,
+        )
+        .unwrap();
+        assert_eq!(
+            a.write(Vpn(0), 1, &mut phys, &mut cy, &mut tlb, 1),
+            Err(MemError::Protection)
+        );
+    }
+
+    #[test]
+    fn access_outside_vma_is_not_mapped() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut a = space_with_heap(2, &mut phys, &mut cy);
+        assert_eq!(a.read(Vpn(5), &mut phys, &mut cy), Err(MemError::NotMapped));
+        assert_eq!(
+            a.write(Vpn(5), 0, &mut phys, &mut cy, &mut tlb, 1),
+            Err(MemError::NotMapped)
+        );
+    }
+
+    #[test]
+    fn cow_break_copies_when_shared() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut parent = space_with_heap(4, &mut phys, &mut cy);
+        parent
+            .write(Vpn(0), 7, &mut phys, &mut cy, &mut tlb, 1)
+            .unwrap();
+        let mut child =
+            AddressSpace::fork_from(&mut parent, ForkMode::Cow, &mut phys, &mut cy, &mut tlb, 1)
+                .unwrap();
+        // Both see 7; one frame shared.
+        assert_eq!(phys.used_frames(), 1);
+        assert_eq!(child.read(Vpn(0), &mut phys, &mut cy).unwrap().0, 7);
+        // Child writes: COW copy.
+        assert_eq!(
+            child.write(Vpn(0), 9, &mut phys, &mut cy, &mut tlb, 1),
+            Ok(FaultOutcome::CowCopy)
+        );
+        assert_eq!(phys.used_frames(), 2);
+        assert_eq!(child.read(Vpn(0), &mut phys, &mut cy).unwrap().0, 9);
+        assert_eq!(
+            parent.read(Vpn(0), &mut phys, &mut cy).unwrap().0,
+            7,
+            "parent unaffected"
+        );
+        // Parent now sole owner: its write reclaims in place.
+        assert_eq!(
+            parent.write(Vpn(0), 8, &mut phys, &mut cy, &mut tlb, 1),
+            Ok(FaultOutcome::CowReuse)
+        );
+        assert_eq!(phys.used_frames(), 2);
+        child.destroy(&mut phys, &mut cy);
+        parent.destroy(&mut phys, &mut cy);
+        assert_eq!(phys.used_frames(), 0);
+    }
+
+    #[test]
+    fn cow_break_charges_fault_and_copy_and_shootdown() {
+        let (mut phys, mut cyc, mut tlb) = world(64);
+        let mut parent = space_with_heap(1, &mut phys, &mut cyc);
+        parent
+            .write(Vpn(0), 1, &mut phys, &mut cyc, &mut tlb, 1)
+            .unwrap();
+        let mut child =
+            AddressSpace::fork_from(&mut parent, ForkMode::Cow, &mut phys, &mut cyc, &mut tlb, 1)
+                .unwrap();
+        let cost = phys.cost().clone();
+        let before = cyc.total();
+        child
+            .write(Vpn(0), 2, &mut phys, &mut cyc, &mut tlb, 4)
+            .unwrap();
+        let spent = cyc.total() - before;
+        let expected = cost.fault_entry
+            + cost.frame_alloc
+            + cost.page_copy
+            + cost.tlb_shootdown_base
+            + 3 * cost.tlb_shootdown_per_cpu;
+        assert_eq!(spent, expected);
+    }
+
+    #[test]
+    fn shared_mapping_writes_propagate_after_fork() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut parent = AddressSpace::new();
+        let mut v = VmArea::anon(Vpn(0), 2, Prot::RW, VmaKind::Mmap);
+        v.share = Share::Shared;
+        parent.mmap(v, &mut phys, &mut cy).unwrap();
+        let mut child =
+            AddressSpace::fork_from(&mut parent, ForkMode::Cow, &mut phys, &mut cy, &mut tlb, 1)
+                .unwrap();
+        parent
+            .write(Vpn(0), 5, &mut phys, &mut cy, &mut tlb, 1)
+            .unwrap();
+        assert_eq!(
+            child.read(Vpn(0), &mut phys, &mut cy).unwrap().0,
+            5,
+            "shared page aliases"
+        );
+        child
+            .write(Vpn(0), 6, &mut phys, &mut cy, &mut tlb, 1)
+            .unwrap();
+        assert_eq!(parent.read(Vpn(0), &mut phys, &mut cy).unwrap().0, 6);
+    }
+}

@@ -1,0 +1,178 @@
+//! Single-frame allocation: the [`FrameAllocator`] trait and a bitmap
+//! implementation used as the default allocator for anonymous pages.
+
+use crate::addr::Pfn;
+use crate::error::{MemError, MemResult};
+
+/// Allocates and frees individual physical frames.
+pub trait FrameAllocator {
+    /// Allocates one frame, or fails with [`MemError::OutOfMemory`].
+    fn alloc(&mut self) -> MemResult<Pfn>;
+
+    /// Frees a previously allocated frame.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on double-free or on freeing a frame that was
+    /// never allocated, since either indicates a kernel bug.
+    fn free(&mut self, pfn: Pfn);
+
+    /// Returns the number of frames currently free.
+    fn free_frames(&self) -> u64;
+
+    /// Returns the total number of frames managed.
+    fn total_frames(&self) -> u64;
+}
+
+/// A bitmap frame allocator with a rotating next-fit cursor.
+///
+/// One bit per frame; next-fit keeps allocation O(1) amortised and spreads
+/// allocations across the frame space the way a real free-list does.
+#[derive(Debug, Clone)]
+pub struct BitmapFrameAllocator {
+    /// One bit per frame; set = allocated.
+    bits: Vec<u64>,
+    total: u64,
+    free: u64,
+    /// Word index where the next search begins.
+    cursor: usize,
+}
+
+impl BitmapFrameAllocator {
+    /// Creates an allocator managing frames `0..total_frames`, all free.
+    pub fn new(total_frames: u64) -> Self {
+        let words = (total_frames as usize).div_ceil(64);
+        let mut bits = vec![0u64; words];
+        // Mark the tail bits beyond `total_frames` as allocated so the
+        // search never hands them out.
+        let tail = total_frames as usize % 64;
+        if tail != 0 && !bits.is_empty() {
+            let last = bits.len() - 1;
+            bits[last] = !0u64 << tail;
+        }
+        BitmapFrameAllocator {
+            bits,
+            total: total_frames,
+            free: total_frames,
+            cursor: 0,
+        }
+    }
+
+    /// Returns true if `pfn` is currently allocated.
+    pub fn is_allocated(&self, pfn: Pfn) -> bool {
+        let idx = pfn.0 as usize;
+        (self.bits[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+}
+
+impl FrameAllocator for BitmapFrameAllocator {
+    fn alloc(&mut self) -> MemResult<Pfn> {
+        if self.free == 0 {
+            return Err(MemError::OutOfMemory);
+        }
+        let words = self.bits.len();
+        for probe in 0..words {
+            let w = (self.cursor + probe) % words;
+            if self.bits[w] != !0u64 {
+                let bit = (!self.bits[w]).trailing_zeros() as usize;
+                self.bits[w] |= 1u64 << bit;
+                self.free -= 1;
+                self.cursor = w;
+                return Ok(Pfn((w * 64 + bit) as u64));
+            }
+        }
+        // `free > 0` guarantees a clear bit exists.
+        unreachable!("free count out of sync with bitmap");
+    }
+
+    fn free(&mut self, pfn: Pfn) {
+        assert!(
+            pfn.0 < self.total,
+            "freeing frame {} beyond total {}",
+            pfn.0,
+            self.total
+        );
+        let idx = pfn.0 as usize;
+        let (w, b) = (idx / 64, idx % 64);
+        assert!(self.bits[w] >> b & 1 == 1, "double free of frame {}", pfn.0);
+        self.bits[w] &= !(1u64 << b);
+        self.free += 1;
+    }
+
+    fn free_frames(&self) -> u64 {
+        self.free
+    }
+
+    fn total_frames(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = BitmapFrameAllocator::new(128);
+        assert_eq!(a.free_frames(), 128);
+        let f1 = a.alloc().unwrap();
+        let f2 = a.alloc().unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(a.free_frames(), 126);
+        a.free(f1);
+        assert_eq!(a.free_frames(), 127);
+        assert!(!a.is_allocated(f1));
+        assert!(a.is_allocated(f2));
+    }
+
+    #[test]
+    fn exhaustion_returns_oom() {
+        let mut a = BitmapFrameAllocator::new(3);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(a.alloc().unwrap());
+        }
+        assert_eq!(a.alloc(), Err(MemError::OutOfMemory));
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 3, "all frames distinct");
+    }
+
+    #[test]
+    fn tail_bits_never_allocated() {
+        // 70 frames: second word has 6 valid bits.
+        let mut a = BitmapFrameAllocator::new(70);
+        let mut seen = std::collections::HashSet::new();
+        while let Ok(f) = a.alloc() {
+            assert!(f.0 < 70, "handed out frame beyond total");
+            assert!(seen.insert(f), "duplicate frame");
+        }
+        assert_eq!(seen.len(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = BitmapFrameAllocator::new(8);
+        let f = a.alloc().unwrap();
+        a.free(f);
+        a.free(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond total")]
+    fn free_out_of_range_panics() {
+        let mut a = BitmapFrameAllocator::new(8);
+        a.free(Pfn(9));
+    }
+
+    #[test]
+    fn next_fit_cursor_reuses_freed_space() {
+        let mut a = BitmapFrameAllocator::new(64);
+        let all: Vec<_> = (0..64).map(|_| a.alloc().unwrap()).collect();
+        a.free(all[10]);
+        let again = a.alloc().unwrap();
+        assert_eq!(again, all[10]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Commit accounting and overcommit policy.
+//!
+//! The paper argues fork *forces* memory overcommit: under strict
+//! accounting, forking a process that uses more than half of memory must
+//! fail (every private writable page is a potential copy), so systems that
+//! rely on fork run with overcommit enabled and discover exhaustion only
+//! at COW-break time — when the only remedy is the OOM killer. This module
+//! reproduces Linux's three `vm.overcommit_memory` modes.
+
+use crate::error::{MemError, MemResult};
+use serde::{Deserialize, Serialize};
+
+/// Overcommit policy, mirroring Linux `vm.overcommit_memory`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OvercommitPolicy {
+    /// Mode 2 (`never`): commit charge is capped at
+    /// `total_frames * ratio`. Fork fails up front if the child's charge
+    /// does not fit.
+    Never {
+        /// Fraction of physical memory that may be committed (Linux
+        /// `vm.overcommit_ratio`, typically 0.5–1.0 plus swap).
+        ratio: f64,
+    },
+    /// Mode 0 (`heuristic`): single allocations larger than free memory
+    /// are refused, but total commit may exceed physical memory.
+    Heuristic,
+    /// Mode 1 (`always`): every commit succeeds; exhaustion surfaces as an
+    /// OOM kill at fault time.
+    Always,
+}
+
+/// Tracks committed (charged) pages against a policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommitAccount {
+    policy: OvercommitPolicy,
+    total_frames: u64,
+    committed: u64,
+}
+
+impl CommitAccount {
+    /// Creates an account for a machine with `total_frames` frames.
+    pub fn new(policy: OvercommitPolicy, total_frames: u64) -> Self {
+        CommitAccount {
+            policy,
+            total_frames,
+            committed: 0,
+        }
+    }
+
+    /// Currently committed pages.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> OvercommitPolicy {
+        self.policy
+    }
+
+    /// Replaces the policy (a `sysctl`, effectively).
+    pub fn set_policy(&mut self, policy: OvercommitPolicy) {
+        self.policy = policy;
+    }
+
+    /// Attempts to charge `pages` of new commit, given `free_frames`
+    /// currently free. Fails with [`MemError::CommitLimit`] when the
+    /// policy refuses.
+    pub fn charge(&mut self, pages: u64, free_frames: u64) -> MemResult<()> {
+        let ok = match self.policy {
+            OvercommitPolicy::Never { ratio } => {
+                let limit = (self.total_frames as f64 * ratio) as u64;
+                self.committed + pages <= limit
+            }
+            OvercommitPolicy::Heuristic => pages <= free_frames,
+            OvercommitPolicy::Always => true,
+        };
+        if ok {
+            self.committed += pages;
+            Ok(())
+        } else {
+            Err(MemError::CommitLimit)
+        }
+    }
+
+    /// Releases `pages` of commit charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than was charged (accounting bug).
+    pub fn release(&mut self, pages: u64) {
+        assert!(self.committed >= pages, "commit release underflow");
+        self.committed -= pages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_enforces_ratio() {
+        let mut a = CommitAccount::new(OvercommitPolicy::Never { ratio: 0.5 }, 100);
+        assert!(a.charge(50, 100).is_ok());
+        assert_eq!(a.charge(1, 100), Err(MemError::CommitLimit));
+        a.release(10);
+        assert!(a.charge(10, 100).is_ok());
+    }
+
+    #[test]
+    fn heuristic_refuses_single_oversize_but_allows_total_overcommit() {
+        let mut a = CommitAccount::new(OvercommitPolicy::Heuristic, 100);
+        assert_eq!(a.charge(101, 100), Err(MemError::CommitLimit));
+        // Repeated allocations can exceed physical memory in total.
+        assert!(a.charge(80, 100).is_ok());
+        assert!(a.charge(80, 90).is_ok());
+        assert_eq!(a.committed(), 160);
+    }
+
+    #[test]
+    fn always_never_refuses() {
+        let mut a = CommitAccount::new(OvercommitPolicy::Always, 10);
+        assert!(a.charge(1_000_000, 0).is_ok());
+        assert_eq!(a.committed(), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn release_underflow_panics() {
+        let mut a = CommitAccount::new(OvercommitPolicy::Always, 10);
+        a.release(1);
+    }
+}

@@ -1,0 +1,445 @@
+//! Four-level radix page table.
+//!
+//! Nodes live in an arena (`Vec`) indexed by `u32`, which keeps the
+//! structure compact and clone-free; the arena plays the role of the
+//! physical frames that would hold page-table nodes on real hardware.
+//! Intermediate nodes are created lazily on [`PageTable::map`] and torn
+//! down eagerly when their last entry is removed, so the node count always
+//! reflects the mapped footprint — the quantity fork must copy.
+
+use crate::addr::{Vpn, PT_ENTRIES, PT_LEVELS};
+use crate::cost::{CostModel, Cycles};
+use crate::error::{MemError, MemResult};
+use crate::pte::Pte;
+
+/// One entry of a page-table node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Entry {
+    /// Empty slot.
+    None,
+    /// Pointer to a lower-level node (arena index).
+    Table(u32),
+    /// Leaf translation.
+    Leaf(Pte),
+}
+
+/// One 512-entry page-table node.
+#[derive(Debug, Clone)]
+struct Node {
+    entries: Box<[Entry; PT_ENTRIES]>,
+    /// Number of non-`None` entries, for eager teardown.
+    live: u16,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            entries: Box::new([Entry::None; PT_ENTRIES]),
+            live: 0,
+        }
+    }
+}
+
+/// A four-level page table mapping [`Vpn`]s to [`Pte`]s.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    mapped: u64,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty page table (root node only).
+    pub fn new() -> PageTable {
+        PageTable {
+            nodes: vec![Node::new()],
+            free: Vec::new(),
+            root: 0,
+            mapped: 0,
+        }
+    }
+
+    fn alloc_node(&mut self, cycles: &mut Cycles, cost: &CostModel) -> u32 {
+        cycles.charge(cost.pt_node_alloc);
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node::new();
+            i
+        } else {
+            self.nodes.push(Node::new());
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Number of leaf translations currently installed.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Number of live page-table nodes, including the root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Installs a leaf translation for `vpn`.
+    ///
+    /// Fails with [`MemError::Overlap`] if a translation is already present;
+    /// callers must unmap first (matching hardware, where silently replacing
+    /// a live PTE without a TLB flush is a bug).
+    pub fn map(
+        &mut self,
+        vpn: Vpn,
+        pte: Pte,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<()> {
+        if !vpn.is_user() {
+            return Err(MemError::BadAddress);
+        }
+        let mut node = self.root;
+        for level in (1..PT_LEVELS).rev() {
+            let idx = vpn.pt_index(level);
+            node = match self.nodes[node as usize].entries[idx] {
+                Entry::Table(t) => t,
+                Entry::None => {
+                    let t = self.alloc_node(cycles, cost);
+                    let n = &mut self.nodes[node as usize];
+                    n.entries[idx] = Entry::Table(t);
+                    n.live += 1;
+                    t
+                }
+                Entry::Leaf(_) => unreachable!("leaf at intermediate level"),
+            };
+        }
+        let idx = vpn.pt_index(0);
+        let n = &mut self.nodes[node as usize];
+        match n.entries[idx] {
+            Entry::None => {
+                n.entries[idx] = Entry::Leaf(pte);
+                n.live += 1;
+                self.mapped += 1;
+                Ok(())
+            }
+            _ => Err(MemError::Overlap),
+        }
+    }
+
+    /// Removes the translation for `vpn`, returning the old entry and
+    /// tearing down any intermediate nodes that become empty.
+    pub fn unmap(&mut self, vpn: Vpn) -> MemResult<Pte> {
+        // Record the walk so empty ancestors can be reclaimed.
+        let mut path = [(0u32, 0usize); PT_LEVELS];
+        let mut node = self.root;
+        for level in (1..PT_LEVELS).rev() {
+            let idx = vpn.pt_index(level);
+            path[level] = (node, idx);
+            node = match self.nodes[node as usize].entries[idx] {
+                Entry::Table(t) => t,
+                _ => return Err(MemError::NotMapped),
+            };
+        }
+        let idx = vpn.pt_index(0);
+        let n = &mut self.nodes[node as usize];
+        let pte = match n.entries[idx] {
+            Entry::Leaf(p) => p,
+            _ => return Err(MemError::NotMapped),
+        };
+        n.entries[idx] = Entry::None;
+        n.live -= 1;
+        self.mapped -= 1;
+        // Reclaim empty nodes bottom-up (never the root). Indexing walks
+        // `path` top-down from the leaf's parent; an iterator would hide
+        // the level arithmetic.
+        let mut child = node;
+        #[allow(clippy::needless_range_loop)]
+        for level in 1..PT_LEVELS {
+            if self.nodes[child as usize].live != 0 {
+                break;
+            }
+            let (parent, idx) = path[level];
+            self.free.push(child);
+            let pn = &mut self.nodes[parent as usize];
+            pn.entries[idx] = Entry::None;
+            pn.live -= 1;
+            child = parent;
+        }
+        Ok(pte)
+    }
+
+    /// Looks up the translation for `vpn`.
+    pub fn translate(&self, vpn: Vpn) -> Option<Pte> {
+        let mut node = self.root;
+        for level in (1..PT_LEVELS).rev() {
+            let idx = vpn.pt_index(level);
+            node = match self.nodes[node as usize].entries[idx] {
+                Entry::Table(t) => t,
+                _ => return None,
+            };
+        }
+        match self.nodes[node as usize].entries[vpn.pt_index(0)] {
+            Entry::Leaf(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Replaces an existing translation in place (COW break, protection
+    /// change). Fails if `vpn` is not mapped.
+    pub fn update(&mut self, vpn: Vpn, pte: Pte) -> MemResult<Pte> {
+        let mut node = self.root;
+        for level in (1..PT_LEVELS).rev() {
+            node = match self.nodes[node as usize].entries[vpn.pt_index(level)] {
+                Entry::Table(t) => t,
+                _ => return Err(MemError::NotMapped),
+            };
+        }
+        let idx = vpn.pt_index(0);
+        let n = &mut self.nodes[node as usize];
+        match n.entries[idx] {
+            Entry::Leaf(old) => {
+                n.entries[idx] = Entry::Leaf(pte);
+                Ok(old)
+            }
+            _ => Err(MemError::NotMapped),
+        }
+    }
+
+    /// Visits every leaf translation in ascending VPN order.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(Vpn, Pte)) {
+        self.walk(self.root, PT_LEVELS - 1, 0, &mut f);
+    }
+
+    fn walk(&self, node: u32, level: usize, base: u64, f: &mut impl FnMut(Vpn, Pte)) {
+        for (i, e) in self.nodes[node as usize].entries.iter().enumerate() {
+            let vpn_base = base | ((i as u64) << (9 * level));
+            match *e {
+                Entry::None => {}
+                Entry::Table(t) => self.walk(t, level - 1, vpn_base, f),
+                Entry::Leaf(p) => f(Vpn(vpn_base), p),
+            }
+        }
+    }
+
+    /// Mutably visits every leaf translation; the closure may rewrite the
+    /// entry (but not remove it). Used by fork to write-protect the
+    /// parent's PTEs when marking them COW.
+    pub fn for_each_leaf_mut(&mut self, mut f: impl FnMut(Vpn, &mut Pte)) {
+        // Iterative stack walk to satisfy the borrow checker.
+        let mut stack = vec![(self.root, PT_LEVELS - 1, 0u64)];
+        while let Some((node, level, base)) = stack.pop() {
+            for i in 0..PT_ENTRIES {
+                let vpn_base = base | ((i as u64) << (9 * level));
+                match self.nodes[node as usize].entries[i] {
+                    Entry::None => {}
+                    Entry::Table(t) => stack.push((t, level - 1, vpn_base)),
+                    Entry::Leaf(mut p) => {
+                        f(Vpn(vpn_base), &mut p);
+                        self.nodes[node as usize].entries[i] = Entry::Leaf(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects all leaves in a range `[start, start + pages)`.
+    pub fn leaves_in_range(&self, start: Vpn, pages: u64) -> Vec<(Vpn, Pte)> {
+        let mut out = Vec::new();
+        // The tree walk visits everything; range extraction filters. A
+        // production kernel would descend only covered subtrees, but the
+        // mapped set here is dense within VMAs so the filter is cheap.
+        self.for_each_leaf(|vpn, pte| {
+            if vpn.0 >= start.0 && vpn.0 < start.0 + pages {
+                out.push((vpn, pte));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+    use crate::pte::PteFlags;
+
+    fn fixture() -> (PageTable, Cycles, CostModel) {
+        (PageTable::new(), Cycles::new(), CostModel::default())
+    }
+
+    #[test]
+    fn map_translate_unmap() {
+        let (mut pt, mut cy, cost) = fixture();
+        let vpn = Vpn(0x12345);
+        pt.map(vpn, Pte::new(Pfn(7), PteFlags::WRITABLE), &mut cy, &cost)
+            .unwrap();
+        let got = pt.translate(vpn).unwrap();
+        assert_eq!(got.pfn, Pfn(7));
+        assert!(got.is_writable());
+        assert_eq!(pt.mapped_pages(), 1);
+        let old = pt.unmap(vpn).unwrap();
+        assert_eq!(old.pfn, Pfn(7));
+        assert_eq!(pt.translate(vpn), None);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn double_map_is_overlap() {
+        let (mut pt, mut cy, cost) = fixture();
+        pt.map(Vpn(1), Pte::new(Pfn(1), PteFlags::empty()), &mut cy, &cost)
+            .unwrap();
+        assert_eq!(
+            pt.map(Vpn(1), Pte::new(Pfn(2), PteFlags::empty()), &mut cy, &cost),
+            Err(MemError::Overlap)
+        );
+    }
+
+    #[test]
+    fn unmap_missing_is_not_mapped() {
+        let (mut pt, _, _) = fixture();
+        assert_eq!(pt.unmap(Vpn(99)), Err(MemError::NotMapped));
+    }
+
+    #[test]
+    fn kernel_half_rejected() {
+        let (mut pt, mut cy, cost) = fixture();
+        let kvpn = Vpn(1 << 36); // above the 47-bit user split (VPN space)
+        assert_eq!(
+            pt.map(kvpn, Pte::new(Pfn(0), PteFlags::empty()), &mut cy, &cost),
+            Err(MemError::BadAddress)
+        );
+    }
+
+    #[test]
+    fn intermediate_nodes_reclaimed() {
+        let (mut pt, mut cy, cost) = fixture();
+        assert_eq!(pt.node_count(), 1);
+        pt.map(
+            Vpn(0x40000),
+            Pte::new(Pfn(1), PteFlags::empty()),
+            &mut cy,
+            &cost,
+        )
+        .unwrap();
+        assert_eq!(pt.node_count(), 4, "three intermediates + root");
+        pt.unmap(Vpn(0x40000)).unwrap();
+        assert_eq!(pt.node_count(), 1, "empty intermediates torn down");
+        // Arena slots are recycled on the next map.
+        pt.map(
+            Vpn(0x80000),
+            Pte::new(Pfn(2), PteFlags::empty()),
+            &mut cy,
+            &cost,
+        )
+        .unwrap();
+        assert_eq!(pt.node_count(), 4);
+    }
+
+    #[test]
+    fn siblings_share_intermediates() {
+        let (mut pt, mut cy, cost) = fixture();
+        for i in 0..512u64 {
+            pt.map(Vpn(i), Pte::new(Pfn(i), PteFlags::empty()), &mut cy, &cost)
+                .unwrap();
+        }
+        // 512 leaves fit in one leaf node: root + 2 intermediates + 1 leaf node.
+        assert_eq!(pt.node_count(), 4);
+        assert_eq!(pt.mapped_pages(), 512);
+        pt.map(
+            Vpn(512),
+            Pte::new(Pfn(600), PteFlags::empty()),
+            &mut cy,
+            &cost,
+        )
+        .unwrap();
+        assert_eq!(pt.node_count(), 5, "next leaf node allocated");
+    }
+
+    #[test]
+    fn update_rewrites_in_place() {
+        let (mut pt, mut cy, cost) = fixture();
+        pt.map(Vpn(3), Pte::new(Pfn(1), PteFlags::WRITABLE), &mut cy, &cost)
+            .unwrap();
+        let old = pt
+            .update(Vpn(3), Pte::new(Pfn(2), PteFlags::empty()))
+            .unwrap();
+        assert_eq!(old.pfn, Pfn(1));
+        assert_eq!(pt.translate(Vpn(3)).unwrap().pfn, Pfn(2));
+        assert_eq!(
+            pt.update(Vpn(4), Pte::new(Pfn(9), PteFlags::empty())),
+            Err(MemError::NotMapped)
+        );
+    }
+
+    #[test]
+    fn for_each_leaf_visits_in_order() {
+        let (mut pt, mut cy, cost) = fixture();
+        let vpns = [Vpn(5), Vpn(0x200), Vpn(0x7f_ffff), Vpn(1)];
+        for (i, v) in vpns.iter().enumerate() {
+            pt.map(
+                *v,
+                Pte::new(Pfn(i as u64), PteFlags::empty()),
+                &mut cy,
+                &cost,
+            )
+            .unwrap();
+        }
+        let mut seen = Vec::new();
+        pt.for_each_leaf(|v, _| seen.push(v.0));
+        let mut expect: Vec<u64> = vpns.iter().map(|v| v.0).collect();
+        expect.sort();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn for_each_leaf_mut_rewrites_flags() {
+        let (mut pt, mut cy, cost) = fixture();
+        for i in 0..100u64 {
+            pt.map(Vpn(i), Pte::new(Pfn(i), PteFlags::WRITABLE), &mut cy, &cost)
+                .unwrap();
+        }
+        pt.for_each_leaf_mut(|_, pte| {
+            pte.flags = pte.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+        });
+        let mut cows = 0;
+        pt.for_each_leaf(|_, pte| {
+            assert!(!pte.is_writable());
+            assert!(pte.is_cow());
+            cows += 1;
+        });
+        assert_eq!(cows, 100);
+    }
+
+    #[test]
+    fn leaves_in_range_filters() {
+        let (mut pt, mut cy, cost) = fixture();
+        for i in 0..20u64 {
+            pt.map(
+                Vpn(i * 10),
+                Pte::new(Pfn(i), PteFlags::empty()),
+                &mut cy,
+                &cost,
+            )
+            .unwrap();
+        }
+        let r = pt.leaves_in_range(Vpn(50), 51); // VPNs 50..101
+        let vpns: Vec<u64> = r.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(vpns, vec![50, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn node_alloc_charges_cycles() {
+        let (mut pt, mut cy, cost) = fixture();
+        pt.map(Vpn(0), Pte::new(Pfn(0), PteFlags::empty()), &mut cy, &cost)
+            .unwrap();
+        assert_eq!(
+            cy.total(),
+            3 * cost.pt_node_alloc,
+            "three intermediate nodes"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Physical memory: frame store with COW reference counts and logical
+//! page contents.
+//!
+//! Rather than materialising 4 KiB of real bytes per simulated frame (which
+//! would make multi-GiB experiments impossible to run), each frame carries a
+//! single `u64` *content stamp*. A write to any address in a page replaces
+//! the page's stamp; reads observe it. This is exactly enough state to
+//! verify copy-on-write semantics (a child must observe the parent's stamps
+//! as of fork time, and later writes must not leak across), while the
+//! *costs* of moving real data are charged through [`CostModel`].
+
+use crate::addr::Pfn;
+use crate::cost::{CostModel, Cycles};
+use crate::error::{MemError, MemResult};
+use crate::frame::{BitmapFrameAllocator, FrameAllocator};
+use std::collections::HashMap;
+
+/// Per-frame metadata: COW reference count and logical content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameMeta {
+    refs: u32,
+    content: u64,
+}
+
+/// The machine's physical memory.
+#[derive(Debug)]
+pub struct PhysMemory {
+    alloc: BitmapFrameAllocator,
+    meta: HashMap<u64, FrameMeta>,
+    cost: CostModel,
+    /// Cumulative count of frames ever allocated (statistics).
+    pub frames_allocated_total: u64,
+    /// Cumulative count of 4 KiB page copies performed (statistics).
+    pub pages_copied_total: u64,
+}
+
+impl PhysMemory {
+    /// Creates physical memory with `total_frames` frames and the given
+    /// cost model.
+    pub fn new(total_frames: u64, cost: CostModel) -> Self {
+        PhysMemory {
+            alloc: BitmapFrameAllocator::new(total_frames),
+            meta: HashMap::new(),
+            cost,
+            frames_allocated_total: 0,
+            pages_copied_total: 0,
+        }
+    }
+
+    /// Returns the active cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Replaces the cost model (used by ablation benches).
+    pub fn set_cost(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Number of frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.alloc.free_frames()
+    }
+
+    /// Total number of frames in the machine.
+    pub fn total_frames(&self) -> u64 {
+        self.alloc.total_frames()
+    }
+
+    /// Number of frames currently in use.
+    pub fn used_frames(&self) -> u64 {
+        self.total_frames() - self.free_frames()
+    }
+
+    /// Allocates a zeroed frame with reference count 1.
+    pub fn alloc_zeroed(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let pfn = self.alloc.alloc()?;
+        cycles.charge(self.cost.frame_alloc + self.cost.page_zero);
+        self.meta.insert(
+            pfn.0,
+            FrameMeta {
+                refs: 1,
+                content: 0,
+            },
+        );
+        self.frames_allocated_total += 1;
+        Ok(pfn)
+    }
+
+    /// Allocates a frame holding `content` with reference count 1,
+    /// charging a file-read rather than a zero-fill.
+    pub fn alloc_filled(&mut self, content: u64, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let pfn = self.alloc.alloc()?;
+        cycles.charge(self.cost.frame_alloc + self.cost.file_read_page);
+        self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
+        self.frames_allocated_total += 1;
+        Ok(pfn)
+    }
+
+    /// Allocates a new frame that duplicates `src`'s content (COW break or
+    /// eager fork copy).
+    pub fn copy_frame(&mut self, src: Pfn, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let content = self.content(src)?;
+        let pfn = self.alloc.alloc()?;
+        cycles.charge(self.cost.frame_alloc + self.cost.page_copy);
+        self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
+        self.frames_allocated_total += 1;
+        self.pages_copied_total += 1;
+        Ok(pfn)
+    }
+
+    /// Increments the COW reference count of `pfn`.
+    pub fn inc_ref(&mut self, pfn: Pfn) -> MemResult<()> {
+        let m = self.meta.get_mut(&pfn.0).ok_or(MemError::NotMapped)?;
+        m.refs += 1;
+        Ok(())
+    }
+
+    /// Decrements the reference count, freeing the frame when it reaches
+    /// zero. Returns `true` if the frame was freed.
+    pub fn dec_ref(&mut self, pfn: Pfn, cycles: &mut Cycles) -> MemResult<bool> {
+        let m = self.meta.get_mut(&pfn.0).ok_or(MemError::NotMapped)?;
+        debug_assert!(m.refs > 0);
+        m.refs -= 1;
+        if m.refs == 0 {
+            self.meta.remove(&pfn.0);
+            self.alloc.free(pfn);
+            cycles.charge(self.cost.frame_free);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Returns the current reference count of `pfn`.
+    pub fn refs(&self, pfn: Pfn) -> MemResult<u32> {
+        self.meta
+            .get(&pfn.0)
+            .map(|m| m.refs)
+            .ok_or(MemError::NotMapped)
+    }
+
+    /// Reads the logical content stamp of `pfn`.
+    pub fn content(&self, pfn: Pfn) -> MemResult<u64> {
+        self.meta
+            .get(&pfn.0)
+            .map(|m| m.content)
+            .ok_or(MemError::NotMapped)
+    }
+
+    /// Overwrites the logical content stamp of `pfn`.
+    ///
+    /// The caller (the fault handler / address space) is responsible for
+    /// ensuring the frame is exclusively owned or the write is to a shared
+    /// mapping; this is a raw store.
+    pub fn write_content(&mut self, pfn: Pfn, content: u64) -> MemResult<()> {
+        let m = self.meta.get_mut(&pfn.0).ok_or(MemError::NotMapped)?;
+        m.content = content;
+        Ok(())
+    }
+
+    /// Number of live (allocated) frames tracked with metadata.
+    pub fn live_frames(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm(frames: u64) -> (PhysMemory, Cycles) {
+        (PhysMemory::new(frames, CostModel::default()), Cycles::new())
+    }
+
+    #[test]
+    fn alloc_zeroed_has_zero_content_and_one_ref() {
+        let (mut p, mut c) = pm(16);
+        let f = p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(p.content(f), Ok(0));
+        assert_eq!(p.refs(f), Ok(1));
+        assert_eq!(p.used_frames(), 1);
+        assert!(c.total() > 0);
+    }
+
+    #[test]
+    fn copy_frame_duplicates_content_independently() {
+        let (mut p, mut c) = pm(16);
+        let a = p.alloc_zeroed(&mut c).unwrap();
+        p.write_content(a, 42).unwrap();
+        let b = p.copy_frame(a, &mut c).unwrap();
+        assert_eq!(p.content(b), Ok(42));
+        p.write_content(a, 7).unwrap();
+        assert_eq!(p.content(b), Ok(42), "copy must not alias source");
+        assert_eq!(p.pages_copied_total, 1);
+    }
+
+    #[test]
+    fn refcount_frees_only_at_zero() {
+        let (mut p, mut c) = pm(16);
+        let f = p.alloc_zeroed(&mut c).unwrap();
+        p.inc_ref(f).unwrap();
+        assert_eq!(p.refs(f), Ok(2));
+        assert_eq!(p.dec_ref(f, &mut c), Ok(false));
+        assert_eq!(p.used_frames(), 1);
+        assert_eq!(p.dec_ref(f, &mut c), Ok(true));
+        assert_eq!(p.used_frames(), 0);
+        assert_eq!(p.refs(f), Err(MemError::NotMapped));
+    }
+
+    #[test]
+    fn exhaustion_propagates() {
+        let (mut p, mut c) = pm(2);
+        p.alloc_zeroed(&mut c).unwrap();
+        p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(p.alloc_zeroed(&mut c), Err(MemError::OutOfMemory));
+    }
+
+    #[test]
+    fn freed_frame_is_reusable() {
+        let (mut p, mut c) = pm(1);
+        let f = p.alloc_zeroed(&mut c).unwrap();
+        p.write_content(f, 9).unwrap();
+        p.dec_ref(f, &mut c).unwrap();
+        let g = p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(p.content(g), Ok(0), "recycled frame must be zeroed");
+    }
+}

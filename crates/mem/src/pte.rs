@@ -1,0 +1,118 @@
+//! Page-table entry representation and flag bits.
+
+use crate::addr::Pfn;
+use serde::{Deserialize, Serialize};
+
+/// Flag bits of a leaf page-table entry.
+///
+/// Modelled on x86-64: the simulator uses PRESENT/WRITABLE/USER plus a
+/// software COW bit (real kernels stash this in an ignored PTE bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PteFlags(pub u16);
+
+impl PteFlags {
+    /// The translation is valid.
+    pub const PRESENT: PteFlags = PteFlags(1 << 0);
+    /// Writes are permitted.
+    pub const WRITABLE: PteFlags = PteFlags(1 << 1);
+    /// User-mode access is permitted.
+    pub const USER: PteFlags = PteFlags(1 << 2);
+    /// The page has been read or written since the bit was cleared.
+    pub const ACCESSED: PteFlags = PteFlags(1 << 3);
+    /// The page has been written since the bit was cleared.
+    pub const DIRTY: PteFlags = PteFlags(1 << 4);
+    /// Instruction fetch is forbidden.
+    pub const NX: PteFlags = PteFlags(1 << 5);
+    /// Software bit: write-protected copy-on-write page.
+    pub const COW: PteFlags = PteFlags(1 << 6);
+    /// Software bit: the frame backs a MAP_SHARED mapping.
+    pub const SHARED: PteFlags = PteFlags(1 << 7);
+
+    /// Empty flag set.
+    pub const fn empty() -> PteFlags {
+        PteFlags(0)
+    }
+
+    /// Returns the union of `self` and `other`.
+    pub const fn union(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Returns `self` with the bits of `other` removed.
+    pub const fn minus(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 & !other.0)
+    }
+
+    /// Returns true if every bit of `other` is set in `self`.
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns true if any bit of `other` is set in `self`.
+    pub const fn intersects(self, other: PteFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        self.union(rhs)
+    }
+}
+
+/// A leaf page-table entry: a frame number plus flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pte {
+    /// The mapped physical frame.
+    pub pfn: Pfn,
+    /// Permission and software bits.
+    pub flags: PteFlags,
+}
+
+impl Pte {
+    /// Creates a present entry for `pfn` with the given extra flags.
+    pub fn new(pfn: Pfn, flags: PteFlags) -> Pte {
+        Pte {
+            pfn,
+            flags: flags | PteFlags::PRESENT,
+        }
+    }
+
+    /// Returns true if the entry permits writes.
+    pub fn is_writable(self) -> bool {
+        self.flags.contains(PteFlags::WRITABLE)
+    }
+
+    /// Returns true if the entry is marked copy-on-write.
+    pub fn is_cow(self) -> bool {
+        self.flags.contains(PteFlags::COW)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_algebra() {
+        let f = PteFlags::PRESENT | PteFlags::WRITABLE;
+        assert!(f.contains(PteFlags::PRESENT));
+        assert!(f.contains(PteFlags::WRITABLE));
+        assert!(!f.contains(PteFlags::COW));
+        assert!(f.intersects(PteFlags::WRITABLE | PteFlags::COW));
+        let g = f.minus(PteFlags::WRITABLE);
+        assert!(!g.contains(PteFlags::WRITABLE));
+        assert!(g.contains(PteFlags::PRESENT));
+    }
+
+    #[test]
+    fn pte_constructor_sets_present() {
+        let p = Pte::new(Pfn(5), PteFlags::USER);
+        assert!(p.flags.contains(PteFlags::PRESENT));
+        assert!(!p.is_writable());
+        assert!(!p.is_cow());
+        let q = Pte::new(Pfn(5), PteFlags::WRITABLE | PteFlags::COW);
+        assert!(q.is_writable() && q.is_cow());
+    }
+}

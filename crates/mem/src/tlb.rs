@@ -1,0 +1,106 @@
+//! TLB cost model: local invalidations and cross-CPU shootdowns.
+//!
+//! Fork's write-protect pass and every COW break must invalidate stale
+//! translations on every CPU currently running threads of the address
+//! space. The shootdown is an IPI round-trip per remote CPU, which is why
+//! fork "doesn't scale": concurrent forks and the ensuing fault storms
+//! serialise on interrupt traffic. The model charges a base cost plus a
+//! per-remote-CPU cost and counts events for the scaling experiments.
+
+use crate::cost::{CostModel, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// TLB accounting for one simulated machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TlbModel {
+    /// Whether remote shootdowns are charged (ablation toggle).
+    pub shootdowns_enabled: bool,
+    /// Number of single-entry local invalidations performed.
+    pub local_invalidations: u64,
+    /// Number of shootdown rounds initiated.
+    pub shootdowns: u64,
+    /// Total remote-CPU acknowledgements across all shootdowns.
+    pub remote_acks: u64,
+}
+
+impl Default for TlbModel {
+    fn default() -> Self {
+        TlbModel {
+            shootdowns_enabled: true,
+            local_invalidations: 0,
+            shootdowns: 0,
+            remote_acks: 0,
+        }
+    }
+}
+
+impl TlbModel {
+    /// Creates a model with shootdowns enabled.
+    pub fn new() -> TlbModel {
+        TlbModel::default()
+    }
+
+    /// Charges a local single-entry invalidation (`invlpg`).
+    pub fn invalidate_local(&mut self, cycles: &mut Cycles, cost: &CostModel) {
+        self.local_invalidations += 1;
+        cycles.charge(cost.tlb_invlpg);
+    }
+
+    /// Charges a shootdown visible to `cpus_running` CPUs (including the
+    /// initiator). With one CPU only the local flush is paid.
+    pub fn shootdown(&mut self, cpus_running: u32, cycles: &mut Cycles, cost: &CostModel) {
+        self.shootdowns += 1;
+        cycles.charge(cost.tlb_shootdown_base);
+        if self.shootdowns_enabled && cpus_running > 1 {
+            let remote = (cpus_running - 1) as u64;
+            self.remote_acks += remote;
+            cycles.charge(cost.tlb_shootdown_per_cpu * remote);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_invalidation_counts_and_charges() {
+        let mut t = TlbModel::new();
+        let mut cy = Cycles::new();
+        let cost = CostModel::default();
+        t.invalidate_local(&mut cy, &cost);
+        t.invalidate_local(&mut cy, &cost);
+        assert_eq!(t.local_invalidations, 2);
+        assert_eq!(cy.total(), 2 * cost.tlb_invlpg);
+    }
+
+    #[test]
+    fn shootdown_scales_with_remote_cpus() {
+        let cost = CostModel::default();
+        let mut t = TlbModel::new();
+        let mut one = Cycles::new();
+        t.shootdown(1, &mut one, &cost);
+        let mut eight = Cycles::new();
+        t.shootdown(8, &mut eight, &cost);
+        assert_eq!(one.total(), cost.tlb_shootdown_base);
+        assert_eq!(
+            eight.total(),
+            cost.tlb_shootdown_base + 7 * cost.tlb_shootdown_per_cpu
+        );
+        assert_eq!(t.shootdowns, 2);
+        assert_eq!(t.remote_acks, 7);
+    }
+
+    #[test]
+    fn ablation_disables_remote_cost() {
+        let cost = CostModel::default();
+        let mut t = TlbModel {
+            shootdowns_enabled: false,
+            ..TlbModel::new()
+        };
+        let mut cy = Cycles::new();
+        t.shootdown(16, &mut cy, &cost);
+        assert_eq!(cy.total(), cost.tlb_shootdown_base);
+        assert_eq!(t.remote_acks, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based invariants of the memory substrate.
+//!
+//! These generate random operation sequences and assert the structural
+//! laws the rest of the system depends on: no frame leaks, page-table ↔
+//! VMA consistency, COW isolation, and buddy-allocator geometry.
+
+use fpr_mem::address_space::ForkMode;
+use fpr_mem::buddy::BuddyAllocator;
+use fpr_mem::cost::{CostModel, Cycles};
+use fpr_mem::frame::{BitmapFrameAllocator, FrameAllocator};
+use fpr_mem::phys::PhysMemory;
+use fpr_mem::tlb::TlbModel;
+use fpr_mem::vma::{Prot, VmArea, VmaKind};
+use fpr_mem::{AddressSpace, Pfn, Vpn};
+use proptest::prelude::*;
+
+/// A random single-space operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Mmap { start: u64, pages: u64 },
+    Munmap { start: u64, pages: u64 },
+    Write { vpn: u64, val: u64 },
+    Read { vpn: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..200, 1u64..16).prop_map(|(start, pages)| Op::Mmap { start, pages }),
+        (0u64..200, 1u64..16).prop_map(|(start, pages)| Op::Munmap { start, pages }),
+        (0u64..200, any::<u64>()).prop_map(|(vpn, val)| Op::Write { vpn, val }),
+        (0u64..200).prop_map(|vpn| Op::Read { vpn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence, destroying the space frees every frame.
+    #[test]
+    fn no_frame_leaks(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut phys = PhysMemory::new(4096, CostModel::default());
+        let mut cy = Cycles::new();
+        let mut tlb = TlbModel::new();
+        let mut a = AddressSpace::new();
+        for op in ops {
+            match op {
+                Op::Mmap { start, pages } => {
+                    let _ = a.mmap(
+                        VmArea::anon(Vpn(start), pages, Prot::RW, VmaKind::Mmap),
+                        &mut phys, &mut cy,
+                    );
+                }
+                Op::Munmap { start, pages } => {
+                    let _ = a.munmap(Vpn(start), pages, &mut phys, &mut cy, &mut tlb, 1);
+                }
+                Op::Write { vpn, val } => { let _ = a.write(Vpn(vpn), val, &mut phys, &mut cy, &mut tlb, 1); }
+                Op::Read { vpn } => { let _ = a.read(Vpn(vpn), &mut phys, &mut cy); }
+            }
+            // Invariant: resident pages equals used frames (single space,
+            // no sharing in this test).
+            prop_assert_eq!(a.resident_pages(), phys.used_frames());
+        }
+        a.destroy(&mut phys, &mut cy);
+        prop_assert_eq!(phys.used_frames(), 0);
+    }
+
+    /// Every resident page lies inside some VMA, and every VMA page reads
+    /// back what was last written to it.
+    #[test]
+    fn page_table_vma_consistency(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut phys = PhysMemory::new(4096, CostModel::default());
+        let mut cy = Cycles::new();
+        let mut tlb = TlbModel::new();
+        let mut a = AddressSpace::new();
+        let mut shadow: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Mmap { start, pages } => {
+                    if a.mmap(VmArea::anon(Vpn(start), pages, Prot::RW, VmaKind::Mmap), &mut phys, &mut cy).is_ok() {
+                        for p in start..start + pages { shadow.insert(p, 0); }
+                    }
+                }
+                Op::Munmap { start, pages } => {
+                    if a.munmap(Vpn(start), pages, &mut phys, &mut cy, &mut tlb, 1).is_ok() {
+                        for p in start..start + pages { shadow.remove(&p); }
+                    }
+                }
+                Op::Write { vpn, val } => {
+                    if a.write(Vpn(vpn), val, &mut phys, &mut cy, &mut tlb, 1).is_ok() {
+                        shadow.insert(vpn, val);
+                    }
+                }
+                Op::Read { vpn } => {
+                    if let Ok((got, _)) = a.read(Vpn(vpn), &mut phys, &mut cy) {
+                        prop_assert_eq!(got, *shadow.get(&vpn).unwrap_or(&0));
+                    }
+                }
+            }
+        }
+        // Every mapped page must be covered by a VMA and observable.
+        for (vpn, expect) in &shadow {
+            prop_assert_eq!(a.observe(Vpn(*vpn), &phys).unwrap(), *expect);
+        }
+        a.destroy(&mut phys, &mut cy);
+    }
+
+    /// COW fork isolation: after a fork, writes in either space are never
+    /// visible in the other (for private mappings), and the child initially
+    /// observes exactly the parent's contents.
+    #[test]
+    fn fork_isolates_private_memory(
+        pre in proptest::collection::vec((0u64..32, any::<u64>()), 1..20),
+        post_parent in proptest::collection::vec((0u64..32, any::<u64>()), 0..12),
+        post_child in proptest::collection::vec((0u64..32, any::<u64>()), 0..12),
+    ) {
+        let mut phys = PhysMemory::new(4096, CostModel::default());
+        let mut cy = Cycles::new();
+        let mut tlb = TlbModel::new();
+        let mut parent = AddressSpace::new();
+        parent.mmap(VmArea::anon(Vpn(0), 32, Prot::RW, VmaKind::Heap), &mut phys, &mut cy).unwrap();
+        let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (vpn, val) in &pre {
+            parent.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            truth.insert(*vpn, *val);
+        }
+        let mut child = AddressSpace::fork_from(&mut parent, ForkMode::Cow, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+
+        // Child sees a snapshot of the parent at fork time.
+        for vpn in 0..32u64 {
+            prop_assert_eq!(child.observe(Vpn(vpn), &phys).unwrap(), *truth.get(&vpn).unwrap_or(&0));
+        }
+        let snapshot = truth.clone();
+        let mut parent_truth = truth;
+        let mut child_truth = snapshot.clone();
+        for (vpn, val) in &post_parent {
+            parent.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            parent_truth.insert(*vpn, *val);
+        }
+        for (vpn, val) in &post_child {
+            child.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            child_truth.insert(*vpn, *val);
+        }
+        for vpn in 0..32u64 {
+            prop_assert_eq!(parent.observe(Vpn(vpn), &phys).unwrap(), *parent_truth.get(&vpn).unwrap_or(&0));
+            prop_assert_eq!(child.observe(Vpn(vpn), &phys).unwrap(), *child_truth.get(&vpn).unwrap_or(&0));
+        }
+        child.destroy(&mut phys, &mut cy);
+        parent.destroy(&mut phys, &mut cy);
+        prop_assert_eq!(phys.used_frames(), 0);
+    }
+
+    /// Eager forks behave observably identically to COW forks.
+    #[test]
+    fn eager_and_cow_forks_equivalent(
+        pre in proptest::collection::vec((0u64..16, any::<u64>()), 1..12),
+        post in proptest::collection::vec((0u64..16, any::<u64>()), 0..8),
+    ) {
+        let mut results = Vec::new();
+        for mode in [ForkMode::Cow, ForkMode::Eager] {
+            let mut phys = PhysMemory::new(4096, CostModel::default());
+            let mut cy = Cycles::new();
+            let mut tlb = TlbModel::new();
+            let mut parent = AddressSpace::new();
+            parent.mmap(VmArea::anon(Vpn(0), 16, Prot::RW, VmaKind::Heap), &mut phys, &mut cy).unwrap();
+            for (vpn, val) in &pre {
+                parent.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            }
+            let mut child = AddressSpace::fork_from(&mut parent, mode, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            for (vpn, val) in &post {
+                child.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            }
+            let view: Vec<(u64, u64)> = (0..16u64)
+                .map(|v| (child.observe(Vpn(v), &phys).unwrap(), parent.observe(Vpn(v), &phys).unwrap()))
+                .collect();
+            results.push(view);
+            child.destroy(&mut phys, &mut cy);
+            parent.destroy(&mut phys, &mut cy);
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+
+    /// Bitmap allocator: frames handed out are unique and within range.
+    #[test]
+    fn bitmap_allocator_unique(total in 1u64..300, n in 1usize..400) {
+        let mut a = BitmapFrameAllocator::new(total);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            match a.alloc() {
+                Ok(f) => {
+                    prop_assert!(f.0 < total);
+                    prop_assert!(seen.insert(f.0));
+                }
+                Err(_) => {
+                    prop_assert_eq!(seen.len() as u64, total);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Buddy allocator: allocations never overlap, and full free restores
+    /// the complete frame count.
+    #[test]
+    fn buddy_no_overlap_and_restores(orders in proptest::collection::vec(0usize..5, 1..24)) {
+        let mut b = BuddyAllocator::new(Pfn(0), 512);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut handles: Vec<Pfn> = Vec::new();
+        for o in orders {
+            if let Ok(p) = b.alloc(o) {
+                let len = 1u64 << o;
+                prop_assert_eq!(p.0 % len, 0, "natural alignment");
+                for (s, l) in &live {
+                    prop_assert!(p.0 + len <= *s || s + l <= p.0, "overlap");
+                }
+                live.push((p.0, len));
+                handles.push(p);
+            }
+        }
+        for h in handles { b.free(h); }
+        prop_assert_eq!(b.free_frames(), 512);
+        prop_assert_eq!(b.largest_free_order(), Some(9));
+    }
+}

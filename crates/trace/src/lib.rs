@@ -1,0 +1,12 @@
+//! # fpr-trace — workloads and experiment records
+//!
+//! [`workload`] generates the synthetic parents and touch patterns every
+//! experiment sweeps over; [`records`] defines the figure/table result
+//! types all bench binaries print and serialise, so EXPERIMENTS.md can be
+//! regenerated mechanically.
+
+pub mod records;
+pub mod workload;
+
+pub use records::{FigureData, Point, Series, TableData};
+pub use workload::{fig1_footprints, ProcessShape, TouchPattern};

@@ -1,0 +1,28 @@
+//! Detonate `:(){ :|:& };:` inside the simulator and watch RLIMIT_NPROC
+//! contain it.
+//!
+//! Run with: `cargo run --example fork_bomb`
+
+use forkroad::core::experiments::forkbomb::detonate;
+
+fn main() {
+    println!("breadth-first fork bomb, each process forks twice\n");
+    for limit in [8u64, 32, 128, u64::MAX] {
+        let o = detonate(limit, 1024);
+        let shown = if limit == u64::MAX {
+            "unlimited".into()
+        } else {
+            limit.to_string()
+        };
+        println!(
+            "RLIMIT_NPROC {:>9}: {:>5} processes created, stopped by {}",
+            shown, o.created, o.stopped_by
+        );
+    }
+    println!(
+        "\nwith no limit, only PID exhaustion stops the bomb — fork's\n\
+         zero-argument simplicity is also its cheapest denial of service.\n\
+         (The simulator detonates the bomb against its own process table;\n\
+         nothing outside the library is affected.)"
+    );
+}

@@ -1,0 +1,51 @@
+//! The thread-safety trap: fork a process while another thread holds the
+//! allocator lock, and the child deadlocks on its first allocation. The
+//! fork-safety auditor predicts it before the fork happens.
+//!
+//! Run with: `cargo run --example fork_deadlock`
+
+use forkroad::audit::audit_main_thread;
+use forkroad::kernel::{sync, Errno};
+use forkroad::{Os, OsConfig};
+
+fn main() {
+    let mut os = Os::boot(OsConfig::default());
+    let init = os.init;
+
+    // A process with a worker thread that is mid-malloc at fork time.
+    let app = os.kernel.allocate_process(init, "app").unwrap();
+    let malloc_lock = os
+        .kernel
+        .register_lock(app, sync::names::MALLOC_ARENA)
+        .unwrap();
+    let worker = os.kernel.spawn_thread(app).unwrap();
+    os.kernel.lock_acquire(app, worker, malloc_lock).unwrap();
+    println!("worker thread {worker:?} holds the malloc arena lock\n");
+
+    // Ask the auditor first.
+    let report = audit_main_thread(&os.kernel, app).unwrap();
+    println!("fork-safety audit before forking:\n{}", report.render());
+    assert!(!report.is_safe());
+
+    // Fork anyway — exactly what a library deep in some dependency does.
+    let child = os.fork(app).unwrap();
+    let child_main = os.kernel.process(child).unwrap().main_tid();
+
+    // The child calls malloc (acquires the arena lock)...
+    match os.kernel.lock_acquire(child, child_main, malloc_lock) {
+        Err(Errno::Edeadlk) => {
+            println!(
+                "child {child}: first malloc → EDEADLK. The lock's owner was never\n\
+                 copied into the child; it can never be released. Hung forever."
+            )
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+
+    // Meanwhile the parent is fine: the worker finishes and releases.
+    os.kernel.lock_release(app, worker, malloc_lock).unwrap();
+    let app_main = os.kernel.process(app).unwrap().main_tid();
+    os.kernel.lock_acquire(app, app_main, malloc_lock).unwrap();
+    println!("\nparent {app}: same acquire succeeds once the worker releases.");
+    println!("\nthe auditor flagged this fork as CRITICAL before it happened — use it.");
+}

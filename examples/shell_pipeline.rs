@@ -1,0 +1,200 @@
+//! A shell building `cat /etc/motd | grep | wc`-style plumbing — the
+//! classic argument *for* fork (set up redirections between fork and
+//! exec), re-expressed with posix_spawn file actions to show the same
+//! flexibility without the copy.
+//!
+//! The simulator doesn't execute program code, so this example plays the
+//! role of each program's main loop through the kernel's descriptor
+//! syscalls: what matters is the descriptor plumbing, which is exactly
+//! what the fork-vs-spawn argument is about.
+//!
+//! Run with: `cargo run --example shell_pipeline`
+
+use forkroad::api::{FileAction, SpawnAttrs};
+use forkroad::kernel::{Fd, OpenFlags, ReadResult, STDIN, STDOUT};
+use forkroad::mem::CYCLES_PER_US;
+use forkroad::{Os, OsConfig};
+
+fn main() {
+    let mut os = Os::boot(OsConfig::default());
+
+    // The input file.
+    os.kernel
+        .vfs
+        .create(
+            "/etc_motd",
+            os.kernel.vfs.root(),
+            b"on a fork in the road\ntake the spawn\n".to_vec(),
+        )
+        .unwrap();
+
+    // ---- Variant A: fork + dup2 + exec (the classic shell) -----------
+    let (stages, fork_cycles) = os.measure(build_pipeline_with_fork);
+    println!(
+        "fork-based pipeline set up in {:.1} us",
+        fork_cycles as f64 / CYCLES_PER_US as f64
+    );
+
+    let fork_out = run_programs(&mut os, stages, "fork");
+    println!("fork pipeline output: {fork_out:?}");
+
+    // ---- Variant B: posix_spawn with file actions ---------------------
+    let (stages, spawn_cycles) = os.measure(build_pipeline_with_spawn);
+    println!(
+        "\nspawn-based pipeline set up in {:.1} us",
+        spawn_cycles as f64 / CYCLES_PER_US as f64
+    );
+    let spawn_out = run_programs(&mut os, stages, "spawn");
+    println!("spawn pipeline output: {spawn_out:?}");
+
+    let strip = |s: &str| {
+        s.split_once("] ")
+            .map(|(_, rest)| rest.to_string())
+            .unwrap_or_default()
+    };
+    assert_eq!(
+        strip(&fork_out),
+        strip(&spawn_out),
+        "both pipelines compute the same thing"
+    );
+    println!("\nsame plumbing, same answer — no copy of the shell required.");
+}
+
+/// The three pipeline stages, as (name, pid) pairs the example drives.
+struct Stages {
+    cat: forkroad::kernel::Pid,
+    grep: forkroad::kernel::Pid,
+    wc: forkroad::kernel::Pid,
+}
+
+fn build_pipeline_with_fork(os: &mut Os) -> Stages {
+    let shell = os.init;
+    let (p1_r, p1_w) = os.kernel.pipe(shell).unwrap();
+    let (p2_r, p2_w) = os.kernel.pipe(shell).unwrap();
+
+    // cat: stdin = file, stdout = pipe1.
+    let cat = os.fork(shell).unwrap();
+    let f = os
+        .kernel
+        .open(cat, "/etc_motd", OpenFlags::RDONLY, false)
+        .unwrap();
+    os.kernel.dup2(cat, f, STDIN).unwrap();
+    os.kernel.close(cat, f).unwrap();
+    os.kernel.dup2(cat, p1_w, STDOUT).unwrap();
+    close_pipe_fds(os, cat, &[p1_r, p1_w, p2_r, p2_w]);
+    os.exec(cat, "/bin/cat").unwrap();
+
+    // grep: stdin = pipe1, stdout = pipe2.
+    let grep = os.fork(shell).unwrap();
+    os.kernel.dup2(grep, p1_r, STDIN).unwrap();
+    os.kernel.dup2(grep, p2_w, STDOUT).unwrap();
+    close_pipe_fds(os, grep, &[p1_r, p1_w, p2_r, p2_w]);
+    os.exec(grep, "/bin/grep").unwrap();
+
+    // wc: stdin = pipe2, stdout = console.
+    let wc = os.fork(shell).unwrap();
+    os.kernel.dup2(wc, p2_r, STDIN).unwrap();
+    close_pipe_fds(os, wc, &[p1_r, p1_w, p2_r, p2_w]);
+    os.exec(wc, "/bin/wc").unwrap();
+
+    // The shell closes its pipe ends.
+    for fd in [p1_r, p1_w, p2_r, p2_w] {
+        os.kernel.close(shell, fd).unwrap();
+    }
+    Stages { cat, grep, wc }
+}
+
+fn build_pipeline_with_spawn(os: &mut Os) -> Stages {
+    let shell = os.init;
+    let (p1_r, p1_w) = os.kernel.pipe(shell).unwrap();
+    let (p2_r, p2_w) = os.kernel.pipe(shell).unwrap();
+    let close_all = |v: &mut Vec<FileAction>, keep: &[Fd], all: &[Fd]| {
+        for fd in all {
+            if !keep.contains(fd) {
+                v.push(FileAction::Close { fd: *fd });
+            }
+        }
+    };
+    let all = [p1_r, p1_w, p2_r, p2_w];
+
+    let mut cat_actions = vec![
+        FileAction::Open {
+            fd: STDIN,
+            path: "/etc_motd".into(),
+            flags: OpenFlags::RDONLY,
+            create: false,
+        },
+        FileAction::Dup2 {
+            from: p1_w,
+            to: STDOUT,
+        },
+    ];
+    close_all(&mut cat_actions, &[], &all);
+    let cat = os
+        .spawn(shell, "/bin/cat", &cat_actions, &SpawnAttrs::default())
+        .unwrap();
+
+    let mut grep_actions = vec![
+        FileAction::Dup2 {
+            from: p1_r,
+            to: STDIN,
+        },
+        FileAction::Dup2 {
+            from: p2_w,
+            to: STDOUT,
+        },
+    ];
+    close_all(&mut grep_actions, &[], &all);
+    let grep = os
+        .spawn(shell, "/bin/grep", &grep_actions, &SpawnAttrs::default())
+        .unwrap();
+
+    let mut wc_actions = vec![FileAction::Dup2 {
+        from: p2_r,
+        to: STDIN,
+    }];
+    close_all(&mut wc_actions, &[], &all);
+    let wc = os
+        .spawn(shell, "/bin/wc", &wc_actions, &SpawnAttrs::default())
+        .unwrap();
+
+    for fd in all {
+        os.kernel.close(shell, fd).unwrap();
+    }
+    Stages { cat, grep, wc }
+}
+
+fn close_pipe_fds(os: &mut Os, pid: forkroad::kernel::Pid, fds: &[Fd]) {
+    for fd in fds {
+        let _ = os.kernel.close(pid, *fd);
+    }
+}
+
+/// Drives the three "programs": cat copies stdin→stdout, grep filters
+/// lines containing 'o', wc counts lines. Returns wc's answer.
+fn run_programs(os: &mut Os, stages: Stages, tag: &str) -> String {
+    // cat
+    while let ReadResult::Data(d) = os.kernel.read_fd(stages.cat, STDIN, 4096).unwrap() {
+        os.kernel.write_fd(stages.cat, STDOUT, &d).unwrap();
+    }
+    os.kernel.exit(stages.cat, 0).unwrap();
+    // grep 'o'
+    let mut buf = Vec::new();
+    while let ReadResult::Data(d) = os.kernel.read_fd(stages.grep, STDIN, 4096).unwrap() {
+        buf.extend_from_slice(&d);
+    }
+    for line in buf.split(|b| *b == b'\n').filter(|l| !l.is_empty()) {
+        if line.contains(&b'o') {
+            os.kernel.write_fd(stages.grep, STDOUT, line).unwrap();
+            os.kernel.write_fd(stages.grep, STDOUT, b"\n").unwrap();
+        }
+    }
+    os.kernel.exit(stages.grep, 0).unwrap();
+    // wc -l
+    let mut lines = 0;
+    while let ReadResult::Data(d) = os.kernel.read_fd(stages.wc, STDIN, 4096).unwrap() {
+        lines += d.iter().filter(|b| **b == b'\n').count();
+    }
+    os.kernel.exit(stages.wc, 0).unwrap();
+    format!("[{tag}] {lines} line(s) matched")
+}

@@ -1,0 +1,23 @@
+//! # forkroad — a reproduction of *"A fork() in the road"* (HotOS 2019)
+//!
+//! Facade crate re-exporting the whole system:
+//!
+//! * [`mem`] — frames, page tables, VMAs, COW, TLB, overcommit;
+//! * [`kernel`] — processes, descriptors, VFS, pipes, signals, threads;
+//! * [`exec`] — images, loader, ASLR, execve;
+//! * [`api`] — fork, vfork, clone, posix_spawn, the cross-process builder;
+//! * [`audit`] — fork-safety and security analysis;
+//! * [`trace`] — workloads and experiment records;
+//! * [`core`] — the [`core::Os`] facade and experiment drivers.
+//!
+//! Start with [`core::Os::boot`]; see `examples/quickstart.rs`.
+
+pub use forkroad_core as core;
+pub use fpr_api as api;
+pub use fpr_audit as audit;
+pub use fpr_exec as exec;
+pub use fpr_kernel as kernel;
+pub use fpr_mem as mem;
+pub use fpr_trace as trace;
+
+pub use forkroad_core::{Os, OsConfig};

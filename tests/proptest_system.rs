@@ -1,0 +1,165 @@
+//! System-level property tests: random process trees and API sequences
+//! must preserve global invariants (no frame/commit leaks, fork snapshot
+//! correctness, accounting balance).
+
+use forkroad::api::SpawnAttrs;
+use forkroad::kernel::Pid;
+use forkroad::mem::{ForkMode, Prot, Share, Vpn};
+use forkroad::{Os, OsConfig};
+use proptest::prelude::*;
+
+/// A random system-level action.
+#[derive(Debug, Clone)]
+enum Action {
+    Fork(usize),
+    Spawn(usize),
+    Vfork(usize),
+    Exec(usize),
+    MapTouch(usize, u64),
+    Write(usize, u64, u64),
+    Exit(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..8).prop_map(Action::Fork),
+        (0usize..8).prop_map(Action::Spawn),
+        (0usize..8).prop_map(Action::Vfork),
+        (0usize..8).prop_map(Action::Exec),
+        (0usize..8, 1u64..32).prop_map(|(i, n)| Action::MapTouch(i, n)),
+        (0usize..8, 0u64..32, any::<u64>()).prop_map(|(i, o, v)| Action::Write(i, o, v)),
+        (0usize..8).prop_map(Action::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any action sequence, exiting every process releases every
+    /// frame and every page of commit charge.
+    #[test]
+    fn no_global_leaks(actions in proptest::collection::vec(action_strategy(), 1..40)) {
+        let mut os = Os::boot(OsConfig::default());
+        let init = os.init;
+        let mut live: Vec<Pid> = vec![init];
+        let mut heaps: Vec<Option<Vpn>> = vec![None];
+        for a in actions {
+            match a {
+                Action::Fork(i) => {
+                    let p = live[i % live.len()];
+                    if let Ok(c) = os.fork(p) {
+                        live.push(c);
+                        heaps.push(heaps[i % heaps.len()]);
+                    }
+                }
+                Action::Spawn(i) => {
+                    let p = live[i % live.len()];
+                    if let Ok(c) = os.spawn(p, "/bin/tool", &[], &SpawnAttrs::default()) {
+                        live.push(c);
+                        heaps.push(None);
+                    }
+                }
+                Action::Vfork(i) => {
+                    let p = live[i % live.len()];
+                    // Keep vfork children transient: exec them right away
+                    // so the parent never stays parked.
+                    if let Ok(c) = os.vfork(p) {
+                        os.exec(c, "/bin/tool").expect("exec after vfork");
+                        live.push(c);
+                        heaps.push(None);
+                    }
+                }
+                Action::Exec(i) => {
+                    let p = live[i % live.len()];
+                    if p != init && os.exec(p, "/bin/cat").is_ok() {
+                        let idx = i % heaps.len();
+                        heaps[idx] = None;
+                    }
+                }
+                Action::MapTouch(i, n) => {
+                    let p = live[i % live.len()];
+                    if let Ok(base) = os.kernel.mmap_anon(p, n, Prot::RW, Share::Private) {
+                        let _ = os.kernel.populate(p, base, n);
+                        let idx = i % heaps.len();
+                        heaps[idx] = Some(base);
+                    }
+                }
+                Action::Write(i, off, val) => {
+                    let idx = i % live.len();
+                    if let Some(base) = heaps[idx % heaps.len()] {
+                        let _ = os.kernel.write_mem(live[idx], base.add(off), val);
+                    }
+                }
+                Action::Exit(i) => {
+                    let idx = i % live.len();
+                    let p = live[idx];
+                    if p != init && !os.kernel.process(p).map(|x| x.is_zombie()).unwrap_or(true) {
+                        let _ = os.kernel.exit(p, 0);
+                    }
+                }
+            }
+        }
+        // Tear everything down, children-first (reverse creation order).
+        for p in live.iter().rev() {
+            if *p == init {
+                continue;
+            }
+            if os.kernel.process(*p).map(|x| !x.is_zombie()).unwrap_or(false) {
+                let _ = os.kernel.exit(*p, 0);
+            }
+        }
+        // Reap everything reachable from init until quiescent.
+        while let Ok(Some(_)) = os.kernel.waitpid(init, None) {}
+        os.kernel.exit(init, 0).expect("init exits last");
+        prop_assert_eq!(os.kernel.phys.used_frames(), 0, "frame leak");
+        prop_assert_eq!(os.kernel.commit.committed(), 0, "commit leak");
+        prop_assert_eq!(os.kernel.pipes.live(), 0, "pipe leak");
+        prop_assert_eq!(os.kernel.ofds.live(), 0, "ofd leak");
+    }
+
+    /// A forked child observes exactly the parent's memory at fork time,
+    /// for any prior write set, under both fork modes.
+    #[test]
+    fn fork_snapshot_correct(
+        writes in proptest::collection::vec((0u64..64, any::<u64>()), 1..40),
+        eager in any::<bool>(),
+    ) {
+        let mut os = Os::boot(OsConfig::default());
+        let init = os.init;
+        let base = os.kernel.mmap_anon(init, 64, Prot::RW, Share::Private).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        for (off, val) in &writes {
+            os.kernel.write_mem(init, base.add(*off), *val).unwrap();
+            shadow.insert(*off, *val);
+        }
+        let mode = if eager { ForkMode::Eager } else { ForkMode::Cow };
+        let (child, _) = os.fork_stats(init, mode).unwrap();
+        for off in 0..64u64 {
+            prop_assert_eq!(
+                os.kernel.read_mem(child, base.add(off)).unwrap(),
+                *shadow.get(&off).unwrap_or(&0)
+            );
+        }
+    }
+
+    /// RLIMIT_NPROC accounting balances across arbitrary create/exit
+    /// interleavings.
+    #[test]
+    fn nproc_accounting_balances(ops in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let mut os = Os::boot(OsConfig::default());
+        let init = os.init;
+        let mut live = vec![];
+        for create in ops {
+            if create || live.is_empty() {
+                if let Ok(c) = os.fork(init) {
+                    live.push(c);
+                }
+            } else {
+                let c: Pid = live.pop().unwrap();
+                os.kernel.exit(c, 0).unwrap();
+                os.kernel.waitpid(init, Some(c)).unwrap();
+            }
+            prop_assert_eq!(os.kernel.nproc_of(0) as usize, live.len() + 1, "init + live children");
+        }
+    }
+}
