@@ -1,0 +1,33 @@
+# Tier-1 verification and common chores. `make verify` is the gate a
+# change must pass before it lands: release build, the full workspace
+# test suite (including the exhaustive fail-point sweep and the
+# baseline/leak-check proptests), and clippy with warnings denied.
+
+CARGO ?= cargo
+
+.PHONY: verify build test clippy leakcheck bench-tables clean
+
+verify: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test --workspace -q
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# The fault-injection acceptance gate on its own: every fail point of
+# every creation API must produce a clean error and an intact kernel.
+leakcheck:
+	$(CARGO) test -q -p fpr-api --test faultsweep
+	$(CARGO) test -q -p fpr-kernel --test proptest_faults
+	$(CARGO) test -q -p fpr-mem --test proptest_faults
+
+# Regenerate the paper tables/figures (quick sweeps).
+bench-tables:
+	$(CARGO) run --release -q -p fpr-bench --bin run_all -- --quick
+
+clean:
+	$(CARGO) clean

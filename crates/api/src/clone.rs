@@ -61,7 +61,14 @@ pub fn clone(kernel: &mut Kernel, parent: Pid, flags: CloneFlags) -> KResult<Clo
         kernel.charge_syscall();
         let child = kernel.allocate_process(parent, "")?;
         let fds = if flags.files {
-            kernel.clone_fd_table(parent)?
+            match kernel.clone_fd_table(parent) {
+                Ok(f) => f,
+                Err(e) => {
+                    // Roll the half-made child back before reporting.
+                    kernel.abort_process_creation(child)?;
+                    return Err(e);
+                }
+            }
         } else {
             fpr_kernel::FdTable::new()
         };

@@ -8,10 +8,9 @@
 //! vocabulary with gaps, and the cross-process API covers everything
 //! explicitly.
 
-use serde::{Deserialize, Serialize};
 
 /// The five creation APIs under study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Api {
     /// `fork()` (+`exec` for a new image).
     Fork,
@@ -57,7 +56,7 @@ impl Api {
 }
 
 /// Asymptotic creation cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CostClass {
     /// Grows with the parent's memory (page-table/VMA duplication).
     OParent,
@@ -66,7 +65,7 @@ pub enum CostClass {
 }
 
 /// Classes of child state a creation API may need to control.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Capability {
     /// Child runs a different program image.
     NewImage,
@@ -139,7 +138,7 @@ impl Capability {
 }
 
 /// How an API provides a capability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Support {
     /// Happens by default (whether wanted or not); arbitrary code can run
     /// between fork and exec, so anything is *possible* — at the price of

@@ -87,25 +87,44 @@ pub fn fork_from_thread(
     let child = kernel.allocate_process(parent, "")?;
 
     // 2. Address space: O(parent) duplication. On failure the child is
-    //    torn down and fork reports ENOMEM (the up-front failure mode of
-    //    strict overcommit).
-    let space = match kernel.clone_address_space(parent, mode) {
-        Ok(s) => s,
+    //    rolled back completely — abort_process_creation returns the PID,
+    //    scheduler slot and accounting, and `clone_address_space` itself
+    //    undoes any partial copy — so fork reports ENOMEM with the kernel
+    //    byte-identical to before the call (the up-front failure mode of
+    //    strict overcommit). The space is attached to the child
+    //    immediately so later failure steps can unwind through the same
+    //    abort path.
+    match kernel.clone_address_space(parent, mode) {
+        Ok(s) => kernel.process_mut(child)?.aspace = s,
         Err(e) => {
             for l in prepare_acquired {
                 let _ = kernel.lock_release(parent, calling_tid, l);
             }
-            kernel.exit(child, 127)?;
-            let _ = kernel.waitpid(parent, Some(child));
+            kernel.abort_process_creation(child)?;
             return Err(e);
         }
+    }
+    let (pages, vmas) = {
+        let c = kernel.process(child)?;
+        (c.aspace.resident_pages(), c.aspace.vma_count())
     };
 
     // 3. Descriptor table: every entry takes a reference; offsets shared.
-    let fds = kernel.clone_fd_table(parent)?;
+    //    A failure here (EMFILE, injected fault) must release the address
+    //    space, COW refcounts and commit charge just attached.
+    match kernel.clone_fd_table(parent) {
+        Ok(f) => kernel.process_mut(child)?.fds = f,
+        Err(e) => {
+            for l in prepare_acquired {
+                let _ = kernel.lock_release(parent, calling_tid, l);
+            }
+            kernel.abort_process_creation(child)?;
+            return Err(e);
+        }
+    }
 
     // 4-7. The in-PCB state POSIX enumerates.
-    let (name, signals, streams, locks, umask, layout, atfork, pages, vmas, orphans, dup_bytes) = {
+    let (name, signals, streams, locks, umask, layout, atfork, orphans, dup_bytes) = {
         let p = kernel.process(parent)?;
         let locks = p.locks.clone();
         let orphans = locks.orphaned_after_fork(calling_tid).len();
@@ -117,8 +136,6 @@ pub fn fork_from_thread(
             p.umask,
             p.layout, // ASLR layout inherited verbatim.
             p.atfork.clone(),
-            space.resident_pages(),
-            space.vma_count(),
             orphans,
             p.unflushed_bytes(),
         )
@@ -131,8 +148,6 @@ pub fn fork_from_thread(
     };
     let child_main_tid = {
         let c = kernel.process_mut(child)?;
-        c.aspace = space;
-        c.fds = fds;
         c.name = name;
         c.argv = argv;
         c.envp = envp;

@@ -19,6 +19,7 @@
 pub mod clone;
 pub mod compare;
 pub mod fork;
+pub mod retry;
 pub mod spawn;
 pub mod vfork;
 pub mod xproc;
@@ -26,6 +27,7 @@ pub mod xproc;
 pub use clone::{clone, CloneFlags, CloneResult};
 pub use compare::{coverage, render_matrix, supports, Api, Capability, CostClass, Support};
 pub use fork::{fork, fork_from_thread, ForkStats};
+pub use retry::{fork_with_retry, is_transient, retry_with_backoff, RetryPolicy, RetryStats};
 pub use spawn::{posix_spawn, FileAction, SpawnAttrs};
 pub use vfork::vfork;
 pub use xproc::{FdSource, MemOp, ProcessBuilder, Spawned};

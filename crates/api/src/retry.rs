@@ -1,0 +1,169 @@
+//! Bounded retry with exponential backoff for transient creation failures.
+//!
+//! Under strict overcommit (`fpr-mem::overcommit`) a fork can fail with
+//! `ENOMEM` *transiently*: the commit limit is a global shared resource,
+//! and another process exiting frees headroom. Likewise `EAGAIN` from
+//! `RLIMIT_NPROC` clears when a sibling is reaped. Because the five
+//! creation APIs are transactional (a failed call leaves the kernel
+//! byte-identical to before), retrying is always safe — there is no
+//! half-made child to collide with.
+//!
+//! The simulator has no wall clock, so backoff is charged in cycles: each
+//! failed attempt charges `base_backoff_cycles << attempt` before the
+//! next try, mirroring the cost a real process would pay sleeping.
+
+use fpr_kernel::{Errno, KResult, Kernel};
+
+/// Errors worth retrying: the resource may be freed by unrelated activity.
+///
+/// Everything else (`EINVAL`, `ENOEXEC`, `EBADF`, …) is deterministic —
+/// retrying cannot help.
+pub fn is_transient(e: Errno) -> bool {
+    matches!(e, Errno::Enomem | Errno::Eagain | Errno::Emfile)
+}
+
+/// How many times to retry and how long to back off between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 means no retry.
+    pub max_attempts: u32,
+    /// Cycles charged before the first retry; doubles per attempt.
+    pub base_backoff_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_cycles: 1_000,
+        }
+    }
+}
+
+/// What a retried operation did, beyond its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts actually made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total backoff cycles charged.
+    pub backoff_cycles: u64,
+}
+
+/// Runs `op` up to `policy.max_attempts` times, backing off between
+/// attempts. Non-transient errors (and exhaustion) return immediately
+/// with the last error; the kernel is clean either way because the
+/// creation APIs roll back on failure.
+pub fn retry_with_backoff<T>(
+    kernel: &mut Kernel,
+    policy: RetryPolicy,
+    mut op: impl FnMut(&mut Kernel) -> KResult<T>,
+) -> (KResult<T>, RetryStats) {
+    let mut stats = RetryStats {
+        attempts: 0,
+        backoff_cycles: 0,
+    };
+    loop {
+        stats.attempts += 1;
+        match op(kernel) {
+            Ok(v) => return (Ok(v), stats),
+            Err(e) if is_transient(e) && stats.attempts < policy.max_attempts => {
+                // Exponential backoff, charged as burnt CPU time.
+                let wait = policy
+                    .base_backoff_cycles
+                    .saturating_mul(1u64 << (stats.attempts - 1).min(32));
+                kernel.cycles.charge(wait);
+                stats.backoff_cycles += wait;
+            }
+            Err(e) => return (Err(e), stats),
+        }
+    }
+}
+
+/// [`crate::fork::fork`] with retry: the paper's "fork under pressure"
+/// coping pattern, made explicit.
+pub fn fork_with_retry(
+    kernel: &mut Kernel,
+    parent: fpr_kernel::Pid,
+    policy: RetryPolicy,
+) -> (KResult<fpr_kernel::Pid>, RetryStats) {
+    retry_with_backoff(kernel, policy, |k| crate::fork::fork(k, parent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpr_kernel::Pid;
+    use fpr_mem::{Prot, Share};
+
+    fn boot() -> (Kernel, Pid) {
+        let mut k = Kernel::boot();
+        let init = k.create_init("init").unwrap();
+        (k, init)
+    }
+
+    #[test]
+    fn first_try_success_makes_one_attempt() {
+        let (mut k, p) = boot();
+        let (r, stats) = fork_with_retry(&mut k, p, RetryPolicy::default());
+        assert!(r.is_ok());
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.backoff_cycles, 0);
+    }
+
+    #[test]
+    fn nontransient_error_is_not_retried() {
+        let (mut k, _) = boot();
+        let mut calls = 0;
+        let (r, stats) = retry_with_backoff(&mut k, RetryPolicy::default(), |_| {
+            calls += 1;
+            Err::<(), Errno>(Errno::Einval)
+        });
+        assert_eq!(r, Err(Errno::Einval));
+        assert_eq!(calls, 1);
+        assert_eq!(stats.attempts, 1);
+    }
+
+    #[test]
+    fn transient_error_retried_until_exhaustion_with_growing_backoff() {
+        let (mut k, _) = boot();
+        let before = k.cycles.total();
+        let (r, stats) = retry_with_backoff(
+            &mut k,
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff_cycles: 100,
+            },
+            |_| Err::<(), Errno>(Errno::Enomem),
+        );
+        assert_eq!(r, Err(Errno::Enomem));
+        assert_eq!(stats.attempts, 4);
+        // 100 + 200 + 400 (no backoff after the final attempt).
+        assert_eq!(stats.backoff_cycles, 700);
+        assert_eq!(k.cycles.total() - before, 700);
+    }
+
+    #[test]
+    fn succeeds_once_pressure_clears() {
+        let (mut k, p) = boot();
+        // Eat almost all commit so fork's COW charge fails, then release
+        // it on the way to the third attempt — modelling another process
+        // exiting.
+        k.commit
+            .set_policy(fpr_mem::OvercommitPolicy::Never { ratio: 0.5 });
+        let base = k.mmap_anon(p, 8, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 8).unwrap();
+        let headroom = k.commit.limit().unwrap() - k.commit.committed();
+        let hog = k.mmap_anon(p, headroom, Prot::RW, Share::Private).unwrap();
+        let mut attempt = 0;
+        let (r, stats) = retry_with_backoff(&mut k, RetryPolicy::default(), |k| {
+            attempt += 1;
+            if attempt == 3 {
+                k.munmap(p, hog, headroom).unwrap();
+            }
+            crate::fork::fork(k, p)
+        });
+        assert!(r.is_ok(), "fork succeeded after pressure cleared: {r:?}");
+        assert_eq!(stats.attempts, 3);
+        assert!(stats.backoff_cycles > 0);
+    }
+}

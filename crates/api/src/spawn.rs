@@ -88,14 +88,21 @@ pub fn posix_spawn(
 ) -> KResult<Pid> {
     kernel.charge_syscall();
     let child = kernel.allocate_process(parent, "")?;
+    let mut created = Vec::new();
     match build_child(
-        kernel, parent, child, registry, path, actions, attrs, aslr, aslr_seed,
+        kernel, parent, child, registry, path, actions, attrs, aslr, aslr_seed, &mut created,
     ) {
         Ok(()) => Ok(child),
         Err(e) => {
-            // Tear down the partial child; the parent sees a clean error.
-            let _ = kernel.exit(child, 127);
-            let _ = kernel.waitpid(parent, Some(child));
+            // Roll the partial child back — PID, descriptors, any loaded
+            // image pages — so the parent sees a clean error and the
+            // kernel is exactly as it was. No SIGCHLD, no zombie: the
+            // child never existed. Files that file actions created are
+            // unlinked too (after the descriptor drain releases them).
+            kernel.abort_process_creation(child)?;
+            for (p, cwd) in created {
+                let _ = kernel.vfs.unlink(&p, cwd);
+            }
             Err(e)
         }
     }
@@ -112,6 +119,7 @@ fn build_child(
     attrs: &SpawnAttrs,
     aslr: AslrConfig,
     aslr_seed: u64,
+    created: &mut Vec<(String, fpr_kernel::vfs::Ino)>,
 ) -> KResult<()> {
     // Descriptors: inherited as fork would leave them...
     let fds = kernel.clone_fd_table(parent)?;
@@ -129,6 +137,7 @@ fn build_child(
 
     // ...then the file actions run *in the child's context*.
     for a in actions {
+        fpr_faults::cross(fpr_faults::FaultSite::SpawnFileAction).map_err(|_| Errno::Enomem)?;
         match a {
             FileAction::Open {
                 fd,
@@ -136,7 +145,12 @@ fn build_child(
                 flags,
                 create,
             } => {
+                let cwd = kernel.process(child)?.cwd;
+                let preexists = kernel.vfs.resolve(path, cwd).is_ok();
                 let opened = kernel.open(child, path, *flags, *create)?;
+                if *create && !preexists {
+                    created.push((path.clone(), cwd));
+                }
                 if opened != *fd {
                     kernel.dup2(child, opened, *fd)?;
                     kernel.close(child, opened)?;

@@ -16,7 +16,16 @@ use fpr_kernel::{KResult, Kernel, Pid, SpaceRef};
 pub fn vfork(kernel: &mut Kernel, parent: Pid) -> KResult<Pid> {
     kernel.charge_syscall();
     let child = kernel.allocate_process(parent, "")?;
-    let fds = kernel.clone_fd_table(parent)?;
+    // Descriptor cloning is the only fallible copy vfork performs; a
+    // failure must return the fresh PID and accounting, leaving the kernel
+    // exactly as it was.
+    let fds = match kernel.clone_fd_table(parent) {
+        Ok(f) => f,
+        Err(e) => {
+            kernel.abort_process_creation(child)?;
+            return Err(e);
+        }
+    };
     let (name, signals, umask, layout, argv, envp) = {
         let p = kernel.process(parent)?;
         (

@@ -168,14 +168,21 @@ impl ProcessBuilder {
             return Err(Errno::Enoexec);
         }
         let child = kernel.allocate_process(parent, "")?;
-        match self.build(kernel, parent, child, registry) {
+        let mut created = Vec::new();
+        match self.build(kernel, parent, child, registry, &mut created) {
             Ok(regions) => Ok(Spawned {
                 pid: child,
                 regions,
             }),
             Err(e) => {
-                let _ = kernel.exit(child, 127);
-                let _ = kernel.waitpid(parent, Some(child));
+                // Roll the half-built child back — image pages, granted
+                // descriptors, uid accounting — restoring the kernel to
+                // its pre-call state. No zombie, no SIGCHLD. Files the
+                // grants created are unlinked after the descriptor drain.
+                kernel.abort_process_creation(child)?;
+                for (p, cwd) in created {
+                    let _ = kernel.vfs.unlink(&p, cwd);
+                }
                 Err(e)
             }
         }
@@ -187,6 +194,7 @@ impl ProcessBuilder {
         parent: Pid,
         child: Pid,
         registry: &ImageRegistry,
+        created: &mut Vec<(String, fpr_kernel::vfs::Ino)>,
     ) -> KResult<Vec<(u32, Vpn)>> {
         // 1. The image first: the child's layout is fresh, never the
         //    parent's. argv defaults to [path]; env is exactly the grants.
@@ -209,6 +217,7 @@ impl ProcessBuilder {
         // 2. Descriptors: exactly the grants, nothing else. (The child
         //    was allocated with an empty table and exec carried it over.)
         for (child_fd, source) in &self.fds {
+            fpr_faults::cross(fpr_faults::FaultSite::XprocStep).map_err(|_| Errno::Enomem)?;
             match source {
                 FdSource::Inherit(pfd) => {
                     let entry = kernel.process(parent)?.fds.get(*pfd)?;
@@ -218,12 +227,19 @@ impl ProcessBuilder {
                         cloexec: false,
                     };
                     let limit = kernel.process(child)?.rlimits.get(Resource::Nofile).soft;
-                    if let Some(displaced) = kernel
+                    match kernel
                         .process_mut(child)?
                         .fds
-                        .install_at(*child_fd, fresh, limit)?
+                        .install_at(*child_fd, fresh, limit)
                     {
-                        kernel.release_fd_entry(displaced)?;
+                        Ok(Some(displaced)) => kernel.release_fd_entry(displaced)?,
+                        Ok(None) => {}
+                        Err(e) => {
+                            // The reference taken above was never
+                            // installed; drop it before unwinding.
+                            kernel.release_fd_entry(fresh)?;
+                            return Err(e);
+                        }
                     }
                 }
                 FdSource::Open {
@@ -231,7 +247,12 @@ impl ProcessBuilder {
                     flags,
                     create,
                 } => {
+                    let cwd = kernel.process(child)?.cwd;
+                    let preexists = kernel.vfs.resolve(path, cwd).is_ok();
                     let opened = kernel.open(child, path, *flags, *create)?;
+                    if *create && !preexists {
+                        created.push((path.clone(), cwd));
+                    }
                     if opened != *child_fd {
                         kernel.dup2(child, opened, *child_fd)?;
                         kernel.close(child, opened)?;
@@ -243,6 +264,7 @@ impl ProcessBuilder {
         // 3. Cross-process memory: map and pre-write regions in the child.
         let mut regions: Vec<(u32, Vpn)> = Vec::new();
         for op in &self.mem_ops {
+            fpr_faults::cross(fpr_faults::FaultSite::XprocStep).map_err(|_| Errno::Enomem)?;
             match op {
                 MemOp::MapAnon { tag, pages, prot } => {
                     let base = kernel.mmap_anon(child, *pages, *prot, Share::Private)?;

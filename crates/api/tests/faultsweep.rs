@@ -1,0 +1,188 @@
+//! Exhaustive fail-point sweep over the five creation APIs.
+//!
+//! For each API: run once under a passive plan to learn the K instrumented
+//! crossings the operation makes, then replay K times from a fresh world,
+//! failing at crossing 0, 1, …, K-1. Every injected failure must surface
+//! as a clean `Err`, leave the kernel byte-identical to the pre-call
+//! baseline (`leak_check`) and structurally sound (`check_invariants`),
+//! and the same operation must succeed once the fault clears.
+//!
+//! This is the transactional guarantee the paper says fork-based systems
+//! never test: the un-duplicate paths, all of them, executed on demand.
+
+use fpr_api::{clone, fork, posix_spawn, vfork, CloneFlags, ProcessBuilder};
+use fpr_api::{FdSource, FileAction, MemOp, SpawnAttrs};
+use fpr_exec::{AslrConfig, Image, ImageRegistry};
+use fpr_faults::{count_crossings, with_plan, FaultPlan};
+use fpr_kernel::{Errno, Kernel, OpenFlags, Pid, STDOUT};
+use fpr_mem::{Prot, Share};
+
+/// A parent rich enough to make every API cross several sites: private
+/// populated memory, a second VMA, an open file, and a pipe.
+fn world() -> (Kernel, Pid, ImageRegistry) {
+    let mut k = Kernel::boot();
+    let init = k.create_init("init").unwrap();
+    let a = k.mmap_anon(init, 6, Prot::RW, Share::Private).unwrap();
+    k.populate(init, a, 6).unwrap();
+    let b = k.mmap_anon(init, 3, Prot::RW, Share::Shared).unwrap();
+    k.populate(init, b, 3).unwrap();
+    let f = k.open(init, "/data", OpenFlags::RDWR, true).unwrap();
+    k.write_fd(init, f, b"seed").unwrap();
+    k.pipe(init).unwrap();
+    let mut reg = ImageRegistry::new();
+    reg.register("/bin/tool", Image::small("tool"));
+    (k, init, reg)
+}
+
+/// Errors a rolled-back creation is allowed to report.
+fn clean_creation_error(e: Errno) -> bool {
+    matches!(e, Errno::Enomem | Errno::Eagain | Errno::Emfile)
+}
+
+/// Sweeps one operation: fail each of its crossings in turn, asserting a
+/// clean error, an intact kernel, and success on retry.
+fn sweep(label: &str, op: impl Fn(&mut Kernel, Pid, &ImageRegistry) -> Result<(), Errno>) {
+    let k_count = {
+        let (mut k, p, reg) = world();
+        let trace = count_crossings(|| {
+            op(&mut k, p, &reg).unwrap_or_else(|e| panic!("{label}: fault-free run failed: {e:?}"))
+        });
+        assert!(
+            !trace.is_empty(),
+            "{label}: operation crossed no instrumented site"
+        );
+        trace.len()
+    };
+
+    for nth in 0..k_count {
+        let (mut k, p, reg) = world();
+        let base = k.baseline();
+        let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+        let (result, trace) = with_plan(plan, || op(&mut k, p, &reg));
+        let injected = trace.injected();
+        assert_eq!(
+            injected.len(),
+            1,
+            "{label}: crossing {nth} of {k_count} did not inject exactly once"
+        );
+        let site = injected[0].site;
+        let err = result.expect_err(&format!(
+            "{label}: injected fault at {site}#{nth} was swallowed — op returned Ok"
+        ));
+        assert!(
+            clean_creation_error(err),
+            "{label}: fault at {site}#{nth} surfaced as {err:?}, not a clean creation error"
+        );
+        if let Err(v) = k.leak_check(&base) {
+            panic!(
+                "{label}: fault at {site}#{nth} leaked:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        if let Err(v) = k.check_invariants() {
+            panic!(
+                "{label}: fault at {site}#{nth} broke invariants:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        // The fault was transient; with it cleared the same call succeeds.
+        op(&mut k, p, &reg).unwrap_or_else(|e| {
+            panic!("{label}: retry after fault at {site}#{nth} cleared failed: {e:?}")
+        });
+    }
+}
+
+#[test]
+fn fork_survives_every_fail_point() {
+    sweep("fork", |k, p, _| fork(k, p).map(|_| ()));
+}
+
+#[test]
+fn eager_fork_survives_every_fail_point() {
+    sweep("fork(eager)", |k, p, _| {
+        let tid = k.process(p)?.main_tid();
+        fpr_api::fork_from_thread(k, p, tid, fpr_mem::ForkMode::Eager).map(|_| ())
+    });
+}
+
+#[test]
+fn vfork_survives_every_fail_point() {
+    // vfork parks the parent on success; each iteration uses a fresh
+    // world, and the retry's success is the last thing checked.
+    sweep("vfork", |k, p, _| {
+        vfork(k, p).map(|c| {
+            // Unpark for the next call in this iteration.
+            k.exit(c, 0).unwrap();
+            let _ = k.waitpid(p, Some(c));
+        })
+    });
+}
+
+#[test]
+fn clone_survives_every_fail_point() {
+    sweep("clone(files)", |k, p, _| {
+        clone(
+            k,
+            p,
+            CloneFlags {
+                files: true,
+                ..CloneFlags::default()
+            },
+        )
+        .map(|_| ())
+    });
+}
+
+#[test]
+fn posix_spawn_survives_every_fail_point() {
+    let actions = vec![
+        FileAction::Open {
+            fd: STDOUT,
+            path: "/out.txt".into(),
+            flags: OpenFlags::WRONLY,
+            create: true,
+        },
+        FileAction::Close { fd: fpr_kernel::STDIN },
+    ];
+    sweep("posix_spawn", move |k, p, reg| {
+        posix_spawn(
+            k,
+            p,
+            reg,
+            "/bin/tool",
+            &actions,
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            7,
+        )
+        .map(|_| ())
+    });
+}
+
+#[test]
+fn xproc_builder_survives_every_fail_point() {
+    sweep("xproc", |k, p, reg| {
+        ProcessBuilder::new("/bin/tool")
+            .fd(STDOUT, FdSource::Inherit(STDOUT))
+            .fd(
+                fpr_kernel::Fd(5),
+                FdSource::Open {
+                    path: "/scratch".into(),
+                    flags: OpenFlags::RDWR,
+                    create: true,
+                },
+            )
+            .mem(MemOp::MapAnon {
+                tag: 1,
+                pages: 4,
+                prot: Prot::RW,
+            })
+            .mem(MemOp::Write {
+                tag: 1,
+                offset: 0,
+                value: 9,
+            })
+            .spawn(k, p, reg)
+            .map(|_| ())
+    });
+}

@@ -1,0 +1,104 @@
+//! Fault-site coverage audit: the untested-error-path lint.
+//!
+//! The paper's deepest robustness complaint is not that fork *can* fail
+//! partway — it is that the cleanup code for those failures never runs
+//! until production. `fpr-faults` counts, per [`FaultSite`], how often a
+//! site was crossed and how often a fault was actually injected there.
+//! This auditor turns those counters into findings:
+//!
+//! * a site crossed but **never injected** is an error path the test run
+//!   exercised zero times — exactly the latent-bug shape the fault sweep
+//!   in `crates/api/tests/faultsweep.rs` exists to kill (`Critical`);
+//! * a site never crossed at all means the workload under audit does
+//!   not reach that subsystem — not a bug, but worth knowing (`Info`).
+//!
+//! Counters are cumulative per thread; call
+//! [`fpr_faults::reset_coverage`] before the workload you want audited.
+
+use crate::report::{Finding, Report, Severity};
+use fpr_faults::{coverage, FaultSite, SiteCoverage};
+
+/// Audits the thread's cumulative fault-site counters.
+pub fn audit_fault_coverage() -> Report {
+    audit_sites(&coverage())
+}
+
+/// Audits an explicit counter snapshot (testable without thread state).
+pub fn audit_sites(sites: &[(FaultSite, SiteCoverage)]) -> Report {
+    let mut report = Report::new();
+    for (site, cov) in sites {
+        if cov.crossings > 0 && cov.injections == 0 {
+            report.push(Finding::new(
+                Severity::Critical,
+                "UNTESTED_ERROR_PATH",
+                format!(
+                    "site {} crossed {} times but never failed: its cleanup \
+                     path has not run",
+                    site.name(),
+                    cov.crossings
+                ),
+            ));
+        } else if cov.crossings == 0 {
+            report.push(Finding::new(
+                Severity::Info,
+                "SITE_NOT_REACHED",
+                format!("site {} never crossed by this workload", site.name()),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpr_faults::{reset_coverage, with_plan, FaultPlan};
+
+    fn cov(crossings: u64, injections: u64) -> SiteCoverage {
+        SiteCoverage {
+            crossings,
+            injections,
+        }
+    }
+
+    #[test]
+    fn crossed_but_never_injected_is_critical() {
+        let r = audit_sites(&[(FaultSite::FrameAlloc, cov(12, 0))]);
+        assert_eq!(r.count(Severity::Critical), 1);
+        assert!(r.findings[0].message.contains("frame_alloc"));
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn injected_sites_are_clean_and_unreached_are_info() {
+        let r = audit_sites(&[
+            (FaultSite::FrameAlloc, cov(12, 3)),
+            (FaultSite::PidAlloc, cov(0, 0)),
+        ]);
+        assert_eq!(r.count(Severity::Critical), 0);
+        assert_eq!(r.count(Severity::Info), 1);
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn live_counters_feed_the_audit() {
+        reset_coverage();
+        // Cross FdAlloc twice, injecting the second crossing.
+        let _ = with_plan(FaultPlan::passive(), || {
+            fpr_faults::cross(FaultSite::FdAlloc)
+        });
+        let _ = with_plan(FaultPlan::passive().fail_at(FaultSite::FdAlloc, 0), || {
+            fpr_faults::cross(FaultSite::FdAlloc)
+        });
+        let r = audit_fault_coverage();
+        // FdAlloc was injected: no critical finding names it.
+        assert!(r
+            .findings
+            .iter()
+            .filter(|f| f.code == "UNTESTED_ERROR_PATH")
+            .all(|f| !f.message.contains("fd_alloc")));
+        // Every other site is merely unreached.
+        assert_eq!(r.count(Severity::Info), FaultSite::ALL.len() - 1);
+        reset_coverage();
+    }
+}

@@ -1,9 +1,8 @@
 //! Report types shared by the auditors.
 
-use serde::Serialize;
 
 /// How bad a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
     /// Informational: a cost, not a correctness problem.
     Info,
@@ -14,7 +13,7 @@ pub enum Severity {
 }
 
 /// One audit finding.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Severity classification.
     pub severity: Severity,
@@ -36,7 +35,7 @@ impl Finding {
 }
 
 /// A bundle of findings with summary accessors.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// All findings, most severe first.
     pub findings: Vec<Finding>,

@@ -4,7 +4,6 @@
 use crate::report::{Finding, Report, Severity};
 use fpr_exec::shared_bits;
 use fpr_kernel::{KResult, Kernel, Pid};
-use serde::{Deserialize, Serialize};
 
 /// Maximum comparable layout bits (4 bases × 34 bits, see
 /// [`fpr_exec::shared_bits`]).
@@ -69,7 +68,7 @@ pub fn audit_inheritance(kernel: &Kernel, parent: Pid, child: Pid) -> KResult<Re
 }
 
 /// Summary of layout diversity across a set of sibling processes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZygoteReport {
     /// Number of children analysed.
     pub children: usize,

@@ -1,90 +1,82 @@
-//! Criterion microbenches for the fault path (E3): demand-zero fill,
-//! COW break with and without sharing, and the TLB-shootdown ablation.
+//! Wall-clock microbenches for the fault path (E3): demand-zero fill,
+//! COW break with and without sharing, and the sole-owner reclaim path.
+//! Plain `main` harness: the workspace builds hermetically without
+//! criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use forkroad_core::{Os, OsConfig};
+use fpr_bench::time_batched;
 use fpr_mem::{ForkMode, Prot, Share};
 
-fn bench_faults(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_path");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+const ITERS: u32 = 15;
 
-    group.bench_function("demand_zero_fill", |b| {
-        b.iter_batched(
-            || {
-                let mut os = Os::boot(OsConfig::default());
-                let init = os.init;
-                let base = os
-                    .kernel
-                    .mmap_anon(init, 1024, Prot::RW, Share::Private)
-                    .unwrap();
-                (os, init, base, 0u64)
-            },
-            |(mut os, init, base, _)| {
-                for i in 0..1024u64 {
-                    os.kernel.write_mem(init, base.add(i), i).unwrap();
-                }
-                os
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
+fn main() {
+    println!("# fault_path — demand-zero, COW break, sole-owner reuse");
 
-    group.bench_function("cow_break_1024_pages", |b| {
-        b.iter_batched(
-            || {
-                let mut os = Os::boot(OsConfig::default());
-                let init = os.init;
-                let base = os
-                    .kernel
-                    .mmap_anon(init, 1024, Prot::RW, Share::Private)
-                    .unwrap();
-                os.kernel.populate(init, base, 1024).unwrap();
-                let (child, _) = os.fork_stats(init, ForkMode::Cow).unwrap();
-                (os, child, base)
-            },
-            |(mut os, child, base)| {
-                for i in 0..1024u64 {
-                    os.kernel.write_mem(child, base.add(i), i).unwrap();
-                }
-                os
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
+    time_batched(
+        "demand_zero_fill",
+        ITERS,
+        || {
+            let mut os = Os::boot(OsConfig::default());
+            let init = os.init;
+            let base = os
+                .kernel
+                .mmap_anon(init, 1024, Prot::RW, Share::Private)
+                .unwrap();
+            (os, init, base)
+        },
+        |(mut os, init, base)| {
+            for i in 0..1024u64 {
+                os.kernel.write_mem(init, base.add(i), i).unwrap();
+            }
+            os
+        },
+    );
 
-    group.bench_function("sole_owner_cow_reuse", |b| {
+    time_batched(
+        "cow_break_1024_pages",
+        ITERS,
+        || {
+            let mut os = Os::boot(OsConfig::default());
+            let init = os.init;
+            let base = os
+                .kernel
+                .mmap_anon(init, 1024, Prot::RW, Share::Private)
+                .unwrap();
+            os.kernel.populate(init, base, 1024).unwrap();
+            let (child, _) = os.fork_stats(init, ForkMode::Cow).unwrap();
+            (os, child, base)
+        },
+        |(mut os, child, base)| {
+            for i in 0..1024u64 {
+                os.kernel.write_mem(child, base.add(i), i).unwrap();
+            }
+            os
+        },
+    );
+
+    time_batched(
+        "sole_owner_cow_reuse",
+        ITERS,
         // Child exits first: the parent's writes reclaim frames in place
         // instead of copying.
-        b.iter_batched(
-            || {
-                let mut os = Os::boot(OsConfig::default());
-                let init = os.init;
-                let base = os
-                    .kernel
-                    .mmap_anon(init, 1024, Prot::RW, Share::Private)
-                    .unwrap();
-                os.kernel.populate(init, base, 1024).unwrap();
-                let (child, _) = os.fork_stats(init, ForkMode::Cow).unwrap();
-                os.kernel.exit(child, 0).unwrap();
-                os.kernel.waitpid(init, Some(child)).unwrap();
-                (os, init, base)
-            },
-            |(mut os, init, base)| {
-                for i in 0..1024u64 {
-                    os.kernel.write_mem(init, base.add(i), i).unwrap();
-                }
-                os
-            },
-            criterion::BatchSize::LargeInput,
-        );
-    });
-    group.finish();
+        || {
+            let mut os = Os::boot(OsConfig::default());
+            let init = os.init;
+            let base = os
+                .kernel
+                .mmap_anon(init, 1024, Prot::RW, Share::Private)
+                .unwrap();
+            os.kernel.populate(init, base, 1024).unwrap();
+            let (child, _) = os.fork_stats(init, ForkMode::Cow).unwrap();
+            os.kernel.exit(child, 0).unwrap();
+            os.kernel.waitpid(init, Some(child)).unwrap();
+            (os, init, base)
+        },
+        |(mut os, init, base)| {
+            for i in 0..1024u64 {
+                os.kernel.write_mem(init, base.add(i), i).unwrap();
+            }
+            os
+        },
+    );
 }
-
-criterion_group!(benches, bench_faults);
-criterion_main!(benches);

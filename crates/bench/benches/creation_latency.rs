@@ -1,18 +1,20 @@
-//! Criterion bench for E1: wall-clock of the simulator performing each
+//! Wall-clock bench for E1: time of the simulator performing each
 //! creation API as the parent footprint grows.
 //!
 //! Unlike the `fig1` binary (which reports deterministic simulated
 //! cycles), this measures the real time the simulator spends doing the
 //! structural work — which scales the same way, because copying N page
-//! table entries is O(N) actual work.
+//! table entries is O(N) actual work. Plain `main` harness: the
+//! workspace builds hermetically without criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use forkroad_core::experiments::fig1::machine_for;
 use forkroad_core::{Os, OsConfig};
 use fpr_api::{ProcessBuilder, SpawnAttrs};
+use fpr_bench::time_batched;
 use fpr_trace::ProcessShape;
 
 const FOOTPRINTS: [u64; 3] = [256, 2_048, 16_384];
+const ITERS: u32 = 15;
 
 fn setup(footprint: u64) -> (Os, fpr_kernel::Pid) {
     let mut os = Os::boot(OsConfig {
@@ -25,59 +27,48 @@ fn setup(footprint: u64) -> (Os, fpr_kernel::Pid) {
     (os, parent)
 }
 
-fn bench_creation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("creation_latency");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    println!("# creation_latency — wall-clock per API, parent footprint sweep");
     for fp in FOOTPRINTS {
-        group.bench_with_input(BenchmarkId::new("fork_exec", fp), &fp, |b, &fp| {
-            b.iter_batched(
-                || setup(fp),
-                |(mut os, parent)| {
-                    let child = os.fork(parent).expect("fork");
-                    os.exec(child, "/bin/tool").expect("exec");
-                    os
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("posix_spawn", fp), &fp, |b, &fp| {
-            b.iter_batched(
-                || setup(fp),
-                |(mut os, parent)| {
-                    os.spawn(parent, "/bin/tool", &[], &SpawnAttrs::default())
-                        .expect("spawn");
-                    os
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("xproc", fp), &fp, |b, &fp| {
-            b.iter_batched(
-                || setup(fp),
-                |(mut os, parent)| {
-                    os.spawn_builder(parent, ProcessBuilder::new("/bin/tool"))
-                        .expect("xproc");
-                    os
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("vfork_exec", fp), &fp, |b, &fp| {
-            b.iter_batched(
-                || setup(fp),
-                |(mut os, parent)| {
-                    let child = os.vfork(parent).expect("vfork");
-                    os.exec(child, "/bin/tool").expect("exec");
-                    os
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        time_batched(
+            &format!("fork_exec/{fp}"),
+            ITERS,
+            || setup(fp),
+            |(mut os, parent)| {
+                let child = os.fork(parent).expect("fork");
+                os.exec(child, "/bin/tool").expect("exec");
+                os
+            },
+        );
+        time_batched(
+            &format!("posix_spawn/{fp}"),
+            ITERS,
+            || setup(fp),
+            |(mut os, parent)| {
+                os.spawn(parent, "/bin/tool", &[], &SpawnAttrs::default())
+                    .expect("spawn");
+                os
+            },
+        );
+        time_batched(
+            &format!("xproc/{fp}"),
+            ITERS,
+            || setup(fp),
+            |(mut os, parent)| {
+                os.spawn_builder(parent, ProcessBuilder::new("/bin/tool"))
+                    .expect("xproc");
+                os
+            },
+        );
+        time_batched(
+            &format!("vfork_exec/{fp}"),
+            ITERS,
+            || setup(fp),
+            |(mut os, parent)| {
+                let child = os.vfork(parent).expect("vfork");
+                os.exec(child, "/bin/tool").expect("exec");
+                os
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_creation);
-criterion_main!(benches);

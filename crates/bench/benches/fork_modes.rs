@@ -1,13 +1,16 @@
-//! Criterion bench for E2's ablation: COW fork vs eager fork, and the
+//! Wall-clock bench for E2's ablation: COW fork vs eager fork, and the
 //! page-table-sharing design point (vfork) as the zero-copy floor.
+//! Plain `main` harness: the workspace builds hermetically without
+//! criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use forkroad_core::experiments::fig1::machine_for;
 use forkroad_core::{Os, OsConfig};
+use fpr_bench::time_batched;
 use fpr_mem::ForkMode;
 use fpr_trace::ProcessShape;
 
 const FOOTPRINTS: [u64; 3] = [512, 4_096, 16_384];
+const ITERS: u32 = 15;
 
 fn setup(footprint: u64) -> (Os, fpr_kernel::Pid) {
     let mut os = Os::boot(OsConfig {
@@ -20,37 +23,28 @@ fn setup(footprint: u64) -> (Os, fpr_kernel::Pid) {
     (os, parent)
 }
 
-fn bench_fork_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fork_modes");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    println!("# fork_modes — COW vs eager fork, vfork floor");
     for fp in FOOTPRINTS {
         for (label, mode) in [("cow", ForkMode::Cow), ("eager", ForkMode::Eager)] {
-            group.bench_with_input(BenchmarkId::new(label, fp), &fp, |b, &fp| {
-                b.iter_batched(
-                    || setup(fp),
-                    |(mut os, parent)| {
-                        os.fork_stats(parent, mode).expect("fork");
-                        os
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            });
-        }
-        group.bench_with_input(BenchmarkId::new("vfork_floor", fp), &fp, |b, &fp| {
-            b.iter_batched(
+            time_batched(
+                &format!("{label}/{fp}"),
+                ITERS,
                 || setup(fp),
                 |(mut os, parent)| {
-                    os.vfork(parent).expect("vfork");
+                    os.fork_stats(parent, mode).expect("fork");
                     os
                 },
-                criterion::BatchSize::LargeInput,
             );
-        });
+        }
+        time_batched(
+            &format!("vfork_floor/{fp}"),
+            ITERS,
+            || setup(fp),
+            |(mut os, parent)| {
+                os.vfork(parent).expect("vfork");
+                os
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fork_modes);
-criterion_main!(benches);

@@ -1,13 +1,16 @@
-//! Criterion bench for E7's cost side: posix_spawn with a growing file
+//! Wall-clock bench for E7's cost side: posix_spawn with a growing file
 //! action list, and the cross-process builder with growing explicit
 //! grants — attribute application is linear in the request, never in the
-//! parent.
+//! parent. Plain `main` harness: the workspace builds hermetically
+//! without criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use forkroad_core::{Os, OsConfig};
 use fpr_api::{FileAction, MemOp, ProcessBuilder, SpawnAttrs};
+use fpr_bench::time_batched;
 use fpr_kernel::{Fd, OpenFlags};
 use fpr_mem::Prot;
+
+const ITERS: u32 = 15;
 
 fn actions(n: usize) -> Vec<FileAction> {
     (0..n)
@@ -20,50 +23,41 @@ fn actions(n: usize) -> Vec<FileAction> {
         .collect()
 }
 
-fn bench_attrs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spawn_attrs");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    println!("# spawn_attrs — file actions and explicit grants scale with the request");
     for n in [0usize, 4, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("posix_spawn_actions", n), &n, |b, &n| {
-            b.iter_batched(
-                || (Os::boot(OsConfig::default()), actions(n)),
-                |(mut os, acts)| {
-                    let init = os.init;
-                    os.spawn(init, "/bin/tool", &acts, &SpawnAttrs::default())
-                        .expect("spawn");
-                    os
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("xproc_mem_grants", n), &n, |b, &n| {
-            b.iter_batched(
-                || Os::boot(OsConfig::default()),
-                |mut os| {
-                    let init = os.init;
-                    let mut builder = ProcessBuilder::new("/bin/tool").mem(MemOp::MapAnon {
+        time_batched(
+            &format!("posix_spawn_actions/{n}"),
+            ITERS,
+            || (Os::boot(OsConfig::default()), actions(n)),
+            |(mut os, acts)| {
+                let init = os.init;
+                os.spawn(init, "/bin/tool", &acts, &SpawnAttrs::default())
+                    .expect("spawn");
+                os
+            },
+        );
+        time_batched(
+            &format!("xproc_mem_grants/{n}"),
+            ITERS,
+            || Os::boot(OsConfig::default()),
+            |mut os| {
+                let init = os.init;
+                let mut builder = ProcessBuilder::new("/bin/tool").mem(MemOp::MapAnon {
+                    tag: 0,
+                    pages: 4,
+                    prot: Prot::RW,
+                });
+                for i in 0..n as u64 {
+                    builder = builder.mem(MemOp::Write {
                         tag: 0,
-                        pages: 4,
-                        prot: Prot::RW,
+                        offset: i % 4,
+                        value: i,
                     });
-                    for i in 0..n as u64 {
-                        builder = builder.mem(MemOp::Write {
-                            tag: 0,
-                            offset: i % 4,
-                            value: i,
-                        });
-                    }
-                    os.spawn_builder(init, builder).expect("xproc");
-                    os
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+                }
+                os.spawn_builder(init, builder).expect("xproc");
+                os
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_attrs);
-criterion_main!(benches);

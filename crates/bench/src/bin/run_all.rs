@@ -3,7 +3,7 @@
 //! evaluation.
 
 use forkroad_core::experiments::{
-    aslr, breakdown, cow, fig1, forkbomb, overcommit, scaling, stdio, vma_sweep,
+    aslr, breakdown, cow, fig1, forkbomb, overcommit, robustness, scaling, stdio, vma_sweep,
 };
 use fpr_bench::emit;
 
@@ -40,6 +40,11 @@ fn main() {
 
     let t9 = forkbomb::run(&[16, 64, 256], 1_024);
     emit("tab_forkbomb", &t9.render(), &t9.to_json());
+
+    let t10 = robustness::fault_matrix();
+    emit("tab_faultmatrix", &t10.render(), &t10.to_json());
+    let t10b = robustness::run();
+    emit("tab_e9_robustness", &t10b.render(), &t10b.to_json());
 
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");

@@ -1,0 +1,16 @@
+//! E9: API × fail-site sweep plus retry-under-pressure comparison.
+
+use forkroad_core::experiments::robustness;
+use fpr_bench::emit;
+
+fn main() {
+    let m = robustness::fault_matrix();
+    emit("tab_faultmatrix", &m.render(), &m.to_json());
+    let t = robustness::run();
+    emit("tab_e9_robustness", &t.render(), &t.to_json());
+    let dirty = m.rows.iter().filter(|r| r[4] != "clean").count();
+    println!(
+        "shape check: {} (api, site) cells swept, {dirty} dirty (must be 0)",
+        m.rows.len()
+    );
+}

@@ -28,3 +28,29 @@ pub fn emit(id: &str, rendered: &str, json: &str) {
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
+
+/// Minimal wall-clock micro-timer for the `benches/` targets (the
+/// workspace builds without criterion, so the bench harnesses are plain
+/// `main` functions using this).
+///
+/// Each iteration runs `setup` untimed, then times `op` on its output.
+/// Reports the median over `iters` runs in microseconds.
+pub fn time_batched<S, T, R>(label: &str, iters: u32, mut setup: impl FnMut() -> S, mut op: T)
+where
+    T: FnMut(S) -> R,
+{
+    let mut samples_us: Vec<f64> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let input = setup();
+        let start = std::time::Instant::now();
+        let out = op(input);
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        samples_us.push(elapsed.as_secs_f64() * 1e6);
+    }
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = samples_us[samples_us.len() / 2];
+    let min = samples_us.first().copied().unwrap_or(0.0);
+    let max = samples_us.last().copied().unwrap_or(0.0);
+    println!("{label:<40} median {median:>10.1} us  (min {min:.1}, max {max:.1}, n={iters})");
+}

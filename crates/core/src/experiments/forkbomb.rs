@@ -111,6 +111,45 @@ mod tests {
         assert!(big.created > small.created * 4);
     }
 
+    /// Regression: the EAGAIN that stops a fork bomb must itself be
+    /// transactional. The failing fork leaves the kernel at the pre-call
+    /// baseline with invariants intact, and reaping one bomb child makes
+    /// the very next fork succeed — no half-created process wedges the
+    /// limit.
+    #[test]
+    fn the_fizzle_is_clean() {
+        let mut os = Os::boot(OsConfig::default());
+        let root = os.kernel.allocate_process(os.init, "bomb").expect("alloc");
+        os.kernel
+            .process_mut(root)
+            .expect("proc")
+            .rlimits
+            .set(Resource::Nproc, Rlimit::both(8));
+        let mut children = Vec::new();
+        let base = loop {
+            let base = os.kernel.baseline();
+            match os.fork(root) {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    assert_eq!(e, Errno::Eagain, "containment errno");
+                    break base;
+                }
+            }
+            assert!(children.len() < 64, "limit never enforced");
+        };
+        if let Err(v) = os.kernel.leak_check(&base) {
+            panic!("EAGAIN fork left state behind:\n  {}", v.join("\n  "));
+        }
+        if let Err(v) = os.kernel.check_invariants() {
+            panic!("EAGAIN fork broke invariants:\n  {}", v.join("\n  "));
+        }
+        // Reap one child: the limit frees and fork works again.
+        let victim = children.pop().expect("bomb made children");
+        os.kernel.exit(victim, 0).expect("exit");
+        os.kernel.waitpid(root, Some(victim)).expect("reap");
+        os.fork(root).expect("fork succeeds once a slot frees");
+    }
+
     #[test]
     fn unlimited_hits_pid_exhaustion() {
         let o = detonate(u64::MAX, 256);

@@ -11,6 +11,7 @@ pub mod cow;
 pub mod fig1;
 pub mod forkbomb;
 pub mod overcommit;
+pub mod robustness;
 pub mod scaling;
 pub mod stdio;
 pub mod threads;

@@ -1,0 +1,379 @@
+//! E9: partial-failure cleanliness and retry under memory pressure.
+//!
+//! The paper's complaint is not only that fork is slow — it is that fork
+//! *fails messily*: every subsystem must know how to un-duplicate itself,
+//! and those paths never run in testing. This experiment runs them, all
+//! of them, for fork, `posix_spawn`, and the cross-process builder:
+//!
+//! 1. **Cleanliness sweep** — count the K instrumented fault-injection
+//!    points each API crosses creating a child from a standard parent,
+//!    then replay K times failing at each point. Record how many produced
+//!    a clean error with zero leaked resources ([`Kernel::leak_check`] +
+//!    [`Kernel::check_invariants`] both green).
+//! 2. **Retry under pressure** — under strict overcommit, a large parent
+//!    cannot fork (the up-front O(parent) commit charge exceeds the
+//!    headroom) but can spawn (O(image) charge). Bounded retry with
+//!    backoff rescues fork only after another process releases memory;
+//!    spawn and xproc succeed on the first attempt throughout.
+//!
+//! Because the creation APIs are transactional, every row of the sweep
+//! must read `K/K clean`; the table is the evidence.
+
+use crate::os::{Os, OsConfig};
+use fpr_api::{retry_with_backoff, ProcessBuilder, RetryPolicy, SpawnAttrs};
+use fpr_faults::{count_crossings, with_plan, FaultPlan, FaultSite};
+use fpr_kernel::MachineConfig;
+use fpr_mem::{OvercommitPolicy, Prot, Share};
+use fpr_trace::{ProcessShape, TableData};
+use std::collections::BTreeMap;
+
+type ApiOp<'a> = &'a dyn Fn(&mut Os, fpr_kernel::Pid) -> Result<(), fpr_kernel::Errno>;
+
+/// The three creation APIs E9 compares, as uniform closures. Spawn and
+/// the builder carry representative file actions and memory ops so the
+/// sweep reaches their per-step fault sites, not just the shared ones.
+fn apis() -> [(&'static str, ApiOp<'static>); 3] {
+    use fpr_api::{FdSource, FileAction, MemOp};
+    use fpr_kernel::{OpenFlags, Fd, STDOUT};
+    [
+        ("fork", &|os, p| os.fork(p).map(|_| ())),
+        ("posix_spawn", &|os, p| {
+            let actions = vec![
+                FileAction::Open {
+                    fd: STDOUT,
+                    path: "/e9-out.txt".into(),
+                    flags: OpenFlags::WRONLY,
+                    create: true,
+                },
+                FileAction::Close {
+                    fd: fpr_kernel::STDIN,
+                },
+            ];
+            os.spawn(p, "/bin/tool", &actions, &SpawnAttrs::default())
+                .map(|_| ())
+        }),
+        ("xproc", &|os, p| {
+            let builder = ProcessBuilder::new("/bin/tool")
+                .fd(STDOUT, FdSource::Inherit(STDOUT))
+                .fd(
+                    Fd(5),
+                    FdSource::Open {
+                        path: "/e9-scratch".into(),
+                        flags: OpenFlags::RDWR,
+                        create: true,
+                    },
+                )
+                .mem(MemOp::MapAnon {
+                    tag: 1,
+                    pages: 4,
+                    prot: fpr_mem::Prot::RW,
+                })
+                .mem(MemOp::Write {
+                    tag: 1,
+                    offset: 0,
+                    value: 9,
+                });
+            os.spawn_builder(p, builder).map(|_| ())
+        }),
+    ]
+}
+
+/// Outcome of sweeping every fail point of one API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// API label.
+    pub api: &'static str,
+    /// Instrumented crossings the fault-free operation makes.
+    pub injection_points: usize,
+    /// Injections that surfaced as a clean `Err` in the parent.
+    pub clean_errors: usize,
+    /// Injections after which `leak_check` + `check_invariants` passed.
+    pub clean_state: usize,
+    /// Injections that leaked or corrupted state (must be zero).
+    pub dirty: usize,
+}
+
+fn standard_os() -> (Os, fpr_kernel::Pid) {
+    let mut os = Os::boot(OsConfig {
+        seed: 9,
+        ..OsConfig::default()
+    });
+    let parent = os.make_parent(ProcessShape::shell()).expect("parent");
+    (os, parent)
+}
+
+/// One fail point's verdict: which site it hit, whether the API failed
+/// (it must — the fault is injected), whether the kernel stayed intact.
+struct PointResult {
+    site: FaultSite,
+    failed: bool,
+    intact: bool,
+}
+
+/// Replays one API once per fail point it crosses, from a fresh world
+/// each time, recording per-point cleanliness.
+fn sweep_points(op: ApiOp<'_>) -> Vec<PointResult> {
+    let sites: Vec<FaultSite> = {
+        let (mut os, parent) = standard_os();
+        let trace = count_crossings(|| op(&mut os, parent).expect("fault-free run"));
+        trace.crossings.iter().map(|c| c.site).collect()
+    };
+    sites
+        .into_iter()
+        .enumerate()
+        .map(|(nth, site)| {
+            let (mut os, parent) = standard_os();
+            let base = os.kernel.baseline();
+            let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+            let (result, _) = with_plan(plan, || op(&mut os, parent));
+            let intact =
+                os.kernel.leak_check(&base).is_ok() && os.kernel.check_invariants().is_ok();
+            PointResult {
+                site,
+                failed: result.is_err(),
+                intact,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps one creation API across every fail point it crosses.
+pub fn sweep_api(api: &'static str, op: ApiOp<'_>) -> SweepOutcome {
+    let points = sweep_points(op);
+    SweepOutcome {
+        api,
+        injection_points: points.len(),
+        clean_errors: points.iter().filter(|p| p.failed).count(),
+        clean_state: points.iter().filter(|p| p.failed && p.intact).count(),
+        dirty: points.iter().filter(|p| !(p.failed && p.intact)).count(),
+    }
+}
+
+/// Runs the cleanliness sweep for fork, spawn, and xproc.
+pub fn sweep_all() -> Vec<SweepOutcome> {
+    apis().into_iter().map(|(api, op)| sweep_api(api, op)).collect()
+}
+
+/// The API × fail-site matrix: per (API, site), how many of that API's
+/// crossings hit the site and how many injections failed clean. Every
+/// `clean` cell must equal its `crossings` cell — a `DIRTY` row is an
+/// error path whose cleanup is broken.
+pub fn fault_matrix() -> TableData {
+    let mut t = TableData::new(
+        "tab_faultmatrix",
+        "API × fail-site sweep (clean = injected faults with Err + intact kernel)",
+        &["api", "site", "crossings", "clean", "status"],
+    );
+    for (api, op) in apis() {
+        let mut per: BTreeMap<FaultSite, (u64, u64)> = BTreeMap::new();
+        for p in sweep_points(op) {
+            let e = per.entry(p.site).or_insert((0, 0));
+            e.0 += 1;
+            if p.failed && p.intact {
+                e.1 += 1;
+            }
+        }
+        for (site, (crossings, clean)) in per {
+            t.push_row(vec![
+                api.to_string(),
+                site.name().to_string(),
+                crossings.to_string(),
+                format!("{clean}/{crossings}"),
+                if clean == crossings { "clean" } else { "DIRTY" }.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Outcome of one API's creation attempt under memory pressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PressureOutcome {
+    /// API label.
+    pub api: &'static str,
+    /// Whether creation ultimately succeeded.
+    pub succeeded: bool,
+    /// Attempts the bounded retry made.
+    pub attempts: u32,
+    /// Backoff cycles burnt waiting.
+    pub backoff_cycles: u64,
+}
+
+/// Creates a child with each API from a large parent under strict
+/// overcommit, with a hog releasing its memory before attempt
+/// `relief_at`. Fork needs the relief; spawn and xproc do not.
+pub fn under_pressure(relief_at: u32) -> Vec<PressureOutcome> {
+    let mut out = Vec::new();
+    for api in ["fork", "posix_spawn", "xproc"] {
+        let mut os = Os::boot(OsConfig {
+            machine: MachineConfig {
+                frames: 4096,
+                overcommit: OvercommitPolicy::Never { ratio: 0.9 },
+                ..MachineConfig::default()
+            },
+            seed: 9,
+            ..OsConfig::default()
+        });
+        // A parent holding ~45% of commit: its fork needs another ~45%.
+        let parent = os
+            .make_parent(ProcessShape {
+                heap_pages: 1_650,
+                vma_count: 4,
+                extra_fds: 2,
+                extra_threads: 0,
+            })
+            .expect("parent");
+        // A hog eats the rest of the headroom, minus a sliver that covers
+        // spawn-sized (O(image)) charges but not fork-sized ones.
+        let limit = os.kernel.commit.limit().expect("strict mode");
+        let headroom = limit - os.kernel.commit.committed();
+        let hog_pages = headroom.saturating_sub(96);
+        let hog = os
+            .kernel
+            .mmap_anon(os.init, hog_pages, Prot::RW, Share::Private)
+            .expect("hog fits");
+        let mut attempt = 0;
+        let init = os.init;
+        let (result, stats) = retry_with_backoff(
+            &mut os.kernel,
+            RetryPolicy::default(),
+            |k| {
+                attempt += 1;
+                if attempt == relief_at {
+                    k.munmap(init, hog, hog_pages).expect("hog unmaps");
+                }
+                match api {
+                    "fork" => fpr_api::fork(k, parent).map(|_| ()),
+                    "posix_spawn" => fpr_api::posix_spawn(
+                        k,
+                        parent,
+                        &os.images,
+                        "/bin/tool",
+                        &[],
+                        &SpawnAttrs::default(),
+                        os.aslr,
+                        11,
+                    )
+                    .map(|_| ()),
+                    _ => ProcessBuilder::new("/bin/tool")
+                        .aslr(os.aslr, 11)
+                        .spawn(k, parent, &os.images)
+                        .map(|_| ()),
+                }
+            },
+        );
+        out.push(PressureOutcome {
+            api,
+            succeeded: result.is_ok(),
+            attempts: stats.attempts,
+            backoff_cycles: stats.backoff_cycles,
+        });
+    }
+    out
+}
+
+/// Runs E9 and renders both parts as one table.
+pub fn run() -> TableData {
+    let mut t = TableData::new(
+        "tab_e9_robustness",
+        "E9: partial-failure cleanliness and retry under memory pressure",
+        &[
+            "api",
+            "injection_points",
+            "clean_err",
+            "clean_state",
+            "dirty",
+            "pressure_attempts",
+            "pressure_backoff_cycles",
+            "pressure_outcome",
+        ],
+    );
+    let sweeps = sweep_all();
+    let pressure = under_pressure(3);
+    for (s, p) in sweeps.iter().zip(pressure.iter()) {
+        assert_eq!(s.api, p.api, "row pairing");
+        t.push_row(vec![
+            s.api.to_string(),
+            s.injection_points.to_string(),
+            format!("{}/{}", s.clean_errors, s.injection_points),
+            format!("{}/{}", s.clean_state, s.injection_points),
+            s.dirty.to_string(),
+            p.attempts.to_string(),
+            p.backoff_cycles.to_string(),
+            if p.succeeded { "ok" } else { "failed" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fail_point_is_clean_for_all_apis() {
+        for s in sweep_all() {
+            assert!(
+                s.injection_points > 0,
+                "{}: no instrumented crossings",
+                s.api
+            );
+            assert_eq!(
+                s.dirty, 0,
+                "{}: {} of {} fail points leaked or corrupted state",
+                s.api, s.dirty, s.injection_points
+            );
+            assert_eq!(s.clean_errors, s.injection_points);
+            assert_eq!(s.clean_state, s.injection_points);
+        }
+    }
+
+    #[test]
+    fn fork_needs_the_retry_spawn_does_not() {
+        let rows = under_pressure(3);
+        let fork = rows.iter().find(|r| r.api == "fork").unwrap();
+        let spawn = rows.iter().find(|r| r.api == "posix_spawn").unwrap();
+        let xproc = rows.iter().find(|r| r.api == "xproc").unwrap();
+        assert!(fork.succeeded, "fork succeeds once relief arrives");
+        assert_eq!(fork.attempts, 3, "fork retried until the hog released");
+        assert!(fork.backoff_cycles > 0);
+        for r in [spawn, xproc] {
+            assert!(r.succeeded);
+            assert_eq!(
+                r.attempts, 1,
+                "{}: O(image) charge fits without relief",
+                r.api
+            );
+            assert_eq!(r.backoff_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn fault_matrix_is_all_clean() {
+        let t = fault_matrix();
+        assert!(t.rows.len() >= 3, "at least one site row per API");
+        for row in &t.rows {
+            assert_eq!(row[4], "clean", "dirty matrix cell: {row:?}");
+        }
+        // fork must exercise the memory sites; spawn the file-action site.
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == "fork" && r[1] == "pt_node_alloc"));
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == "posix_spawn" && r[1] == "spawn_file_action"));
+        assert!(t.rows.iter().any(|r| r[0] == "xproc" && r[1] == "xproc_step"));
+    }
+
+    #[test]
+    fn table_has_one_row_per_api() {
+        let t = run();
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            assert_eq!(row[4], "0", "dirty column must be zero: {row:?}");
+            assert_eq!(row[7], "ok");
+        }
+    }
+}

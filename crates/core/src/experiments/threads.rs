@@ -10,8 +10,7 @@ use crate::os::{Os, OsConfig};
 use fpr_audit::audit_fork_safety;
 use fpr_kernel::{sync, Errno};
 use fpr_trace::TableData;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fpr_rng::Rng;
 
 /// Aggregated result for one (threads, hold probability) cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +31,7 @@ pub struct ThreadSafetyCell {
 
 /// Runs one cell of `trials` trials.
 pub fn run_cell(threads: u32, hold_prob: f64, trials: u32, seed: u64) -> ThreadSafetyCell {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut deadlocks = 0;
     let mut flagged = 0;
     let mut false_negatives = 0;

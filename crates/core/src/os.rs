@@ -11,8 +11,7 @@ use fpr_exec::{AslrConfig, Image, ImageRegistry};
 use fpr_kernel::{KResult, Kernel, MachineConfig, Pid};
 use fpr_mem::{ForkMode, Prot, Share, Vpn};
 use fpr_trace::ProcessShape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fpr_rng::Rng;
 
 /// Configuration for [`Os::boot`].
 #[derive(Debug, Clone)]
@@ -46,7 +45,7 @@ pub struct Os {
     pub aslr: AslrConfig,
     /// PID of init.
     pub init: Pid,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Os {
@@ -66,7 +65,7 @@ impl Os {
             images,
             aslr: cfg.aslr,
             init,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng::seed_from_u64(cfg.seed),
         }
     }
 
@@ -82,7 +81,7 @@ impl Os {
 
     /// Draws a fresh ASLR seed.
     pub fn fresh_seed(&mut self) -> u64 {
-        self.rng.gen()
+        self.rng.gen_u64()
     }
 
     /// `fork(2)`.

@@ -7,12 +7,10 @@
 //! the paper cites against fork-based Android app startup.
 
 use fpr_kernel::LayoutInfo;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fpr_rng::Rng;
 
 /// ASLR configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AslrConfig {
     /// Randomise at all (off = fixed classic layout).
     pub enabled: bool,
@@ -57,11 +55,11 @@ pub fn randomize(cfg: AslrConfig, seed: u64) -> LayoutInfo {
             aslr_seed: 0,
         };
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mask = (1u64 << cfg.entropy_bits.min(34)) - 1;
     // Offsets are page-granular and kept within disjoint arenas so the
     // regions cannot collide regardless of the draw.
-    let draw = |rng: &mut StdRng, span: u64| rng.gen::<u64>() & mask & (span - 1);
+    let draw = |rng: &mut Rng, span: u64| rng.gen_u64() & mask & (span - 1);
     LayoutInfo {
         text_base: bases::TEXT + draw(&mut rng, 0x4_0000),
         heap_base: bases::HEAP + draw(&mut rng, 0x40_0000),

@@ -6,11 +6,10 @@
 //! the file-backed content stamps of mapped pages, so a loaded process
 //! really does "read" its text from the image.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One loadable program image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Image {
     /// Command name (`comm`).
     pub name: String,

@@ -1,0 +1,489 @@
+//! # fpr-faults — deterministic, seedable fault injection
+//!
+//! The paper's complaint about fork is not just that it is slow — it is
+//! that it *fails late and messily*: every subsystem must know how to
+//! duplicate and un-duplicate itself, and the un-duplicate paths almost
+//! never execute in testing. This crate makes those paths executable on
+//! demand.
+//!
+//! ## Model
+//!
+//! Instrumented allocation paths (frame allocation, page-table node
+//! allocation, VMA clone, PID/FD allocation, VFS ops, spawn file actions,
+//! xproc population steps) call [`cross`] with a named [`FaultSite`].
+//! A [`FaultPlan`] addresses sites by `(site, nth-occurrence)` — or by
+//! global crossing index — and is installed for the dynamic extent of one
+//! operation with [`with_plan`]. The run returns a [`FaultTrace`] listing
+//! every crossing in order, so a harness can:
+//!
+//! 1. run an operation once under an empty plan to learn the K injection
+//!    points it crosses, then
+//! 2. replay it K times, failing at each point in turn, asserting a clean
+//!    `Err` and an intact kernel every time.
+//!
+//! Everything is deterministic: no clocks, no global RNG. Random plans
+//! ([`FaultPlan::random`]) derive from an explicit `u64` seed via an
+//! embedded SplitMix64 step, so any failing schedule replays exactly.
+//!
+//! ## Coverage
+//!
+//! Independent of any active plan, `cross` keeps cumulative per-thread
+//! counters of crossings and injections per site ([`coverage`]). The
+//! audit crate turns these into an *untested-error-path lint*: a site a
+//! workload crossed but never failed is an error path that has never
+//! executed.
+//!
+//! The state is thread-local; the simulator is single-threaded per
+//! kernel, and this keeps parallel test binaries from interfering.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A named fault-injection site: one class of allocation that can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// Physical frame allocation (`fpr-mem::phys`).
+    FrameAlloc,
+    /// Page-table intermediate node allocation (`fpr-mem::page_table`).
+    PtNodeAlloc,
+    /// Per-VMA clone step during address-space fork (`fpr-mem::address_space`).
+    VmaClone,
+    /// Commit-accounting charge (`fpr-mem::overcommit`).
+    CommitCharge,
+    /// PID allocation (`fpr-kernel::pid`).
+    PidAlloc,
+    /// Descriptor-table slot installation (`fpr-kernel::fdtable`).
+    FdAlloc,
+    /// VFS operation needing kernel memory (`fpr-kernel::vfs`).
+    VfsOp,
+    /// One `posix_spawn` file action (`fpr-api::spawn`).
+    SpawnFileAction,
+    /// One xproc `ProcessBuilder` population step (`fpr-api::xproc`).
+    XprocStep,
+}
+
+impl FaultSite {
+    /// Every site, in a stable order (used by sweeps and coverage reports).
+    pub const ALL: [FaultSite; 9] = [
+        FaultSite::FrameAlloc,
+        FaultSite::PtNodeAlloc,
+        FaultSite::VmaClone,
+        FaultSite::CommitCharge,
+        FaultSite::PidAlloc,
+        FaultSite::FdAlloc,
+        FaultSite::VfsOp,
+        FaultSite::SpawnFileAction,
+        FaultSite::XprocStep,
+    ];
+
+    /// Stable snake_case name (report/JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::FrameAlloc => "frame_alloc",
+            FaultSite::PtNodeAlloc => "pt_node_alloc",
+            FaultSite::VmaClone => "vma_clone",
+            FaultSite::CommitCharge => "commit_charge",
+            FaultSite::PidAlloc => "pid_alloc",
+            FaultSite::FdAlloc => "fd_alloc",
+            FaultSite::VfsOp => "vfs_op",
+            FaultSite::SpawnFileAction => "spawn_file_action",
+            FaultSite::XprocStep => "xproc_step",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An injected failure: which site fired and which occurrence it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// 0-based occurrence index of that site within the active scope.
+    pub occurrence: u64,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}#{}", self.site, self.occurrence)
+    }
+}
+
+/// Which crossings of which sites should fail.
+///
+/// Occurrence indices are 0-based and scoped to one [`with_plan`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    per_site: BTreeMap<FaultSite, BTreeSet<u64>>,
+    global: BTreeSet<u64>,
+    random: Option<RandomMode>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RandomMode {
+    seed: u64,
+    /// Probability of failing each crossing, in parts per 1024.
+    per_1024: u16,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (counting/tracing runs).
+    pub fn passive() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Fails the `nth` (0-based) crossing of `site`.
+    pub fn fail_at(mut self, site: FaultSite, nth: u64) -> FaultPlan {
+        self.per_site.entry(site).or_default().insert(nth);
+        self
+    }
+
+    /// Fails the `nth` (0-based) crossing of *any* site — the sweep
+    /// primitive: count K crossings once, then replay failing 0..K.
+    pub fn fail_nth_crossing(mut self, nth: u64) -> FaultPlan {
+        self.global.insert(nth);
+        self
+    }
+
+    /// Fails each crossing independently with probability
+    /// `per_1024 / 1024`, deterministically derived from `seed`.
+    pub fn random(seed: u64, per_1024: u16) -> FaultPlan {
+        FaultPlan {
+            random: Some(RandomMode {
+                seed,
+                per_1024: per_1024.min(1024),
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True if the plan can never inject.
+    pub fn is_passive(&self) -> bool {
+        self.per_site.is_empty() && self.global.is_empty() && self.random.is_none()
+    }
+
+    fn wants(&self, site: FaultSite, occurrence: u64, global_index: u64) -> bool {
+        if self.global.contains(&global_index) {
+            return true;
+        }
+        if let Some(set) = self.per_site.get(&site) {
+            if set.contains(&occurrence) {
+                return true;
+            }
+        }
+        if let Some(r) = self.random {
+            // One SplitMix64 step keyed by (seed, global index): stateless,
+            // so the decision for crossing N never depends on history.
+            let mut z = r
+                .seed
+                .wrapping_add((global_index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            return (z & 1023) < r.per_1024 as u64;
+        }
+        false
+    }
+}
+
+/// One site crossing observed during a [`with_plan`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossing {
+    /// The site crossed.
+    pub site: FaultSite,
+    /// 0-based occurrence index of this site within the run.
+    pub occurrence: u64,
+    /// 0-based index among all crossings of the run.
+    pub global_index: u64,
+    /// Whether the plan made this crossing fail.
+    pub injected: bool,
+}
+
+/// Ordered record of every crossing of one [`with_plan`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTrace {
+    /// Crossings in execution order.
+    pub crossings: Vec<Crossing>,
+}
+
+impl FaultTrace {
+    /// Total crossings (the K of a fail-each-point sweep).
+    pub fn len(&self) -> usize {
+        self.crossings.len()
+    }
+
+    /// True if the operation crossed no instrumented site.
+    pub fn is_empty(&self) -> bool {
+        self.crossings.is_empty()
+    }
+
+    /// Crossings that actually injected.
+    pub fn injected(&self) -> Vec<Crossing> {
+        self.crossings.iter().copied().filter(|c| c.injected).collect()
+    }
+
+    /// Distinct sites crossed, in stable order.
+    pub fn sites(&self) -> Vec<FaultSite> {
+        let set: BTreeSet<FaultSite> = self.crossings.iter().map(|c| c.site).collect();
+        set.into_iter().collect()
+    }
+}
+
+/// Cumulative per-site counters (per thread, across all scopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteCoverage {
+    /// Times the site was crossed.
+    pub crossings: u64,
+    /// Times a fault was injected at the site.
+    pub injections: u64,
+}
+
+struct ActiveScope {
+    plan: FaultPlan,
+    counts: BTreeMap<FaultSite, u64>,
+    total: u64,
+    trace: FaultTrace,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    scope: Option<ActiveScope>,
+    coverage: BTreeMap<FaultSite, SiteCoverage>,
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+/// Declares that execution reached `site`. Instrumented code calls this
+/// and propagates `Err` as its own "allocation failed" error.
+///
+/// Outside any [`with_plan`] scope this only updates coverage counters
+/// and always succeeds.
+pub fn cross(site: FaultSite) -> Result<(), InjectedFault> {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let cov = st.coverage.entry(site).or_default();
+        cov.crossings += 1;
+        let Some(scope) = st.scope.as_mut() else {
+            return Ok(());
+        };
+        // counts[site] holds the last occurrence index handed out; the
+        // first crossing of a site is occurrence 0.
+        let occurrence = *scope
+            .counts
+            .entry(site)
+            .and_modify(|c| *c += 1)
+            .or_insert(0);
+        let global_index = scope.total;
+        scope.total += 1;
+        let injected = scope.plan.wants(site, occurrence, global_index);
+        scope.trace.crossings.push(Crossing {
+            site,
+            occurrence,
+            global_index,
+            injected,
+        });
+        if injected {
+            st.coverage.get_mut(&site).expect("entry above").injections += 1;
+            Err(InjectedFault { site, occurrence })
+        } else {
+            Ok(())
+        }
+    })
+}
+
+/// Runs `f` with `plan` active, returning its result and the full
+/// crossing trace. Scopes do not nest: a nested call panics, because a
+/// nested plan would silently steal the outer plan's occurrence counting.
+pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> (R, FaultTrace) {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        assert!(
+            st.scope.is_none(),
+            "fpr-faults: with_plan scopes do not nest"
+        );
+        st.scope = Some(ActiveScope {
+            plan,
+            counts: BTreeMap::new(),
+            total: 0,
+            trace: FaultTrace::default(),
+        });
+    });
+    // Even if `f` panics we must clear the scope, or every later test in
+    // this thread inherits a stale plan.
+    struct ClearOnDrop;
+    impl Drop for ClearOnDrop {
+        fn drop(&mut self) {
+            STATE.with(|s| s.borrow_mut().scope = None);
+        }
+    }
+    let guard = ClearOnDrop;
+    let out = f();
+    let trace = STATE.with(|s| {
+        s.borrow_mut()
+            .scope
+            .take()
+            .map(|sc| sc.trace)
+            .unwrap_or_default()
+    });
+    drop(guard);
+    (out, trace)
+}
+
+/// Convenience: runs `f` under a passive plan and returns only the trace.
+pub fn count_crossings(f: impl FnOnce()) -> FaultTrace {
+    with_plan(FaultPlan::passive(), f).1
+}
+
+/// Cumulative coverage for this thread, keyed by site (stable order).
+pub fn coverage() -> Vec<(FaultSite, SiteCoverage)> {
+    STATE.with(|s| {
+        let st = s.borrow();
+        FaultSite::ALL
+            .iter()
+            .map(|&site| (site, st.coverage.get(&site).copied().unwrap_or_default()))
+            .collect()
+    })
+}
+
+/// Clears this thread's cumulative coverage counters.
+pub fn reset_coverage() {
+    STATE.with(|s| s.borrow_mut().coverage.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_plan_injects_nothing_but_traces() {
+        let ((), trace) = with_plan(FaultPlan::passive(), || {
+            for _ in 0..3 {
+                cross(FaultSite::FrameAlloc).unwrap();
+            }
+            cross(FaultSite::PidAlloc).unwrap();
+        });
+        assert_eq!(trace.len(), 4);
+        assert!(trace.injected().is_empty());
+        assert_eq!(
+            trace.sites(),
+            vec![FaultSite::FrameAlloc, FaultSite::PidAlloc]
+        );
+    }
+
+    #[test]
+    fn fail_at_hits_exactly_the_nth_occurrence() {
+        let plan = FaultPlan::passive().fail_at(FaultSite::FrameAlloc, 2);
+        let (results, trace) = with_plan(plan, || {
+            (0..4).map(|_| cross(FaultSite::FrameAlloc)).collect::<Vec<_>>()
+        });
+        assert!(results[0].is_ok() && results[1].is_ok() && results[3].is_ok());
+        assert_eq!(
+            results[2],
+            Err(InjectedFault {
+                site: FaultSite::FrameAlloc,
+                occurrence: 2
+            })
+        );
+        assert_eq!(trace.injected().len(), 1);
+        assert_eq!(trace.injected()[0].global_index, 2);
+    }
+
+    #[test]
+    fn occurrence_counting_is_per_site() {
+        let plan = FaultPlan::passive().fail_at(FaultSite::PidAlloc, 0);
+        let (results, _) = with_plan(plan, || {
+            vec![
+                cross(FaultSite::FrameAlloc),
+                cross(FaultSite::PidAlloc),
+                cross(FaultSite::PidAlloc),
+            ]
+        });
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "first PidAlloc occurrence fails");
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn fail_nth_crossing_is_site_agnostic() {
+        let plan = FaultPlan::passive().fail_nth_crossing(1);
+        let (results, _) = with_plan(plan, || {
+            vec![
+                cross(FaultSite::FrameAlloc),
+                cross(FaultSite::PidAlloc),
+                cross(FaultSite::FrameAlloc),
+            ]
+        });
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn random_plan_is_reproducible() {
+        let run = |seed| {
+            with_plan(FaultPlan::random(seed, 512), || {
+                (0..64)
+                    .map(|_| cross(FaultSite::VmaClone).is_err())
+                    .collect::<Vec<_>>()
+            })
+            .0
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+        let hits = run(99).iter().filter(|&&b| b).count();
+        assert!(hits > 10 && hits < 54, "p=0.5 over 64 gave {hits}");
+    }
+
+    #[test]
+    fn outside_scope_cross_succeeds_and_counts_coverage() {
+        reset_coverage();
+        assert!(cross(FaultSite::VfsOp).is_ok());
+        assert!(cross(FaultSite::VfsOp).is_ok());
+        let cov = coverage();
+        let vfs = cov
+            .iter()
+            .find(|(s, _)| *s == FaultSite::VfsOp)
+            .unwrap()
+            .1;
+        assert_eq!(vfs.crossings, 2);
+        assert_eq!(vfs.injections, 0);
+    }
+
+    #[test]
+    fn coverage_accumulates_across_scopes() {
+        reset_coverage();
+        let plan = FaultPlan::passive().fail_at(FaultSite::FdAlloc, 0);
+        let _ = with_plan(plan, || {
+            let _ = cross(FaultSite::FdAlloc);
+        });
+        let _ = count_crossings(|| {
+            let _ = cross(FaultSite::FdAlloc);
+        });
+        let fd = coverage()
+            .into_iter()
+            .find(|(s, _)| *s == FaultSite::FdAlloc)
+            .unwrap()
+            .1;
+        assert_eq!(fd.crossings, 2);
+        assert_eq!(fd.injections, 1);
+    }
+
+    #[test]
+    fn scope_cleared_even_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = with_plan(FaultPlan::passive(), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        // A fresh scope must be installable afterwards.
+        let ((), t) = with_plan(FaultPlan::passive(), || {
+            cross(FaultSite::FrameAlloc).unwrap();
+        });
+        assert_eq!(t.len(), 1);
+    }
+}

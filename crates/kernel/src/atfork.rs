@@ -9,12 +9,11 @@
 //! an event log the tests assert on.
 
 use crate::sync::LockId;
-use serde::{Deserialize, Serialize};
 
 /// One registered atfork triple. `lock` names the lock this registration
 /// protects (if any), which lets the fork implementation actually
 /// acquire/release it around the snapshot like glibc's malloc does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AtforkRegistration {
     /// Token identifying the registering library (for logs/audits).
     pub token: u64,
@@ -26,13 +25,13 @@ pub struct AtforkRegistration {
 ///
 /// POSIX ordering: `prepare` handlers run in **reverse** registration
 /// order; `parent`/`child` handlers run in registration order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AtforkTable {
     regs: Vec<AtforkRegistration>,
 }
 
 /// A phase of atfork execution, for the event log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AtforkPhase {
     /// Before the snapshot, in the parent.
     Prepare,

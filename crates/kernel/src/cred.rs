@@ -4,10 +4,9 @@
 //! complaints (the child inherits privilege it may not need). The
 //! cross-process API can instead start a child with reduced credentials.
 
-use serde::{Deserialize, Serialize};
 
 /// Capability bits (a deliberately small subset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Caps(pub u32);
 
 impl Caps {
@@ -52,7 +51,7 @@ impl Caps {
 }
 
 /// Credentials of a process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Credentials {
     /// Real user ID.
     pub uid: u32,

@@ -8,10 +8,10 @@
 
 use crate::error::{Errno, KResult};
 use crate::file::OfdId;
-use serde::{Deserialize, Serialize};
+use fpr_faults::FaultSite;
 
 /// A file descriptor number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fd(pub u32);
 
 /// Standard input.
@@ -22,7 +22,7 @@ pub const STDOUT: Fd = Fd(1);
 pub const STDERR: Fd = Fd(2);
 
 /// One descriptor-table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FdEntry {
     /// The open file description this descriptor references.
     pub ofd: OfdId,
@@ -45,6 +45,7 @@ impl FdTable {
     /// Installs `entry` at the lowest free descriptor, enforcing `limit`
     /// (the `RLIMIT_NOFILE` soft limit).
     pub fn install(&mut self, entry: FdEntry, limit: u64) -> KResult<Fd> {
+        fpr_faults::cross(FaultSite::FdAlloc).map_err(|_| Errno::Emfile)?;
         let idx = self
             .slots
             .iter()
@@ -64,6 +65,7 @@ impl FdTable {
     /// Installs `entry` at exactly `fd` (the `dup2` target path),
     /// returning any displaced entry for the caller to release.
     pub fn install_at(&mut self, fd: Fd, entry: FdEntry, limit: u64) -> KResult<Option<FdEntry>> {
+        fpr_faults::cross(FaultSite::FdAlloc).map_err(|_| Errno::Emfile)?;
         if fd.0 as u64 >= limit {
             return Err(Errno::Ebadf);
         }

@@ -10,14 +10,13 @@
 use crate::error::{Errno, KResult};
 use crate::pipe::PipeId;
 use crate::vfs::Ino;
-use serde::{Deserialize, Serialize};
 
 /// Index of an open file description in the kernel table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OfdId(pub u32);
 
 /// Status flags of an open file description.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpenFlags {
     /// Opened for reading.
     pub read: bool,
@@ -157,6 +156,21 @@ impl OfdTable {
     /// Number of live descriptions.
     pub fn live(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over live `(id, description)` pairs (invariant checking).
+    pub fn iter(&self) -> impl Iterator<Item = (OfdId, &OpenFile)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (OfdId(i as u32), f)))
+    }
+}
+
+impl OpenFile {
+    /// Current reference count.
+    pub fn ref_count(&self) -> u32 {
+        self.refs
     }
 }
 

@@ -30,9 +30,9 @@ impl Kernel {
         self.ensure_alive(pid)?;
         self.charge_syscall();
         let cwd = self.process(pid)?.cwd;
-        let ino = match self.vfs.resolve(path, cwd) {
-            Ok(i) => i,
-            Err(Errno::Enoent) if create => self.vfs.create(path, cwd, Vec::new())?,
+        let (ino, created) = match self.vfs.resolve(path, cwd) {
+            Ok(i) => (i, false),
+            Err(Errno::Enoent) if create => (self.vfs.create(path, cwd, Vec::new())?, true),
             Err(e) => return Err(e),
         };
         let limit = self.nofile(pid)?;
@@ -48,6 +48,11 @@ impl Kernel {
             Ok(fd) => Ok(fd),
             Err(e) => {
                 self.ofds.decref(ofd)?;
+                if created {
+                    // The inode exists only because this call created it;
+                    // a failed open must not leave it behind.
+                    let _ = self.vfs.unlink(path, cwd);
+                }
                 Err(e)
             }
         }
@@ -97,7 +102,15 @@ impl Kernel {
             ofd: entry.ofd,
             cloexec: false,
         };
-        let displaced = self.process_mut(pid)?.fds.install_at(new, fresh, limit)?;
+        let displaced = match self.process_mut(pid)?.fds.install_at(new, fresh, limit) {
+            Ok(d) => d,
+            Err(e) => {
+                // The reference taken above was never installed; `old`
+                // still holds one, so this cannot destroy the description.
+                self.ofds.decref(entry.ofd)?;
+                return Err(e);
+            }
+        };
         if let Some(d) = displaced {
             release_entry(&mut self.ofds, &mut self.pipes, d)?;
         }
@@ -128,13 +141,24 @@ impl Kernel {
             .ofds
             .insert(FileObject::PipeWrite(id), OpenFlags::WRONLY);
         let p = self.process_mut(pid)?;
-        let r = p.fds.install(
+        let r = match p.fds.install(
             FdEntry {
                 ofd: r_ofd,
                 cloexec: false,
             },
             limit,
-        )?;
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                // Neither end was installed: unwind both descriptions and
+                // the pipe itself.
+                self.ofds.decref(r_ofd)?;
+                self.pipes.drop_end(id, false)?;
+                self.ofds.decref(w_ofd)?;
+                self.pipes.drop_end(id, true)?;
+                return Err(e);
+            }
+        };
         let w = match p.fds.install(
             FdEntry {
                 ofd: w_ofd,

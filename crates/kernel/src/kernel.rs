@@ -376,6 +376,9 @@ impl Kernel {
 
     /// Duplicates `pid`'s descriptor table for a child: every entry takes
     /// a reference on its open file description, and pipe end counts grow.
+    ///
+    /// All-or-nothing: a mid-copy failure releases every reference already
+    /// taken, so on `Err` the OFD table is exactly as before the call.
     pub fn clone_fd_table(&mut self, pid: Pid) -> KResult<FdTable> {
         let entries: Vec<(Fd, FdEntry)> = self.process(pid)?.fds.iter().collect();
         let mut table = FdTable::new();
@@ -383,10 +386,80 @@ impl Kernel {
             // Shares the description (and therefore the offset); pipe end
             // counts follow descriptions, not descriptors, so they are
             // untouched here.
-            self.ofds.incref(entry.ofd)?;
-            table.install_at(fd, entry, u64::MAX)?;
+            let step = self
+                .ofds
+                .incref(entry.ofd)
+                .and_then(|()| match table.install_at(fd, entry, u64::MAX) {
+                    Ok(_) => Ok(()),
+                    Err(e) => {
+                        let survived = self.ofds.decref(entry.ofd).expect("ref just taken");
+                        debug_assert!(survived.is_none(), "parent still holds a reference");
+                        Err(e)
+                    }
+                });
+            if let Err(e) = step {
+                // Unwind references taken for earlier entries. The parent
+                // still references each description, so none can reach zero.
+                for e2 in table.drain() {
+                    let survived = self.ofds.decref(e2.ofd).expect("ref taken above");
+                    debug_assert!(survived.is_none());
+                }
+                return Err(e);
+            }
         }
         Ok(table)
+    }
+
+    /// Rolls back a process created by [`Kernel::allocate_process`] whose
+    /// population failed partway. Unlike `exit`, this is not a lifecycle
+    /// event: no streams flush, no `SIGCHLD` fires, no zombie is left —
+    /// the child simply ceases to exist and every resource it held
+    /// (descriptors, address space, commit charge, PID, scheduler slot,
+    /// per-uid process accounting) returns to its pre-creation state.
+    pub fn abort_process_creation(&mut self, child: Pid) -> KResult<()> {
+        // Release descriptors the child already received.
+        let entries = self.process_mut(child)?.fds.drain();
+        for e in entries {
+            crate::io::release_entry(&mut self.ofds, &mut self.pipes, e)?;
+        }
+        // Release its memory, or return a vfork borrow to the lender.
+        let space_ref = self.process(child)?.space_ref.clone();
+        match space_ref {
+            crate::task::SpaceRef::Owned => {
+                let commit = self.process(child)?.aspace.commit_pages();
+                {
+                    let Kernel {
+                        phys,
+                        cycles,
+                        procs,
+                        ..
+                    } = self;
+                    let p = procs.get_mut(&child).ok_or(Errno::Esrch)?;
+                    p.aspace.destroy(phys, cycles);
+                }
+                self.commit.release(commit);
+            }
+            crate::task::SpaceRef::BorrowedFrom(parent) => {
+                self.vfork_return(parent, child)?;
+            }
+        }
+        // Unlink from the scheduler, the parent, accounting, and the PID
+        // space.
+        self.sched.remove_process(child);
+        self.clear_alarms(child);
+        let (ppid, uid) = {
+            let p = self.process(child)?;
+            (p.ppid, p.cred.uid)
+        };
+        if let Some(pp) = self.procs.get_mut(&ppid) {
+            pp.children.retain(|c| *c != child);
+        }
+        if let Some(c) = self.user_counts.get_mut(&uid) {
+            *c = c.saturating_sub(1);
+        }
+        self.procs.remove(&child);
+        self.pids.free(child);
+        Ok(())
     }
 
     /// Duplicates `pid`'s address space with fork semantics, charging the

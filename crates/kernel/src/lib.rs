@@ -21,6 +21,7 @@ pub mod cred;
 pub mod error;
 pub mod fdtable;
 pub mod file;
+pub mod invariants;
 pub mod io;
 pub mod kernel;
 pub mod lifecycle;
@@ -45,6 +46,7 @@ pub use cred::{Caps, Credentials};
 pub use error::{Errno, KResult};
 pub use fdtable::{Fd, FdEntry, FdTable, STDERR, STDIN, STDOUT};
 pub use file::{FileObject, OfdId, OpenFlags};
+pub use invariants::KernelBaseline;
 pub use io::ReadResult;
 pub use kernel::{Kernel, MachineConfig};
 pub use lifecycle::OOM_EXIT_STATUS;

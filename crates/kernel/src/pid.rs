@@ -1,15 +1,15 @@
 //! Process and thread identifier allocation.
 
 use crate::error::{Errno, KResult};
-use serde::{Deserialize, Serialize};
+use fpr_faults::FaultSite;
 use std::collections::BTreeSet;
 
 /// A process identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub u32);
 
 /// A thread identifier, unique within the whole machine (like Linux TIDs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tid(pub u64);
 
 impl std::fmt::Display for Pid {
@@ -19,7 +19,7 @@ impl std::fmt::Display for Pid {
 }
 
 /// Allocates PIDs with wraparound and recycling, like Linux's pid bitmap.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PidAllocator {
     next: u32,
     max: u32,
@@ -41,6 +41,7 @@ impl PidAllocator {
     /// Fails with [`Errno::Eagain`] when the PID space is exhausted —
     /// the error a fork bomb eventually sees.
     pub fn alloc(&mut self) -> KResult<Pid> {
+        fpr_faults::cross(FaultSite::PidAlloc).map_err(|_| Errno::Eagain)?;
         if self.in_use.len() as u32 >= self.max {
             return Err(Errno::Eagain);
         }
@@ -82,7 +83,7 @@ impl PidAllocator {
 }
 
 /// Allocates machine-wide thread IDs monotonically.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TidAllocator {
     next: u64,
 }

@@ -7,7 +7,7 @@ use std::collections::VecDeque;
 pub const PIPE_CAPACITY: usize = 64 * 1024;
 
 /// Index of a pipe in the kernel pipe table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipeId(pub u32);
 
 /// One pipe: a byte queue plus open-end counts.
@@ -96,6 +96,14 @@ impl PipeTable {
             .get(id.0 as usize)
             .and_then(|s| s.as_ref())
             .ok_or(Errno::Ebadf)
+    }
+
+    /// Iterates over live `(id, pipe)` pairs (invariant checking).
+    pub fn iter(&self) -> impl Iterator<Item = (PipeId, &Pipe)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (PipeId(i as u32), p)))
     }
 
     /// Writes bytes to the pipe. Returns bytes accepted; 0 means the

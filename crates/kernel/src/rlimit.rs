@@ -1,9 +1,8 @@
 //! Per-process resource limits (`setrlimit`-style).
 
-use serde::{Deserialize, Serialize};
 
 /// A single limit: soft (enforced) and hard (ceiling for raising soft).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rlimit {
     /// Currently enforced value.
     pub soft: u64,
@@ -25,7 +24,7 @@ impl Rlimit {
 }
 
 /// The resources the simulator enforces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resource {
     /// Maximum simultaneous processes per real user (`RLIMIT_NPROC`) —
     /// the classic fork-bomb containment knob.
@@ -39,7 +38,7 @@ pub enum Resource {
 }
 
 /// The full limit set of a process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RlimitSet {
     nproc: Rlimit,
     nofile: Rlimit,

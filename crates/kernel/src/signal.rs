@@ -5,10 +5,9 @@
 //! keeping ignored ones ignored. Both rules are POSIX special cases the
 //! paper cites, and both are exercised by the API tests.
 
-use serde::{Deserialize, Serialize};
 
 /// Signal numbers (a practical subset).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sig {
     /// Hangup.
     Hup,
@@ -92,11 +91,11 @@ pub enum DefaultAction {
 
 /// A registered handler, identified by a token (the simulator does not
 /// execute user code; tests assert on tokens).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HandlerId(pub u64);
 
 /// Disposition of one signal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Disposition {
     /// Default action.
     Default,
@@ -107,7 +106,7 @@ pub enum Disposition {
 }
 
 /// Per-process signal state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SignalState {
     dispositions: [Disposition; ALL_SIGS.len()],
     /// Bitmask of pending signals.

@@ -8,10 +8,9 @@
 //! abstractions; experiment E6 measures the duplicated bytes.
 
 use crate::fdtable::Fd;
-use serde::{Deserialize, Serialize};
 
 /// Buffering discipline of a stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BufMode {
     /// Flush on every write (`_IONBF`).
     Unbuffered,
@@ -22,7 +21,7 @@ pub enum BufMode {
 }
 
 /// A user-space buffered output stream bound to a descriptor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UserStream {
     /// Descriptor the stream writes through.
     pub fd: Fd,

@@ -11,14 +11,13 @@
 
 use crate::error::{Errno, KResult};
 use crate::pid::Tid;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a lock within one process (e.g. the malloc arena lock).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LockId(pub u32);
 
 /// One mutex with owner tracking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimLock {
     /// Stable identifier.
     pub id: LockId,
@@ -29,7 +28,7 @@ pub struct SimLock {
 }
 
 /// The set of userspace locks in one process image.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LockTable {
     locks: Vec<SimLock>,
 }

@@ -2,10 +2,9 @@
 
 use crate::pid::Tid;
 use crate::sync::LockId;
-use serde::{Deserialize, Serialize};
 
 /// Scheduling state of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Eligible to run.
     Runnable,
@@ -22,7 +21,7 @@ pub enum ThreadState {
 }
 
 /// One thread.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Thread {
     /// Machine-wide thread id.
     pub tid: Tid,

@@ -1,13 +1,12 @@
 //! Virtual time, derived from the cycle counter.
 
 use fpr_mem::CYCLES_PER_US;
-use serde::{Deserialize, Serialize};
 
 /// A monotonic virtual clock.
 ///
 /// The kernel advances it from the cycle accumulator so that simulated
 /// timestamps are deterministic across runs and machines.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Clock {
     ns: u64,
 }

@@ -139,6 +139,7 @@ impl Vfs {
 
     /// Creates a directory.
     pub fn mkdir(&mut self, path: &str, cwd: Ino) -> KResult<Ino> {
+        fpr_faults::cross(fpr_faults::FaultSite::VfsOp).map_err(|_| Errno::Enomem)?;
         let (parent, name) = self.resolve_parent(path, cwd)?;
         let ino = self.alloc_ino();
         let dir = self.inode_mut(parent)?;
@@ -166,6 +167,7 @@ impl Vfs {
 
     /// Creates a regular file with `data`, failing if it already exists.
     pub fn create(&mut self, path: &str, cwd: Ino, data: Vec<u8>) -> KResult<Ino> {
+        fpr_faults::cross(fpr_faults::FaultSite::VfsOp).map_err(|_| Errno::Enomem)?;
         let (parent, name) = self.resolve_parent(path, cwd)?;
         let ino = self.alloc_ino();
         let dir = self.inode_mut(parent)?;

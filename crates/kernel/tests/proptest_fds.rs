@@ -1,10 +1,13 @@
-//! Model-based property tests for the descriptor layer: the kernel's
+//! Model-based randomized tests for the descriptor layer: the kernel's
 //! fd-table/OFD/pipe machinery is driven with random syscall sequences
-//! and compared against a trivially correct in-memory model.
+//! and compared against a trivially correct in-memory model. Cases
+//! derive from explicit `fpr_rng` seeds, so any failure replays exactly.
 
 use fpr_kernel::{Errno, Fd, Kernel, OpenFlags, Pid, ReadResult};
-use proptest::prelude::*;
+use fpr_rng::Rng;
 use std::collections::HashMap;
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum FdOp {
@@ -19,20 +22,32 @@ enum FdOp {
     SetCloexec(u8, bool),
 }
 
-fn op_strategy() -> impl Strategy<Value = FdOp> {
-    prop_oneof![
-        Just(FdOp::Open),
-        any::<u8>().prop_map(FdOp::Close),
-        any::<u8>().prop_map(FdOp::Dup),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| FdOp::Dup2(a, b)),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..16))
-            .prop_map(|(fd, d)| FdOp::WriteFd(fd, d)),
-        Just(FdOp::Pipe),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..16))
-            .prop_map(|(fd, d)| FdOp::PipeWrite(fd, d)),
-        (any::<u8>(), 1u8..32).prop_map(|(fd, n)| FdOp::PipeRead(fd, n)),
-        (any::<u8>(), any::<bool>()).prop_map(|(fd, b)| FdOp::SetCloexec(fd, b)),
-    ]
+fn gen_bytes(rng: &mut Rng, lo: u64, hi: u64) -> Vec<u8> {
+    (0..rng.gen_range(lo, hi))
+        .map(|_| rng.gen_u64() as u8)
+        .collect()
+}
+
+fn gen_op(rng: &mut Rng) -> FdOp {
+    match rng.gen_below(9) {
+        0 => FdOp::Open,
+        1 => FdOp::Close(rng.gen_u64() as u8),
+        2 => FdOp::Dup(rng.gen_u64() as u8),
+        3 => FdOp::Dup2(rng.gen_u64() as u8, rng.gen_u64() as u8),
+        4 => {
+            let fd = rng.gen_u64() as u8;
+            let data = gen_bytes(rng, 0, 16);
+            FdOp::WriteFd(fd, data)
+        }
+        5 => FdOp::Pipe,
+        6 => {
+            let fd = rng.gen_u64() as u8;
+            let data = gen_bytes(rng, 1, 16);
+            FdOp::PipeWrite(fd, data)
+        }
+        7 => FdOp::PipeRead(rng.gen_u64() as u8, rng.gen_range(1, 32) as u8),
+        _ => FdOp::SetCloexec(rng.gen_u64() as u8, rng.gen_bool(0.5)),
+    }
 }
 
 /// What the model believes a descriptor is.
@@ -44,14 +59,15 @@ enum ModelFd {
     Tty { writable: bool },
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The kernel's descriptor table agrees with a naive model about which
+/// descriptors are open and what kind of object they reference, and pipe
+/// data is FIFO-exact.
+#[test]
+fn fd_layer_matches_model() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xFD_0000 + case);
+        let ops: Vec<FdOp> = (0..rng.gen_range(1, 60)).map(|_| gen_op(&mut rng)).collect();
 
-    /// The kernel's descriptor table agrees with a naive model about
-    /// which descriptors are open and what kind of object they reference,
-    /// and pipe data is FIFO-exact.
-    #[test]
-    fn fd_layer_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
         let mut k = Kernel::boot();
         let init: Pid = k.create_init("init").unwrap();
         // The model mirrors descriptors; stdio 0..2 are Tty.
@@ -72,14 +88,14 @@ proptest! {
                     let path = format!("/f{file_counter}");
                     let fd = k.open(init, &path, OpenFlags::RDWR, true).unwrap();
                     let expect = lowest_free(&model);
-                    prop_assert_eq!(fd.0, expect, "POSIX lowest-fd rule");
+                    assert_eq!(fd.0, expect, "case {case}: POSIX lowest-fd rule");
                     model.insert(fd.0, ModelFd::File { written: Vec::new() });
                 }
                 FdOp::Close(fd) => {
                     let r = k.close(init, Fd(fd as u32));
                     match model.remove(&(fd as u32)) {
-                        Some(_) => prop_assert!(r.is_ok()),
-                        None => prop_assert_eq!(r, Err(Errno::Ebadf)),
+                        Some(_) => assert!(r.is_ok(), "case {case}"),
+                        None => assert_eq!(r, Err(Errno::Ebadf), "case {case}"),
                     }
                 }
                 FdOp::Dup(fd) => {
@@ -88,10 +104,10 @@ proptest! {
                         Some(obj) => {
                             let new = r.unwrap();
                             let expect = lowest_free(&model);
-                            prop_assert_eq!(new.0, expect);
+                            assert_eq!(new.0, expect, "case {case}");
                             model.insert(new.0, obj);
                         }
-                        None => prop_assert_eq!(r, Err(Errno::Ebadf)),
+                        None => assert_eq!(r, Err(Errno::Ebadf), "case {case}"),
                     }
                 }
                 FdOp::Dup2(old, newfd) => {
@@ -100,35 +116,38 @@ proptest! {
                     let r = k.dup2(init, Fd(old as u32), Fd(newfd));
                     match model.get(&(old as u32)).cloned() {
                         Some(obj) => {
-                            prop_assert_eq!(r, Ok(Fd(newfd)));
+                            assert_eq!(r, Ok(Fd(newfd)), "case {case}");
                             model.insert(newfd, obj);
                         }
-                        None => prop_assert_eq!(r, Err(Errno::Ebadf)),
+                        None => assert_eq!(r, Err(Errno::Ebadf), "case {case}"),
                     }
                 }
                 FdOp::WriteFd(fd, data) => {
                     let r = k.write_fd(init, Fd(fd as u32), &data);
                     match model.get_mut(&(fd as u32)) {
                         Some(ModelFd::File { written }) => {
-                            prop_assert_eq!(r, Ok(data.len()));
+                            assert_eq!(r, Ok(data.len()), "case {case}");
                             // Offset is shared through dups; the model only
                             // tracks total bytes for files written through
                             // a single descriptor chain, so just extend.
                             written.extend_from_slice(&data);
                         }
                         Some(ModelFd::Tty { writable: true }) => {
-                            prop_assert_eq!(r, Ok(data.len()));
+                            assert_eq!(r, Ok(data.len()), "case {case}");
                         }
                         Some(ModelFd::Tty { writable: false }) => {
-                            prop_assert_eq!(r, Err(Errno::Ebadf));
+                            assert_eq!(r, Err(Errno::Ebadf), "case {case}");
                         }
                         Some(ModelFd::PipeW(p)) => {
                             let accepted = r.unwrap();
                             let p = *p;
-                            pipe_bufs.get_mut(&p).unwrap().extend_from_slice(&data[..accepted]);
+                            pipe_bufs
+                                .get_mut(&p)
+                                .unwrap()
+                                .extend_from_slice(&data[..accepted]);
                         }
-                        Some(ModelFd::PipeR(_)) => prop_assert_eq!(r, Err(Errno::Ebadf)),
-                        None => prop_assert_eq!(r, Err(Errno::Ebadf)),
+                        Some(ModelFd::PipeR(_)) => assert_eq!(r, Err(Errno::Ebadf), "case {case}"),
+                        None => assert_eq!(r, Err(Errno::Ebadf), "case {case}"),
                     }
                 }
                 FdOp::Pipe => {
@@ -137,14 +156,17 @@ proptest! {
                     model.insert(a, ModelFd::PipeR(next_pipe));
                     let b = lowest_free(&model);
                     model.insert(b, ModelFd::PipeW(next_pipe));
-                    prop_assert_eq!((r.0, w.0), (a, b));
+                    assert_eq!((r.0, w.0), (a, b), "case {case}");
                     pipe_bufs.insert(next_pipe, Vec::new());
                     next_pipe += 1;
                 }
                 FdOp::PipeWrite(fd, data) => {
                     if let Some(ModelFd::PipeW(p)) = model.get(&(fd as u32)).cloned() {
                         let accepted = k.write_fd(init, Fd(fd as u32), &data).unwrap();
-                        pipe_bufs.get_mut(&p).unwrap().extend_from_slice(&data[..accepted]);
+                        pipe_bufs
+                            .get_mut(&p)
+                            .unwrap()
+                            .extend_from_slice(&data[..accepted]);
                     }
                 }
                 FdOp::PipeRead(fd, n) => {
@@ -152,44 +174,44 @@ proptest! {
                         match k.read_fd(init, Fd(fd as u32), n as usize).unwrap() {
                             ReadResult::Data(d) => {
                                 let buf = pipe_bufs.get_mut(&p).unwrap();
-                                prop_assert!(d.len() <= buf.len());
+                                assert!(d.len() <= buf.len(), "case {case}");
                                 let expect: Vec<u8> = buf.drain(..d.len()).collect();
-                                prop_assert_eq!(d, expect, "pipe is FIFO-exact");
+                                assert_eq!(d, expect, "case {case}: pipe is FIFO-exact");
                             }
                             ReadResult::WouldBlock => {
-                                prop_assert!(pipe_bufs[&p].is_empty());
+                                assert!(pipe_bufs[&p].is_empty(), "case {case}");
                                 let writers = model
                                     .values()
                                     .filter(|m| matches!(m, ModelFd::PipeW(q) if *q == p))
                                     .count();
-                                prop_assert!(writers > 0, "no writers should mean EOF");
+                                assert!(writers > 0, "case {case}: no writers should mean EOF");
                             }
                             ReadResult::Eof => {
-                                prop_assert!(pipe_bufs[&p].is_empty());
+                                assert!(pipe_bufs[&p].is_empty(), "case {case}");
                                 let writers = model
                                     .values()
                                     .filter(|m| matches!(m, ModelFd::PipeW(q) if *q == p))
                                     .count();
-                                prop_assert_eq!(writers, 0, "EOF only once writers are gone");
+                                assert_eq!(writers, 0, "case {case}: EOF only once writers gone");
                             }
                         }
                     }
                 }
                 FdOp::SetCloexec(fd, b) => {
                     let r = k.set_cloexec(init, Fd(fd as u32), b);
-                    prop_assert_eq!(r.is_ok(), model.contains_key(&(fd as u32)));
+                    assert_eq!(r.is_ok(), model.contains_key(&(fd as u32)), "case {case}");
                 }
             }
             // Global invariant: open count matches the model.
-            prop_assert_eq!(
+            assert_eq!(
                 k.process(init).unwrap().fds.open_count(),
                 model.len(),
-                "open-descriptor count diverged"
+                "case {case}: open-descriptor count diverged"
             );
         }
         // Teardown closes everything and leaks nothing.
         k.exit(init, 0).unwrap();
-        prop_assert_eq!(k.ofds.live(), 0);
-        prop_assert_eq!(k.pipes.live(), 0);
+        assert_eq!(k.ofds.live(), 0, "case {case}");
+        assert_eq!(k.pipes.live(), 0, "case {case}");
     }
 }

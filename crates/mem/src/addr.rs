@@ -5,7 +5,6 @@
 //! bare `u64`s keeps physical and virtual quantities from being mixed up at
 //! compile time.
 
-use serde::{Deserialize, Serialize};
 
 /// Base-2 logarithm of the page size.
 pub const PAGE_SHIFT: u64 = 12;
@@ -21,19 +20,19 @@ pub const VA_BITS: u64 = 48;
 pub const USER_VA_END: u64 = 1 << (VA_BITS - 1);
 
 /// A physical byte address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysAddr(pub u64);
 
 /// A virtual byte address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtAddr(pub u64);
 
 /// A physical frame number (physical address >> [`PAGE_SHIFT`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pfn(pub u64);
 
 /// A virtual page number (virtual address >> [`PAGE_SHIFT`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vpn(pub u64);
 
 impl PhysAddr {

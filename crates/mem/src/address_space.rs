@@ -15,11 +15,11 @@ use crate::phys::PhysMemory;
 use crate::pte::{Pte, PteFlags};
 use crate::tlb::TlbModel;
 use crate::vma::{Backing, Share, VmArea, VmaKind};
-use serde::{Deserialize, Serialize};
+use fpr_faults::FaultSite;
 use std::collections::BTreeMap;
 
 /// How fork duplicates private pages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ForkMode {
     /// Copy-on-write: share frames read-only, copy on first write.
     Cow,
@@ -29,7 +29,7 @@ pub enum ForkMode {
 }
 
 /// Counters describing the work an address space has performed.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct AsStats {
     /// Demand-zero / file-fill faults served.
     pub demand_faults: u64,
@@ -136,7 +136,16 @@ impl AddressSpace {
         let pages = area.pages;
         self.vmas.insert(area.start.0, area);
         if eager_shared {
-            self.populate(start, pages, phys, cycles)?;
+            if let Err(e) = self.populate(start, pages, phys, cycles) {
+                // Roll back the partial population and the VMA record so a
+                // failed mmap leaves the space untouched.
+                for (vpn, pte) in self.pt.leaves_in_range(start, pages) {
+                    self.pt.unmap(vpn).expect("leaf just enumerated");
+                    phys.dec_ref(pte.pfn, cycles).expect("frame just installed");
+                }
+                self.vmas.remove(&start.0);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -386,6 +395,12 @@ impl AddressSpace {
         self.pt.translate(vpn)
     }
 
+    /// Visits every resident page with its PTE, in ascending VPN order
+    /// (verification aid for kernel-wide invariant checks).
+    pub fn for_each_resident(&self, f: impl FnMut(Vpn, Pte)) {
+        self.pt.for_each_leaf(f)
+    }
+
     /// Tears down the whole space, releasing every frame. Must be called
     /// before dropping the space (frames are owned by [`PhysMemory`]).
     pub fn destroy(&mut self, phys: &mut PhysMemory, cycles: &mut Cycles) {
@@ -414,6 +429,16 @@ impl AddressSpace {
     ///
     /// `MADV_DONTFORK` mappings are skipped, `MADV_WIPEONFORK` mappings are
     /// inherited empty, and `MAP_SHARED` mappings alias the same frames.
+    ///
+    /// # Transactionality
+    ///
+    /// `fork_from` is all-or-nothing. A mid-walk failure (frame or
+    /// page-table-node exhaustion, injected fault) rolls back completely:
+    /// every PTE the parent had downgraded to COW is restored to its
+    /// original flags, and the partially-built child is destroyed, which
+    /// drops every reference count it took. On `Err`, the parent and
+    /// [`PhysMemory`] are exactly as they were before the call (cycle
+    /// charges for work attempted are kept — time was really spent).
     pub fn fork_from(
         parent: &mut AddressSpace,
         mode: ForkMode,
@@ -423,14 +448,54 @@ impl AddressSpace {
         cpus_running: u32,
     ) -> MemResult<AddressSpace> {
         let mut child = AddressSpace::new();
+        // Undo log: parent PTEs downgraded to COW, with their original
+        // value, in case the walk fails partway.
+        let mut downgrades: Vec<(Vpn, Pte)> = Vec::new();
+        let result = Self::fork_walk(parent, &mut child, &mut downgrades, mode, phys, cycles);
         let cost = phys.cost().clone();
-        let mut parent_downgraded = false;
+        match result {
+            Ok(()) => {
+                if !downgrades.is_empty() || mode == ForkMode::Eager {
+                    // The parent's mappings changed (COW) or its pages were
+                    // read via their kernel mappings (eager); either way
+                    // stale translations must be flushed everywhere the
+                    // parent runs.
+                    tlb.shootdown(cpus_running, cycles, &cost);
+                }
+                Ok(child)
+            }
+            Err(e) => {
+                // Roll back: restore the parent's downgraded PTEs (a
+                // permission upgrade, so no shootdown needed — stale
+                // read-only translations fault and retry), then tear down
+                // the partial child, releasing every frame reference it
+                // took.
+                for (vpn, orig) in downgrades {
+                    parent.pt.update(vpn, orig).expect("downgraded leaf still mapped");
+                }
+                child.destroy(phys, cycles);
+                Err(e)
+            }
+        }
+    }
 
+    /// The fallible body of [`AddressSpace::fork_from`]: clones VMAs and
+    /// PTEs into `child`, recording parent downgrades in `downgrades`.
+    fn fork_walk(
+        parent: &mut AddressSpace,
+        child: &mut AddressSpace,
+        downgrades: &mut Vec<(Vpn, Pte)>,
+        mode: ForkMode,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        let cost = phys.cost().clone();
         let parent_vmas: Vec<VmArea> = parent.vmas.values().cloned().collect();
         for vma in parent_vmas {
             if vma.fork_policy.dont_fork {
                 continue;
             }
+            fpr_faults::cross(FaultSite::VmaClone).map_err(|_| MemError::OutOfMemory)?;
             cycles.charge(cost.vma_clone);
             parent.stats.vmas_cloned += 1;
             child.vmas.insert(vma.start.0, vma.clone());
@@ -444,12 +509,18 @@ impl AddressSpace {
                 match (vma.share, mode) {
                     (Share::Shared, _) => {
                         phys.inc_ref(pte.pfn)?;
-                        child.pt.map(vpn, pte, cycles, &cost)?;
+                        if let Err(e) = child.pt.map(vpn, pte, cycles, &cost) {
+                            phys.dec_ref(pte.pfn, cycles).expect("ref just taken");
+                            return Err(e);
+                        }
                     }
                     (Share::Private, ForkMode::Eager) => {
                         let new = phys.copy_frame(pte.pfn, cycles)?;
                         parent.stats.pages_eager_copied += 1;
-                        child.pt.map(vpn, Pte { pfn: new, ..pte }, cycles, &cost)?;
+                        if let Err(e) = child.pt.map(vpn, Pte { pfn: new, ..pte }, cycles, &cost) {
+                            phys.dec_ref(new, cycles).expect("frame just copied");
+                            return Err(e);
+                        }
                     }
                     (Share::Private, ForkMode::Cow) => {
                         phys.inc_ref(pte.pfn)?;
@@ -457,22 +528,19 @@ impl AddressSpace {
                         if cow.is_writable() || cow.is_cow() {
                             cow.flags = cow.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
                         }
-                        child.pt.map(vpn, cow, cycles, &cost)?;
+                        if let Err(e) = child.pt.map(vpn, cow, cycles, &cost) {
+                            phys.dec_ref(pte.pfn, cycles).expect("ref just taken");
+                            return Err(e);
+                        }
                         if pte.is_writable() {
                             parent.pt.update(vpn, cow).expect("leaf just enumerated");
-                            parent_downgraded = true;
+                            downgrades.push((vpn, pte));
                         }
                     }
                 }
             }
         }
-        if parent_downgraded || mode == ForkMode::Eager {
-            // The parent's mappings changed (COW) or its pages were read
-            // via their kernel mappings (eager); either way stale
-            // translations must be flushed everywhere the parent runs.
-            tlb.shootdown(cpus_running, cycles, &cost);
-        }
-        Ok(child)
+        Ok(())
     }
 }
 

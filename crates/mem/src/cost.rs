@@ -13,7 +13,6 @@
 //! All costs are expressed in CPU cycles of a nominal 3 GHz core, so
 //! 3_000 cycles ≈ 1 µs.
 
-use serde::{Deserialize, Serialize};
 
 /// Nominal simulated clock frequency in cycles per microsecond.
 pub const CYCLES_PER_US: u64 = 3_000;
@@ -23,7 +22,7 @@ pub const CYCLES_PER_US: u64 = 3_000;
 /// The defaults model a contemporary x86-64 server; individual fields can
 /// be overridden to run ablations (e.g. zeroing `tlb_shootdown_per_cpu`
 /// isolates the cost of remote TLB invalidation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Copying one leaf PTE during fork (read, write, COW-mark both sides).
     pub pte_copy: u64,
@@ -100,7 +99,7 @@ impl CostModel {
 /// Every memory and kernel operation charges cycles here; experiment
 /// harnesses read [`Cycles::total`] before and after an operation to obtain
 /// its deterministic simulated latency.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Cycles {
     total: u64,
 }

@@ -14,10 +14,9 @@ use crate::phys::PhysMemory;
 use crate::pte::{Pte, PteFlags};
 use crate::tlb::TlbModel;
 use crate::vma::Share;
-use serde::{Deserialize, Serialize};
 
 /// What the fault handler did to satisfy an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultOutcome {
     /// No fault: the translation was already valid for the access.
     Hit,
@@ -57,7 +56,12 @@ impl AddressSpace {
         }
         let pte = Pte::new(pfn, flags);
         let cost = phys.cost().clone();
-        self.pt.map(vpn, pte, cycles, &cost)?;
+        if let Err(e) = self.pt.map(vpn, pte, cycles, &cost) {
+            // The freshly filled frame was never mapped; free it or the
+            // failed fault leaks a frame.
+            phys.dec_ref(pfn, cycles).expect("frame allocated above");
+            return Err(e);
+        }
         self.stats.demand_faults += 1;
         Ok(pte)
     }

@@ -8,10 +8,10 @@
 //! reproduces Linux's three `vm.overcommit_memory` modes.
 
 use crate::error::{MemError, MemResult};
-use serde::{Deserialize, Serialize};
+use fpr_faults::FaultSite;
 
 /// Overcommit policy, mirroring Linux `vm.overcommit_memory`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OvercommitPolicy {
     /// Mode 2 (`never`): commit charge is capped at
     /// `total_frames * ratio`. Fork fails up front if the child's charge
@@ -30,7 +30,7 @@ pub enum OvercommitPolicy {
 }
 
 /// Tracks committed (charged) pages against a policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CommitAccount {
     policy: OvercommitPolicy,
     total_frames: u64,
@@ -62,10 +62,22 @@ impl CommitAccount {
         self.policy = policy;
     }
 
+    /// The maximum chargeable commit under the current policy, when the
+    /// policy bounds it (`Never` mode only).
+    pub fn limit(&self) -> Option<u64> {
+        match self.policy {
+            OvercommitPolicy::Never { ratio } => {
+                Some((self.total_frames as f64 * ratio) as u64)
+            }
+            OvercommitPolicy::Heuristic | OvercommitPolicy::Always => None,
+        }
+    }
+
     /// Attempts to charge `pages` of new commit, given `free_frames`
     /// currently free. Fails with [`MemError::CommitLimit`] when the
     /// policy refuses.
     pub fn charge(&mut self, pages: u64, free_frames: u64) -> MemResult<()> {
+        fpr_faults::cross(FaultSite::CommitCharge).map_err(|_| MemError::CommitLimit)?;
         let ok = match self.policy {
             OvercommitPolicy::Never { ratio } => {
                 let limit = (self.total_frames as f64 * ratio) as u64;

@@ -11,6 +11,7 @@ use crate::addr::{Vpn, PT_ENTRIES, PT_LEVELS};
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
 use crate::pte::Pte;
+use fpr_faults::FaultSite;
 
 /// One entry of a page-table node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,10 @@ impl PageTable {
         if !vpn.is_user() {
             return Err(MemError::BadAddress);
         }
+        // Injection point: a real kernel can fail to get a frame for an
+        // intermediate node anywhere along the walk. Crossing before any
+        // mutation keeps the table untouched on injected failure.
+        fpr_faults::cross(FaultSite::PtNodeAlloc).map_err(|_| MemError::OutOfMemory)?;
         let mut node = self.root;
         for level in (1..PT_LEVELS).rev() {
             let idx = vpn.pt_index(level);

@@ -13,6 +13,7 @@ use crate::addr::Pfn;
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
 use crate::frame::{BitmapFrameAllocator, FrameAllocator};
+use fpr_faults::FaultSite;
 use std::collections::HashMap;
 
 /// Per-frame metadata: COW reference count and logical content.
@@ -74,6 +75,7 @@ impl PhysMemory {
 
     /// Allocates a zeroed frame with reference count 1.
     pub fn alloc_zeroed(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
+        fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
         let pfn = self.alloc.alloc()?;
         cycles.charge(self.cost.frame_alloc + self.cost.page_zero);
         self.meta.insert(
@@ -90,6 +92,7 @@ impl PhysMemory {
     /// Allocates a frame holding `content` with reference count 1,
     /// charging a file-read rather than a zero-fill.
     pub fn alloc_filled(&mut self, content: u64, cycles: &mut Cycles) -> MemResult<Pfn> {
+        fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
         let pfn = self.alloc.alloc()?;
         cycles.charge(self.cost.frame_alloc + self.cost.file_read_page);
         self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
@@ -100,6 +103,7 @@ impl PhysMemory {
     /// Allocates a new frame that duplicates `src`'s content (COW break or
     /// eager fork copy).
     pub fn copy_frame(&mut self, src: Pfn, cycles: &mut Cycles) -> MemResult<Pfn> {
+        fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
         let content = self.content(src)?;
         let pfn = self.alloc.alloc()?;
         cycles.charge(self.cost.frame_alloc + self.cost.page_copy);

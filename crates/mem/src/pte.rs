@@ -1,13 +1,12 @@
 //! Page-table entry representation and flag bits.
 
 use crate::addr::Pfn;
-use serde::{Deserialize, Serialize};
 
 /// Flag bits of a leaf page-table entry.
 ///
 /// Modelled on x86-64: the simulator uses PRESENT/WRITABLE/USER plus a
 /// software COW bit (real kernels stash this in an ignored PTE bit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PteFlags(pub u16);
 
 impl PteFlags {
@@ -62,7 +61,7 @@ impl std::ops::BitOr for PteFlags {
 }
 
 /// A leaf page-table entry: a frame number plus flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pte {
     /// The mapped physical frame.
     pub pfn: Pfn,

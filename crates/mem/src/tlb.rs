@@ -8,10 +8,9 @@
 //! per-remote-CPU cost and counts events for the scaling experiments.
 
 use crate::cost::{CostModel, Cycles};
-use serde::{Deserialize, Serialize};
 
 /// TLB accounting for one simulated machine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TlbModel {
     /// Whether remote shootdowns are charged (ablation toggle).
     pub shootdowns_enabled: bool,

@@ -7,10 +7,9 @@
 //! as a real kernel does.
 
 use crate::addr::Vpn;
-use serde::{Deserialize, Serialize};
 
 /// Access protection of a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Prot {
     /// Reads permitted.
     pub read: bool,
@@ -48,7 +47,7 @@ impl Prot {
 }
 
 /// Sharing mode of a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Share {
     /// `MAP_PRIVATE`: copy-on-write across fork.
     Private,
@@ -57,7 +56,7 @@ pub enum Share {
 }
 
 /// Fork-time policy accreted onto mappings over the years.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ForkPolicy {
     /// `MADV_DONTFORK`: the child does not receive this mapping at all.
     pub dont_fork: bool,
@@ -66,7 +65,7 @@ pub struct ForkPolicy {
 }
 
 /// What backs a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Backing {
     /// Anonymous memory, demand-zeroed.
     Anon,
@@ -81,7 +80,7 @@ pub enum Backing {
 }
 
 /// The role a mapping plays in the process image (for layout & reporting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VmaKind {
     /// Program text.
     Text,
@@ -98,7 +97,7 @@ pub enum VmaKind {
 }
 
 /// A contiguous virtual mapping with uniform policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmArea {
     /// First page of the mapping.
     pub start: Vpn,

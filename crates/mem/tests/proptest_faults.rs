@@ -1,0 +1,148 @@
+//! Fault-plan property tests for the memory substrate.
+//!
+//! Random map/write/fork schedules run under random [`FaultPlan`]s
+//! (seed-driven, like the other proptests — any failure names the seed
+//! and replays exactly). The property: every operation that returns
+//! `Err` — whether from a genuine condition or an injected fault at a
+//! `FrameAlloc`/`PtNodeAlloc`/`VmaClone` crossing — leaves the frame
+//! allocator's used count exactly where it was, and forked-from parents
+//! keep their resident pages. Destroying every space at the end must
+//! return the allocator to zero, so no refcount can drift either way.
+
+use fpr_faults::{with_plan, FaultPlan};
+use fpr_mem::address_space::ForkMode;
+use fpr_mem::cost::{CostModel, Cycles};
+use fpr_mem::phys::PhysMemory;
+use fpr_mem::tlb::TlbModel;
+use fpr_mem::vma::{Prot, VmArea, VmaKind};
+use fpr_mem::{AddressSpace, Vpn};
+use fpr_rng::Rng;
+
+const CASES: u64 = 48;
+const MAX_SPACES: usize = 5;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mmap { space: u64, start: u64, pages: u64 },
+    Write { space: u64, vpn: u64, val: u64 },
+    Fork { space: u64, eager: bool },
+}
+
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.gen_below(5) {
+        0 | 1 => Op::Mmap {
+            space: rng.gen_u64(),
+            start: rng.gen_below(160),
+            pages: rng.gen_range(1, 12),
+        },
+        2 | 3 => Op::Write {
+            space: rng.gen_u64(),
+            vpn: rng.gen_below(160),
+            val: rng.gen_u64(),
+        },
+        _ => Op::Fork {
+            space: rng.gen_u64(),
+            eager: rng.gen_bool(0.3),
+        },
+    }
+}
+
+/// Under a random fault plan, `Err` from any op leaves `used_frames`
+/// untouched and the parent space intact; final teardown reaches zero.
+#[test]
+fn faulty_schedules_never_leak_frames() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xFA_0000 + case);
+        let ops: Vec<Op> = (0..rng.gen_range(10, 60)).map(|_| gen_op(&mut rng)).collect();
+        // ~1 in 6 crossings injected: dense enough to hit every error
+        // path across the case sweep, sparse enough that schedules also
+        // make progress.
+        let plan = FaultPlan::random(rng.gen_u64(), 170);
+        let ((), trace) = with_plan(plan, || {
+            let mut phys = PhysMemory::new(2048, CostModel::default());
+            let mut cy = Cycles::new();
+            let mut tlb = TlbModel::new();
+            let mut spaces = vec![AddressSpace::new()];
+            for (i, op) in ops.iter().enumerate() {
+                let before = phys.used_frames();
+                match op {
+                    Op::Mmap { space, start, pages } => {
+                        let idx = *space as usize % spaces.len();
+                        let s = &mut spaces[idx];
+                        if s.mmap(
+                            VmArea::anon(Vpn(*start), *pages, Prot::RW, VmaKind::Mmap),
+                            &mut phys,
+                            &mut cy,
+                        )
+                        .is_err()
+                        {
+                            assert_eq!(
+                                phys.used_frames(),
+                                before,
+                                "case {case} op {i}: failed mmap leaked frames"
+                            );
+                        }
+                    }
+                    Op::Write { space, vpn, val } => {
+                        let idx = *space as usize % spaces.len();
+                        let s = &mut spaces[idx];
+                        if s.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).is_err() {
+                            assert_eq!(
+                                phys.used_frames(),
+                                before,
+                                "case {case} op {i}: failed write leaked frames"
+                            );
+                        }
+                    }
+                    Op::Fork { space, eager } => {
+                        let idx = *space as usize % spaces.len();
+                        let mode = if *eager { ForkMode::Eager } else { ForkMode::Cow };
+                        let resident_before = spaces[idx].resident_pages();
+                        match AddressSpace::fork_from(
+                            &mut spaces[idx],
+                            mode,
+                            &mut phys,
+                            &mut cy,
+                            &mut tlb,
+                            1,
+                        ) {
+                            Ok(child) => {
+                                if spaces.len() < MAX_SPACES {
+                                    spaces.push(child);
+                                } else {
+                                    let mut child = child;
+                                    child.destroy(&mut phys, &mut cy);
+                                }
+                            }
+                            Err(_) => {
+                                assert_eq!(
+                                    phys.used_frames(),
+                                    before,
+                                    "case {case} op {i}: failed fork leaked frames"
+                                );
+                                assert_eq!(
+                                    spaces[idx].resident_pages(),
+                                    resident_before,
+                                    "case {case} op {i}: failed fork mutated the parent"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            for mut s in spaces {
+                s.destroy(&mut phys, &mut cy);
+            }
+            assert_eq!(
+                phys.used_frames(),
+                0,
+                "case {case}: frames survived full teardown"
+            );
+        });
+        // The plan must actually be exercising error paths, not sleeping.
+        assert!(
+            !trace.is_empty() || case > 0,
+            "fault plan never crossed an instrumented site"
+        );
+    }
+}

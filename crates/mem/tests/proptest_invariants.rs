@@ -1,8 +1,11 @@
-//! Property-based invariants of the memory substrate.
+//! Randomized invariants of the memory substrate.
 //!
-//! These generate random operation sequences and assert the structural
-//! laws the rest of the system depends on: no frame leaks, page-table ↔
-//! VMA consistency, COW isolation, and buddy-allocator geometry.
+//! Seed-driven property tests (the workspace builds without proptest, so
+//! cases derive from an explicit `fpr_rng` seed — any failure names the
+//! seed and replays exactly). They generate random operation sequences
+//! and assert the structural laws the rest of the system depends on: no
+//! frame leaks, page-table ↔ VMA consistency, COW isolation, and buddy
+//! allocator geometry.
 
 use fpr_mem::address_space::ForkMode;
 use fpr_mem::buddy::BuddyAllocator;
@@ -12,7 +15,9 @@ use fpr_mem::phys::PhysMemory;
 use fpr_mem::tlb::TlbModel;
 use fpr_mem::vma::{Prot, VmArea, VmaKind};
 use fpr_mem::{AddressSpace, Pfn, Vpn};
-use proptest::prelude::*;
+use fpr_rng::Rng;
+
+const CASES: u64 = 64;
 
 /// A random single-space operation.
 #[derive(Debug, Clone)]
@@ -23,21 +28,36 @@ enum Op {
     Read { vpn: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..200, 1u64..16).prop_map(|(start, pages)| Op::Mmap { start, pages }),
-        (0u64..200, 1u64..16).prop_map(|(start, pages)| Op::Munmap { start, pages }),
-        (0u64..200, any::<u64>()).prop_map(|(vpn, val)| Op::Write { vpn, val }),
-        (0u64..200).prop_map(|vpn| Op::Read { vpn }),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.gen_below(4) {
+        0 => Op::Mmap {
+            start: rng.gen_below(200),
+            pages: rng.gen_range(1, 16),
+        },
+        1 => Op::Munmap {
+            start: rng.gen_below(200),
+            pages: rng.gen_range(1, 16),
+        },
+        2 => Op::Write {
+            vpn: rng.gen_below(200),
+            val: rng.gen_u64(),
+        },
+        _ => Op::Read {
+            vpn: rng.gen_below(200),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_ops(rng: &mut Rng, max: u64) -> Vec<Op> {
+    (0..rng.gen_range(1, max)).map(|_| gen_op(rng)).collect()
+}
 
-    /// After any operation sequence, destroying the space frees every frame.
-    #[test]
-    fn no_frame_leaks(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+/// After any operation sequence, destroying the space frees every frame.
+#[test]
+fn no_frame_leaks() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x11_0000 + case);
+        let ops = gen_ops(&mut rng, 80);
         let mut phys = PhysMemory::new(4096, CostModel::default());
         let mut cy = Cycles::new();
         let mut tlb = TlbModel::new();
@@ -47,27 +67,36 @@ proptest! {
                 Op::Mmap { start, pages } => {
                     let _ = a.mmap(
                         VmArea::anon(Vpn(start), pages, Prot::RW, VmaKind::Mmap),
-                        &mut phys, &mut cy,
+                        &mut phys,
+                        &mut cy,
                     );
                 }
                 Op::Munmap { start, pages } => {
                     let _ = a.munmap(Vpn(start), pages, &mut phys, &mut cy, &mut tlb, 1);
                 }
-                Op::Write { vpn, val } => { let _ = a.write(Vpn(vpn), val, &mut phys, &mut cy, &mut tlb, 1); }
-                Op::Read { vpn } => { let _ = a.read(Vpn(vpn), &mut phys, &mut cy); }
+                Op::Write { vpn, val } => {
+                    let _ = a.write(Vpn(vpn), val, &mut phys, &mut cy, &mut tlb, 1);
+                }
+                Op::Read { vpn } => {
+                    let _ = a.read(Vpn(vpn), &mut phys, &mut cy);
+                }
             }
             // Invariant: resident pages equals used frames (single space,
             // no sharing in this test).
-            prop_assert_eq!(a.resident_pages(), phys.used_frames());
+            assert_eq!(a.resident_pages(), phys.used_frames(), "case {case}");
         }
         a.destroy(&mut phys, &mut cy);
-        prop_assert_eq!(phys.used_frames(), 0);
+        assert_eq!(phys.used_frames(), 0, "case {case}");
     }
+}
 
-    /// Every resident page lies inside some VMA, and every VMA page reads
-    /// back what was last written to it.
-    #[test]
-    fn page_table_vma_consistency(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// Every resident page lies inside some VMA, and every VMA page reads
+/// back what was last written to it.
+#[test]
+fn page_table_vma_consistency() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x22_0000 + case);
+        let ops = gen_ops(&mut rng, 60);
         let mut phys = PhysMemory::new(4096, CostModel::default());
         let mut cy = Cycles::new();
         let mut tlb = TlbModel::new();
@@ -76,13 +105,25 @@ proptest! {
         for op in ops {
             match op {
                 Op::Mmap { start, pages } => {
-                    if a.mmap(VmArea::anon(Vpn(start), pages, Prot::RW, VmaKind::Mmap), &mut phys, &mut cy).is_ok() {
-                        for p in start..start + pages { shadow.insert(p, 0); }
+                    if a.mmap(
+                        VmArea::anon(Vpn(start), pages, Prot::RW, VmaKind::Mmap),
+                        &mut phys,
+                        &mut cy,
+                    )
+                    .is_ok()
+                    {
+                        for p in start..start + pages {
+                            shadow.insert(p, 0);
+                        }
                     }
                 }
                 Op::Munmap { start, pages } => {
-                    if a.munmap(Vpn(start), pages, &mut phys, &mut cy, &mut tlb, 1).is_ok() {
-                        for p in start..start + pages { shadow.remove(&p); }
+                    if a.munmap(Vpn(start), pages, &mut phys, &mut cy, &mut tlb, 1)
+                        .is_ok()
+                    {
+                        for p in start..start + pages {
+                            shadow.remove(&p);
+                        }
                     }
                 }
                 Op::Write { vpn, val } => {
@@ -92,132 +133,197 @@ proptest! {
                 }
                 Op::Read { vpn } => {
                     if let Ok((got, _)) = a.read(Vpn(vpn), &mut phys, &mut cy) {
-                        prop_assert_eq!(got, *shadow.get(&vpn).unwrap_or(&0));
+                        assert_eq!(got, *shadow.get(&vpn).unwrap_or(&0), "case {case}");
                     }
                 }
             }
         }
         // Every mapped page must be covered by a VMA and observable.
         for (vpn, expect) in &shadow {
-            prop_assert_eq!(a.observe(Vpn(*vpn), &phys).unwrap(), *expect);
+            assert_eq!(a.observe(Vpn(*vpn), &phys).unwrap(), *expect, "case {case}");
         }
         a.destroy(&mut phys, &mut cy);
     }
+}
 
-    /// COW fork isolation: after a fork, writes in either space are never
-    /// visible in the other (for private mappings), and the child initially
-    /// observes exactly the parent's contents.
-    #[test]
-    fn fork_isolates_private_memory(
-        pre in proptest::collection::vec((0u64..32, any::<u64>()), 1..20),
-        post_parent in proptest::collection::vec((0u64..32, any::<u64>()), 0..12),
-        post_child in proptest::collection::vec((0u64..32, any::<u64>()), 0..12),
-    ) {
+fn gen_writes(rng: &mut Rng, span: u64, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    (0..rng.gen_range(lo, hi))
+        .map(|_| (rng.gen_below(span), rng.gen_u64()))
+        .collect()
+}
+
+/// COW fork isolation: after a fork, writes in either space are never
+/// visible in the other (for private mappings), and the child initially
+/// observes exactly the parent's contents.
+#[test]
+fn fork_isolates_private_memory() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x33_0000 + case);
+        let pre = gen_writes(&mut rng, 32, 1, 20);
+        let post_parent = gen_writes(&mut rng, 32, 0, 12);
+        let post_child = gen_writes(&mut rng, 32, 0, 12);
         let mut phys = PhysMemory::new(4096, CostModel::default());
         let mut cy = Cycles::new();
         let mut tlb = TlbModel::new();
         let mut parent = AddressSpace::new();
-        parent.mmap(VmArea::anon(Vpn(0), 32, Prot::RW, VmaKind::Heap), &mut phys, &mut cy).unwrap();
+        parent
+            .mmap(
+                VmArea::anon(Vpn(0), 32, Prot::RW, VmaKind::Heap),
+                &mut phys,
+                &mut cy,
+            )
+            .unwrap();
         let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for (vpn, val) in &pre {
-            parent.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            parent
+                .write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1)
+                .unwrap();
             truth.insert(*vpn, *val);
         }
-        let mut child = AddressSpace::fork_from(&mut parent, ForkMode::Cow, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+        let mut child =
+            AddressSpace::fork_from(&mut parent, ForkMode::Cow, &mut phys, &mut cy, &mut tlb, 1)
+                .unwrap();
 
         // Child sees a snapshot of the parent at fork time.
         for vpn in 0..32u64 {
-            prop_assert_eq!(child.observe(Vpn(vpn), &phys).unwrap(), *truth.get(&vpn).unwrap_or(&0));
+            assert_eq!(
+                child.observe(Vpn(vpn), &phys).unwrap(),
+                *truth.get(&vpn).unwrap_or(&0),
+                "case {case}"
+            );
         }
-        let snapshot = truth.clone();
-        let mut parent_truth = truth;
-        let mut child_truth = snapshot.clone();
+        let mut parent_truth = truth.clone();
+        let mut child_truth = truth;
         for (vpn, val) in &post_parent {
-            parent.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            parent
+                .write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1)
+                .unwrap();
             parent_truth.insert(*vpn, *val);
         }
         for (vpn, val) in &post_child {
-            child.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            child
+                .write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1)
+                .unwrap();
             child_truth.insert(*vpn, *val);
         }
         for vpn in 0..32u64 {
-            prop_assert_eq!(parent.observe(Vpn(vpn), &phys).unwrap(), *parent_truth.get(&vpn).unwrap_or(&0));
-            prop_assert_eq!(child.observe(Vpn(vpn), &phys).unwrap(), *child_truth.get(&vpn).unwrap_or(&0));
+            assert_eq!(
+                parent.observe(Vpn(vpn), &phys).unwrap(),
+                *parent_truth.get(&vpn).unwrap_or(&0),
+                "case {case}"
+            );
+            assert_eq!(
+                child.observe(Vpn(vpn), &phys).unwrap(),
+                *child_truth.get(&vpn).unwrap_or(&0),
+                "case {case}"
+            );
         }
         child.destroy(&mut phys, &mut cy);
         parent.destroy(&mut phys, &mut cy);
-        prop_assert_eq!(phys.used_frames(), 0);
+        assert_eq!(phys.used_frames(), 0, "case {case}");
     }
+}
 
-    /// Eager forks behave observably identically to COW forks.
-    #[test]
-    fn eager_and_cow_forks_equivalent(
-        pre in proptest::collection::vec((0u64..16, any::<u64>()), 1..12),
-        post in proptest::collection::vec((0u64..16, any::<u64>()), 0..8),
-    ) {
+/// Eager forks behave observably identically to COW forks.
+#[test]
+fn eager_and_cow_forks_equivalent() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x44_0000 + case);
+        let pre = gen_writes(&mut rng, 16, 1, 12);
+        let post = gen_writes(&mut rng, 16, 0, 8);
         let mut results = Vec::new();
         for mode in [ForkMode::Cow, ForkMode::Eager] {
             let mut phys = PhysMemory::new(4096, CostModel::default());
             let mut cy = Cycles::new();
             let mut tlb = TlbModel::new();
             let mut parent = AddressSpace::new();
-            parent.mmap(VmArea::anon(Vpn(0), 16, Prot::RW, VmaKind::Heap), &mut phys, &mut cy).unwrap();
+            parent
+                .mmap(
+                    VmArea::anon(Vpn(0), 16, Prot::RW, VmaKind::Heap),
+                    &mut phys,
+                    &mut cy,
+                )
+                .unwrap();
             for (vpn, val) in &pre {
-                parent.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+                parent
+                    .write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1)
+                    .unwrap();
             }
-            let mut child = AddressSpace::fork_from(&mut parent, mode, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+            let mut child =
+                AddressSpace::fork_from(&mut parent, mode, &mut phys, &mut cy, &mut tlb, 1)
+                    .unwrap();
             for (vpn, val) in &post {
-                child.write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+                child
+                    .write(Vpn(*vpn), *val, &mut phys, &mut cy, &mut tlb, 1)
+                    .unwrap();
             }
             let view: Vec<(u64, u64)> = (0..16u64)
-                .map(|v| (child.observe(Vpn(v), &phys).unwrap(), parent.observe(Vpn(v), &phys).unwrap()))
+                .map(|v| {
+                    (
+                        child.observe(Vpn(v), &phys).unwrap(),
+                        parent.observe(Vpn(v), &phys).unwrap(),
+                    )
+                })
                 .collect();
             results.push(view);
             child.destroy(&mut phys, &mut cy);
             parent.destroy(&mut phys, &mut cy);
         }
-        prop_assert_eq!(&results[0], &results[1]);
+        assert_eq!(results[0], results[1], "case {case}");
     }
+}
 
-    /// Bitmap allocator: frames handed out are unique and within range.
-    #[test]
-    fn bitmap_allocator_unique(total in 1u64..300, n in 1usize..400) {
+/// Bitmap allocator: frames handed out are unique and within range.
+#[test]
+fn bitmap_allocator_unique() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x55_0000 + case);
+        let total = rng.gen_range(1, 300);
+        let n = rng.gen_range(1, 400);
         let mut a = BitmapFrameAllocator::new(total);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..n {
             match a.alloc() {
                 Ok(f) => {
-                    prop_assert!(f.0 < total);
-                    prop_assert!(seen.insert(f.0));
+                    assert!(f.0 < total, "case {case}");
+                    assert!(seen.insert(f.0), "case {case}: duplicate frame");
                 }
                 Err(_) => {
-                    prop_assert_eq!(seen.len() as u64, total);
+                    assert_eq!(seen.len() as u64, total, "case {case}");
                     break;
                 }
             }
         }
     }
+}
 
-    /// Buddy allocator: allocations never overlap, and full free restores
-    /// the complete frame count.
-    #[test]
-    fn buddy_no_overlap_and_restores(orders in proptest::collection::vec(0usize..5, 1..24)) {
+/// Buddy allocator: allocations never overlap, and full free restores
+/// the complete frame count.
+#[test]
+fn buddy_no_overlap_and_restores() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x66_0000 + case);
+        let orders: Vec<usize> = (0..rng.gen_range(1, 24))
+            .map(|_| rng.gen_below(5) as usize)
+            .collect();
         let mut b = BuddyAllocator::new(Pfn(0), 512);
         let mut live: Vec<(u64, u64)> = Vec::new();
         let mut handles: Vec<Pfn> = Vec::new();
         for o in orders {
             if let Ok(p) = b.alloc(o) {
                 let len = 1u64 << o;
-                prop_assert_eq!(p.0 % len, 0, "natural alignment");
+                assert_eq!(p.0 % len, 0, "case {case}: natural alignment");
                 for (s, l) in &live {
-                    prop_assert!(p.0 + len <= *s || s + l <= p.0, "overlap");
+                    assert!(p.0 + len <= *s || s + l <= p.0, "case {case}: overlap");
                 }
                 live.push((p.0, len));
                 handles.push(p);
             }
         }
-        for h in handles { b.free(h); }
-        prop_assert_eq!(b.free_frames(), 512);
-        prop_assert_eq!(b.largest_free_order(), Some(9));
+        for h in handles {
+            b.free(h);
+        }
+        assert_eq!(b.free_frames(), 512, "case {case}");
+        assert_eq!(b.largest_free_order(), Some(9), "case {case}");
     }
 }

@@ -8,13 +8,12 @@
 //! Unix-only; on other platforms the API returns
 //! [`NativeError::Unsupported`].
 
-#[cfg(unix)]
+#[cfg(feature = "host-libc")]
 mod measure;
 
-#[cfg(unix)]
+#[cfg(feature = "host-libc")]
 pub use measure::{time_api, time_fork_touch, touch_buffer, NativeApi};
 
-use serde::{Deserialize, Serialize};
 
 /// Errors from the native harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +36,7 @@ impl std::fmt::Display for NativeError {
 impl std::error::Error for NativeError {}
 
 /// One row of native Figure 1 output.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NativeRow {
     /// Parent anonymous footprint in MiB.
     pub footprint_mib: f64,
@@ -51,7 +50,7 @@ pub struct NativeRow {
 
 /// Runs the native sweep. `footprints_mib` is the parent sizes to test;
 /// `iters` is timed iterations per point.
-#[cfg(unix)]
+#[cfg(feature = "host-libc")]
 pub fn run_native_fig1(footprints_mib: &[u64], iters: u32) -> Result<Vec<NativeRow>, NativeError> {
     let mut rows = Vec::new();
     for &mib in footprints_mib {
@@ -71,7 +70,7 @@ pub fn run_native_fig1(footprints_mib: &[u64], iters: u32) -> Result<Vec<NativeR
 }
 
 /// Non-Unix stub.
-#[cfg(not(unix))]
+#[cfg(not(feature = "host-libc"))]
 pub fn run_native_fig1(
     _footprints_mib: &[u64],
     _iters: u32,
@@ -80,7 +79,7 @@ pub fn run_native_fig1(
 }
 
 /// One row of the native COW-storm output.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CowRow {
     /// Fraction of the parent buffer the child dirtied.
     pub touch_fraction: f64,
@@ -90,7 +89,7 @@ pub struct CowRow {
 
 /// Native COW storm: fork a parent holding `mib` MiB and have the child
 /// dirty a swept fraction of it.
-#[cfg(unix)]
+#[cfg(feature = "host-libc")]
 pub fn run_native_cow(mib: u64, fractions: &[f64], iters: u32) -> Result<Vec<CowRow>, NativeError> {
     let bytes = (mib * 1024 * 1024) as usize;
     let mut ballast = touch_buffer(bytes);
@@ -111,7 +110,7 @@ pub fn run_native_cow(mib: u64, fractions: &[f64], iters: u32) -> Result<Vec<Cow
 }
 
 /// Non-Unix stub.
-#[cfg(not(unix))]
+#[cfg(not(feature = "host-libc"))]
 pub fn run_native_cow(
     _mib: u64,
     _fractions: &[f64],
@@ -120,7 +119,7 @@ pub fn run_native_cow(
     Err(NativeError::Unsupported)
 }
 
-#[cfg(all(test, unix))]
+#[cfg(all(test, feature = "host-libc"))]
 mod tests {
     use super::*;
 

@@ -1,3 +1,6 @@
+//! Only compiled with the `host-libc` feature (needs the libc crate).
+#![cfg(feature = "host-libc")]
+
 //! Unix timing primitives for the native Figure 1 sweep.
 
 use crate::NativeError;

@@ -5,6 +5,7 @@
 //! types all bench binaries print and serialise, so EXPERIMENTS.md can be
 //! regenerated mechanically.
 
+pub mod json;
 pub mod records;
 pub mod workload;
 

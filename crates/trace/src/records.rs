@@ -3,11 +3,11 @@
 //! Every bench binary produces one of these and renders it the same way,
 //! so EXPERIMENTS.md rows can be regenerated mechanically and diffed.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 use std::fmt::Write as _;
 
 /// One (x, y) measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Independent variable (e.g. parent footprint in MiB).
     pub x: f64,
@@ -16,7 +16,7 @@ pub struct Point {
 }
 
 /// One line of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -58,7 +58,7 @@ impl Series {
 }
 
 /// A figure: several series over a shared x axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Identifier, e.g. "fig1".
     pub id: String,
@@ -123,12 +123,88 @@ impl FigureData {
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialises")
+        Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("title".into(), Value::Str(self.title.clone())),
+            ("xlabel".into(), Value::Str(self.xlabel.clone())),
+            ("ylabel".into(), Value::Str(self.ylabel.clone())),
+            (
+                "series".into(),
+                Value::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Value::Obj(vec![
+                                ("label".into(), Value::Str(s.label.clone())),
+                                (
+                                    "points".into(),
+                                    Value::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|p| {
+                                                Value::Obj(vec![
+                                                    ("x".into(), Value::Num(p.x)),
+                                                    ("y".into(), Value::Num(p.y)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parses the JSON produced by [`FigureData::to_json`].
+    pub fn from_json(text: &str) -> Result<FigureData, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{k}'"))
+        };
+        let mut fig = FigureData {
+            id: field("id")?,
+            title: field("title")?,
+            xlabel: field("xlabel")?,
+            ylabel: field("ylabel")?,
+            series: Vec::new(),
+        };
+        for s in v
+            .get("series")
+            .and_then(Value::as_arr)
+            .ok_or("missing 'series' array")?
+        {
+            let mut series = Series::new(
+                s.get("label")
+                    .and_then(Value::as_str)
+                    .ok_or("series missing 'label'")?,
+            );
+            for p in s
+                .get("points")
+                .and_then(Value::as_arr)
+                .ok_or("series missing 'points'")?
+            {
+                let coord = |k: &str| {
+                    p.get(k)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("point missing '{k}'"))
+                };
+                series.push(coord("x")?, coord("y")?);
+            }
+            fig.series.push(series);
+        }
+        Ok(fig)
     }
 }
 
 /// A table: column headers and string rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableData {
     /// Identifier, e.g. "tab_overcommit".
     pub id: String,
@@ -186,7 +262,53 @@ impl TableData {
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        let strs = |xs: &[String]| Value::Arr(xs.iter().cloned().map(Value::Str).collect());
+        Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("title".into(), Value::Str(self.title.clone())),
+            ("columns".into(), strs(&self.columns)),
+            (
+                "rows".into(),
+                Value::Arr(self.rows.iter().map(|r| strs(r)).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parses the JSON produced by [`TableData::to_json`].
+    pub fn from_json(text: &str) -> Result<TableData, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let str_arr = |val: &Value, what: &str| -> Result<Vec<String>, String> {
+            val.as_arr()
+                .ok_or_else(|| format!("'{what}' is not an array"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string in '{what}'"))
+                })
+                .collect()
+        };
+        Ok(TableData {
+            id: v
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("missing 'id'")?
+                .to_string(),
+            title: v
+                .get("title")
+                .and_then(Value::as_str)
+                .ok_or("missing 'title'")?
+                .to_string(),
+            columns: str_arr(v.get("columns").ok_or("missing 'columns'")?, "columns")?,
+            rows: v
+                .get("rows")
+                .and_then(Value::as_arr)
+                .ok_or("missing 'rows'")?
+                .iter()
+                .map(|r| str_arr(r, "rows"))
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -232,7 +354,7 @@ mod tests {
         s.push(1.0, 1.5);
         f.series.push(s);
         let j = f.to_json();
-        let back: FigureData = serde_json::from_str(&j).unwrap();
+        let back = FigureData::from_json(&j).unwrap();
         assert_eq!(back, f);
     }
 
@@ -244,7 +366,7 @@ mod tests {
         let r = t.render();
         assert!(r.contains("policy"));
         assert!(r.contains("OOM-kill"));
-        let back: TableData = serde_json::from_str(&t.to_json()).unwrap();
+        let back = TableData::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
     }
 

@@ -5,13 +5,10 @@
 //! is; a [`TouchPattern`] says which of its pages a phase writes, which
 //! drives the COW-fault-storm experiment.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fpr_rng::Rng;
 
 /// The memory shape of a synthetic parent process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcessShape {
     /// Anonymous heap pages to map and populate.
     pub heap_pages: u64,
@@ -72,7 +69,7 @@ impl ProcessShape {
 }
 
 /// Which pages a workload phase writes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TouchPattern {
     /// The first `fraction` of pages, in order.
     Sequential {
@@ -109,9 +106,9 @@ impl TouchPattern {
             }
             TouchPattern::Random { fraction, seed } => {
                 let n = scaled(pages, fraction) as usize;
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 let mut all: Vec<u64> = (0..pages).collect();
-                all.shuffle(&mut rng);
+                rng.shuffle(&mut all);
                 all.truncate(n);
                 all
             }
@@ -122,13 +119,13 @@ impl TouchPattern {
             } => {
                 let n = scaled(pages, fraction);
                 let hot = scaled(pages, hot_fraction).max(1);
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 (0..n)
                     .map(|_| {
                         if rng.gen_bool(0.9) {
-                            rng.gen_range(0..hot)
+                            rng.gen_range(0, hot)
                         } else {
-                            rng.gen_range(0..pages.max(1))
+                            rng.gen_range(0, pages.max(1))
                         }
                     })
                     .collect()

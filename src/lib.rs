@@ -7,6 +7,7 @@
 //! * [`exec`] — images, loader, ASLR, execve;
 //! * [`api`] — fork, vfork, clone, posix_spawn, the cross-process builder;
 //! * [`audit`] — fork-safety and security analysis;
+//! * [`faults`] — deterministic fault injection (`FaultPlan`, fail-point sweeps);
 //! * [`trace`] — workloads and experiment records;
 //! * [`core`] — the [`core::Os`] facade and experiment drivers.
 //!
@@ -16,6 +17,7 @@ pub use forkroad_core as core;
 pub use fpr_api as api;
 pub use fpr_audit as audit;
 pub use fpr_exec as exec;
+pub use fpr_faults as faults;
 pub use fpr_kernel as kernel;
 pub use fpr_mem as mem;
 pub use fpr_trace as trace;

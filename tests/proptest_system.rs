@@ -1,12 +1,15 @@
-//! System-level property tests: random process trees and API sequences
+//! System-level randomized tests: random process trees and API sequences
 //! must preserve global invariants (no frame/commit leaks, fork snapshot
-//! correctness, accounting balance).
+//! correctness, accounting balance). Cases derive from explicit
+//! `fpr_rng` seeds, so any failure replays exactly.
 
 use forkroad::api::SpawnAttrs;
 use forkroad::kernel::Pid;
 use forkroad::mem::{ForkMode, Prot, Share, Vpn};
 use forkroad::{Os, OsConfig};
-use proptest::prelude::*;
+use fpr_rng::Rng;
+
+const CASES: u64 = 48;
 
 /// A random system-level action.
 #[derive(Debug, Clone)]
@@ -20,25 +23,28 @@ enum Action {
     Exit(usize),
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0usize..8).prop_map(Action::Fork),
-        (0usize..8).prop_map(Action::Spawn),
-        (0usize..8).prop_map(Action::Vfork),
-        (0usize..8).prop_map(Action::Exec),
-        (0usize..8, 1u64..32).prop_map(|(i, n)| Action::MapTouch(i, n)),
-        (0usize..8, 0u64..32, any::<u64>()).prop_map(|(i, o, v)| Action::Write(i, o, v)),
-        (0usize..8).prop_map(Action::Exit),
-    ]
+fn gen_action(rng: &mut Rng) -> Action {
+    let i = rng.gen_below(8) as usize;
+    match rng.gen_below(7) {
+        0 => Action::Fork(i),
+        1 => Action::Spawn(i),
+        2 => Action::Vfork(i),
+        3 => Action::Exec(i),
+        4 => Action::MapTouch(i, rng.gen_range(1, 32)),
+        5 => Action::Write(i, rng.gen_below(32), rng.gen_u64()),
+        _ => Action::Exit(i),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// After any action sequence, exiting every process releases every
-    /// frame and every page of commit charge.
-    #[test]
-    fn no_global_leaks(actions in proptest::collection::vec(action_strategy(), 1..40)) {
+/// After any action sequence, exiting every process releases every frame
+/// and every page of commit charge.
+#[test]
+fn no_global_leaks() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5150_0000 + case);
+        let actions: Vec<Action> = (0..rng.gen_range(1, 40))
+            .map(|_| gen_action(&mut rng))
+            .collect();
         let mut os = Os::boot(OsConfig::default());
         let init = os.init;
         let mut live: Vec<Pid> = vec![init];
@@ -111,22 +117,29 @@ proptest! {
         // Reap everything reachable from init until quiescent.
         while let Ok(Some(_)) = os.kernel.waitpid(init, None) {}
         os.kernel.exit(init, 0).expect("init exits last");
-        prop_assert_eq!(os.kernel.phys.used_frames(), 0, "frame leak");
-        prop_assert_eq!(os.kernel.commit.committed(), 0, "commit leak");
-        prop_assert_eq!(os.kernel.pipes.live(), 0, "pipe leak");
-        prop_assert_eq!(os.kernel.ofds.live(), 0, "ofd leak");
+        assert_eq!(os.kernel.phys.used_frames(), 0, "case {case}: frame leak");
+        assert_eq!(os.kernel.commit.committed(), 0, "case {case}: commit leak");
+        assert_eq!(os.kernel.pipes.live(), 0, "case {case}: pipe leak");
+        assert_eq!(os.kernel.ofds.live(), 0, "case {case}: ofd leak");
     }
+}
 
-    /// A forked child observes exactly the parent's memory at fork time,
-    /// for any prior write set, under both fork modes.
-    #[test]
-    fn fork_snapshot_correct(
-        writes in proptest::collection::vec((0u64..64, any::<u64>()), 1..40),
-        eager in any::<bool>(),
-    ) {
+/// A forked child observes exactly the parent's memory at fork time,
+/// for any prior write set, under both fork modes.
+#[test]
+fn fork_snapshot_correct() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5151_0000 + case);
+        let writes: Vec<(u64, u64)> = (0..rng.gen_range(1, 40))
+            .map(|_| (rng.gen_below(64), rng.gen_u64()))
+            .collect();
+        let eager = rng.gen_bool(0.5);
         let mut os = Os::boot(OsConfig::default());
         let init = os.init;
-        let base = os.kernel.mmap_anon(init, 64, Prot::RW, Share::Private).unwrap();
+        let base = os
+            .kernel
+            .mmap_anon(init, 64, Prot::RW, Share::Private)
+            .unwrap();
         let mut shadow = std::collections::HashMap::new();
         for (off, val) in &writes {
             os.kernel.write_mem(init, base.add(*off), *val).unwrap();
@@ -135,17 +148,24 @@ proptest! {
         let mode = if eager { ForkMode::Eager } else { ForkMode::Cow };
         let (child, _) = os.fork_stats(init, mode).unwrap();
         for off in 0..64u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 os.kernel.read_mem(child, base.add(off)).unwrap(),
-                *shadow.get(&off).unwrap_or(&0)
+                *shadow.get(&off).unwrap_or(&0),
+                "case {case}"
             );
         }
     }
+}
 
-    /// RLIMIT_NPROC accounting balances across arbitrary create/exit
-    /// interleavings.
-    #[test]
-    fn nproc_accounting_balances(ops in proptest::collection::vec(any::<bool>(), 1..60)) {
+/// RLIMIT_NPROC accounting balances across arbitrary create/exit
+/// interleavings.
+#[test]
+fn nproc_accounting_balances() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5152_0000 + case);
+        let ops: Vec<bool> = (0..rng.gen_range(1, 60))
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let mut os = Os::boot(OsConfig::default());
         let init = os.init;
         let mut live = vec![];
@@ -159,7 +179,11 @@ proptest! {
                 os.kernel.exit(c, 0).unwrap();
                 os.kernel.waitpid(init, Some(c)).unwrap();
             }
-            prop_assert_eq!(os.kernel.nproc_of(0) as usize, live.len() + 1, "init + live children");
+            assert_eq!(
+                os.kernel.nproc_of(0) as usize,
+                live.len() + 1,
+                "case {case}: init + live children"
+            );
         }
     }
 }
