@@ -5,9 +5,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy leakcheck bench-tables clean
+.PHONY: verify build test clippy leakcheck bench-smoke bench-tables clean
 
-verify: build test clippy
+verify: build test clippy bench-smoke
 
 build:
 	$(CARGO) build --release
@@ -24,6 +24,13 @@ leakcheck:
 	$(CARGO) test -q -p fpr-api --test faultsweep
 	$(CARGO) test -q -p fpr-kernel --test proptest_faults
 	$(CARGO) test -q -p fpr-mem --test proptest_faults
+
+# Non-timing smoke: every fig*/tab* driver runs at reduced size into a
+# scratch results dir, each emitted JSON must round-trip through the
+# typed readers, and the per-API/mode cycle medians are snapshotted to
+# BENCH_fork_modes.json at the repo root.
+bench-smoke:
+	FORKROAD_RESULTS=target/bench-smoke $(CARGO) run --release -q -p fpr-bench --bin bench_smoke
 
 # Regenerate the paper tables/figures (quick sweeps).
 bench-tables:

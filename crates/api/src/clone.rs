@@ -28,6 +28,12 @@ pub struct CloneFlags {
     pub thread: bool,
     /// Suspend the parent until exec/exit (`CLONE_VFORK`).
     pub vfork: bool,
+    /// Duplicate the address space by sharing page-table subtrees
+    /// on-demand instead of copying every PTE (the `CLONE_PT_SHARE`
+    /// experiment from on-demand-fork). Meaningless with `vm` — there is
+    /// no duplication to defer when the space is shared outright — so the
+    /// combination is rejected.
+    pub pt_share: bool,
 }
 
 /// What `clone` produced.
@@ -46,6 +52,9 @@ pub fn clone(kernel: &mut Kernel, parent: Pid, flags: CloneFlags) -> KResult<Clo
         return Err(Errno::Einval);
     }
     if flags.sighand && !flags.vm {
+        return Err(Errno::Einval);
+    }
+    if flags.pt_share && flags.vm {
         return Err(Errno::Einval);
     }
 
@@ -92,9 +101,14 @@ pub fn clone(kernel: &mut Kernel, parent: Pid, flags: CloneFlags) -> KResult<Clo
     }
 
     // No VM sharing: plain fork, with CLONE_FILES deciding descriptor
-    // inheritance.
+    // inheritance and CLONE_PT_SHARE the page-table copy strategy.
     let calling = kernel.process(parent)?.main_tid();
-    let (child, _) = fork_from_thread(kernel, parent, calling, ForkMode::Cow)?;
+    let mode = if flags.pt_share {
+        ForkMode::OnDemand
+    } else {
+        ForkMode::Cow
+    };
+    let (child, _) = fork_from_thread(kernel, parent, calling, mode)?;
     if !flags.files {
         // fork_from_thread copied the table; CLONE without FILES keeps it.
         // (Both semantics are "the child has the parent's descriptors";
@@ -223,6 +237,50 @@ mod tests {
         assert_eq!(k.process(p).unwrap().schedulable_threads(), 0);
         k.exit(c, 0).unwrap();
         assert_eq!(k.process(p).unwrap().schedulable_threads(), 1);
+    }
+
+    #[test]
+    fn pt_share_with_vm_rejected() {
+        let (mut k, p) = boot();
+        assert_eq!(
+            clone(
+                &mut k,
+                p,
+                CloneFlags {
+                    vm: true,
+                    pt_share: true,
+                    ..Default::default()
+                }
+            ),
+            Err(Errno::Einval),
+            "nothing to defer when the space is shared outright"
+        );
+    }
+
+    #[test]
+    fn pt_share_clone_is_on_demand_fork() {
+        let (mut k, p) = boot();
+        let base = k.mmap_anon(p, 8, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 8).unwrap();
+        k.write_mem(p, base, 5).unwrap();
+        let used = k.phys.used_frames();
+        let r = clone(
+            &mut k,
+            p,
+            CloneFlags {
+                pt_share: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let c = match r {
+            CloneResult::Process(c) => c,
+            _ => unreachable!(),
+        };
+        assert_eq!(k.phys.used_frames(), used, "no frames copied at clone");
+        k.write_mem(c, base, 6).unwrap();
+        assert_eq!(k.read_mem(p, base), Ok(5), "private copy, not shared");
+        assert_eq!(k.read_mem(c, base), Ok(6));
     }
 
     #[test]

@@ -40,6 +40,17 @@ pub fn fork(kernel: &mut Kernel, parent: Pid) -> KResult<Pid> {
     fork_from_thread(kernel, parent, tid, ForkMode::Cow).map(|(pid, _)| pid)
 }
 
+/// Forks with on-demand page-table copying: the child shares the parent's
+/// leaf page-table subtrees (refcounted, write-protected) instead of
+/// copying every PTE, so fork costs O(VMAs + subtrees) rather than
+/// O(resident pages). The first write, unmap or reprotect touching a
+/// shared subtree privatises that one 512-entry node — the page-copy
+/// *and* the PTE-copy work both move into the fault storm.
+pub fn fork_on_demand(kernel: &mut Kernel, parent: Pid) -> KResult<Pid> {
+    let tid = kernel.process(parent)?.main_tid();
+    fork_from_thread(kernel, parent, tid, ForkMode::OnDemand).map(|(pid, _)| pid)
+}
+
 /// Forks with explicit calling thread and copy mode, returning the child
 /// and the work statistics (the instrumented entry point used by the
 /// benchmarks).
@@ -479,6 +490,50 @@ mod tests {
         let main = k.process(p).unwrap().main_tid();
         fork_from_thread(&mut k, p, main, ForkMode::Eager).unwrap();
         assert_eq!(k.phys.used_frames(), used + 16, "eager fork doubles frames");
+    }
+
+    #[test]
+    fn on_demand_fork_shares_frames_until_write() {
+        let (mut k, p) = boot();
+        let base = k.mmap_anon(p, 16, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 16).unwrap();
+        let used = k.phys.used_frames();
+        let c = fork_on_demand(&mut k, p).unwrap();
+        assert_eq!(k.phys.used_frames(), used, "shared subtrees allocate nothing");
+        assert_eq!(k.read_mem(c, base), Ok(0), "child sees the snapshot");
+        k.write_mem(c, base, 1).unwrap();
+        assert_eq!(
+            k.phys.used_frames(),
+            used + 1,
+            "first write unshares the subtree and copies one page"
+        );
+        // Divergence holds both ways after the unshare.
+        assert_eq!(k.read_mem(c, base), Ok(1));
+        assert_eq!(k.read_mem(p, base), Ok(0));
+        k.write_mem(p, base.add(1), 7).unwrap();
+        assert_eq!(k.read_mem(c, base.add(1)), Ok(0));
+    }
+
+    #[test]
+    fn on_demand_fork_cost_flat_in_pages() {
+        let (mut k, p) = boot();
+        let main = k.process(p).unwrap().main_tid();
+        // One populated subtree's worth of pages...
+        let base = k.mmap_anon(p, 512, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 512).unwrap();
+        let (c1, small) = fork_from_thread(&mut k, p, main, ForkMode::OnDemand).unwrap();
+        k.exit(c1, 0).unwrap();
+        k.waitpid(p, Some(c1)).unwrap();
+        // ...then 16x the pages in the same VMA count.
+        let base2 = k.mmap_anon(p, 8192, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base2, 8192).unwrap();
+        let (_, big) = fork_from_thread(&mut k, p, main, ForkMode::OnDemand).unwrap();
+        assert!(
+            big.cycles < small.cycles * 3,
+            "on-demand fork must not scale with resident pages: {} vs {}",
+            big.cycles,
+            small.cycles
+        );
     }
 
     #[test]

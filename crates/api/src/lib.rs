@@ -26,7 +26,7 @@ pub mod xproc;
 
 pub use clone::{clone, CloneFlags, CloneResult};
 pub use compare::{coverage, render_matrix, supports, Api, Capability, CostClass, Support};
-pub use fork::{fork, fork_from_thread, ForkStats};
+pub use fork::{fork, fork_from_thread, fork_on_demand, ForkStats};
 pub use retry::{fork_with_retry, is_transient, retry_with_backoff, RetryPolicy, RetryStats};
 pub use spawn::{posix_spawn, FileAction, SpawnAttrs};
 pub use vfork::vfork;

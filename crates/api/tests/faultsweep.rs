@@ -98,6 +98,122 @@ fn fork_survives_every_fail_point() {
 }
 
 #[test]
+fn on_demand_fork_survives_every_fail_point() {
+    sweep("fork(on_demand)", |k, p, _| {
+        fpr_api::fork_on_demand(k, p).map(|_| ())
+    });
+}
+
+/// A world mid-storm: an on-demand fork already succeeded, so the child
+/// shares leaf page-table subtrees with the parent — half populated,
+/// half still demand-zero. Every post-fork operation that touches a
+/// shared subtree (write, mprotect, munmap) crosses the `pt_unshare`
+/// site and must be as transactional as creation itself.
+fn storm_world() -> (Kernel, Pid, fpr_mem::Vpn, fpr_mem::Vpn) {
+    let mut k = Kernel::boot();
+    let init = k.create_init("init").unwrap();
+    let a = k.mmap_anon(init, 600, Prot::RW, Share::Private).unwrap();
+    k.populate(init, a, 300).unwrap();
+    // A shared mapping keeps *writable* PTEs inside the shared subtree
+    // (no COW downgrade at fork), so mprotect has real PTE bits to flip.
+    let b = k.mmap_anon(init, 64, Prot::RW, Share::Shared).unwrap();
+    k.populate(init, b, 64).unwrap();
+    let child = fpr_api::fork_on_demand(&mut k, init).unwrap();
+    (k, child, a, b)
+}
+
+/// Sweeps one post-fork storm operation the way [`sweep`] does creation:
+/// fail each crossing in turn; the op must error cleanly, leave the
+/// kernel at its pre-op baseline and structurally sound, and succeed on
+/// retry.
+fn sweep_storm(
+    label: &str,
+    op: impl Fn(&mut Kernel, Pid, fpr_mem::Vpn, fpr_mem::Vpn) -> Result<(), Errno>,
+) {
+    let k_count = {
+        let (mut k, child, a, b) = storm_world();
+        let trace = count_crossings(|| {
+            op(&mut k, child, a, b)
+                .unwrap_or_else(|e| panic!("{label}: fault-free run failed: {e:?}"))
+        });
+        assert!(
+            trace
+                .crossings
+                .iter()
+                .any(|c| c.site == fpr_faults::FaultSite::PtUnshare),
+            "{label}: storm op never crossed pt_unshare"
+        );
+        trace.len()
+    };
+
+    for nth in 0..k_count {
+        let (mut k, child, a, b) = storm_world();
+        let base = k.baseline();
+        let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+        let (result, trace) = with_plan(plan, || op(&mut k, child, a, b));
+        let injected = trace.injected();
+        assert_eq!(injected.len(), 1, "{label}: crossing {nth} did not inject");
+        let site = injected[0].site;
+        let err = result.expect_err(&format!(
+            "{label}: injected fault at {site}#{nth} was swallowed"
+        ));
+        assert!(
+            clean_creation_error(err),
+            "{label}: fault at {site}#{nth} surfaced as {err:?}"
+        );
+        if let Err(v) = k.leak_check(&base) {
+            panic!(
+                "{label}: fault at {site}#{nth} leaked:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        if let Err(v) = k.check_invariants() {
+            panic!(
+                "{label}: fault at {site}#{nth} broke invariants:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        op(&mut k, child, a, b).unwrap_or_else(|e| {
+            panic!("{label}: retry after fault at {site}#{nth} cleared failed: {e:?}")
+        });
+    }
+}
+
+#[test]
+fn storm_write_to_populated_shared_page_survives_every_fail_point() {
+    // Page 0 was populated pre-fork: the write takes a structure fault
+    // (unshare) and then a COW break.
+    sweep_storm("storm(write populated)", |k, child, a, _| {
+        k.write_mem(child, a, 0xD1).map(|_| ())
+    });
+}
+
+#[test]
+fn storm_write_to_unpopulated_shared_page_survives_every_fail_point() {
+    // Page 400 is inside the shared span but was never populated: the
+    // demand fill itself must unshare before it can map the new frame.
+    sweep_storm("storm(write unpopulated)", |k, child, a, _| {
+        k.write_mem(child, a.add(400), 0xD2).map(|_| ())
+    });
+}
+
+#[test]
+fn storm_mprotect_survives_every_fail_point() {
+    sweep_storm("storm(mprotect)", |k, child, _, b| {
+        k.mprotect(child, b.add(8), 16, Prot::R)
+    });
+}
+
+#[test]
+fn storm_partial_munmap_survives_every_fail_point() {
+    // An unmap that straddles into a shared subtree without covering it
+    // must unshare first (the other space keeps the full node).
+    sweep_storm("storm(partial munmap)", |k, child, a, _| {
+        k.munmap(child, a.add(4), 8).map(|_| ())
+    });
+}
+
+#[test]
 fn eager_fork_survives_every_fail_point() {
     sweep("fork(eager)", |k, p, _| {
         let tid = k.process(p)?.main_tid();

@@ -1,5 +1,6 @@
-//! Wall-clock bench for E2's ablation: COW fork vs eager fork, and the
-//! page-table-sharing design point (vfork) as the zero-copy floor.
+//! Wall-clock bench for E2's ablation: COW fork vs eager fork vs
+//! on-demand page-table copying, and the page-table-sharing design
+//! point (vfork) as the zero-copy floor.
 //! Plain `main` harness: the workspace builds hermetically without
 //! criterion.
 
@@ -26,7 +27,11 @@ fn setup(footprint: u64) -> (Os, fpr_kernel::Pid) {
 fn main() {
     println!("# fork_modes — COW vs eager fork, vfork floor");
     for fp in FOOTPRINTS {
-        for (label, mode) in [("cow", ForkMode::Cow), ("eager", ForkMode::Eager)] {
+        for (label, mode) in [
+            ("cow", ForkMode::Cow),
+            ("eager", ForkMode::Eager),
+            ("ondemand", ForkMode::OnDemand),
+        ] {
             time_batched(
                 &format!("{label}/{fp}"),
                 ITERS,

@@ -1,0 +1,154 @@
+//! Non-timing bench smoke for `make verify`.
+//!
+//! Two guarantees, both machine-checked on every run:
+//!
+//! 1. Every `fig*`/`tab*` driver still runs at reduced size and emits
+//!    JSON that round-trips through the typed readers in `fpr-trace` —
+//!    a renamed series or a malformed emitter fails the build gate, not
+//!    a later plotting script.
+//! 2. The deterministic cycle cost of each creation API × fork mode is
+//!    snapshotted (median over ASLR seeds) to `BENCH_fork_modes.json`,
+//!    so the perf trajectory of the hot path is tracked in-repo from
+//!    this PR onward.
+
+use forkroad_core::experiments::{
+    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling, stdio,
+    threads, vma_sweep,
+};
+use forkroad_core::{Os, OsConfig};
+use fpr_api::SpawnAttrs;
+use fpr_bench::{emit, results_dir};
+use fpr_mem::ForkMode;
+use fpr_trace::{FigureData, ProcessShape, TableData};
+
+const FOOTPRINT: u64 = 4_096;
+const SEEDS: [u64; 5] = [11, 23, 42, 77, 91];
+
+/// Emits a figure and proves the written JSON parses back.
+fn smoke_fig(id: &str, fig: &FigureData) {
+    emit(id, &fig.render(), &fig.to_json());
+    let text = std::fs::read_to_string(results_dir().join(format!("{id}.json")))
+        .unwrap_or_else(|e| panic!("{id}: emitted file unreadable: {e}"));
+    let back = FigureData::from_json(&text).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
+    assert!(!back.series.is_empty(), "{id}: round-trip lost all series");
+}
+
+/// Emits a table and proves the written JSON parses back.
+fn smoke_tab(id: &str, tab: &TableData) {
+    emit(id, &tab.render(), &tab.to_json());
+    let text = std::fs::read_to_string(results_dir().join(format!("{id}.json")))
+        .unwrap_or_else(|e| panic!("{id}: emitted file unreadable: {e}"));
+    let back = TableData::from_json(&text).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
+    assert!(!back.rows.is_empty(), "{id}: round-trip lost all rows");
+}
+
+/// Median simulated cycles of `op` across the ASLR seed set.
+fn median_cycles(op: impl Fn(&mut Os, fpr_kernel::Pid)) -> u64 {
+    let mut samples: Vec<u64> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let mut os = Os::boot(OsConfig {
+                machine: fig1::machine_for(FOOTPRINT),
+                seed,
+                ..Default::default()
+            });
+            let parent = os.make_parent(ProcessShape::with_heap(FOOTPRINT)).expect("fits");
+            let ((), cycles) = os.measure(|os| op(os, parent));
+            cycles
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("=== bench smoke: reduced sweeps + JSON round-trip ===\n");
+
+    smoke_fig("fig1", &fig1::run(&[256, 1_024, 4_096]));
+    smoke_tab("tab_fork_breakdown", &breakdown::run(&[256, 1_024, 4_096]));
+    smoke_fig("fig_vma_sweep", &vma_sweep::run(1_024, &[1, 16, 256]));
+    smoke_fig("fig_cow_storm", &cow::run(1_024, &[0.0, 0.5, 1.0]));
+    smoke_fig("fig_odf_storm", &odf_storm::run(2_048, &[0.0, 0.5, 1.0]));
+    smoke_fig("fig_fork_scaling", &scaling::run(&[1, 4, 16], 512));
+    smoke_tab("tab_overcommit", &overcommit::run(&[0.25, 0.60]));
+    smoke_tab("tab_thread_safety", &threads::run(&[1, 4], &[0.5], 10));
+    smoke_tab("tab_stdio_dup", &stdio::run(&[0, 64]));
+    smoke_tab("tab_aslr", &aslr::run(8));
+    smoke_tab("tab_forkbomb", &forkbomb::run(&[16, 64], 512));
+    smoke_tab("tab_faultmatrix", &robustness::fault_matrix());
+    smoke_tab("tab_e9_robustness", &robustness::run());
+
+    // API × mode cycle medians: the machine-tracked perf snapshot.
+    let entries: Vec<(&str, &str, u64)> = vec![
+        (
+            "fork",
+            "cow",
+            median_cycles(|os, p| {
+                os.fork_stats(p, ForkMode::Cow).expect("fork");
+            }),
+        ),
+        (
+            "fork",
+            "eager",
+            median_cycles(|os, p| {
+                os.fork_stats(p, ForkMode::Eager).expect("fork");
+            }),
+        ),
+        (
+            "fork",
+            "ondemand",
+            median_cycles(|os, p| {
+                os.fork_stats(p, ForkMode::OnDemand).expect("fork");
+            }),
+        ),
+        (
+            "vfork",
+            "share",
+            median_cycles(|os, p| {
+                os.vfork(p).expect("vfork");
+            }),
+        ),
+        (
+            "posix_spawn",
+            "fresh",
+            median_cycles(|os, p| {
+                os.spawn(p, "/bin/tool", &[], &SpawnAttrs::default()).expect("spawn");
+            }),
+        ),
+    ];
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_fork_modes\",\n");
+    json.push_str(&format!("  \"footprint_pages\": {FOOTPRINT},\n"));
+    json.push_str(&format!("  \"aslr_seeds\": {},\n", SEEDS.len()));
+    json.push_str("  \"median_cycles\": [\n");
+    for (i, (api, mode, cycles)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"api\": \"{api}\", \"mode\": \"{mode}\", \"cycles\": {cycles}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_fork_modes.json", &json).expect("write BENCH_fork_modes.json");
+
+    println!("\n# BENCH_fork_modes — median cycles per API x mode (fp={FOOTPRINT} pages)");
+    for (api, mode, cycles) in &entries {
+        println!("{:<24} {cycles:>10}", format!("{api}/{mode}"));
+    }
+    println!("[saved BENCH_fork_modes.json]");
+
+    // The snapshot must show the PR's point: on-demand fork is in the
+    // flat class (vfork/spawn), not the page-proportional one.
+    let get = |a: &str, m: &str| {
+        entries
+            .iter()
+            .find(|(x, y, _)| *x == a && *y == m)
+            .map(|(_, _, c)| *c)
+            .unwrap()
+    };
+    assert!(
+        get("fork", "ondemand") * 5 < get("fork", "cow"),
+        "on-demand fork must be far below COW fork at {FOOTPRINT} pages"
+    );
+    println!("\n=== bench smoke OK ===");
+}

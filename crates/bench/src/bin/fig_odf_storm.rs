@@ -1,0 +1,25 @@
+//! E10: on-demand fork fault storm — where the deferred page-table copy
+//! goes when fork stops paying it.
+
+use forkroad_core::experiments::odf_storm;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let footprint = if quick_mode() { 4_096 } else { 16_384 };
+    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let fig = odf_storm::run(footprint, &fractions);
+    emit("fig_odf_storm", &fig.render(), &fig.to_json());
+
+    // Headline shape: fork-time saving vs total-work conservation.
+    let fork_ratio = fig
+        .series("cow_fork")
+        .zip(fig.series("ondemand_fork"))
+        .and_then(|(c, o)| Some(c.last_y()? / o.last_y()?));
+    let total_gap = fig
+        .series("cow_total")
+        .zip(fig.series("ondemand_total"))
+        .and_then(|(c, o)| Some((o.last_y()? - c.last_y()?).abs() / c.last_y()?));
+    if let (Some(r), Some(g)) = (fork_ratio, total_gap) {
+        println!("fork itself is {r:.0}x cheaper on-demand; fully-touched totals differ {:.1}%", g * 100.0);
+    }
+}

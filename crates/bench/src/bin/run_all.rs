@@ -3,7 +3,8 @@
 //! evaluation.
 
 use forkroad_core::experiments::{
-    aslr, breakdown, cow, fig1, forkbomb, overcommit, robustness, scaling, stdio, vma_sweep,
+    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling, stdio,
+    vma_sweep,
 };
 use fpr_bench::emit;
 
@@ -20,6 +21,9 @@ fn main() {
 
     let f3 = cow::run(2_048, &[0.0, 0.25, 0.5, 0.75, 1.0]);
     emit("fig_cow_storm", &f3.render(), &f3.to_json());
+
+    let f3b = odf_storm::run(4_096, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    emit("fig_odf_storm", &f3b.render(), &f3b.to_json());
 
     let f4 = scaling::run(&[1, 4, 16, 64], 1_024);
     emit("fig_fork_scaling", &f4.render(), &f4.to_json());

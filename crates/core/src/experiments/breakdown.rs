@@ -1,10 +1,10 @@
 //! E2: where fork's time goes.
 //!
 //! Decomposes the measured fork cost into page-table-entry copies,
-//! page-table node allocations, VMA clones, and the TLB shootdown, and
-//! checks the components reconcile with the measured total. The paper's
-//! prose claim: beyond modest sizes, the page-table copy dominates even
-//! though no data is copied.
+//! page-table node allocations, VMA clones, descriptor duplications, and
+//! the TLB shootdown, and checks the components reconcile with the
+//! measured total. The paper's prose claim: beyond modest sizes, the
+//! page-table copy dominates even though no data is copied.
 
 use crate::os::{Os, OsConfig};
 use fpr_mem::ForkMode;
@@ -21,6 +21,9 @@ pub struct Breakdown {
     pub node_cycles: u64,
     /// Cycles spent cloning VMA records.
     pub vma_cycles: u64,
+    /// Cycles spent duplicating open descriptors (scales with *open*
+    /// descriptors, not table capacity — the table is sparse).
+    pub fd_cycles: u64,
     /// Cycles in the TLB shootdown.
     pub shootdown_cycles: u64,
     /// Everything else (syscall entry, FD table, bookkeeping).
@@ -31,6 +34,13 @@ pub struct Breakdown {
 
 /// Measures and decomposes one fork of a parent with `pages` populated.
 pub fn measure(pages: u64) -> Breakdown {
+    measure_with_fds(pages, 0, false)
+}
+
+/// Like [`measure`], with `extra_fds` files opened first. When `sparse`,
+/// the last one is also dup2'd to descriptor 1000, stretching the
+/// nominal table capacity without adding open descriptors.
+pub fn measure_with_fds(pages: u64, extra_fds: u32, sparse: bool) -> Breakdown {
     let mut os = Os::boot(OsConfig {
         machine: super::fig1::machine_for(pages),
         ..Default::default()
@@ -38,6 +48,18 @@ pub fn measure(pages: u64) -> Breakdown {
     let parent = os
         .make_parent(ProcessShape::with_heap(pages))
         .expect("parent fits");
+    for i in 0..extra_fds {
+        let fd = os
+            .kernel
+            .open(parent, &format!("/tmp{i}"), fpr_kernel::OpenFlags::RDWR, true)
+            .expect("open");
+        if sparse && i == extra_fds - 1 {
+            os.kernel
+                .dup2(parent, fd, fpr_kernel::Fd(1000))
+                .expect("dup2");
+            os.kernel.close(parent, fd).expect("close");
+        }
+    }
     let cost = os.kernel.phys.cost().clone();
     let cpus = os.kernel.cpus_running(parent);
     let ((_, stats), total) =
@@ -52,14 +74,16 @@ pub fn measure(pages: u64) -> Breakdown {
     let pte_cycles = stats.pages_inherited * cost.pte_copy;
     let node_cycles = child_nodes * cost.pt_node_alloc;
     let vma_cycles = stats.vmas_cloned as u64 * cost.vma_clone;
+    let fd_cycles = stats.fds_inherited as u64 * cost.fd_clone;
     let shootdown_cycles =
         cost.tlb_shootdown_base + cost.tlb_shootdown_per_cpu * (cpus.max(1) as u64 - 1);
-    let accounted = pte_cycles + node_cycles + vma_cycles + shootdown_cycles;
+    let accounted = pte_cycles + node_cycles + vma_cycles + fd_cycles + shootdown_cycles;
     Breakdown {
         pages,
         pte_cycles,
         node_cycles,
         vma_cycles,
+        fd_cycles,
         shootdown_cycles,
         other_cycles: total.saturating_sub(accounted),
         total_cycles: total,
@@ -76,6 +100,7 @@ pub fn run(footprints: &[u64]) -> TableData {
             "pte_copy",
             "pt_nodes",
             "vma_clone",
+            "fd_clone",
             "shootdown",
             "other",
             "total",
@@ -89,6 +114,7 @@ pub fn run(footprints: &[u64]) -> TableData {
             b.pte_cycles.to_string(),
             b.node_cycles.to_string(),
             b.vma_cycles.to_string(),
+            b.fd_cycles.to_string(),
             b.shootdown_cycles.to_string(),
             b.other_cycles.to_string(),
             b.total_cycles.to_string(),
@@ -105,8 +131,12 @@ mod tests {
     #[test]
     fn components_reconcile_with_total() {
         let b = measure(4096);
-        let accounted =
-            b.pte_cycles + b.node_cycles + b.vma_cycles + b.shootdown_cycles + b.other_cycles;
+        let accounted = b.pte_cycles
+            + b.node_cycles
+            + b.vma_cycles
+            + b.fd_cycles
+            + b.shootdown_cycles
+            + b.other_cycles;
         assert_eq!(accounted, b.total_cycles);
         // "other" must be small: the decomposition explains the cost.
         assert!(
@@ -130,6 +160,25 @@ mod tests {
             share(&big) > 0.4,
             "PTE copy should dominate at 64 MiB: {}",
             share(&big)
+        );
+    }
+
+    #[test]
+    fn fd_cost_scales_with_open_fds_not_capacity() {
+        let none = measure_with_fds(256, 0, false);
+        assert_eq!(none.fd_cycles, 0);
+        let few = measure_with_fds(256, 4, false);
+        assert!(few.fd_cycles > 0);
+        // dup2 the last descriptor to 1000: nominal capacity stretches
+        // ~250x, open count stays at 4 — fork must not notice.
+        let sparse = measure_with_fds(256, 4, true);
+        assert_eq!(
+            sparse.fd_cycles, few.fd_cycles,
+            "FD clone cost must track open descriptors, not the highest fd"
+        );
+        assert_eq!(
+            sparse.total_cycles, few.total_cycles,
+            "a sparse table must not make fork more expensive"
         );
     }
 

@@ -8,7 +8,7 @@
 use crate::os::{Os, OsConfig};
 use fpr_api::{ProcessBuilder, SpawnAttrs};
 use fpr_kernel::MachineConfig;
-use fpr_mem::{OvercommitPolicy, CYCLES_PER_US};
+use fpr_mem::{ForkMode, OvercommitPolicy, CYCLES_PER_US};
 use fpr_trace::{FigureData, ProcessShape, Series};
 
 /// Builds a machine big enough for a `footprint`-page parent plus slack.
@@ -30,6 +30,7 @@ pub fn run(footprints: &[u64]) -> FigureData {
         "latency us",
     );
     let mut fork_s = Series::new("fork+exec");
+    let mut odf_s = Series::new("fork(OnDemand)+exec");
     let mut vfork_s = Series::new("vfork+exec");
     let mut spawn_s = Series::new("posix_spawn");
     let mut xproc_s = Series::new("xproc");
@@ -56,6 +57,16 @@ pub fn run(footprints: &[u64]) -> FigureData {
                 child
             });
             fork_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
+        }
+        // fork with on-demand page-table copying + exec
+        {
+            let (mut os, parent) = mk();
+            let (_, cycles) = os.measure(|os| {
+                let (child, _) = os.fork_stats(parent, ForkMode::OnDemand).expect("fork fits");
+                os.exec(child, "/bin/tool").expect("exec");
+                child
+            });
+            odf_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
         }
         // vfork + exec
         {
@@ -86,7 +97,7 @@ pub fn run(footprints: &[u64]) -> FigureData {
             xproc_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
         }
     }
-    fig.series = vec![fork_s, vfork_s, spawn_s, xproc_s];
+    fig.series = vec![fork_s, odf_s, vfork_s, spawn_s, xproc_s];
     fig
 }
 
@@ -99,6 +110,7 @@ mod tests {
         // Small sweep keeps the test fast; the shape must already show.
         let fig = run(&[256, 1024, 4096, 16_384]);
         let fork = fig.series("fork+exec").unwrap();
+        let odf = fig.series("fork(OnDemand)+exec").unwrap();
         let spawn = fig.series("posix_spawn").unwrap();
         let vfork = fig.series("vfork+exec").unwrap();
         let xproc = fig.series("xproc").unwrap();
@@ -114,9 +126,55 @@ mod tests {
             let g = s.growth_factor().unwrap();
             assert!((0.95..1.05).contains(&g), "{} not flat: {g}", s.label);
         }
+        // On-demand fork grows only with *subtrees* (pages/512), so across
+        // a 64x page sweep it stays near-flat — nothing like fork's slope.
+        let g = odf.growth_factor().unwrap();
+        assert!(g < 1.5, "fork(OnDemand) should be near-flat: {g}");
+        assert!(
+            fork.last_y().unwrap() > odf.last_y().unwrap() * 10.0,
+            "on-demand fork must beat page-copying fork by an order of \
+             magnitude at the large end"
+        );
         // At the largest size fork is much slower than spawn.
         assert!(fork.last_y().unwrap() > spawn.last_y().unwrap() * 20.0);
         // At the smallest size they are within an order of magnitude.
         assert!(fork.first_y().unwrap() < spawn.first_y().unwrap() * 10.0);
+    }
+
+    #[test]
+    fn on_demand_fork_within_2x_of_spawn_at_4gib() {
+        // The acceptance bound: at a 4 GiB simulated footprint
+        // (1 Mi pages, ~2048 leaf subtrees) the fork-time latency of an
+        // on-demand fork stays within 2x of a full posix_spawn. Only the
+        // two flat APIs run — a COW fork at this size would copy a
+        // million PTEs.
+        let fp: u64 = 1_048_576;
+        let spawn_us = {
+            let mut os = Os::boot(OsConfig {
+                machine: machine_for(fp),
+                ..Default::default()
+            });
+            let parent = os.make_parent(ProcessShape::with_heap(fp)).unwrap();
+            let (_, cycles) = os.measure(|os| {
+                os.spawn(parent, "/bin/tool", &[], &SpawnAttrs::default())
+                    .expect("spawn")
+            });
+            cycles as f64 / CYCLES_PER_US as f64
+        };
+        let odf_us = {
+            let mut os = Os::boot(OsConfig {
+                machine: machine_for(fp),
+                ..Default::default()
+            });
+            let parent = os.make_parent(ProcessShape::with_heap(fp)).unwrap();
+            let (_, cycles) =
+                os.measure(|os| os.fork_stats(parent, ForkMode::OnDemand).expect("fork"));
+            cycles as f64 / CYCLES_PER_US as f64
+        };
+        assert!(
+            odf_us <= spawn_us * 2.0,
+            "fork(OnDemand) {odf_us:.2}us must stay within 2x of \
+             posix_spawn {spawn_us:.2}us at 4 GiB"
+        );
     }
 }

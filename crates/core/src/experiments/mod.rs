@@ -10,6 +10,7 @@ pub mod breakdown;
 pub mod cow;
 pub mod fig1;
 pub mod forkbomb;
+pub mod odf_storm;
 pub mod overcommit;
 pub mod robustness;
 pub mod scaling;

@@ -60,11 +60,15 @@ pub enum FaultSite {
     SpawnFileAction,
     /// One xproc `ProcessBuilder` population step (`fpr-api::xproc`).
     XprocStep,
+    /// Deferred page-table subtree copy during on-demand fork
+    /// (`fpr-mem::page_table`): the private leaf node allocated when a
+    /// shared subtree is first written, unmapped, or reprotected.
+    PtUnshare,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by sweeps and coverage reports).
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::FrameAlloc,
         FaultSite::PtNodeAlloc,
         FaultSite::VmaClone,
@@ -74,6 +78,7 @@ impl FaultSite {
         FaultSite::VfsOp,
         FaultSite::SpawnFileAction,
         FaultSite::XprocStep,
+        FaultSite::PtUnshare,
     ];
 
     /// Stable snake_case name (report/JSON key).
@@ -88,6 +93,7 @@ impl FaultSite {
             FaultSite::VfsOp => "vfs_op",
             FaultSite::SpawnFileAction => "spawn_file_action",
             FaultSite::XprocStep => "xproc_step",
+            FaultSite::PtUnshare => "pt_unshare",
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::error::{Errno, KResult};
 use crate::file::OfdId;
 use fpr_faults::FaultSite;
+use std::collections::BTreeMap;
 
 /// A file descriptor number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,9 +32,15 @@ pub struct FdEntry {
 }
 
 /// A per-process descriptor table.
+///
+/// Stored sparsely (occupied slots only), so every whole-table operation —
+/// fork's clone, exec's `FD_CLOEXEC` sweep, exit's drain — is O(open
+/// descriptors), not O(highest descriptor number). A process that dup2s
+/// one descriptor to 100 000 and closes it again pays for one entry, not
+/// for a hundred thousand empty slots.
 #[derive(Debug, Clone, Default)]
 pub struct FdTable {
-    slots: Vec<Option<FdEntry>>,
+    slots: BTreeMap<u32, FdEntry>,
 }
 
 impl FdTable {
@@ -46,20 +53,21 @@ impl FdTable {
     /// (the `RLIMIT_NOFILE` soft limit).
     pub fn install(&mut self, entry: FdEntry, limit: u64) -> KResult<Fd> {
         fpr_faults::cross(FaultSite::FdAlloc).map_err(|_| Errno::Emfile)?;
-        let idx = self
-            .slots
-            .iter()
-            .position(|s| s.is_none())
-            .unwrap_or(self.slots.len());
+        // Keys iterate ascending: the first index not matching its rank is
+        // the lowest free descriptor (POSIX lowest-fd rule).
+        let mut idx: u32 = 0;
+        for k in self.slots.keys() {
+            if *k == idx {
+                idx += 1;
+            } else {
+                break;
+            }
+        }
         if idx as u64 >= limit {
             return Err(Errno::Emfile);
         }
-        if idx == self.slots.len() {
-            self.slots.push(Some(entry));
-        } else {
-            self.slots[idx] = Some(entry);
-        }
-        Ok(Fd(idx as u32))
+        self.slots.insert(idx, entry);
+        Ok(Fd(idx))
     }
 
     /// Installs `entry` at exactly `fd` (the `dup2` target path),
@@ -69,24 +77,17 @@ impl FdTable {
         if fd.0 as u64 >= limit {
             return Err(Errno::Ebadf);
         }
-        let idx = fd.0 as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, None);
-        }
-        Ok(self.slots[idx].replace(entry))
+        Ok(self.slots.insert(fd.0, entry))
     }
 
     /// Looks up a descriptor.
     pub fn get(&self, fd: Fd) -> KResult<FdEntry> {
-        self.slots
-            .get(fd.0 as usize)
-            .and_then(|s| *s)
-            .ok_or(Errno::Ebadf)
+        self.slots.get(&fd.0).copied().ok_or(Errno::Ebadf)
     }
 
     /// Sets or clears `FD_CLOEXEC`.
     pub fn set_cloexec(&mut self, fd: Fd, cloexec: bool) -> KResult<()> {
-        match self.slots.get_mut(fd.0 as usize).and_then(|s| s.as_mut()) {
+        match self.slots.get_mut(&fd.0) {
             Some(e) => {
                 e.cloexec = cloexec;
                 Ok(())
@@ -97,49 +98,41 @@ impl FdTable {
 
     /// Removes a descriptor, returning its entry for release.
     pub fn remove(&mut self, fd: Fd) -> KResult<FdEntry> {
-        match self.slots.get_mut(fd.0 as usize) {
-            Some(slot) => slot.take().ok_or(Errno::Ebadf),
-            None => Err(Errno::Ebadf),
-        }
+        self.slots.remove(&fd.0).ok_or(Errno::Ebadf)
     }
 
     /// Iterates over live `(fd, entry)` pairs in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (Fd, FdEntry)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|e| (Fd(i as u32), e)))
+        self.slots.iter().map(|(i, e)| (Fd(*i), *e))
     }
 
     /// Removes and returns every `FD_CLOEXEC` entry (the exec sweep).
     pub fn take_cloexec(&mut self) -> Vec<(Fd, FdEntry)> {
-        let mut out = Vec::new();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if slot.map(|e| e.cloexec).unwrap_or(false) {
-                out.push((Fd(i as u32), slot.take().expect("checked above")));
-            }
-        }
-        out
+        let doomed: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|(_, e)| e.cloexec)
+            .map(|(i, _)| *i)
+            .collect();
+        doomed
+            .into_iter()
+            .map(|i| (Fd(i), self.slots.remove(&i).expect("key just enumerated")))
+            .collect()
     }
 
     /// Removes and returns every entry (process exit).
     pub fn drain(&mut self) -> Vec<FdEntry> {
-        self.slots.iter_mut().filter_map(|s| s.take()).collect()
+        std::mem::take(&mut self.slots).into_values().collect()
     }
 
     /// Number of open descriptors.
     pub fn open_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.len()
     }
 
     /// Highest open descriptor, if any.
     pub fn highest(&self) -> Option<Fd> {
-        self.slots
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, s)| s.is_some())
-            .map(|(i, _)| Fd(i as u32))
+        self.slots.last_key_value().map(|(i, _)| Fd(*i))
     }
 }
 

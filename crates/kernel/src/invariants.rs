@@ -108,18 +108,34 @@ impl Kernel {
         let mut v = Vec::new();
 
         // --- Memory: frame refcounts vs page tables, PTEs vs VMAs. ---
+        // A leaf page-table node shared by an on-demand fork appears in
+        // several spaces but holds each frame reference *once* (the frame
+        // refcount counts table slots, not spaces). Deduplicate by node
+        // identity: only the first space presenting a node contributes its
+        // PTEs to the expected refcounts. The VMA-coverage check still
+        // runs per space — a shared subtree must be covered in every
+        // space referencing it.
         let mut pte_refs: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut seen_nodes: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         for p in self.procs.values() {
             if p.space_ref != SpaceRef::Owned {
                 continue;
             }
             let pid = p.pid;
-            p.aspace.for_each_resident(|vpn, pte| {
-                *pte_refs.entry(pte.pfn.0).or_insert(0) += 1;
+            // Stage this space's nodes separately: a node yields many PTEs
+            // and all of them must count, not just those before the node
+            // is marked seen.
+            let mut new_nodes: Vec<usize> = Vec::new();
+            p.aspace.for_each_resident_keyed(|nid, vpn, pte| {
+                if !seen_nodes.contains(&nid) {
+                    *pte_refs.entry(pte.pfn.0).or_insert(0) += 1;
+                    new_nodes.push(nid);
+                }
                 if p.aspace.vma_at(vpn).is_none() {
                     v.push(format!("pid {pid}: resident page {} outside any VMA", vpn.0));
                 }
             });
+            seen_nodes.extend(new_nodes);
         }
         for (pfn, expect) in &pte_refs {
             match self.phys.refs(fpr_mem::Pfn(*pfn)) {

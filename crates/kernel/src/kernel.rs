@@ -381,8 +381,13 @@ impl Kernel {
     /// taken, so on `Err` the OFD table is exactly as before the call.
     pub fn clone_fd_table(&mut self, pid: Pid) -> KResult<FdTable> {
         let entries: Vec<(Fd, FdEntry)> = self.process(pid)?.fds.iter().collect();
+        let fd_cost = self.phys.cost().fd_clone;
         let mut table = FdTable::new();
         for (fd, entry) in entries {
+            // Each open descriptor costs a fixed amount to duplicate; the
+            // table's sparse storage means closed slots cost nothing, so
+            // fork's FD work scales with open descriptors, not max fd.
+            self.cycles.charge(fd_cost);
             // Shares the description (and therefore the offset); pipe end
             // counts follow descriptions, not descriptors, so they are
             // untouched here.

@@ -8,7 +8,7 @@
 //! state), not O(1), which is why fork latency in Figure 1 grows with the
 //! parent while `posix_spawn` stays flat.
 
-use crate::addr::{VirtAddr, Vpn};
+use crate::addr::{VirtAddr, Vpn, PT_ENTRIES};
 use crate::cost::Cycles;
 use crate::error::{MemError, MemResult};
 use crate::phys::PhysMemory;
@@ -17,6 +17,7 @@ use crate::tlb::TlbModel;
 use crate::vma::{Backing, Share, VmArea, VmaKind};
 use fpr_faults::FaultSite;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How fork duplicates private pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +27,12 @@ pub enum ForkMode {
     /// Eager: copy every present private page at fork time (pre-COW Unix,
     /// and the ablation baseline for E2).
     Eager,
+    /// On-demand page-table copy (μFork / On-demand-fork, EuroSys'21):
+    /// fork shares whole leaf page-table subtrees refcounted and
+    /// effectively read-only; the first write, unmap, or mprotect touching
+    /// a shared subtree privatizes just that 512-entry node. Fork-time
+    /// work becomes O(VMAs + subtrees), not O(pages).
+    OnDemand,
 }
 
 /// Counters describing the work an address space has performed.
@@ -43,6 +50,12 @@ pub struct AsStats {
     pub vmas_cloned: u64,
     /// Pages eagerly copied by `ForkMode::Eager` forks.
     pub pages_eager_copied: u64,
+    /// Leaf page-table subtrees shared with children by on-demand forks.
+    pub pt_subtrees_shared: u64,
+    /// Shared subtrees privatized on first touch (the deferred copies).
+    pub pt_unshares: u64,
+    /// PTEs copied during those deferred subtree privatizations.
+    pub ptes_unshare_copied: u64,
 }
 
 /// A process address space.
@@ -197,7 +210,7 @@ impl AddressSpace {
             .range(start.0..start.0 + pages)
             .map(|(k, _)| *k)
             .collect();
-        let mut released = 0u64;
+        let mut released = self.prepare_release_range(start, pages, phys, cycles)?;
         for k in doomed {
             let v = self.vmas.remove(&k).expect("key just enumerated");
             for (vpn, pte) in self.pt.leaves_in_range(v.start, v.pages) {
@@ -211,6 +224,62 @@ impl AddressSpace {
             tlb.shootdown(cpus_running, cycles, &cost);
         }
         Ok(released)
+    }
+
+    /// Prepares `[start, start+pages)` for translation removal: leaf
+    /// subtrees still shared with another space are either detached (when
+    /// every present PTE falls inside the range — the other owner keeps
+    /// the frames, so dropping our reference is one pointer operation) or
+    /// privatized first (when the node straddles the range boundary).
+    /// Returns the number of pages released by whole-node detaches.
+    fn prepare_release_range(
+        &mut self,
+        start: Vpn,
+        pages: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<u64> {
+        let mut released = 0u64;
+        loop {
+            // Detach/privatize invalidate arena coordinates, so rescan
+            // after each mutation; shared nodes are rare and the scan is
+            // O(nodes).
+            let mut target: Option<(u64, bool)> = None;
+            for (base, l1, idx) in self.pt.leaf_slot_coords() {
+                let arc = self.pt.leaf_at(l1, idx);
+                if Arc::strong_count(arc) == 1 {
+                    continue;
+                }
+                let mut any_in = false;
+                let mut all_in = true;
+                for (j, slot) in arc.ptes.iter().enumerate() {
+                    if slot.is_some() {
+                        let v = base | j as u64;
+                        if v >= start.0 && v < start.0 + pages {
+                            any_in = true;
+                        } else {
+                            all_in = false;
+                        }
+                    }
+                }
+                if any_in {
+                    target = Some((base, all_in));
+                    break;
+                }
+            }
+            match target {
+                None => return Ok(released),
+                Some((base, true)) => {
+                    let arc = self.pt.detach_leaf(base).expect("node just enumerated");
+                    released += arc.live as u64;
+                    // Still referenced by the other space, which releases
+                    // the frames when it drops its copy; our drop is free.
+                }
+                Some((base, false)) => {
+                    self.unshare_subtree(Vpn(base), phys, cycles)?;
+                }
+            }
+        }
     }
 
     /// Splits the VMA containing `at` so that `at` becomes a VMA boundary.
@@ -256,7 +325,7 @@ impl AddressSpace {
         pages: u64,
         prot: crate::vma::Prot,
         cycles: &mut Cycles,
-        phys: &PhysMemory,
+        phys: &mut PhysMemory,
         tlb: &mut TlbModel,
         cpus_running: u32,
     ) -> MemResult<()> {
@@ -288,15 +357,21 @@ impl AddressSpace {
                 let vs = v.start;
                 let vp = v.pages;
                 for (vpn, pte) in self.pt.leaves_in_range(vs, vp) {
+                    downgraded = true;
                     let mut new = pte;
                     new.flags = new.flags.minus(PteFlags::WRITABLE);
-                    self.pt.update(vpn, new).expect("leaf just enumerated");
-                    downgraded = true;
+                    if new != pte {
+                        // A shared subtree must be privatized before its
+                        // PTEs change: the child keeps its permissions.
+                        self.unshare_subtree(vpn, phys, cycles)?;
+                        self.pt.update(vpn, new).expect("leaf just enumerated");
+                    }
                 }
             }
         }
         if downgraded {
-            tlb.shootdown(cpus_running, cycles, phys.cost());
+            let cost = phys.cost().clone();
+            tlb.shootdown(cpus_running, cycles, &cost);
         }
         Ok(())
     }
@@ -322,7 +397,7 @@ impl AddressSpace {
                 return Err(MemError::NotMapped);
             }
         }
-        let mut released = 0;
+        let mut released = self.prepare_release_range(start, pages, phys, cycles)?;
         for (vpn, pte) in self.pt.leaves_in_range(start, pages) {
             self.pt.unmap(vpn).expect("leaf just enumerated");
             phys.dec_ref(pte.pfn, cycles)?;
@@ -401,19 +476,67 @@ impl AddressSpace {
         self.pt.for_each_leaf(f)
     }
 
+    /// Like [`Self::for_each_resident`], but also yields a stable identity
+    /// for the leaf page-table node holding each PTE. Two spaces yielding
+    /// the same identity reference the *same* shared subtree (on-demand
+    /// fork), so cross-space accounting must count its PTEs once.
+    pub fn for_each_resident_keyed(&self, f: impl FnMut(usize, Vpn, Pte)) {
+        self.pt.for_each_leaf_keyed(f)
+    }
+
     /// Tears down the whole space, releasing every frame. Must be called
     /// before dropping the space (frames are owned by [`PhysMemory`]).
+    ///
+    /// Leaf subtrees still shared with another space are dropped with one
+    /// refcount decrement — the surviving owner releases the frames — so
+    /// a child that exits without touching its memory tears down in
+    /// O(nodes), mirroring the cheap-exit property of on-demand fork.
     pub fn destroy(&mut self, phys: &mut PhysMemory, cycles: &mut Cycles) {
-        let leaves: Vec<(Vpn, Pte)> = {
-            let mut v = Vec::new();
-            self.pt.for_each_leaf(|vpn, pte| v.push((vpn, pte)));
-            v
-        };
-        for (vpn, pte) in leaves {
-            self.pt.unmap(vpn).expect("leaf just enumerated");
-            phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+        for (_, arc) in self.pt.take_leaves() {
+            match Arc::try_unwrap(arc) {
+                Ok(node) => {
+                    for pte in node.ptes.iter().flatten() {
+                        phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+                    }
+                }
+                Err(_) => {
+                    // Still shared: the other table keeps the frames alive.
+                }
+            }
         }
         self.vmas.clear();
+    }
+
+    /// True if the leaf page-table subtree covering `vpn` is still shared
+    /// with another address space (an on-demand fork has not yet been
+    /// broken for that 512-page region). Verification aid.
+    pub fn subtree_shared(&self, vpn: Vpn) -> bool {
+        self.pt.leaf_shared(vpn)
+    }
+
+    /// Replaces the shared leaf subtree covering `vpn` with a private deep
+    /// copy, taking one frame reference per present PTE (each table slot
+    /// now references the frames independently). No-op if the subtree is
+    /// not shared. This is the deferred copy that on-demand fork pushed
+    /// out of fork itself; callers charge fault/TLB costs as appropriate.
+    pub(crate) fn unshare_subtree(
+        &mut self,
+        vpn: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        if !self.pt.leaf_shared(vpn) {
+            return Ok(());
+        }
+        let cost = phys.cost().clone();
+        let present = self.pt.privatize_leaf(vpn, cycles, &cost)?;
+        for pte in &present {
+            phys.inc_ref(pte.pfn)
+                .expect("frame tracked by shared subtree");
+        }
+        self.stats.pt_unshares += 1;
+        self.stats.ptes_unshare_copied += present.len() as u64;
+        Ok(())
     }
 
     /// Duplicates `parent` into a new address space, implementing the
@@ -451,7 +574,12 @@ impl AddressSpace {
         // Undo log: parent PTEs downgraded to COW, with their original
         // value, in case the walk fails partway.
         let mut downgrades: Vec<(Vpn, Pte)> = Vec::new();
-        let result = Self::fork_walk(parent, &mut child, &mut downgrades, mode, phys, cycles);
+        let result = match mode {
+            ForkMode::OnDemand => {
+                Self::fork_walk_on_demand(parent, &mut child, &mut downgrades, phys, cycles)
+            }
+            _ => Self::fork_walk(parent, &mut child, &mut downgrades, mode, phys, cycles),
+        };
         let cost = phys.cost().clone();
         match result {
             Ok(()) => {
@@ -465,18 +593,129 @@ impl AddressSpace {
                 Ok(child)
             }
             Err(e) => {
-                // Roll back: restore the parent's downgraded PTEs (a
-                // permission upgrade, so no shootdown needed — stale
-                // read-only translations fault and retry), then tear down
-                // the partial child, releasing every frame reference it
-                // took.
+                // Roll back. The partial child is torn down *first*:
+                // dropping its shared-subtree references makes the
+                // parent's leaf nodes exclusively owned again, which the
+                // downgrade restores below require (they mutate PTEs in
+                // place). Destruction releases every frame reference the
+                // child took; restoring the downgrades is a permission
+                // upgrade, so no shootdown is needed — stale read-only
+                // translations fault and retry.
+                child.destroy(phys, cycles);
                 for (vpn, orig) in downgrades {
                     parent.pt.update(vpn, orig).expect("downgraded leaf still mapped");
                 }
-                child.destroy(phys, cycles);
                 Err(e)
             }
         }
+    }
+
+    /// The fallible body of an on-demand fork: clones VMA records, then
+    /// shares whole leaf page-table subtrees with the child by refcount
+    /// instead of copying PTEs. A subtree is shareable when every present
+    /// PTE in it is inherited by the child; nodes straddling `DONTFORK` /
+    /// `WIPEONFORK` boundaries fall back to the per-PTE COW copy. When a
+    /// node is shared for the first time, its private writable PTEs are
+    /// COW-marked in place (one marking serves both tables — that is what
+    /// sharing means), and each marking is recorded in `downgrades`.
+    fn fork_walk_on_demand(
+        parent: &mut AddressSpace,
+        child: &mut AddressSpace,
+        downgrades: &mut Vec<(Vpn, Pte)>,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        let cost = phys.cost().clone();
+        let parent_vmas: Vec<VmArea> = parent.vmas.values().cloned().collect();
+        for vma in parent_vmas {
+            if vma.fork_policy.dont_fork {
+                continue;
+            }
+            fpr_faults::cross(FaultSite::VmaClone).map_err(|_| MemError::OutOfMemory)?;
+            cycles.charge(cost.vma_clone);
+            parent.stats.vmas_cloned += 1;
+            child.vmas.insert(vma.start.0, vma);
+        }
+        for (base, l1, idx) in parent.pt.leaf_slot_coords() {
+            // Classify every present PTE of this 512-entry node: does the
+            // child inherit it, and under which sharing policy?
+            let span = PT_ENTRIES as u64;
+            let covering: Vec<VmArea> = parent
+                .vmas
+                .values()
+                .filter(|v| v.overlaps(Vpn(base), span))
+                .cloned()
+                .collect();
+            let mut slots: Vec<(usize, Vpn, Pte, Option<Share>)> = Vec::new();
+            {
+                let node = parent.pt.leaf_at(l1, idx);
+                for (j, slot) in node.ptes.iter().enumerate() {
+                    let Some(pte) = slot else { continue };
+                    let vpn = Vpn(base | j as u64);
+                    let inherit = covering
+                        .iter()
+                        .find(|v| v.contains(vpn))
+                        .filter(|v| !v.fork_policy.dont_fork && !v.fork_policy.wipe_on_fork)
+                        .map(|v| v.share);
+                    slots.push((j, vpn, *pte, inherit));
+                }
+            }
+            if !slots.is_empty() && slots.iter().all(|(_, _, _, i)| i.is_some()) {
+                // Fast path: hand the whole subtree to the child with one
+                // pointer copy and a refcount bump.
+                let arc = parent.pt.leaf_at_mut(l1, idx);
+                if let Some(node) = Arc::get_mut(arc) {
+                    // First sharing of this node: COW-mark its private
+                    // writable PTEs in place. A node that is *already*
+                    // shared holds no private writable PTEs (they were
+                    // marked when it was first shared), so re-sharing
+                    // needs no marking — and must not mutate it.
+                    for (j, vpn, pte, inherit) in &slots {
+                        if *inherit != Some(Share::Private) || !pte.is_writable() {
+                            continue;
+                        }
+                        let slot = node.ptes[*j].as_mut().expect("slot classified present");
+                        slot.flags = slot.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+                        downgrades.push((*vpn, *pte));
+                    }
+                }
+                let arc = Arc::clone(parent.pt.leaf_at(l1, idx));
+                child.pt.attach_leaf(base, arc, cycles, &cost)?;
+                parent.stats.pt_subtrees_shared += 1;
+                continue;
+            }
+            // Mixed node: per-PTE COW copy for the inherited slots only.
+            for (_, vpn, pte, inherit) in slots {
+                let Some(share) = inherit else { continue };
+                cycles.charge(cost.pte_copy);
+                parent.stats.ptes_copied += 1;
+                match share {
+                    Share::Shared => {
+                        phys.inc_ref(pte.pfn)?;
+                        if let Err(e) = child.pt.map(vpn, pte, cycles, &cost) {
+                            phys.dec_ref(pte.pfn, cycles).expect("ref just taken");
+                            return Err(e);
+                        }
+                    }
+                    Share::Private => {
+                        phys.inc_ref(pte.pfn)?;
+                        let mut cow = pte;
+                        if cow.is_writable() || cow.is_cow() {
+                            cow.flags = cow.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+                        }
+                        if let Err(e) = child.pt.map(vpn, cow, cycles, &cost) {
+                            phys.dec_ref(pte.pfn, cycles).expect("ref just taken");
+                            return Err(e);
+                        }
+                        if pte.is_writable() {
+                            parent.pt.update(vpn, cow).expect("leaf just enumerated");
+                            downgrades.push((vpn, pte));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The fallible body of [`AddressSpace::fork_from`]: clones VMAs and
@@ -522,7 +761,7 @@ impl AddressSpace {
                             return Err(e);
                         }
                     }
-                    (Share::Private, ForkMode::Cow) => {
+                    (Share::Private, ForkMode::Cow | ForkMode::OnDemand) => {
                         phys.inc_ref(pte.pfn)?;
                         let mut cow = pte;
                         if cow.is_writable() || cow.is_cow() {

@@ -50,6 +50,12 @@ pub struct CostModel {
     pub syscall: u64,
     /// Reading one page of a file image into a frame (page-cache hit).
     pub file_read_page: u64,
+    /// Sharing one leaf page-table subtree at fork: copy one 8-byte
+    /// subtree pointer and bump a refcount (on-demand fork fast path).
+    pub pt_subtree_share: u64,
+    /// Duplicating one open file descriptor at fork (slot copy + open-file
+    /// refcount bump).
+    pub fd_clone: u64,
 }
 
 impl Default for CostModel {
@@ -68,6 +74,8 @@ impl Default for CostModel {
             tlb_invlpg: 120,
             syscall: 350,
             file_read_page: 1_000,
+            pt_subtree_share: 4,
+            fd_clone: 150,
         }
     }
 }
@@ -90,6 +98,8 @@ impl CostModel {
             tlb_invlpg: 0,
             syscall: 0,
             file_read_page: 0,
+            pt_subtree_share: 0,
+            fd_clone: 0,
         }
     }
 }

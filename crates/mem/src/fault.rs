@@ -38,6 +38,13 @@ impl AddressSpace {
         cycles: &mut Cycles,
     ) -> MemResult<Pte> {
         let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?.clone();
+        // An absent PTE can still sit inside a leaf subtree that an
+        // on-demand fork shares with another space; installing it would
+        // mutate the shared node. Privatize first. The node swap preserves
+        // every existing translation bit-for-bit, so no TLB invalidation
+        // is needed (the TLB caches leaf translations, not subtree
+        // pointers, at this model's granularity).
+        self.unshare_subtree(vpn, phys, cycles)?;
         let content = vma.initial_content(vpn);
         let pfn = if content == 0 {
             phys.alloc_zeroed(cycles)?
@@ -104,6 +111,19 @@ impl AddressSpace {
             return Err(MemError::Protection);
         }
         let cost = phys.cost().clone();
+        if self.pt.translate(vpn).is_some() && self.subtree_shared(vpn) {
+            // Structure fault: the write landed in a leaf subtree still
+            // shared by an on-demand fork. Take a fault, privatize the
+            // 512-entry node (the deferred page-table copy), and shoot
+            // down stale translations — the other space's writable
+            // mappings of this subtree were COW-marked at share time, and
+            // our own subtree pointer just changed. The write then
+            // resolves below (usually as a second, COW-break fault:
+            // on-demand fork pays two faults on first touch).
+            cycles.charge(cost.fault_entry);
+            self.unshare_subtree(vpn, phys, cycles)?;
+            tlb.shootdown(cpus_running, cycles, &cost);
+        }
         match self.pt.translate(vpn) {
             None => {
                 cycles.charge(cost.fault_entry);

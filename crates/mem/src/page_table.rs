@@ -1,30 +1,38 @@
-//! Four-level radix page table.
+//! Four-level radix page table with refcount-shared leaf subtrees.
 //!
-//! Nodes live in an arena (`Vec`) indexed by `u32`, which keeps the
-//! structure compact and clone-free; the arena plays the role of the
-//! physical frames that would hold page-table nodes on real hardware.
+//! Intermediate nodes (levels 3..1) live in an arena (`Vec`) indexed by
+//! `u32`, which keeps the structure compact; the arena plays the role of
+//! the physical frames that would hold page-table nodes on real hardware.
+//! The bottom level is different: each 512-entry block of leaf PTEs lives
+//! in a reference-counted [`LeafNode`], so an on-demand fork can hand the
+//! *same* leaf subtree to parent and child by bumping a refcount instead
+//! of copying 512 entries. A shared node is immutable (enforced with
+//! `Arc::get_mut`); the owner must [`PageTable::privatize_leaf`] before
+//! mutating, which is the deferred copy the fault path performs.
+//!
 //! Intermediate nodes are created lazily on [`PageTable::map`] and torn
 //! down eagerly when their last entry is removed, so the node count always
-//! reflects the mapped footprint — the quantity fork must copy.
+//! reflects the mapped footprint — the quantity an eager fork must copy.
 
 use crate::addr::{Vpn, PT_ENTRIES, PT_LEVELS};
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
 use crate::pte::Pte;
 use fpr_faults::FaultSite;
+use std::sync::Arc;
 
-/// One entry of a page-table node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One entry of an intermediate page-table node.
+#[derive(Debug, Clone)]
 enum Entry {
     /// Empty slot.
     None,
-    /// Pointer to a lower-level node (arena index).
+    /// Pointer to a lower-level intermediate node (arena index).
     Table(u32),
-    /// Leaf translation.
-    Leaf(Pte),
+    /// A (possibly shared) 512-entry leaf subtree.
+    Leaf(Arc<LeafNode>),
 }
 
-/// One 512-entry page-table node.
+/// One 512-entry intermediate page-table node.
 #[derive(Debug, Clone)]
 struct Node {
     entries: Box<[Entry; PT_ENTRIES]>,
@@ -35,9 +43,34 @@ struct Node {
 impl Node {
     fn new() -> Node {
         Node {
-            entries: Box::new([Entry::None; PT_ENTRIES]),
+            entries: Box::new(std::array::from_fn(|_| Entry::None)),
             live: 0,
         }
+    }
+}
+
+/// A 512-entry block of leaf PTEs, shareable between page tables.
+///
+/// `Arc::strong_count > 1` means the subtree is shared by an on-demand
+/// fork and must be privatized before any mutation.
+#[derive(Debug, Clone)]
+pub(crate) struct LeafNode {
+    pub(crate) ptes: Box<[Option<Pte>; PT_ENTRIES]>,
+    /// Number of present PTEs.
+    pub(crate) live: u16,
+}
+
+impl LeafNode {
+    fn new() -> LeafNode {
+        LeafNode {
+            ptes: Box::new([None; PT_ENTRIES]),
+            live: 0,
+        }
+    }
+
+    /// Present PTEs in ascending in-node order.
+    pub(crate) fn present(&self) -> Vec<Pte> {
+        self.ptes.iter().flatten().copied().collect()
     }
 }
 
@@ -48,6 +81,8 @@ pub struct PageTable {
     free: Vec<u32>,
     root: u32,
     mapped: u64,
+    /// Live leaf nodes referenced from this table (shared ones count once).
+    leaf_count: u64,
 }
 
 impl Default for PageTable {
@@ -64,6 +99,7 @@ impl PageTable {
             free: Vec::new(),
             root: 0,
             mapped: 0,
+            leaf_count: 0,
         }
     }
 
@@ -78,21 +114,57 @@ impl PageTable {
         }
     }
 
+    /// Walks levels 3..2, allocating missing intermediates, and returns the
+    /// arena index of the level-1 node covering `vpn`.
+    fn walk_alloc_l1(&mut self, vpn: Vpn, cycles: &mut Cycles, cost: &CostModel) -> u32 {
+        let mut node = self.root;
+        for level in (2..PT_LEVELS).rev() {
+            let idx = vpn.pt_index(level);
+            node = match self.nodes[node as usize].entries[idx] {
+                Entry::Table(t) => t,
+                Entry::None => {
+                    let t = self.alloc_node(cycles, cost);
+                    let n = &mut self.nodes[node as usize];
+                    n.entries[idx] = Entry::Table(t);
+                    n.live += 1;
+                    t
+                }
+                Entry::Leaf(_) => unreachable!("leaf at intermediate level"),
+            };
+        }
+        node
+    }
+
+    /// Walks levels 3..2 read-only; `None` if the path is absent.
+    fn walk_l1(&self, vpn: Vpn) -> Option<u32> {
+        let mut node = self.root;
+        for level in (2..PT_LEVELS).rev() {
+            node = match &self.nodes[node as usize].entries[vpn.pt_index(level)] {
+                Entry::Table(t) => *t,
+                _ => return None,
+            };
+        }
+        Some(node)
+    }
+
     /// Number of leaf translations currently installed.
     pub fn mapped_pages(&self) -> u64 {
         self.mapped
     }
 
-    /// Number of live page-table nodes, including the root.
+    /// Number of live page-table nodes, including the root and leaf nodes
+    /// (a shared leaf node counts in every table referencing it, as it
+    /// would occupy a slot in each table's parent node on hardware).
     pub fn node_count(&self) -> usize {
-        self.nodes.len() - self.free.len()
+        self.nodes.len() - self.free.len() + self.leaf_count as usize
     }
 
     /// Installs a leaf translation for `vpn`.
     ///
     /// Fails with [`MemError::Overlap`] if a translation is already present;
     /// callers must unmap first (matching hardware, where silently replacing
-    /// a live PTE without a TLB flush is a bug).
+    /// a live PTE without a TLB flush is a bug). Panics if the covering leaf
+    /// subtree is shared — callers must privatize first.
     pub fn map(
         &mut self,
         vpn: Vpn,
@@ -107,63 +179,69 @@ impl PageTable {
         // intermediate node anywhere along the walk. Crossing before any
         // mutation keeps the table untouched on injected failure.
         fpr_faults::cross(FaultSite::PtNodeAlloc).map_err(|_| MemError::OutOfMemory)?;
-        let mut node = self.root;
-        for level in (1..PT_LEVELS).rev() {
-            let idx = vpn.pt_index(level);
-            node = match self.nodes[node as usize].entries[idx] {
-                Entry::Table(t) => t,
-                Entry::None => {
-                    let t = self.alloc_node(cycles, cost);
-                    let n = &mut self.nodes[node as usize];
-                    n.entries[idx] = Entry::Table(t);
-                    n.live += 1;
-                    t
-                }
-                Entry::Leaf(_) => unreachable!("leaf at intermediate level"),
-            };
-        }
-        let idx = vpn.pt_index(0);
+        let node = self.walk_alloc_l1(vpn, cycles, cost);
+        let idx1 = vpn.pt_index(1);
         let n = &mut self.nodes[node as usize];
-        match n.entries[idx] {
-            Entry::None => {
-                n.entries[idx] = Entry::Leaf(pte);
-                n.live += 1;
-                self.mapped += 1;
-                Ok(())
-            }
-            _ => Err(MemError::Overlap),
+        if matches!(n.entries[idx1], Entry::None) {
+            cycles.charge(cost.pt_node_alloc);
+            n.entries[idx1] = Entry::Leaf(Arc::new(LeafNode::new()));
+            n.live += 1;
+            self.leaf_count += 1;
         }
+        let Entry::Leaf(arc) = &mut self.nodes[node as usize].entries[idx1] else {
+            unreachable!("table at leaf level");
+        };
+        let idx0 = vpn.pt_index(0);
+        if arc.ptes[idx0].is_some() {
+            return Err(MemError::Overlap);
+        }
+        let leaf = Arc::get_mut(arc).expect("map into a shared leaf subtree (missed unshare)");
+        leaf.ptes[idx0] = Some(pte);
+        leaf.live += 1;
+        self.mapped += 1;
+        Ok(())
     }
 
     /// Removes the translation for `vpn`, returning the old entry and
-    /// tearing down any intermediate nodes that become empty.
+    /// tearing down any intermediate nodes that become empty. Panics if the
+    /// covering leaf subtree is shared — callers must privatize first.
     pub fn unmap(&mut self, vpn: Vpn) -> MemResult<Pte> {
         // Record the walk so empty ancestors can be reclaimed.
         let mut path = [(0u32, 0usize); PT_LEVELS];
         let mut node = self.root;
-        for level in (1..PT_LEVELS).rev() {
+        for level in (2..PT_LEVELS).rev() {
             let idx = vpn.pt_index(level);
             path[level] = (node, idx);
-            node = match self.nodes[node as usize].entries[idx] {
-                Entry::Table(t) => t,
+            node = match &self.nodes[node as usize].entries[idx] {
+                Entry::Table(t) => *t,
                 _ => return Err(MemError::NotMapped),
             };
         }
-        let idx = vpn.pt_index(0);
-        let n = &mut self.nodes[node as usize];
-        let pte = match n.entries[idx] {
-            Entry::Leaf(p) => p,
-            _ => return Err(MemError::NotMapped),
+        let idx1 = vpn.pt_index(1);
+        let idx0 = vpn.pt_index(0);
+        let Entry::Leaf(arc) = &mut self.nodes[node as usize].entries[idx1] else {
+            return Err(MemError::NotMapped);
         };
-        n.entries[idx] = Entry::None;
-        n.live -= 1;
+        if arc.ptes[idx0].is_none() {
+            return Err(MemError::NotMapped);
+        }
+        let leaf = Arc::get_mut(arc).expect("unmap inside a shared leaf subtree (missed unshare)");
+        let pte = leaf.ptes[idx0].take().expect("presence checked above");
+        leaf.live -= 1;
         self.mapped -= 1;
-        // Reclaim empty nodes bottom-up (never the root). Indexing walks
-        // `path` top-down from the leaf's parent; an iterator would hide
-        // the level arithmetic.
+        if leaf.live != 0 {
+            return Ok(pte);
+        }
+        let n = &mut self.nodes[node as usize];
+        n.entries[idx1] = Entry::None;
+        n.live -= 1;
+        self.leaf_count -= 1;
+        // Reclaim empty intermediates bottom-up (never the root). Indexing
+        // walks `path` top-down from the leaf node's parent; an iterator
+        // would hide the level arithmetic.
         let mut child = node;
         #[allow(clippy::needless_range_loop)]
-        for level in 1..PT_LEVELS {
+        for level in 2..PT_LEVELS {
             if self.nodes[child as usize].live != 0 {
                 break;
             }
@@ -179,72 +257,92 @@ impl PageTable {
 
     /// Looks up the translation for `vpn`.
     pub fn translate(&self, vpn: Vpn) -> Option<Pte> {
-        let mut node = self.root;
-        for level in (1..PT_LEVELS).rev() {
-            let idx = vpn.pt_index(level);
-            node = match self.nodes[node as usize].entries[idx] {
-                Entry::Table(t) => t,
-                _ => return None,
-            };
-        }
-        match self.nodes[node as usize].entries[vpn.pt_index(0)] {
-            Entry::Leaf(p) => Some(p),
+        let node = self.walk_l1(vpn)?;
+        match &self.nodes[node as usize].entries[vpn.pt_index(1)] {
+            Entry::Leaf(arc) => arc.ptes[vpn.pt_index(0)],
             _ => None,
         }
     }
 
+    /// True if the leaf subtree covering `vpn` exists and is shared with
+    /// another page table (on-demand fork has not yet unshared it).
+    pub fn leaf_shared(&self, vpn: Vpn) -> bool {
+        let Some(node) = self.walk_l1(vpn) else {
+            return false;
+        };
+        match &self.nodes[node as usize].entries[vpn.pt_index(1)] {
+            Entry::Leaf(arc) => Arc::strong_count(arc) > 1,
+            _ => false,
+        }
+    }
+
     /// Replaces an existing translation in place (COW break, protection
-    /// change). Fails if `vpn` is not mapped.
+    /// change). Fails if `vpn` is not mapped. Panics if the covering leaf
+    /// subtree is shared — callers must privatize first.
     pub fn update(&mut self, vpn: Vpn, pte: Pte) -> MemResult<Pte> {
-        let mut node = self.root;
-        for level in (1..PT_LEVELS).rev() {
-            node = match self.nodes[node as usize].entries[vpn.pt_index(level)] {
-                Entry::Table(t) => t,
-                _ => return Err(MemError::NotMapped),
-            };
+        let node = self.walk_l1(vpn).ok_or(MemError::NotMapped)?;
+        let idx1 = vpn.pt_index(1);
+        let idx0 = vpn.pt_index(0);
+        let Entry::Leaf(arc) = &mut self.nodes[node as usize].entries[idx1] else {
+            return Err(MemError::NotMapped);
+        };
+        if arc.ptes[idx0].is_none() {
+            return Err(MemError::NotMapped);
         }
-        let idx = vpn.pt_index(0);
-        let n = &mut self.nodes[node as usize];
-        match n.entries[idx] {
-            Entry::Leaf(old) => {
-                n.entries[idx] = Entry::Leaf(pte);
-                Ok(old)
-            }
-            _ => Err(MemError::NotMapped),
-        }
+        let leaf = Arc::get_mut(arc).expect("update inside a shared leaf subtree (missed unshare)");
+        let old = leaf.ptes[idx0].replace(pte).expect("presence checked above");
+        Ok(old)
     }
 
     /// Visits every leaf translation in ascending VPN order.
     pub fn for_each_leaf(&self, mut f: impl FnMut(Vpn, Pte)) {
+        self.walk(self.root, PT_LEVELS - 1, 0, &mut |_, vpn, pte| f(vpn, pte));
+    }
+
+    /// Visits every leaf translation along with the identity of the leaf
+    /// node holding it (stable address of the shared node), so callers can
+    /// recognise when two tables reference the *same* physical subtree.
+    pub fn for_each_leaf_keyed(&self, mut f: impl FnMut(usize, Vpn, Pte)) {
         self.walk(self.root, PT_LEVELS - 1, 0, &mut f);
     }
 
-    fn walk(&self, node: u32, level: usize, base: u64, f: &mut impl FnMut(Vpn, Pte)) {
+    fn walk(&self, node: u32, level: usize, base: u64, f: &mut impl FnMut(usize, Vpn, Pte)) {
         for (i, e) in self.nodes[node as usize].entries.iter().enumerate() {
             let vpn_base = base | ((i as u64) << (9 * level));
-            match *e {
+            match e {
                 Entry::None => {}
-                Entry::Table(t) => self.walk(t, level - 1, vpn_base, f),
-                Entry::Leaf(p) => f(Vpn(vpn_base), p),
+                Entry::Table(t) => self.walk(*t, level - 1, vpn_base, f),
+                Entry::Leaf(arc) => {
+                    let id = Arc::as_ptr(arc) as usize;
+                    for (j, slot) in arc.ptes.iter().enumerate() {
+                        if let Some(p) = slot {
+                            f(id, Vpn(vpn_base | j as u64), *p);
+                        }
+                    }
+                }
             }
         }
     }
 
     /// Mutably visits every leaf translation; the closure may rewrite the
-    /// entry (but not remove it). Used by fork to write-protect the
-    /// parent's PTEs when marking them COW.
+    /// entry (but not remove it). Panics if any leaf subtree is shared.
     pub fn for_each_leaf_mut(&mut self, mut f: impl FnMut(Vpn, &mut Pte)) {
         // Iterative stack walk to satisfy the borrow checker.
         let mut stack = vec![(self.root, PT_LEVELS - 1, 0u64)];
         while let Some((node, level, base)) = stack.pop() {
             for i in 0..PT_ENTRIES {
                 let vpn_base = base | ((i as u64) << (9 * level));
-                match self.nodes[node as usize].entries[i] {
+                match &mut self.nodes[node as usize].entries[i] {
                     Entry::None => {}
-                    Entry::Table(t) => stack.push((t, level - 1, vpn_base)),
-                    Entry::Leaf(mut p) => {
-                        f(Vpn(vpn_base), &mut p);
-                        self.nodes[node as usize].entries[i] = Entry::Leaf(p);
+                    Entry::Table(t) => stack.push((*t, level - 1, vpn_base)),
+                    Entry::Leaf(arc) => {
+                        let leaf = Arc::get_mut(arc)
+                            .expect("mutating a shared leaf subtree (missed unshare)");
+                        for (j, slot) in leaf.ptes.iter_mut().enumerate() {
+                            if let Some(p) = slot {
+                                f(Vpn(vpn_base | j as u64), p);
+                            }
+                        }
                     }
                 }
             }
@@ -262,6 +360,161 @@ impl PageTable {
                 out.push((vpn, pte));
             }
         });
+        out
+    }
+
+    /// Coordinates of every leaf node: `(base VPN, level-1 arena index,
+    /// slot index)`, ascending by base. Coordinates (not `Arc` clones) so
+    /// that enumerating does not perturb `Arc::strong_count` — the
+    /// on-demand fork walk relies on the count to detect exclusivity.
+    /// Coordinates are invalidated by any map/unmap/attach/detach.
+    pub(crate) fn leaf_slot_coords(&self) -> Vec<(u64, u32, usize)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, PT_LEVELS - 1, 0u64)];
+        while let Some((node, level, base)) = stack.pop() {
+            for (i, e) in self.nodes[node as usize].entries.iter().enumerate() {
+                let vpn_base = base | ((i as u64) << (9 * level));
+                match e {
+                    Entry::None => {}
+                    Entry::Table(t) => stack.push((*t, level - 1, vpn_base)),
+                    Entry::Leaf(_) => out.push((vpn_base, node, i)),
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The leaf node at arena coordinates from [`Self::leaf_slot_coords`].
+    pub(crate) fn leaf_at(&self, l1: u32, idx: usize) -> &Arc<LeafNode> {
+        match &self.nodes[l1 as usize].entries[idx] {
+            Entry::Leaf(arc) => arc,
+            _ => panic!("leaf_at: stale coordinates"),
+        }
+    }
+
+    /// Mutable access to the leaf node at arena coordinates. The returned
+    /// `Arc` can be inspected/marked via `Arc::get_mut` when exclusive.
+    pub(crate) fn leaf_at_mut(&mut self, l1: u32, idx: usize) -> &mut Arc<LeafNode> {
+        match &mut self.nodes[l1 as usize].entries[idx] {
+            Entry::Leaf(arc) => arc,
+            _ => panic!("leaf_at_mut: stale coordinates"),
+        }
+    }
+
+    /// Wires an existing (typically shared) leaf node into this table at
+    /// `base` (the VPN of its first slot), allocating intermediates as
+    /// needed. This is the on-demand fork fast path: one pointer copy and
+    /// a refcount bump instead of up to 512 PTE copies.
+    pub(crate) fn attach_leaf(
+        &mut self,
+        base: u64,
+        arc: Arc<LeafNode>,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<()> {
+        let vpn = Vpn(base);
+        if !vpn.is_user() {
+            return Err(MemError::BadAddress);
+        }
+        fpr_faults::cross(FaultSite::PtNodeAlloc).map_err(|_| MemError::OutOfMemory)?;
+        let node = self.walk_alloc_l1(vpn, cycles, cost);
+        let idx1 = vpn.pt_index(1);
+        let n = &mut self.nodes[node as usize];
+        if !matches!(n.entries[idx1], Entry::None) {
+            return Err(MemError::Overlap);
+        }
+        cycles.charge(cost.pt_subtree_share);
+        self.mapped += arc.live as u64;
+        n.entries[idx1] = Entry::Leaf(arc);
+        n.live += 1;
+        self.leaf_count += 1;
+        Ok(())
+    }
+
+    /// Replaces the (shared) leaf node covering `vpn` with a private deep
+    /// copy — the deferred per-subtree copy of an on-demand fork. Charges
+    /// one node allocation plus one PTE copy per present entry, and
+    /// returns the present PTEs so the caller can adjust frame refcounts.
+    /// Crosses [`FaultSite::PtUnshare`] before mutating anything.
+    pub(crate) fn privatize_leaf(
+        &mut self,
+        vpn: Vpn,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<Vec<Pte>> {
+        fpr_faults::cross(FaultSite::PtUnshare).map_err(|_| MemError::OutOfMemory)?;
+        let node = self.walk_l1(vpn).ok_or(MemError::NotMapped)?;
+        let Entry::Leaf(arc) = &mut self.nodes[node as usize].entries[vpn.pt_index(1)] else {
+            return Err(MemError::NotMapped);
+        };
+        cycles.charge(cost.pt_node_alloc + arc.live as u64 * cost.pte_copy);
+        let present = arc.present();
+        *arc = Arc::new(LeafNode {
+            ptes: arc.ptes.clone(),
+            live: arc.live,
+        });
+        Ok(present)
+    }
+
+    /// Unwires the leaf node at `base` from this table without touching
+    /// its contents, tearing down intermediates that become empty. The
+    /// caller decides what to do with the returned `Arc` (drop it cheaply
+    /// if still shared, release its frames if this was the last owner).
+    pub(crate) fn detach_leaf(&mut self, base: u64) -> MemResult<Arc<LeafNode>> {
+        let vpn = Vpn(base);
+        let mut path = [(0u32, 0usize); PT_LEVELS];
+        let mut node = self.root;
+        for level in (2..PT_LEVELS).rev() {
+            let idx = vpn.pt_index(level);
+            path[level] = (node, idx);
+            node = match &self.nodes[node as usize].entries[idx] {
+                Entry::Table(t) => *t,
+                _ => return Err(MemError::NotMapped),
+            };
+        }
+        let idx1 = vpn.pt_index(1);
+        let n = &mut self.nodes[node as usize];
+        let Entry::Leaf(arc) = std::mem::replace(&mut n.entries[idx1], Entry::None) else {
+            return Err(MemError::NotMapped);
+        };
+        n.live -= 1;
+        self.leaf_count -= 1;
+        self.mapped -= arc.live as u64;
+        let mut child = node;
+        #[allow(clippy::needless_range_loop)]
+        for level in 2..PT_LEVELS {
+            if self.nodes[child as usize].live != 0 {
+                break;
+            }
+            let (parent, idx) = path[level];
+            self.free.push(child);
+            let pn = &mut self.nodes[parent as usize];
+            pn.entries[idx] = Entry::None;
+            pn.live -= 1;
+            child = parent;
+        }
+        Ok(arc)
+    }
+
+    /// Drains every leaf node and resets the table to empty — O(nodes)
+    /// address-space destruction. Returns `(base VPN, node)` pairs
+    /// ascending by base.
+    pub(crate) fn take_leaves(&mut self) -> Vec<(u64, Arc<LeafNode>)> {
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, PT_LEVELS - 1, 0u64)];
+        while let Some((node, level, base)) = stack.pop() {
+            for (i, e) in self.nodes[node as usize].entries.iter().enumerate() {
+                let vpn_base = base | ((i as u64) << (9 * level));
+                match e {
+                    Entry::None => {}
+                    Entry::Table(t) => stack.push((*t, level - 1, vpn_base)),
+                    Entry::Leaf(arc) => out.push((vpn_base, Arc::clone(arc))),
+                }
+            }
+        }
+        *self = PageTable::new();
+        out.sort_unstable_by_key(|(b, _)| *b);
         out
     }
 }
@@ -446,5 +699,108 @@ mod tests {
             3 * cost.pt_node_alloc,
             "three intermediate nodes"
         );
+    }
+
+    #[test]
+    fn attach_shares_subtree_and_charges_pointer_copy() {
+        let (mut parent, mut cy, cost) = fixture();
+        for i in 0..512u64 {
+            parent
+                .map(Vpn(i), Pte::new(Pfn(i), PteFlags::empty()), &mut cy, &cost)
+                .unwrap();
+        }
+        let coords = parent.leaf_slot_coords();
+        assert_eq!(coords.len(), 1);
+        let (base, l1, idx) = coords[0];
+        assert_eq!(base, 0);
+        let arc = Arc::clone(parent.leaf_at(l1, idx));
+
+        let mut child = PageTable::new();
+        let mut ccy = Cycles::new();
+        child.attach_leaf(base, arc, &mut ccy, &cost).unwrap();
+        assert_eq!(
+            ccy.total(),
+            2 * cost.pt_node_alloc + cost.pt_subtree_share,
+            "two intermediates plus one subtree pointer copy"
+        );
+        assert_eq!(child.mapped_pages(), 512);
+        assert_eq!(child.node_count(), 4);
+        assert!(parent.leaf_shared(Vpn(5)));
+        assert!(child.leaf_shared(Vpn(5)));
+        assert_eq!(child.translate(Vpn(7)).unwrap().pfn, Pfn(7));
+    }
+
+    #[test]
+    fn privatize_makes_both_sides_exclusive_and_charges_deferred_copy() {
+        let (mut parent, mut cy, cost) = fixture();
+        for i in 0..8u64 {
+            parent
+                .map(Vpn(i), Pte::new(Pfn(i), PteFlags::empty()), &mut cy, &cost)
+                .unwrap();
+        }
+        let (base, l1, idx) = parent.leaf_slot_coords()[0];
+        let arc = Arc::clone(parent.leaf_at(l1, idx));
+        let mut child = PageTable::new();
+        child.attach_leaf(base, arc, &mut cy, &cost).unwrap();
+
+        let mut ucy = Cycles::new();
+        let present = child.privatize_leaf(Vpn(3), &mut ucy, &cost).unwrap();
+        assert_eq!(present.len(), 8);
+        assert_eq!(ucy.total(), cost.pt_node_alloc + 8 * cost.pte_copy);
+        assert!(!child.leaf_shared(Vpn(3)), "child now private");
+        assert!(!parent.leaf_shared(Vpn(3)), "parent exclusive again");
+        // Mutating the private copy no longer affects the other side.
+        child.update(Vpn(3), Pte::new(Pfn(99), PteFlags::empty())).unwrap();
+        assert_eq!(parent.translate(Vpn(3)).unwrap().pfn, Pfn(3));
+        assert_eq!(child.translate(Vpn(3)).unwrap().pfn, Pfn(99));
+    }
+
+    #[test]
+    fn detach_tears_down_empty_intermediates() {
+        let (mut pt, mut cy, cost) = fixture();
+        for i in 0..4u64 {
+            pt.map(Vpn(i), Pte::new(Pfn(i), PteFlags::empty()), &mut cy, &cost)
+                .unwrap();
+        }
+        assert_eq!(pt.node_count(), 4);
+        let arc = pt.detach_leaf(0).unwrap();
+        assert_eq!(arc.live, 4);
+        assert_eq!(pt.node_count(), 1, "intermediates reclaimed");
+        assert_eq!(pt.mapped_pages(), 0);
+        assert!(matches!(pt.detach_leaf(0), Err(MemError::NotMapped)));
+    }
+
+    #[test]
+    fn take_leaves_drains_everything() {
+        let (mut pt, mut cy, cost) = fixture();
+        pt.map(Vpn(1), Pte::new(Pfn(1), PteFlags::empty()), &mut cy, &cost)
+            .unwrap();
+        pt.map(
+            Vpn(0x40000),
+            Pte::new(Pfn(2), PteFlags::empty()),
+            &mut cy,
+            &cost,
+        )
+        .unwrap();
+        let leaves = pt.take_leaves();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].0, 0);
+        assert_eq!(leaves[1].0, 0x40000);
+        assert_eq!(pt.node_count(), 1);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missed unshare")]
+    fn mutating_shared_subtree_panics() {
+        let (mut parent, mut cy, cost) = fixture();
+        parent
+            .map(Vpn(0), Pte::new(Pfn(0), PteFlags::empty()), &mut cy, &cost)
+            .unwrap();
+        let (base, l1, idx) = parent.leaf_slot_coords()[0];
+        let arc = Arc::clone(parent.leaf_at(l1, idx));
+        let mut child = PageTable::new();
+        child.attach_leaf(base, arc, &mut cy, &cost).unwrap();
+        let _ = parent.map(Vpn(1), Pte::new(Pfn(1), PteFlags::empty()), &mut cy, &cost);
     }
 }

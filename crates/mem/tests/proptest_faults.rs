@@ -4,7 +4,7 @@
 //! (seed-driven, like the other proptests — any failure names the seed
 //! and replays exactly). The property: every operation that returns
 //! `Err` — whether from a genuine condition or an injected fault at a
-//! `FrameAlloc`/`PtNodeAlloc`/`VmaClone` crossing — leaves the frame
+//! `FrameAlloc`/`PtNodeAlloc`/`VmaClone`/`PtUnshare` crossing — leaves the frame
 //! allocator's used count exactly where it was, and forked-from parents
 //! keep their resident pages. Destroying every space at the end must
 //! return the allocator to zero, so no refcount can drift either way.
@@ -25,7 +25,7 @@ const MAX_SPACES: usize = 5;
 enum Op {
     Mmap { space: u64, start: u64, pages: u64 },
     Write { space: u64, vpn: u64, val: u64 },
-    Fork { space: u64, eager: bool },
+    Fork { space: u64, mode: ForkMode },
 }
 
 fn gen_op(rng: &mut Rng) -> Op {
@@ -42,7 +42,11 @@ fn gen_op(rng: &mut Rng) -> Op {
         },
         _ => Op::Fork {
             space: rng.gen_u64(),
-            eager: rng.gen_bool(0.3),
+            mode: match rng.gen_below(3) {
+                0 => ForkMode::Eager,
+                1 => ForkMode::OnDemand,
+                _ => ForkMode::Cow,
+            },
         },
     }
 }
@@ -94,13 +98,12 @@ fn faulty_schedules_never_leak_frames() {
                             );
                         }
                     }
-                    Op::Fork { space, eager } => {
+                    Op::Fork { space, mode } => {
                         let idx = *space as usize % spaces.len();
-                        let mode = if *eager { ForkMode::Eager } else { ForkMode::Cow };
                         let resident_before = spaces[idx].resident_pages();
                         match AddressSpace::fork_from(
                             &mut spaces[idx],
-                            mode,
+                            *mode,
                             &mut phys,
                             &mut cy,
                             &mut tlb,

@@ -1,0 +1,146 @@
+//! System-level observational equivalence of the fork modes.
+//!
+//! Two full OS worlds run an identical script — same machine, same
+//! parent layout, same post-fork schedule of writes and reads — but one
+//! forks with `ForkMode::Cow` and the other with `ForkMode::OnDemand`.
+//! At every read, after the full schedule, and in physical-frame
+//! accounting, the worlds must be indistinguishable: on-demand
+//! page-table copying is a cost-*timing* change, never a semantic one.
+//! Cases derive from explicit `fpr_rng` seeds, so failures replay.
+
+use forkroad::kernel::Pid;
+use forkroad::mem::{ForkMode, Prot, Share, Vpn};
+use forkroad::{Os, OsConfig};
+use fpr_rng::Rng;
+
+const CASES: u64 = 32;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `val` at `off` in parent (0) or child (1).
+    Write { who: usize, off: u64, val: u64 },
+    /// Read at `off`; the two worlds must observe the same value.
+    Read { who: usize, off: u64 },
+}
+
+struct World {
+    os: Os,
+    parent: Pid,
+    child: Pid,
+    base: Vpn,
+}
+
+impl World {
+    fn build(seed: u64, pages: u64, mode: ForkMode) -> World {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut os = Os::boot(OsConfig::default());
+        let parent = os.init;
+        let base = os
+            .kernel
+            .mmap_anon(parent, pages, Prot::RW, Share::Private)
+            .expect("mmap fits");
+        for _ in 0..rng.gen_range(5, 60) {
+            let off = rng.gen_below(pages);
+            os.kernel
+                .write_mem(parent, base.add(off), rng.gen_u64())
+                .expect("write");
+        }
+        let (child, _) = os.fork_stats(parent, mode).expect("fork fits");
+        World {
+            os,
+            parent,
+            child,
+            base,
+        }
+    }
+
+    fn pid(&self, who: usize) -> Pid {
+        if who == 0 {
+            self.parent
+        } else {
+            self.child
+        }
+    }
+
+    fn apply(&mut self, op: &Op) -> Result<Option<u64>, forkroad::kernel::Errno> {
+        match op {
+            Op::Write { who, off, val } => self
+                .os
+                .kernel
+                .write_mem(self.pid(*who), self.base.add(*off), *val)
+                .map(|_| None),
+            Op::Read { who, off } => self
+                .os
+                .kernel
+                .read_mem(self.pid(*who), self.base.add(*off))
+                .map(Some),
+        }
+    }
+}
+
+#[test]
+fn on_demand_and_cow_worlds_indistinguishable() {
+    for case in 0..CASES {
+        let seed = 0x0DF0_0000 + case;
+        let mut rng = Rng::seed_from_u64(seed ^ 0xC0DE);
+        // Enough pages that the heap spans multiple 512-entry subtrees.
+        let pages = rng.gen_range(600, 1600);
+        let ops: Vec<Op> = (0..rng.gen_range(20, 100))
+            .map(|_| {
+                let who = rng.gen_below(2) as usize;
+                let off = rng.gen_below(pages);
+                if rng.gen_bool(0.5) {
+                    Op::Write {
+                        who,
+                        off,
+                        val: rng.gen_u64(),
+                    }
+                } else {
+                    Op::Read { who, off }
+                }
+            })
+            .collect();
+
+        let mut cow = World::build(seed, pages, ForkMode::Cow);
+        let mut odf = World::build(seed, pages, ForkMode::OnDemand);
+
+        for (i, op) in ops.iter().enumerate() {
+            let a = cow.apply(op).expect("mapped RW range");
+            let b = odf.apply(op).expect("mapped RW range");
+            assert_eq!(a, b, "case {case} op {i} ({op:?}): worlds diverged");
+        }
+
+        // Full sweep: every page of the heap agrees in both processes.
+        for who in 0..2 {
+            for off in 0..pages {
+                let a = cow.apply(&Op::Read { who, off }).unwrap();
+                let b = odf.apply(&Op::Read { who, off }).unwrap();
+                assert_eq!(a, b, "case {case}: page {off} of space {who} diverged");
+            }
+        }
+
+        // Resource accounting matches too: sharing page-table nodes must
+        // not change how many physical frames the system uses.
+        assert_eq!(
+            cow.os.kernel.phys.used_frames(),
+            odf.os.kernel.phys.used_frames(),
+            "case {case}: frame usage diverged between modes"
+        );
+
+        // Both worlds stay structurally consistent (balanced frame
+        // refcounts across shared subtrees included), and tearing the
+        // child down releases its share cleanly.
+        for w in [&mut cow, &mut odf] {
+            w.os.kernel.assert_consistent();
+            let (parent, child) = (w.parent, w.child);
+            w.os.kernel.exit(child, 0).expect("exit");
+            w.os.kernel.waitpid(parent, Some(child)).expect("reap");
+            w.os.kernel.assert_consistent();
+        }
+        assert_eq!(
+            cow.os.kernel.phys.used_frames(),
+            odf.os.kernel.phys.used_frames(),
+            "case {case}: frame usage diverged after child exit"
+        );
+    }
+}
