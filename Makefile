@@ -1,13 +1,14 @@
 # Tier-1 verification and common chores. `make verify` is the gate a
 # change must pass before it lands: release build, the full workspace
 # test suite (including the exhaustive fail-point sweep and the
-# baseline/leak-check proptests), and clippy with warnings denied.
+# baseline/leak-check proptests), clippy with warnings denied, and the
+# documentation gates (rustdoc warnings denied, doctests).
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy leakcheck bench-smoke bench-tables clean
+.PHONY: verify build test clippy doc doctest leakcheck bench-smoke bench-tables trace-demo clean
 
-verify: build test clippy bench-smoke
+verify: build test clippy doc doctest bench-smoke
 
 build:
 	$(CARGO) build --release
@@ -17,6 +18,15 @@ test:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Rustdoc must build clean: broken intra-doc links, missing docs on
+# crates that deny them, and bad code fences all fail the gate.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps -q
+
+# Runnable documentation examples are tests too.
+doctest:
+	$(CARGO) test --workspace --doc -q
 
 # The fault-injection acceptance gate on its own: every fail point of
 # every creation API must produce a clean error and an intact kernel.
@@ -35,6 +45,12 @@ bench-smoke:
 # Regenerate the paper tables/figures (quick sweeps).
 bench-tables:
 	$(CARGO) run --release -q -p fpr-bench --bin run_all -- --quick
+
+# Record an on-demand fork + exec under the trace sink and export it as
+# Chrome trace-event JSON (results/trace_demo.json) plus a text
+# flamegraph on stdout. Load the JSON in about:tracing or Perfetto.
+trace-demo:
+	$(CARGO) run --release -q -p fpr-bench --bin trace_demo
 
 clean:
 	$(CARGO) clean

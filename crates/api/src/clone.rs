@@ -11,6 +11,7 @@
 use crate::fork::fork_from_thread;
 use fpr_kernel::{Errno, KResult, Kernel, Pid, SpaceRef, Tid};
 use fpr_mem::ForkMode;
+use fpr_trace::{metrics, sink, Phase, TraceEvent};
 
 /// The clone flag subset the simulator models.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,8 +46,42 @@ pub enum CloneResult {
     Thread(Tid),
 }
 
+/// Renders the set flags as a compact `|`-joined label for trace events.
+fn flags_label(flags: CloneFlags) -> String {
+    let names = [
+        (flags.vm, "vm"),
+        (flags.files, "files"),
+        (flags.sighand, "sighand"),
+        (flags.thread, "thread"),
+        (flags.vfork, "vfork"),
+        (flags.pt_share, "pt_share"),
+    ];
+    let set: Vec<&str> = names.iter().filter(|(on, _)| *on).map(|(_, n)| *n).collect();
+    if set.is_empty() {
+        "none".to_string()
+    } else {
+        set.join("|")
+    }
+}
+
 /// Clones the calling process/thread according to `flags`.
 pub fn clone(kernel: &mut Kernel, parent: Pid, flags: CloneFlags) -> KResult<CloneResult> {
+    let start = kernel.cycles.total();
+    if sink::is_active() {
+        sink::emit(
+            TraceEvent::new("clone", "api", Phase::Begin, start)
+                .arg("parent", parent.0 as u64)
+                .arg("flags", flags_label(flags)),
+        );
+    }
+    let r = clone_inner(kernel, parent, flags);
+    let end = kernel.cycles.total();
+    metrics::observe("api.clone_cycles", end - start);
+    sink::span_end("clone", end);
+    r
+}
+
+fn clone_inner(kernel: &mut Kernel, parent: Pid, flags: CloneFlags) -> KResult<CloneResult> {
     // Flag validation mirrors the kernel's rules.
     if flags.thread && (!flags.vm || !flags.sighand) {
         return Err(Errno::Einval);

@@ -8,6 +8,16 @@
 
 use fpr_kernel::{Errno, KResult, Kernel, Pid, Tid};
 use fpr_mem::ForkMode;
+use fpr_trace::{metrics, sink, Phase, TraceEvent};
+
+/// Stable label for a fork mode, used in trace-event arguments.
+pub(crate) fn mode_name(mode: ForkMode) -> &'static str {
+    match mode {
+        ForkMode::Cow => "cow",
+        ForkMode::Eager => "eager",
+        ForkMode::OnDemand => "ondemand",
+    }
+}
 
 /// Statistics describing the work one fork performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +65,30 @@ pub fn fork_on_demand(kernel: &mut Kernel, parent: Pid) -> KResult<Pid> {
 /// and the work statistics (the instrumented entry point used by the
 /// benchmarks).
 pub fn fork_from_thread(
+    kernel: &mut Kernel,
+    parent: Pid,
+    calling_tid: Tid,
+    mode: ForkMode,
+) -> KResult<(Pid, ForkStats)> {
+    let start = kernel.cycles.total();
+    if sink::is_active() {
+        sink::emit(
+            TraceEvent::new("fork", "api", Phase::Begin, start)
+                .arg("parent", parent.0 as u64)
+                .arg("mode", mode_name(mode)),
+        );
+    }
+    let r = fork_from_thread_inner(kernel, parent, calling_tid, mode);
+    let end = kernel.cycles.total();
+    metrics::observe("api.fork_cycles", end - start);
+    if sink::is_active() {
+        sink::counter("frames_used", end, kernel.phys.used_frames());
+        sink::span_end("fork", end);
+    }
+    r
+}
+
+fn fork_from_thread_inner(
     kernel: &mut Kernel,
     parent: Pid,
     calling_tid: Tid,

@@ -13,6 +13,7 @@
 
 use fpr_exec::{AslrConfig, ImageRegistry};
 use fpr_kernel::{Errno, Fd, KResult, Kernel, OpenFlags, Pid, Sig};
+use fpr_trace::{metrics, sink, Phase, TraceEvent};
 
 /// A `posix_spawn_file_actions_t` entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +78,34 @@ pub struct SpawnAttrs {
 // envp) plus the simulator's kernel/ASLR handles.
 #[allow(clippy::too_many_arguments)]
 pub fn posix_spawn(
+    kernel: &mut Kernel,
+    parent: Pid,
+    registry: &ImageRegistry,
+    path: &str,
+    actions: &[FileAction],
+    attrs: &SpawnAttrs,
+    aslr: AslrConfig,
+    aslr_seed: u64,
+) -> KResult<Pid> {
+    let start = kernel.cycles.total();
+    if sink::is_active() {
+        sink::emit(
+            TraceEvent::new("spawn", "api", Phase::Begin, start)
+                .arg("parent", parent.0 as u64)
+                .arg("path", path),
+        );
+    }
+    let r = posix_spawn_inner(
+        kernel, parent, registry, path, actions, attrs, aslr, aslr_seed,
+    );
+    let end = kernel.cycles.total();
+    metrics::observe("api.spawn_cycles", end - start);
+    sink::span_end("spawn", end);
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn posix_spawn_inner(
     kernel: &mut Kernel,
     parent: Pid,
     registry: &ImageRegistry,

@@ -7,6 +7,7 @@
 //! escape hatches that exist only because fork proper is slow.
 
 use fpr_kernel::{KResult, Kernel, Pid, SpaceRef};
+use fpr_trace::{metrics, sink, Phase, TraceEvent};
 
 /// vforks `parent`: the child shares the parent's address space and the
 /// parent's threads are parked until the child execs or exits.
@@ -14,6 +15,20 @@ use fpr_kernel::{KResult, Kernel, Pid, SpaceRef};
 /// Inherits descriptors (copied table, shared descriptions), signal state
 /// and identity exactly like fork — the only difference is the memory.
 pub fn vfork(kernel: &mut Kernel, parent: Pid) -> KResult<Pid> {
+    let start = kernel.cycles.total();
+    if sink::is_active() {
+        sink::emit(
+            TraceEvent::new("vfork", "api", Phase::Begin, start).arg("parent", parent.0 as u64),
+        );
+    }
+    let r = vfork_inner(kernel, parent);
+    let end = kernel.cycles.total();
+    metrics::observe("api.vfork_cycles", end - start);
+    sink::span_end("vfork", end);
+    r
+}
+
+fn vfork_inner(kernel: &mut Kernel, parent: Pid) -> KResult<Pid> {
     kernel.charge_syscall();
     let child = kernel.allocate_process(parent, "")?;
     // Descriptor cloning is the only fallible copy vfork performs; a

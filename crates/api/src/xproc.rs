@@ -15,6 +15,7 @@ use fpr_kernel::{
     Caps, Errno, Fd, FdEntry, KResult, Kernel, OpenFlags, Pid, Resource, Rlimit, Sig,
 };
 use fpr_mem::{Prot, Share, Vpn};
+use fpr_trace::{metrics, sink, Phase, TraceEvent};
 
 /// Where a child descriptor comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +164,29 @@ impl ProcessBuilder {
         parent: Pid,
         registry: &ImageRegistry,
     ) -> KResult<Spawned> {
+        let start = kernel.cycles.total();
+        if sink::is_active() {
+            sink::emit(
+                TraceEvent::new("xproc_spawn", "api", Phase::Begin, start)
+                    .arg("parent", parent.0 as u64)
+                    .arg("path", self.image_path.as_str())
+                    .arg("fd_grants", self.fds.len() as u64)
+                    .arg("mem_ops", self.mem_ops.len() as u64),
+            );
+        }
+        let r = self.spawn_inner(kernel, parent, registry);
+        let end = kernel.cycles.total();
+        metrics::observe("api.xproc_cycles", end - start);
+        sink::span_end("xproc_spawn", end);
+        r
+    }
+
+    fn spawn_inner(
+        self,
+        kernel: &mut Kernel,
+        parent: Pid,
+        registry: &ImageRegistry,
+    ) -> KResult<Spawned> {
         kernel.charge_syscall();
         if registry.resolve(&self.image_path).is_none() {
             return Err(Errno::Enoexec);
@@ -259,6 +283,7 @@ impl ProcessBuilder {
                     }
                 }
             }
+            sink::instant("xproc_fd_install", "api", kernel.cycles.total());
         }
 
         // 3. Cross-process memory: map and pre-write regions in the child.
@@ -268,6 +293,7 @@ impl ProcessBuilder {
             match op {
                 MemOp::MapAnon { tag, pages, prot } => {
                     let base = kernel.mmap_anon(child, *pages, *prot, Share::Private)?;
+                    sink::instant("xproc_map", "api", kernel.cycles.total());
                     regions.push((*tag, base));
                 }
                 MemOp::Write { tag, offset, value } => {

@@ -1,0 +1,51 @@
+//! Demonstration trace: an on-demand fork followed by an exec in the
+//! child, recorded through [`fpr_kernel::Kernel::trace_scope`] and
+//! exported as Chrome trace-event JSON (`results/trace_demo.json`).
+//!
+//! Load the file in `about:tracing` or <https://ui.perfetto.dev> to see
+//! the span tree; the same tree is printed here as a text flamegraph.
+
+use fpr_bench::results_dir;
+use fpr_exec::{AslrConfig, Image, ImageRegistry};
+use fpr_kernel::Kernel;
+use fpr_mem::{ForkMode, Prot, Share};
+use fpr_trace::{chrome, json, report, sink, CYCLES_PER_US};
+
+fn main() {
+    let mut k = Kernel::boot();
+    let init = k.create_init("init").expect("boot init");
+    let mut reg = ImageRegistry::new();
+    reg.register("/bin/tool", Image::small("tool"));
+
+    // Give the parent a populated heap so the fork has page-table
+    // subtrees to share and the post-fork write breaks one of them.
+    let base = k
+        .mmap_anon(init, 4_096, Prot::RW, Share::Private)
+        .expect("map heap");
+    k.populate(init, base, 4_096).expect("populate heap");
+    let tid = k.process(init).expect("parent exists").main_tid();
+
+    let ((), events) = k.trace_scope(|k| {
+        let (child, _stats) =
+            fpr_api::fork_from_thread(k, init, tid, ForkMode::OnDemand).expect("fork fits");
+        fpr_exec::execve(k, child, &reg, "/bin/tool", AslrConfig::default(), 42)
+            .expect("exec child");
+        // Touch a shared page: the deferred page-table copy and the COW
+        // machinery fire and show up as instants in the trace.
+        k.write_mem(init, base, 7).expect("write heap");
+    });
+
+    assert!(
+        sink::spans_balanced(&events),
+        "begin/end events must balance"
+    );
+    let text = chrome::to_chrome_string(&events, CYCLES_PER_US);
+    json::parse(&text).expect("exported trace must be valid JSON");
+
+    println!("{}", report::render(&events, CYCLES_PER_US));
+    let path = results_dir().join("trace_demo.json");
+    match std::fs::write(&path, &text) {
+        Ok(()) => println!("[saved {} ({} events)]", path.display(), events.len()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -5,10 +5,15 @@
 //! the TLB shootdown, and checks the components reconcile with the
 //! measured total. The paper's prose claim: beyond modest sizes, the
 //! page-table copy dominates even though no data is copied.
+//!
+//! Component counts come from the [`fpr_trace::metrics`] registry — a
+//! snapshot is taken before and after the fork and the decomposition is
+//! priced from the counter deltas, exactly the attribution the runtime
+//! tracing subsystem records.
 
 use crate::os::{Os, OsConfig};
 use fpr_mem::ForkMode;
-use fpr_trace::{ProcessShape, TableData};
+use fpr_trace::{metrics, ProcessShape, TableData};
 
 /// One decomposed fork measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,21 +67,18 @@ pub fn measure_with_fds(pages: u64, extra_fds: u32, sparse: bool) -> Breakdown {
     }
     let cost = os.kernel.phys.cost().clone();
     let cpus = os.kernel.cpus_running(parent);
-    let ((_, stats), total) =
+    let before = metrics::snapshot();
+    let ((_, _stats), total) =
         os.measure(|os| os.fork_stats(parent, ForkMode::Cow).expect("fork fits"));
+    let delta = metrics::snapshot().delta(&before);
 
-    let child_nodes = {
-        // The child's table has the same node shape as the parent's
-        // mapped set; read it off the child.
-        let child = *os.kernel.process(parent).unwrap().children.last().unwrap();
-        os.kernel.process(child).unwrap().aspace.pt_nodes() as u64 - 1 // minus root
-    };
-    let pte_cycles = stats.pages_inherited * cost.pte_copy;
-    let node_cycles = child_nodes * cost.pt_node_alloc;
-    let vma_cycles = stats.vmas_cloned as u64 * cost.vma_clone;
-    let fd_cycles = stats.fds_inherited as u64 * cost.fd_clone;
-    let shootdown_cycles =
-        cost.tlb_shootdown_base + cost.tlb_shootdown_per_cpu * (cpus.max(1) as u64 - 1);
+    // Price each component from the metric deltas the fork recorded.
+    let pte_cycles = delta.counter("mem.fork.pte_copy") * cost.pte_copy;
+    let node_cycles = delta.counter("mem.fork.pt_node") * cost.pt_node_alloc;
+    let vma_cycles = delta.counter("mem.fork.vma_clone") * cost.vma_clone;
+    let fd_cycles = delta.counter("kernel.fd_clone") * cost.fd_clone;
+    let shootdown_cycles = delta.counter("mem.tlb.shootdown")
+        * (cost.tlb_shootdown_base + cost.tlb_shootdown_per_cpu * (cpus.max(1) as u64 - 1));
     let accounted = pte_cycles + node_cycles + vma_cycles + fd_cycles + shootdown_cycles;
     Breakdown {
         pages,

@@ -8,8 +8,9 @@
 //! 1. **Cleanliness sweep** — count the K instrumented fault-injection
 //!    points each API crosses creating a child from a standard parent,
 //!    then replay K times failing at each point. Record how many produced
-//!    a clean error with zero leaked resources ([`Kernel::leak_check`] +
-//!    [`Kernel::check_invariants`] both green).
+//!    a clean error with zero leaked resources
+//!    ([`fpr_kernel::Kernel::leak_check`] +
+//!    [`fpr_kernel::Kernel::check_invariants`] both green).
 //! 2. **Retry under pressure** — under strict overcommit, a large parent
 //!    cannot fork (the up-front O(parent) commit charge exceeds the
 //!    headroom) but can spawn (O(image) charge). Bounded retry with

@@ -45,6 +45,7 @@ mod bases {
 /// hazard is modelled: forked children inherit the parent's draw, while
 /// spawned/exec'd processes get a fresh seed.
 pub fn randomize(cfg: AslrConfig, seed: u64) -> LayoutInfo {
+    fpr_trace::metrics::incr("exec.aslr_randomize");
     if !cfg.enabled {
         return LayoutInfo {
             text_base: bases::TEXT,

@@ -11,6 +11,7 @@ use crate::aslr::{randomize, AslrConfig};
 use crate::image::ImageRegistry;
 use crate::loader::load;
 use fpr_kernel::{Errno, KResult, Kernel, Pid, SpaceRef};
+use fpr_trace::{metrics, sink};
 use std::collections::BTreeMap;
 
 /// What happens to the environment across exec.
@@ -53,6 +54,26 @@ pub fn execve(
 /// exactly as a real kernel does.
 #[allow(clippy::too_many_arguments)]
 pub fn execve_args(
+    kernel: &mut Kernel,
+    pid: Pid,
+    registry: &ImageRegistry,
+    path: &str,
+    argv: Vec<String>,
+    env: Env,
+    aslr: AslrConfig,
+    aslr_seed: u64,
+) -> KResult<()> {
+    let start = kernel.cycles.total();
+    sink::span_begin("exec", "exec", start);
+    let r = execve_args_inner(kernel, pid, registry, path, argv, env, aslr, aslr_seed);
+    let end = kernel.cycles.total();
+    metrics::observe("exec.exec_cycles", end - start);
+    sink::span_end("exec", end);
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execve_args_inner(
     kernel: &mut Kernel,
     pid: Pid,
     registry: &ImageRegistry,
@@ -117,6 +138,7 @@ pub fn execve_args(
 
     // 6. Load the new image under a fresh layout.
     let layout = randomize(aslr, aslr_seed);
+    sink::instant("aslr_randomize", "exec", kernel.cycles.total());
     load(kernel, pid, &image, layout)
 }
 

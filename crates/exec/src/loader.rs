@@ -20,6 +20,14 @@ pub const STARTUP_TOUCHED_PAGES: u64 = 3;
 /// partially created mappings in place for the caller to tear down via
 /// process exit.
 pub fn load(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) -> KResult<()> {
+    fpr_trace::sink::span_begin("image_load", "exec", kernel.cycles.total());
+    fpr_trace::metrics::incr("exec.image_load");
+    let r = load_inner(kernel, pid, image, layout);
+    fpr_trace::sink::span_end("image_load", kernel.cycles.total());
+    r
+}
+
+fn load_inner(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) -> KResult<()> {
     // Text: read-execute, file-backed, shared among instances.
     let text = VmArea {
         start: Vpn(layout.text_base),

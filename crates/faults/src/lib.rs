@@ -35,6 +35,31 @@
 //!
 //! The state is thread-local; the simulator is single-threaded per
 //! kernel, and this keeps parallel test binaries from interfering.
+//!
+//! ## Observers
+//!
+//! A thread-local [`Observer`] can be installed with [`set_observer`] to
+//! mirror every crossing into another subsystem — the tracing sink in
+//! `fpr-trace` uses this to turn each fault-site hit into a trace event,
+//! so no fault path is silent.
+//!
+//! ## Example
+//!
+//! ```
+//! use fpr_faults::{cross, with_plan, FaultPlan, FaultSite};
+//!
+//! // Fail the second frame allocation the operation attempts.
+//! let plan = FaultPlan::passive().fail_at(FaultSite::FrameAlloc, 1);
+//! let (results, trace) = with_plan(plan, || {
+//!     (0..3).map(|_| cross(FaultSite::FrameAlloc)).collect::<Vec<_>>()
+//! });
+//! assert!(results[0].is_ok() && results[2].is_ok());
+//! assert!(results[1].is_err());
+//! assert_eq!(trace.len(), 3);
+//! assert_eq!(trace.injected().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -263,6 +288,34 @@ struct ThreadState {
 
 thread_local! {
     static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+    static OBSERVER: RefCell<Option<Observer>> = const { RefCell::new(None) };
+}
+
+/// A thread-local crossing callback: `(site, occurrence, injected)`.
+///
+/// Inside a [`with_plan`] scope `occurrence` is the 0-based per-site
+/// index within that scope; outside any scope it is the cumulative
+/// per-thread coverage count minus one. The callback must not call
+/// [`cross`] itself — a reentrant crossing runs unobserved.
+pub type Observer = Box<dyn FnMut(FaultSite, u64, bool)>;
+
+/// Installs (or, with `None`, removes) this thread's crossing observer,
+/// returning the previous one so scoped users can restore it.
+///
+/// ```
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+/// use fpr_faults::{cross, set_observer, FaultSite};
+///
+/// let seen = Rc::new(Cell::new(0u64));
+/// let s = Rc::clone(&seen);
+/// let prev = set_observer(Some(Box::new(move |_, _, _| s.set(s.get() + 1))));
+/// cross(FaultSite::VfsOp).unwrap();
+/// set_observer(prev);
+/// assert_eq!(seen.get(), 1);
+/// ```
+pub fn set_observer(observer: Option<Observer>) -> Option<Observer> {
+    OBSERVER.with(|o| std::mem::replace(&mut *o.borrow_mut(), observer))
 }
 
 /// Declares that execution reached `site`. Instrumented code calls this
@@ -271,12 +324,13 @@ thread_local! {
 /// Outside any [`with_plan`] scope this only updates coverage counters
 /// and always succeeds.
 pub fn cross(site: FaultSite) -> Result<(), InjectedFault> {
-    STATE.with(|s| {
+    let (result, occurrence, injected) = STATE.with(|s| {
         let mut st = s.borrow_mut();
         let cov = st.coverage.entry(site).or_default();
         cov.crossings += 1;
+        let cumulative = cov.crossings - 1;
         let Some(scope) = st.scope.as_mut() else {
-            return Ok(());
+            return (Ok(()), cumulative, false);
         };
         // counts[site] holds the last occurrence index handed out; the
         // first crossing of a site is occurrence 0.
@@ -296,11 +350,27 @@ pub fn cross(site: FaultSite) -> Result<(), InjectedFault> {
         });
         if injected {
             st.coverage.get_mut(&site).expect("entry above").injections += 1;
-            Err(InjectedFault { site, occurrence })
+            (Err(InjectedFault { site, occurrence }), occurrence, true)
         } else {
-            Ok(())
+            (Ok(()), occurrence, false)
         }
-    })
+    });
+    // Notify outside the STATE borrow so the observer may inspect
+    // coverage; it is taken out for the call so a reentrant crossing
+    // cannot double-borrow.
+    let mut observer = OBSERVER.with(|o| o.borrow_mut().take());
+    if let Some(f) = observer.as_mut() {
+        f(site, occurrence, injected);
+    }
+    if observer.is_some() {
+        OBSERVER.with(|o| {
+            let mut slot = o.borrow_mut();
+            if slot.is_none() {
+                *slot = observer;
+            }
+        });
+    }
+    result
 }
 
 /// Runs `f` with `plan` active, returning its result and the full
@@ -478,6 +548,46 @@ mod tests {
             .1;
         assert_eq!(fd.crossings, 2);
         assert_eq!(fd.injections, 1);
+    }
+
+    #[test]
+    fn observer_sees_every_crossing_with_injection_flag() {
+        use std::cell::RefCell as StdRefCell;
+        use std::rc::Rc;
+        let seen: Rc<StdRefCell<Vec<(FaultSite, u64, bool)>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let prev = set_observer(Some(Box::new(move |site, occ, injected| {
+            sink.borrow_mut().push((site, occ, injected));
+        })));
+        let plan = FaultPlan::passive().fail_at(FaultSite::FrameAlloc, 1);
+        let _ = with_plan(plan, || {
+            let _ = cross(FaultSite::FrameAlloc);
+            let _ = cross(FaultSite::FrameAlloc);
+            let _ = cross(FaultSite::PidAlloc);
+        });
+        set_observer(prev);
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                (FaultSite::FrameAlloc, 0, false),
+                (FaultSite::FrameAlloc, 1, true),
+                (FaultSite::PidAlloc, 0, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_outside_scope_reports_cumulative_occurrence() {
+        reset_coverage();
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let last: Rc<Cell<u64>> = Rc::default();
+        let sink = Rc::clone(&last);
+        let prev = set_observer(Some(Box::new(move |_, occ, _| sink.set(occ))));
+        cross(FaultSite::VfsOp).unwrap();
+        cross(FaultSite::VfsOp).unwrap();
+        set_observer(prev);
+        assert_eq!(last.get(), 1, "second cumulative crossing is occurrence 1");
     }
 
     #[test]

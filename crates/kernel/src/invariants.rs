@@ -105,6 +105,7 @@ impl Kernel {
     ///    parent/child edges are symmetric, no orphan PIDs in the
     ///    allocator) and per-uid accounting matches the live process set.
     pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        fpr_trace::metrics::incr("kernel.invariant_check");
         let mut v = Vec::new();
 
         // --- Memory: frame refcounts vs page tables, PTEs vs VMAs. ---

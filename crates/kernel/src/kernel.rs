@@ -21,6 +21,8 @@ use fpr_mem::{
     AddressSpace, CommitAccount, CostModel, Cycles, FaultOutcome, OvercommitPolicy, PhysMemory,
     Prot, Share, TlbModel, VmArea, VmaKind, Vpn,
 };
+use fpr_trace::metrics;
+use fpr_trace::sink;
 use std::collections::BTreeMap;
 
 /// Default base VPN for the mmap arena when a process has no recorded
@@ -128,6 +130,21 @@ impl Kernel {
         self.cycles.charge(c);
     }
 
+    /// Runs `f` with a trace sink installed, returning its result along
+    /// with every [`fpr_trace::TraceEvent`] the instrumented kernel paths
+    /// emitted during the scope. Tracing charges zero simulated cycles,
+    /// so a traced operation costs exactly what an untraced one does.
+    ///
+    /// This is the assertion hook for tests and the capture point for
+    /// exporters: feed the returned events to `fpr_trace::chrome` or
+    /// `fpr_trace::report`.
+    pub fn trace_scope<R>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> (R, Vec<fpr_trace::TraceEvent>) {
+        sink::with_sink(|| f(self))
+    }
+
     /// Creates the init process (PID 1) with stdio descriptors on the
     /// console.
     pub fn create_init(&mut self, name: &str) -> KResult<Pid> {
@@ -194,6 +211,13 @@ impl Kernel {
     /// its state. The child starts with an empty address space and FD
     /// table and is enqueued for scheduling.
     pub fn allocate_process(&mut self, ppid: Pid, name: &str) -> KResult<Pid> {
+        sink::span_begin("allocate_process", "kernel", self.cycles.total());
+        let r = self.allocate_process_inner(ppid, name);
+        sink::span_end("allocate_process", self.cycles.total());
+        r
+    }
+
+    fn allocate_process_inner(&mut self, ppid: Pid, name: &str) -> KResult<Pid> {
         self.ensure_alive(ppid)?;
         let (uid, nproc_limit, cwd, cred, rlimits, pgid, sid) = {
             let p = self.process(ppid)?;
@@ -380,6 +404,13 @@ impl Kernel {
     /// All-or-nothing: a mid-copy failure releases every reference already
     /// taken, so on `Err` the OFD table is exactly as before the call.
     pub fn clone_fd_table(&mut self, pid: Pid) -> KResult<FdTable> {
+        sink::span_begin("clone_fd_table", "kernel", self.cycles.total());
+        let r = self.clone_fd_table_inner(pid);
+        sink::span_end("clone_fd_table", self.cycles.total());
+        r
+    }
+
+    fn clone_fd_table_inner(&mut self, pid: Pid) -> KResult<FdTable> {
         let entries: Vec<(Fd, FdEntry)> = self.process(pid)?.fds.iter().collect();
         let fd_cost = self.phys.cost().fd_clone;
         let mut table = FdTable::new();
@@ -388,6 +419,7 @@ impl Kernel {
             // table's sparse storage means closed slots cost nothing, so
             // fork's FD work scales with open descriptors, not max fd.
             self.cycles.charge(fd_cost);
+            metrics::incr("kernel.fd_clone");
             // Shares the description (and therefore the offset); pipe end
             // counts follow descriptions, not descriptors, so they are
             // untouched here.
@@ -422,6 +454,18 @@ impl Kernel {
     /// (descriptors, address space, commit charge, PID, scheduler slot,
     /// per-uid process accounting) returns to its pre-creation state.
     pub fn abort_process_creation(&mut self, child: Pid) -> KResult<()> {
+        metrics::incr("kernel.process_abort");
+        if sink::is_active() {
+            sink::emit(
+                fpr_trace::TraceEvent::new(
+                    "abort_process_creation",
+                    "kernel",
+                    fpr_trace::Phase::Instant,
+                    self.cycles.total(),
+                )
+                .arg("pid", child.0 as u64),
+            );
+        }
         // Release descriptors the child already received.
         let entries = self.process_mut(child)?.fds.drain();
         for e in entries {
@@ -470,6 +514,17 @@ impl Kernel {
     /// Duplicates `pid`'s address space with fork semantics, charging the
     /// child's commit against the overcommit policy first.
     pub fn clone_address_space(
+        &mut self,
+        pid: Pid,
+        mode: fpr_mem::ForkMode,
+    ) -> KResult<AddressSpace> {
+        sink::span_begin("clone_address_space", "kernel", self.cycles.total());
+        let r = self.clone_address_space_inner(pid, mode);
+        sink::span_end("clone_address_space", self.cycles.total());
+        r
+    }
+
+    fn clone_address_space_inner(
         &mut self,
         pid: Pid,
         mode: fpr_mem::ForkMode,
@@ -581,6 +636,13 @@ impl Kernel {
     /// Destroys `pid`'s owned address space, releasing frames and commit
     /// charge (exec's teardown path).
     pub fn destroy_address_space(&mut self, pid: Pid) -> KResult<()> {
+        sink::span_begin("destroy_address_space", "kernel", self.cycles.total());
+        let r = self.destroy_address_space_inner(pid);
+        sink::span_end("destroy_address_space", self.cycles.total());
+        r
+    }
+
+    fn destroy_address_space_inner(&mut self, pid: Pid) -> KResult<()> {
         let commit = self.process(pid)?.aspace.commit_pages();
         {
             let Kernel {

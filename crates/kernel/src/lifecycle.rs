@@ -68,6 +68,14 @@ impl Kernel {
     /// descriptors and memory, reparents children to init, zombifies, and
     /// signals the parent with `SIGCHLD`.
     pub fn exit(&mut self, pid: Pid, status: i32) -> KResult<()> {
+        fpr_trace::sink::span_begin("exit", "kernel", self.cycles.total());
+        fpr_trace::metrics::incr("kernel.exit");
+        let r = self.exit_inner(pid, status);
+        fpr_trace::sink::span_end("exit", self.cycles.total());
+        r
+    }
+
+    fn exit_inner(&mut self, pid: Pid, status: i32) -> KResult<()> {
         // 1. Userspace atexit: flush buffered streams (this is where
         //    fork-duplicated buffer contents become duplicated output).
         let nstreams = self.process(pid)?.streams.len();

@@ -185,6 +185,7 @@ impl SignalState {
 
     /// Fork semantics: dispositions and mask copied, pending cleared.
     pub fn fork_clone(&self) -> SignalState {
+        fpr_trace::metrics::incr("kernel.signal_copy");
         SignalState {
             dispositions: self.dispositions,
             pending: 0,

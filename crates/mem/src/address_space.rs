@@ -16,6 +16,8 @@ use crate::pte::{Pte, PteFlags};
 use crate::tlb::TlbModel;
 use crate::vma::{Backing, Share, VmArea, VmaKind};
 use fpr_faults::FaultSite;
+use fpr_trace::metrics;
+use fpr_trace::sink;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -536,6 +538,9 @@ impl AddressSpace {
         }
         self.stats.pt_unshares += 1;
         self.stats.ptes_unshare_copied += present.len() as u64;
+        metrics::incr("mem.unshare.pt_node");
+        metrics::add("mem.unshare.pte_copy", present.len() as u64);
+        sink::instant("pt_unshare", "mem", cycles.total());
         Ok(())
     }
 
@@ -571,6 +576,8 @@ impl AddressSpace {
         cpus_running: u32,
     ) -> MemResult<AddressSpace> {
         let mut child = AddressSpace::new();
+        let stats_base = parent.stats.clone();
+        sink::span_begin("address_space_fork", "mem", cycles.total());
         // Undo log: parent PTEs downgraded to COW, with their original
         // value, in case the walk fails partway.
         let mut downgrades: Vec<(Vpn, Pte)> = Vec::new();
@@ -581,7 +588,7 @@ impl AddressSpace {
             _ => Self::fork_walk(parent, &mut child, &mut downgrades, mode, phys, cycles),
         };
         let cost = phys.cost().clone();
-        match result {
+        let out = match result {
             Ok(()) => {
                 if !downgrades.is_empty() || mode == ForkMode::Eager {
                     // The parent's mappings changed (COW) or its pages were
@@ -590,6 +597,21 @@ impl AddressSpace {
                     // parent runs.
                     tlb.shootdown(cpus_running, cycles, &cost);
                 }
+                let s = &parent.stats;
+                metrics::add("mem.fork.vma_clone", s.vmas_cloned - stats_base.vmas_cloned);
+                metrics::add("mem.fork.pte_copy", s.ptes_copied - stats_base.ptes_copied);
+                metrics::add(
+                    "mem.fork.pt_subtree_share",
+                    s.pt_subtrees_shared - stats_base.pt_subtrees_shared,
+                );
+                metrics::add(
+                    "mem.fork.page_copy",
+                    s.pages_eager_copied - stats_base.pages_eager_copied,
+                );
+                metrics::add(
+                    "mem.fork.pt_node",
+                    (child.pt.node_count() as u64).saturating_sub(1),
+                );
                 Ok(child)
             }
             Err(e) => {
@@ -605,9 +627,12 @@ impl AddressSpace {
                 for (vpn, orig) in downgrades {
                     parent.pt.update(vpn, orig).expect("downgraded leaf still mapped");
                 }
+                sink::instant("fork_rollback", "mem", cycles.total());
                 Err(e)
             }
-        }
+        };
+        sink::span_end("address_space_fork", cycles.total());
+        out
     }
 
     /// The fallible body of an on-demand fork: clones VMA records, then
@@ -682,6 +707,7 @@ impl AddressSpace {
                 let arc = Arc::clone(parent.pt.leaf_at(l1, idx));
                 child.pt.attach_leaf(base, arc, cycles, &cost)?;
                 parent.stats.pt_subtrees_shared += 1;
+                sink::instant("pt_subtree_share", "mem", cycles.total());
                 continue;
             }
             // Mixed node: per-PTE COW copy for the inherited slots only.

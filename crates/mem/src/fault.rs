@@ -14,6 +14,9 @@ use crate::phys::PhysMemory;
 use crate::pte::{Pte, PteFlags};
 use crate::tlb::TlbModel;
 use crate::vma::Share;
+use fpr_trace::metrics;
+use fpr_trace::sink;
+use fpr_trace::{Phase, TraceEvent};
 
 /// What the fault handler did to satisfy an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +73,8 @@ impl AddressSpace {
             return Err(e);
         }
         self.stats.demand_faults += 1;
+        metrics::incr("mem.fault.demand_fill");
+        sink::instant("demand_fill", "mem", cycles.total());
         Ok(pte)
     }
 
@@ -148,6 +153,7 @@ impl AddressSpace {
                         .union(PteFlags::WRITABLE | PteFlags::DIRTY);
                     self.pt.update(vpn, new).expect("translated above");
                     self.stats.cow_reuses += 1;
+                    metrics::incr("mem.fault.cow_reuse");
                     FaultOutcome::CowReuse
                 } else {
                     let new_pfn = phys.copy_frame(pte.pfn, cycles)?;
@@ -159,8 +165,21 @@ impl AddressSpace {
                         .union(PteFlags::WRITABLE | PteFlags::DIRTY);
                     self.pt.update(vpn, new).expect("translated above");
                     self.stats.cow_copies += 1;
+                    metrics::incr("mem.fault.cow_copy");
                     FaultOutcome::CowCopy
                 };
+                if sink::is_active() {
+                    sink::emit(
+                        TraceEvent::new("cow_break", "mem", Phase::Instant, cycles.total()).arg(
+                            "outcome",
+                            if outcome == FaultOutcome::CowCopy {
+                                "copy"
+                            } else {
+                                "reuse"
+                            },
+                        ),
+                    );
+                }
                 // The stale read-only translation may be cached on any CPU
                 // running this space.
                 tlb.shootdown(cpus_running, cycles, &cost);

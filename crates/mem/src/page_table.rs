@@ -4,11 +4,12 @@
 //! `u32`, which keeps the structure compact; the arena plays the role of
 //! the physical frames that would hold page-table nodes on real hardware.
 //! The bottom level is different: each 512-entry block of leaf PTEs lives
-//! in a reference-counted [`LeafNode`], so an on-demand fork can hand the
+//! in a reference-counted `LeafNode`, so an on-demand fork can hand the
 //! *same* leaf subtree to parent and child by bumping a refcount instead
 //! of copying 512 entries. A shared node is immutable (enforced with
-//! `Arc::get_mut`); the owner must [`PageTable::privatize_leaf`] before
-//! mutating, which is the deferred copy the fault path performs.
+//! `Arc::get_mut`); the owner must privatize the leaf (the private
+//! `privatize_leaf` operation) before mutating, which is the deferred
+//! copy the fault path performs.
 //!
 //! Intermediate nodes are created lazily on [`PageTable::map`] and torn
 //! down eagerly when their last entry is removed, so the node count always

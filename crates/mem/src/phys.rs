@@ -14,6 +14,7 @@ use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
 use crate::frame::{BitmapFrameAllocator, FrameAllocator};
 use fpr_faults::FaultSite;
+use fpr_trace::metrics;
 use std::collections::HashMap;
 
 /// Per-frame metadata: COW reference count and logical content.
@@ -86,6 +87,7 @@ impl PhysMemory {
             },
         );
         self.frames_allocated_total += 1;
+        metrics::incr("mem.frame_alloc");
         Ok(pfn)
     }
 
@@ -97,6 +99,7 @@ impl PhysMemory {
         cycles.charge(self.cost.frame_alloc + self.cost.file_read_page);
         self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
         self.frames_allocated_total += 1;
+        metrics::incr("mem.frame_alloc");
         Ok(pfn)
     }
 
@@ -110,6 +113,8 @@ impl PhysMemory {
         self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
         self.frames_allocated_total += 1;
         self.pages_copied_total += 1;
+        metrics::incr("mem.frame_alloc");
+        metrics::incr("mem.page_copy");
         Ok(pfn)
     }
 
@@ -130,6 +135,7 @@ impl PhysMemory {
             self.meta.remove(&pfn.0);
             self.alloc.free(pfn);
             cycles.charge(self.cost.frame_free);
+            metrics::incr("mem.frame_free");
             Ok(true)
         } else {
             Ok(false)

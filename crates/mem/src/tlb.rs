@@ -8,6 +8,9 @@
 //! per-remote-CPU cost and counts events for the scaling experiments.
 
 use crate::cost::{CostModel, Cycles};
+use fpr_trace::metrics;
+use fpr_trace::sink;
+use fpr_trace::{Phase, TraceEvent};
 
 /// TLB accounting for one simulated machine.
 #[derive(Debug, Clone)]
@@ -43,6 +46,7 @@ impl TlbModel {
     pub fn invalidate_local(&mut self, cycles: &mut Cycles, cost: &CostModel) {
         self.local_invalidations += 1;
         cycles.charge(cost.tlb_invlpg);
+        metrics::incr("mem.tlb.invlpg");
     }
 
     /// Charges a shootdown visible to `cpus_running` CPUs (including the
@@ -53,7 +57,15 @@ impl TlbModel {
         if self.shootdowns_enabled && cpus_running > 1 {
             let remote = (cpus_running - 1) as u64;
             self.remote_acks += remote;
+            metrics::add("mem.tlb.remote_ack", remote);
             cycles.charge(cost.tlb_shootdown_per_cpu * remote);
+        }
+        metrics::incr("mem.tlb.shootdown");
+        if sink::is_active() {
+            sink::emit(
+                TraceEvent::new("tlb_shootdown", "mem", Phase::Instant, cycles.total())
+                    .arg("cpus", cpus_running as u64),
+            );
         }
     }
 }

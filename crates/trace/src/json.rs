@@ -4,8 +4,10 @@
 //! records serialise through this instead of serde. The printer matches
 //! the layout the previous serde_json output used — two-space indents,
 //! struct-declaration field order — so `results/*.json` files stay
-//! diffable across the switch. The parser accepts standard JSON (minus
-//! exotica like `\u` surrogate pairs beyond the BMP).
+//! diffable across the switch. The parser accepts standard JSON,
+//! including `\u` surrogate pairs for characters beyond the BMP (which
+//! Chrome trace viewers emit when they re-save a trace); lone surrogates
+//! are rejected as malformed.
 
 use std::fmt::Write as _;
 
@@ -248,17 +250,40 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("short \\u escape"));
+                            let code = self.hex4()?;
+                            match code {
+                                // High surrogate: must be followed by a
+                                // `\u`-escaped low surrogate; the pair
+                                // encodes one supplementary-plane char.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.err("lone high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.err("lone high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?,
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("lone low surrogate"));
+                                }
+                                _ => out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?,
+                                ),
                             }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
-                            );
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -275,6 +300,19 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads exactly four hex digits (the payload of a `\u` escape).
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("short \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
@@ -381,6 +419,42 @@ mod tests {
         assert_eq!(a[1].as_f64(), Some(-2.5));
         assert_eq!(a[2].as_f64(), Some(1000.0));
         assert_eq!(a[3].as_f64(), Some(0.125));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_beyond_the_bmp() {
+        // U+1F600 GRINNING FACE, as Chrome's trace viewer re-saves it.
+        let v = parse(r#"{"s": "\ud83d\ude00 ok"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "\u{1F600} ok");
+        // U+10000, the first supplementary-plane character.
+        let v = parse(r#""\ud800\udc00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{10000}");
+        // U+10FFFF, the last one.
+        let v = parse(r#""\udbff\udfff""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{10FFFF}");
+    }
+
+    #[test]
+    fn supplementary_plane_strings_round_trip() {
+        let v = Value::Obj(vec![(
+            "emoji".into(),
+            Value::Str("tra\u{1F600}ce \u{10FFFF}".into()),
+        )]);
+        let text = v.pretty();
+        assert_eq!(parse(&text).unwrap(), v);
+        // And an escaped form parses to the same value the raw form does.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            parse("\"\u{1F600}\"").unwrap()
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_rejected() {
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ud83d z""#).is_err(), "high not followed by \\u");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud83dA""#).is_err(), "high + non-surrogate");
     }
 
     #[test]

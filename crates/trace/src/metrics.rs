@@ -1,0 +1,282 @@
+//! Hermetic metrics: named counters and log-scale histograms, kept in a
+//! thread-local registry that is always on.
+//!
+//! Unlike the scoped [`crate::sink`], metrics accumulate continuously —
+//! the intended pattern is *snapshot-diff*: take a [`snapshot`] before an
+//! operation, another after, and [`Snapshot::delta`] isolates exactly the
+//! work that operation performed. `tab_fork_breakdown` reconstructs its
+//! entire cost decomposition this way, with no bespoke counters in the
+//! experiment code.
+//!
+//! Counter names are namespaced `&'static str` keys —
+//! `"mem.fork.pte_copy"`, `"kernel.fd_clone"`, `"exec.image_load"` — so
+//! the registry needs no registration step and no allocation per update.
+//! Histograms bucket by `floor(log2(value))`, which spans the full `u64`
+//! range in 65 buckets: right for latency-like quantities that vary over
+//! orders of magnitude.
+//!
+//! Updating a metric charges **zero** simulated cycles: the cycle model
+//! is never touched from this module.
+//!
+//! ```
+//! use fpr_trace::metrics;
+//!
+//! let before = metrics::snapshot();
+//! metrics::add("mem.fork.pte_copy", 259);
+//! metrics::observe("api.fork_cycles", 12_258);
+//! let delta = metrics::snapshot().delta(&before);
+//! assert_eq!(delta.counter("mem.fork.pte_copy"), 259);
+//! assert_eq!(delta.counter("mem.fork.page_copy"), 0, "absent reads zero");
+//! let h = delta.histogram("api.fork_cycles").unwrap();
+//! assert_eq!((h.count, h.sum), (1, 12_258));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: one for zero, one per bit position of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-scale histogram: counts, sum, extrema, and per-bucket tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Tallies: bucket `0` holds zeros, bucket `i` holds values with
+    /// `floor(log2(v)) == i - 1`, i.e. `v` in `[2^(i-1), 2^i)`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into.
+    ///
+    /// ```
+    /// use fpr_trace::metrics::Histogram;
+    /// assert_eq!(Histogram::bucket_index(0), 0);
+    /// assert_eq!(Histogram::bucket_index(1), 1);
+    /// assert_eq!(Histogram::bucket_index(1023), 10);
+    /// assert_eq!(Histogram::bucket_index(1024), 11);
+    /// ```
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Bucket-wise difference `self - earlier` (for snapshot deltas).
+    fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        Histogram {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            // Extrema are not differentiable; report the later window's.
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of the registry; also the type of a delta.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Snapshot {
+    /// Reads a counter; absent counters read zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a histogram, if any values were recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The change from `earlier` to `self` (counter-wise saturating
+    /// subtraction, so a [`reset`] between snapshots yields zeros rather
+    /// than wrapping).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (*k, v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => h.delta(e),
+                    None => h.clone(),
+                };
+                (*k, d)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Snapshot> = RefCell::new(Snapshot::default());
+}
+
+/// Adds `n` to counter `name` (creating it at zero first).
+pub fn add(name: &'static str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    REGISTRY.with(|r| *r.borrow_mut().counters.entry(name).or_insert(0) += n);
+}
+
+/// Adds one to counter `name`.
+pub fn incr(name: &'static str) {
+    REGISTRY.with(|r| *r.borrow_mut().counters.entry(name).or_insert(0) += 1);
+}
+
+/// Records `value` into histogram `name`.
+pub fn observe(name: &'static str, value: u64) {
+    REGISTRY.with(|r| {
+        r.borrow_mut()
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value)
+    });
+}
+
+/// Copies the current registry state.
+pub fn snapshot() -> Snapshot {
+    REGISTRY.with(|r| r.borrow().clone())
+}
+
+/// Clears every counter and histogram on this thread.
+pub fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = Snapshot::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        reset();
+        incr("t.a");
+        add("t.a", 4);
+        let mid = snapshot();
+        add("t.a", 10);
+        add("t.b", 2);
+        let d = snapshot().delta(&mid);
+        assert_eq!(d.counter("t.a"), 10);
+        assert_eq!(d.counter("t.b"), 2);
+        assert_eq!(d.counter("t.c"), 0);
+        assert_eq!(mid.counter("t.a"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1034);
+        assert_eq!((h.min, h.max), (0, 1024));
+        assert_eq!(h.buckets[0], 1, "zero bucket");
+        assert_eq!(h.buckets[1], 1, "[1,2)");
+        assert_eq!(h.buckets[2], 2, "[2,4)");
+        assert_eq!(h.buckets[3], 1, "[4,8)");
+        assert_eq!(h.buckets[11], 1, "[1024,2048)");
+        assert_eq!(h.mean(), 1034 / 6);
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_windows() {
+        reset();
+        observe("t.h", 8);
+        let mid = snapshot();
+        observe("t.h", 16);
+        observe("t.h", 16);
+        let d = snapshot().delta(&mid);
+        let h = d.histogram("t.h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 32);
+        assert_eq!(h.buckets[5], 2, "[16,32)");
+        assert_eq!(h.buckets[4], 0, "the earlier 8 subtracted out");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        incr("t.x");
+        observe("t.y", 3);
+        reset();
+        let s = snapshot();
+        assert_eq!(s.counter("t.x"), 0);
+        assert!(s.histogram("t.y").is_none());
+    }
+
+    #[test]
+    fn bucket_index_full_range() {
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+    }
+}
