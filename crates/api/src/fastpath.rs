@@ -1,0 +1,757 @@
+//! The spawn fast path: a warm pool of pre-built children.
+//!
+//! `posix_spawn` loses to `fork(OnDemand)` in the baseline benchmark
+//! because every spawn rebuilds the child image from scratch — six VMA
+//! insertions plus the startup faults. Zygote-style systems win that back
+//! by keeping pre-forked children around, but at the security cost the
+//! paper highlights: every pool child shares the parent's layout, so one
+//! info-leak deanonymises all of them (experiment E8).
+//!
+//! [`WarmPool`] takes the performance trick without the entropy loss.
+//! Children are pre-built ([`WarmPool::prefill`]) into a *staging* layout
+//! far above the ASLR arenas, parked under a pool host process, and
+//! checked out on demand: the checkout adopts the child to the caller,
+//! clones descriptors, runs the spawn file actions/attributes, draws a
+//! **fresh** ASLR layout, and slides every segment from the staging bases
+//! to the new random ones. Checked-out siblings therefore share ~0 bits
+//! of layout entropy — the audit in `tab_aslr` verifies this — while the
+//! hot path costs one syscall plus a handful of PTE moves instead of a
+//! full image build.
+
+use crate::spawn::{apply_attrs, apply_file_actions, posix_spawn_cached, FileAction, SpawnAttrs};
+use fpr_exec::{effective_file_id, load_cached, randomize, AslrConfig, Image, ImageCache, ImageRegistry};
+use fpr_kernel::{Errno, KResult, Kernel, LayoutInfo, Pid};
+use fpr_mem::Vpn;
+use fpr_trace::{metrics, sink, Phase, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Staging bases (VPNs) for parked children, far above every ASLR arena
+/// (the largest randomised base tops out below `0x7800_0000`), so sliding
+/// a segment from staging to any freshly drawn base can never overlap.
+mod staging {
+    /// Text/data/bss park here.
+    pub const TEXT: u64 = 0x1_0000_0000;
+    /// Heap parks here.
+    pub const HEAP: u64 = 0x1_1000_0000;
+    /// Stack (top) parks here.
+    pub const STACK: u64 = 0x1_2000_0000;
+    /// The mmap arena base recorded while parked.
+    pub const MMAP: u64 = 0x1_3000_0000;
+}
+
+/// The fixed layout every parked child is built into. Deliberately *not*
+/// a layout any spawn could draw: observing a parked child reveals
+/// nothing about any checked-out sibling.
+fn staging_layout() -> LayoutInfo {
+    LayoutInfo {
+        text_base: staging::TEXT,
+        heap_base: staging::HEAP,
+        stack_base: staging::STACK,
+        mmap_base: staging::MMAP,
+        entropy_bits: 0,
+        aslr_seed: 0,
+    }
+}
+
+/// A pre-built child waiting in the pool.
+#[derive(Debug, Clone)]
+struct ParkedChild {
+    pid: Pid,
+    /// Effective file id the image was loaded under; a mismatch at
+    /// checkout means the binary was rewritten and the child is stale.
+    eff_file_id: u64,
+    /// The staging layout it was built into.
+    layout: LayoutInfo,
+}
+
+/// A pool of pre-built children, keyed by executable path.
+#[derive(Debug)]
+pub struct WarmPool {
+    /// Process the parked children hang off (usually init); checkout
+    /// re-parents them to the caller, re-park hands them back.
+    host: Pid,
+    parked: BTreeMap<String, Vec<ParkedChild>>,
+    checkouts: u64,
+    refills: u64,
+    misses: u64,
+    discards: u64,
+}
+
+impl WarmPool {
+    /// Creates an empty pool whose parked children belong to `host`.
+    pub fn new(host: Pid) -> WarmPool {
+        WarmPool {
+            host,
+            parked: BTreeMap::new(),
+            checkouts: 0,
+            refills: 0,
+            misses: 0,
+            discards: 0,
+        }
+    }
+
+    /// Pre-builds `n` children of `path` into the staging layout and
+    /// parks them under the host. This is the warm-up cost a zygote pays
+    /// off the spawn path; it also warms the exec image `cache`, so the
+    /// first prefill doubles as the cache's donor.
+    pub fn prefill(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &ImageRegistry,
+        cache: &mut ImageCache,
+        path: &str,
+        n: usize,
+    ) -> KResult<()> {
+        for _ in 0..n {
+            let mut image = registry.resolve(path).ok_or(Errno::Enoexec)?.0.clone();
+            image.file_id = effective_file_id(kernel, registry, image.file_id);
+            let child = kernel.allocate_process(self.host, "")?;
+            let layout = staging_layout();
+            if let Err(e) = load_cached(kernel, child, &image, layout, cache) {
+                kernel.abort_process_creation(child)?;
+                return Err(e);
+            }
+            self.refills += 1;
+            metrics::incr("api.pool.refill");
+            self.park(
+                path,
+                ParkedChild {
+                    pid: child,
+                    eff_file_id: image.file_id,
+                    layout,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Checks a parked child of `path` out to `parent`, or returns
+    /// `Ok(None)` when the pool has none (the caller falls back to the
+    /// slow path without having paid a syscall — the pool table lives in
+    /// userspace). Crosses [`fpr_faults::FaultSite::PoolCheckout`]
+    /// *before* popping, so an injected failure leaves the pool intact;
+    /// a failure later in the checkout re-parks the child and restores
+    /// the pre-checkout state exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn checkout(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &ImageRegistry,
+        parent: Pid,
+        path: &str,
+        actions: &[FileAction],
+        attrs: &SpawnAttrs,
+        aslr: AslrConfig,
+        aslr_seed: u64,
+    ) -> KResult<Option<Pid>> {
+        let Some((img, interp_prefix)) = registry.resolve(path) else {
+            return Ok(None);
+        };
+        let image = img.clone();
+        let eff = effective_file_id(kernel, registry, image.file_id);
+        // A rewritten binary strands its parked children on the old
+        // bytes: discard them so nothing stale can ever be checked out.
+        while let Some(stale) = self.pop_stale(path, eff) {
+            kernel.abort_process_creation(stale.pid)?;
+            self.discards += 1;
+            metrics::incr("api.pool.discard");
+        }
+        if self.parked.get(path).is_none_or(|v| v.is_empty()) {
+            return Ok(None);
+        }
+
+        // The checkout proper: one syscall covering adopt + re-randomise.
+        kernel.charge_syscall();
+        fpr_faults::cross(fpr_faults::FaultSite::PoolCheckout).map_err(|_| Errno::Enomem)?;
+        let parked = self
+            .parked
+            .get_mut(path)
+            .and_then(Vec::pop)
+            .expect("checked non-empty above");
+        if let Err(e) = kernel.adopt_process(parked.pid, parent) {
+            // Adoption fails atomically (e.g. the caller's RLIMIT_NPROC),
+            // so the child is still pristine: just put it back.
+            self.park(path, parked);
+            return Err(e);
+        }
+
+        // Snapshot the state the re-park path must restore; everything
+        // else (cwd, creds, rlimits, pgid, sid) is restored by adopting
+        // the child back to the host.
+        let (saved_signals, saved_umask) = {
+            let c = kernel.process(parked.pid)?;
+            (c.signals.clone(), c.umask)
+        };
+        let fresh = randomize(aslr, aslr_seed);
+        let pairs = slide_pairs(&image, &parked.layout, &fresh);
+        let mut slid = 0usize;
+        let mut created = Vec::new();
+        let built = build_checked_out_child(
+            kernel,
+            parked.pid,
+            parent,
+            path,
+            &interp_prefix,
+            actions,
+            attrs,
+            fresh,
+            &pairs,
+            &mut slid,
+            &mut created,
+        );
+        match built {
+            Ok(()) => {
+                self.checkouts += 1;
+                metrics::incr("api.pool.checkout");
+                Ok(Some(parked.pid))
+            }
+            Err(e) => {
+                // Undo in reverse and hand the child back to the pool. If
+                // even that fails (pathological double fault) the child is
+                // torn down entirely rather than leaked.
+                let pid = parked.pid;
+                let undone = (|| -> KResult<()> {
+                    for (old, new) in pairs.iter().take(slid).rev() {
+                        kernel.slide_vma(pid, *new, *old)?;
+                    }
+                    let entries = kernel.process_mut(pid)?.fds.drain();
+                    for entry in entries {
+                        kernel.release_fd_entry(entry)?;
+                    }
+                    for (p, cwd) in created {
+                        let _ = kernel.vfs.unlink(&p, cwd);
+                    }
+                    {
+                        let c = kernel.process_mut(pid)?;
+                        c.signals = saved_signals;
+                        c.umask = saved_umask;
+                        c.argv.clear();
+                        c.envp.clear();
+                    }
+                    kernel.adopt_process(pid, self.host)
+                })();
+                match undone {
+                    Ok(()) => self.park(path, parked),
+                    Err(_) => {
+                        kernel.abort_process_creation(pid)?;
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Tears down every parked child (pool disable / shutdown).
+    pub fn drain(&mut self, kernel: &mut Kernel) -> KResult<()> {
+        for (_, list) in std::mem::take(&mut self.parked) {
+            for p in list {
+                kernel.abort_process_creation(p.pid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parked children currently available for `path`.
+    pub fn available(&self, path: &str) -> usize {
+        self.parked.get(path).map_or(0, Vec::len)
+    }
+
+    /// Parked children across all paths.
+    pub fn total_parked(&self) -> usize {
+        self.parked.values().map(Vec::len).sum()
+    }
+
+    /// The pool host process.
+    pub fn host(&self) -> Pid {
+        self.host
+    }
+
+    /// Successful checkouts so far.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// Children pre-built so far.
+    pub fn refills(&self) -> u64 {
+        self.refills
+    }
+
+    /// Fast-path attempts that found no usable parked child.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Stale parked children discarded after a binary rewrite.
+    pub fn discards(&self) -> u64 {
+        self.discards
+    }
+
+    fn park(&mut self, path: &str, child: ParkedChild) {
+        self.parked.entry(path.to_string()).or_default().push(child);
+    }
+
+    fn pop_stale(&mut self, path: &str, eff: u64) -> Option<ParkedChild> {
+        let list = self.parked.get_mut(path)?;
+        let idx = list.iter().position(|p| p.eff_file_id != eff)?;
+        Some(list.remove(idx))
+    }
+}
+
+/// Everything between a successful adopt and a ready child: descriptors,
+/// file actions, attributes, argv/env, and the ASLR re-randomising
+/// slides. Mirrors what `posix_spawn`'s build + execve do, minus the
+/// image construction the prefill already paid for. `slid` counts
+/// completed slides so the caller can undo a partial failure.
+#[allow(clippy::too_many_arguments)]
+fn build_checked_out_child(
+    kernel: &mut Kernel,
+    child: Pid,
+    parent: Pid,
+    path: &str,
+    interp_prefix: &[String],
+    actions: &[FileAction],
+    attrs: &SpawnAttrs,
+    fresh: LayoutInfo,
+    pairs: &[(Vpn, Vpn)],
+    slid: &mut usize,
+    created: &mut Vec<(String, fpr_kernel::vfs::Ino)>,
+) -> KResult<()> {
+    // Descriptors and signal identity from the adopting parent, with the
+    // exec-time resets posix_spawn's execve would apply.
+    let fds = kernel.clone_fd_table(parent)?;
+    let (mut signals, umask) = {
+        let p = kernel.process(parent)?;
+        (p.signals.fork_clone(), p.umask)
+    };
+    signals.exec_reset();
+    {
+        let c = kernel.process_mut(child)?;
+        c.fds = fds;
+        c.signals = signals;
+        c.umask = umask;
+    }
+    apply_file_actions(kernel, child, actions, created)?;
+    apply_attrs(kernel, child, attrs)?;
+    // Close-on-exec sweep (in posix_spawn it runs inside execve, i.e.
+    // after the file actions).
+    let swept = kernel.process_mut(child)?.fds.take_cloexec();
+    for (_, entry) in swept {
+        kernel.release_fd_entry(entry)?;
+    }
+    // argv/env exactly as execve would leave them.
+    {
+        let c = kernel.process_mut(child)?;
+        let mut full = interp_prefix.to_vec();
+        if attrs.argv.is_empty() {
+            full.push(path.to_string());
+        } else {
+            full.extend(attrs.argv.iter().cloned());
+        }
+        c.argv = full;
+        if let Some(map) = &attrs.env {
+            c.envp = map.clone();
+        }
+    }
+    // Re-randomise: slide every segment from staging to the fresh draw.
+    sink::instant("aslr_randomize", "api", kernel.cycles.total());
+    for (old, new) in pairs {
+        kernel.slide_vma(child, *old, *new)?;
+        *slid += 1;
+    }
+    kernel.process_mut(child)?.layout = fresh;
+    Ok(())
+}
+
+/// `(from, to)` VMA start pairs for sliding an image between two layouts,
+/// in the order the loader created them.
+fn slide_pairs(img: &Image, from: &LayoutInfo, to: &LayoutInfo) -> Vec<(Vpn, Vpn)> {
+    let mut v = vec![(Vpn(from.text_base), Vpn(to.text_base))];
+    if img.data_pages > 0 {
+        let off = img.text_pages;
+        v.push((Vpn(from.text_base + off), Vpn(to.text_base + off)));
+    }
+    if img.bss_pages > 0 {
+        let off = img.text_pages + img.data_pages;
+        v.push((Vpn(from.text_base + off), Vpn(to.text_base + off)));
+    }
+    if img.heap_pages > 0 {
+        v.push((Vpn(from.heap_base), Vpn(to.heap_base)));
+    }
+    let low = |l: &LayoutInfo| l.stack_base - img.stack_pages;
+    v.push((Vpn(low(from) - 1), Vpn(low(to) - 1)));
+    v.push((Vpn(low(from)), Vpn(low(to))));
+    v
+}
+
+/// `posix_spawn` through the fast path: try a warm-pool checkout, fall
+/// back to the (image-cache-assisted) slow path on a miss. Semantically
+/// identical to [`crate::spawn::posix_spawn`]; only the cycle count
+/// differs.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_fast(
+    kernel: &mut Kernel,
+    parent: Pid,
+    registry: &ImageRegistry,
+    path: &str,
+    actions: &[FileAction],
+    attrs: &SpawnAttrs,
+    aslr: AslrConfig,
+    aslr_seed: u64,
+    cache: &mut ImageCache,
+    pool: &mut WarmPool,
+) -> KResult<Pid> {
+    let start = kernel.cycles.total();
+    if sink::is_active() {
+        sink::emit(
+            TraceEvent::new("spawn_fast", "api", Phase::Begin, start)
+                .arg("parent", parent.0 as u64)
+                .arg("path", path),
+        );
+    }
+    let r = spawn_fast_inner(
+        kernel, parent, registry, path, actions, attrs, aslr, aslr_seed, cache, pool,
+    );
+    let end = kernel.cycles.total();
+    metrics::observe("api.spawn_fast_cycles", end - start);
+    sink::span_end("spawn_fast", end);
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_fast_inner(
+    kernel: &mut Kernel,
+    parent: Pid,
+    registry: &ImageRegistry,
+    path: &str,
+    actions: &[FileAction],
+    attrs: &SpawnAttrs,
+    aslr: AslrConfig,
+    aslr_seed: u64,
+    cache: &mut ImageCache,
+    pool: &mut WarmPool,
+) -> KResult<Pid> {
+    match pool.checkout(
+        kernel, registry, parent, path, actions, attrs, aslr, aslr_seed,
+    )? {
+        Some(pid) => Ok(pid),
+        None => {
+            pool.misses += 1;
+            metrics::incr("api.pool.miss");
+            posix_spawn_cached(
+                kernel,
+                parent,
+                registry,
+                path,
+                actions,
+                attrs,
+                aslr,
+                aslr_seed,
+                Some(cache),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawn::posix_spawn;
+    use fpr_exec::{shared_bits, Image};
+    use fpr_kernel::{Fd, Resource, Rlimit, STDOUT};
+    use fpr_mem::vma::file_stamp;
+
+    fn world() -> (Kernel, Pid, ImageRegistry) {
+        let mut k = Kernel::boot();
+        let init = k.create_init("init").unwrap();
+        let mut reg = ImageRegistry::new();
+        reg.register("/bin/tool", Image::small("tool"));
+        (k, init, reg)
+    }
+
+    #[test]
+    fn prefill_parks_children_under_host() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 3)
+            .unwrap();
+        assert_eq!(pool.available("/bin/tool"), 3);
+        assert_eq!(pool.refills(), 3);
+        assert_eq!(cache.misses(), 1, "first prefill donates to the cache");
+        assert_eq!(cache.hits(), 2, "later prefills ride it");
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn checkout_beats_the_slow_path_and_builds_a_real_child() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 2)
+            .unwrap();
+
+        let c0 = k.cycles.total();
+        let slow = posix_spawn(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            5,
+        )
+        .unwrap();
+        let slow_cost = k.cycles.total() - c0;
+
+        let c1 = k.cycles.total();
+        let fast = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            6,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        let fast_cost = k.cycles.total() - c1;
+        assert!(
+            fast_cost < slow_cost,
+            "pool hit ({fast_cost}) must beat posix_spawn ({slow_cost})"
+        );
+        assert_eq!(pool.checkouts(), 1);
+        assert_eq!(pool.available("/bin/tool"), 1);
+
+        let cp = k.process(fast).unwrap();
+        assert_eq!(cp.ppid, init);
+        assert_eq!(cp.name, "tool");
+        assert_eq!(cp.fds.open_count(), 3, "stdio inherited");
+        assert_eq!(cp.argv, vec!["/bin/tool".to_string()]);
+        let layout = cp.layout;
+        assert_ne!(layout.text_base, staging::TEXT, "not left in staging");
+        // The image content is really there at the new bases.
+        let img = Image::small("tool");
+        assert_eq!(
+            k.read_mem(fast, Vpn(layout.text_base + img.entry_page)),
+            Ok(file_stamp(
+                reg.resolve("/bin/tool").unwrap().0.file_id,
+                img.entry_page
+            ))
+        );
+        let _ = slow;
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn checked_out_siblings_share_no_layout_entropy() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 2)
+            .unwrap();
+        let a = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            1001,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        let b = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            1002,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(pool.checkouts(), 2);
+        let (la, lb) = (k.process(a).unwrap().layout, k.process(b).unwrap().layout);
+        assert_ne!(la, lb);
+        // Siblings from the same pool look like independent spawns: the
+        // incidental shared low bits stay far below full disclosure.
+        assert!(
+            shared_bits(&la, &lb) < 34,
+            "pool children must not share their layout ({} bits)",
+            shared_bits(&la, &lb)
+        );
+        assert!(la.entropy_bits > 0);
+    }
+
+    #[test]
+    fn empty_pool_falls_back_to_slow_path() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        let c = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            3,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.checkouts(), 0);
+        assert_eq!(k.process(c).unwrap().name, "tool");
+        assert_eq!(cache.misses(), 1, "slow path still warms the cache");
+    }
+
+    #[test]
+    fn failed_checkout_reparks_the_child() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 1)
+            .unwrap();
+        let procs_before = k.process_count();
+
+        // A bad file action fails the checkout after adoption.
+        let actions = vec![FileAction::Close { fd: Fd(42) }];
+        let r = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &actions,
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            4,
+            &mut cache,
+            &mut pool,
+        );
+        assert_eq!(r, Err(Errno::Ebadf));
+        assert_eq!(pool.available("/bin/tool"), 1, "child re-parked");
+        assert_eq!(k.process_count(), procs_before);
+        k.check_invariants().unwrap();
+
+        // The re-parked child is still perfectly good.
+        let c = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            5,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(pool.checkouts(), 1);
+        let cp = k.process(c).unwrap();
+        assert_eq!(cp.fds.open_count(), 3);
+        let layout = cp.layout;
+        assert_eq!(
+            k.read_mem(c, Vpn(layout.stack_base - 1)),
+            Ok(0xdead),
+            "startup stack write survived park → fail → re-park → checkout"
+        );
+    }
+
+    #[test]
+    fn checkout_respects_the_callers_nproc_limit() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 1)
+            .unwrap();
+        let parent = posix_spawn(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            7,
+        )
+        .unwrap();
+        k.process_mut(parent)
+            .unwrap()
+            .rlimits
+            .set(Resource::Nproc, Rlimit::both(1));
+        let r = spawn_fast(
+            &mut k,
+            parent,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            8,
+            &mut cache,
+            &mut pool,
+        );
+        assert_eq!(r, Err(Errno::Eagain), "a pool hit cannot evade RLIMIT_NPROC");
+        assert_eq!(pool.available("/bin/tool"), 1, "child stays parked");
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn file_actions_work_through_the_fast_path() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 1)
+            .unwrap();
+        let actions = vec![FileAction::Open {
+            fd: STDOUT,
+            path: "/fast.txt".into(),
+            flags: fpr_kernel::OpenFlags::WRONLY,
+            create: true,
+        }];
+        let c = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &actions,
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            9,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(pool.checkouts(), 1);
+        k.write_fd(c, STDOUT, b"via pool").unwrap();
+        let ino = k.vfs.resolve("/fast.txt", k.vfs.root()).unwrap();
+        assert_eq!(k.vfs.read_at(ino, 0, 16).unwrap(), b"via pool");
+    }
+
+    #[test]
+    fn drain_tears_the_pool_down_cleanly() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        let procs_before = k.process_count();
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 3)
+            .unwrap();
+        pool.drain(&mut k).unwrap();
+        assert_eq!(pool.total_parked(), 0);
+        assert_eq!(k.process_count(), procs_before);
+        cache.clear(&mut k);
+        k.check_invariants().unwrap();
+    }
+}

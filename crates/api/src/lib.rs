@@ -18,6 +18,7 @@
 
 pub mod clone;
 pub mod compare;
+pub mod fastpath;
 pub mod fork;
 pub mod retry;
 pub mod spawn;
@@ -26,8 +27,9 @@ pub mod xproc;
 
 pub use clone::{clone, CloneFlags, CloneResult};
 pub use compare::{coverage, render_matrix, supports, Api, Capability, CostClass, Support};
+pub use fastpath::{spawn_fast, WarmPool};
 pub use fork::{fork, fork_from_thread, fork_on_demand, ForkStats};
 pub use retry::{fork_with_retry, is_transient, retry_with_backoff, RetryPolicy, RetryStats};
-pub use spawn::{posix_spawn, FileAction, SpawnAttrs};
+pub use spawn::{posix_spawn, posix_spawn_cached, FileAction, SpawnAttrs};
 pub use vfork::vfork;
 pub use xproc::{FdSource, MemOp, ProcessBuilder, Spawned};

@@ -11,7 +11,7 @@
 //! vocabulary simply cannot be expressed (the paper's complaint about
 //! spawn-style APIs, quantified by experiment E7).
 
-use fpr_exec::{AslrConfig, ImageRegistry};
+use fpr_exec::{AslrConfig, ImageCache, ImageRegistry};
 use fpr_kernel::{Errno, Fd, KResult, Kernel, OpenFlags, Pid, Sig};
 use fpr_trace::{metrics, sink, Phase, TraceEvent};
 
@@ -87,6 +87,26 @@ pub fn posix_spawn(
     aslr: AslrConfig,
     aslr_seed: u64,
 ) -> KResult<Pid> {
+    posix_spawn_cached(
+        kernel, parent, registry, path, actions, attrs, aslr, aslr_seed, None,
+    )
+}
+
+/// [`posix_spawn`] with an optional exec [`ImageCache`] threaded through to
+/// the loader. `None` is byte-for-byte the plain spawn; `Some` lets repeat
+/// execs of the same binary skip their startup faults and file reads.
+#[allow(clippy::too_many_arguments)]
+pub fn posix_spawn_cached(
+    kernel: &mut Kernel,
+    parent: Pid,
+    registry: &ImageRegistry,
+    path: &str,
+    actions: &[FileAction],
+    attrs: &SpawnAttrs,
+    aslr: AslrConfig,
+    aslr_seed: u64,
+    cache: Option<&mut ImageCache>,
+) -> KResult<Pid> {
     let start = kernel.cycles.total();
     if sink::is_active() {
         sink::emit(
@@ -96,7 +116,7 @@ pub fn posix_spawn(
         );
     }
     let r = posix_spawn_inner(
-        kernel, parent, registry, path, actions, attrs, aslr, aslr_seed,
+        kernel, parent, registry, path, actions, attrs, aslr, aslr_seed, cache,
     );
     let end = kernel.cycles.total();
     metrics::observe("api.spawn_cycles", end - start);
@@ -114,12 +134,14 @@ fn posix_spawn_inner(
     attrs: &SpawnAttrs,
     aslr: AslrConfig,
     aslr_seed: u64,
+    cache: Option<&mut ImageCache>,
 ) -> KResult<Pid> {
     kernel.charge_syscall();
     let child = kernel.allocate_process(parent, "")?;
     let mut created = Vec::new();
     match build_child(
         kernel, parent, child, registry, path, actions, attrs, aslr, aslr_seed, &mut created,
+        cache,
     ) {
         Ok(()) => Ok(child),
         Err(e) => {
@@ -138,7 +160,7 @@ fn posix_spawn_inner(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn build_child(
+pub(crate) fn build_child(
     kernel: &mut Kernel,
     parent: Pid,
     child: Pid,
@@ -149,6 +171,7 @@ fn build_child(
     aslr: AslrConfig,
     aslr_seed: u64,
     created: &mut Vec<(String, fpr_kernel::vfs::Ino)>,
+    cache: Option<&mut ImageCache>,
 ) -> KResult<()> {
     // Descriptors: inherited as fork would leave them...
     let fds = kernel.clone_fd_table(parent)?;
@@ -165,6 +188,35 @@ fn build_child(
     }
 
     // ...then the file actions run *in the child's context*.
+    apply_file_actions(kernel, child, actions, created)?;
+    apply_attrs(kernel, child, attrs)?;
+
+    // The image load (includes the close-on-exec sweep and handler reset).
+    if registry.resolve(path).is_none() {
+        return Err(Errno::Enoexec);
+    }
+    let argv = if attrs.argv.is_empty() {
+        vec![path.to_string()]
+    } else {
+        attrs.argv.clone()
+    };
+    let env = match &attrs.env {
+        Some(map) => fpr_exec::Env::Replace(map.clone()),
+        None => fpr_exec::Env::Keep,
+    };
+    fpr_exec::execve_args_cached(kernel, child, registry, path, argv, env, aslr, aslr_seed, cache)
+}
+
+/// Runs the spawn file actions in `child`'s context, recording any files
+/// they create in `created` so a failing spawn can unlink them. Each
+/// action crosses [`fpr_faults::FaultSite::SpawnFileAction`]. Shared
+/// between the classic build path and the warm-pool checkout.
+pub(crate) fn apply_file_actions(
+    kernel: &mut Kernel,
+    child: Pid,
+    actions: &[FileAction],
+    created: &mut Vec<(String, fpr_kernel::vfs::Ino)>,
+) -> KResult<()> {
     for a in actions {
         fpr_faults::cross(fpr_faults::FaultSite::SpawnFileAction).map_err(|_| Errno::Enomem)?;
         match a {
@@ -198,8 +250,12 @@ fn build_child(
             }
         }
     }
+    Ok(())
+}
 
-    // Attributes.
+/// Applies the spawn attributes to `child`. Shared between the classic
+/// build path and the warm-pool checkout.
+pub(crate) fn apply_attrs(kernel: &mut Kernel, child: Pid, attrs: &SpawnAttrs) -> KResult<()> {
     for sig in &attrs.sigdefault {
         kernel.sigaction(child, *sig, fpr_kernel::Disposition::Default)?;
     }
@@ -214,21 +270,7 @@ fn build_child(
     if attrs.setsid {
         kernel.setsid(child)?;
     }
-
-    // The image load (includes the close-on-exec sweep and handler reset).
-    if registry.resolve(path).is_none() {
-        return Err(Errno::Enoexec);
-    }
-    let argv = if attrs.argv.is_empty() {
-        vec![path.to_string()]
-    } else {
-        attrs.argv.clone()
-    };
-    let env = match &attrs.env {
-        Some(map) => fpr_exec::Env::Replace(map.clone()),
-        None => fpr_exec::Env::Keep,
-    };
-    fpr_exec::execve_args(kernel, child, registry, path, argv, env, aslr, aslr_seed)
+    Ok(())
 }
 
 #[cfg(test)]

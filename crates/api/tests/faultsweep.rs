@@ -10,9 +10,9 @@
 //! This is the transactional guarantee the paper says fork-based systems
 //! never test: the un-duplicate paths, all of them, executed on demand.
 
-use fpr_api::{clone, fork, posix_spawn, vfork, CloneFlags, ProcessBuilder};
-use fpr_api::{FdSource, FileAction, MemOp, SpawnAttrs};
-use fpr_exec::{AslrConfig, Image, ImageRegistry};
+use fpr_api::{clone, fork, posix_spawn, posix_spawn_cached, vfork, CloneFlags, ProcessBuilder};
+use fpr_api::{FdSource, FileAction, MemOp, SpawnAttrs, WarmPool};
+use fpr_exec::{AslrConfig, Image, ImageCache, ImageRegistry};
 use fpr_faults::{count_crossings, with_plan, FaultPlan};
 use fpr_kernel::{Errno, Kernel, OpenFlags, Pid, STDOUT};
 use fpr_mem::{Prot, Share};
@@ -273,6 +273,133 @@ fn posix_spawn_survives_every_fail_point() {
         )
         .map(|_| ())
     });
+}
+
+#[test]
+fn cached_spawn_survives_every_fail_point() {
+    // The donor spawn: a cold cache makes every run a miss, so each call
+    // crosses `image_cache_insert` on top of the classic spawn sites. The
+    // cache is op-local and cleared before returning, so the pins it
+    // takes on success never skew the next iteration's leak baseline.
+    let actions = vec![FileAction::Open {
+        fd: STDOUT,
+        path: "/out.txt".into(),
+        flags: OpenFlags::WRONLY,
+        create: true,
+    }];
+    sweep("posix_spawn(image cache)", move |k, p, reg| {
+        let mut cache = ImageCache::new();
+        let r = posix_spawn_cached(
+            k,
+            p,
+            reg,
+            "/bin/tool",
+            &actions,
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            7,
+            Some(&mut cache),
+        )
+        .map(|_| ());
+        cache.clear(k);
+        r
+    });
+}
+
+/// Sweeps a warm-pool checkout the way [`sweep`] does creation. The
+/// world includes a prefilled pool (and the image cache the prefill
+/// warmed), and the baseline is taken *after* the prefill: an injected
+/// failure anywhere in the checkout — including at the `pool_checkout`
+/// site itself and in every file action applied to the parked child —
+/// must re-park the child and leave the kernel byte-identical to that
+/// post-prefill baseline.
+#[test]
+fn pool_checkout_survives_every_fail_point() {
+    let label = "warm-pool checkout";
+    let pool_world = || {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 1)
+            .unwrap();
+        (k, init, reg, cache, pool)
+    };
+    let actions = vec![
+        FileAction::Open {
+            fd: STDOUT,
+            path: "/pool-out.txt".into(),
+            flags: OpenFlags::WRONLY,
+            create: true,
+        },
+        FileAction::Close { fd: fpr_kernel::STDIN },
+    ];
+    let op = |k: &mut Kernel, p: Pid, reg: &ImageRegistry, pool: &mut WarmPool| {
+        pool.checkout(
+            k,
+            reg,
+            p,
+            "/bin/tool",
+            &actions,
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            7,
+        )
+        .map(|c| assert!(c.is_some(), "{label}: parked child available, must hit"))
+    };
+
+    let k_count = {
+        let (mut k, p, reg, _cache, mut pool) = pool_world();
+        let trace = count_crossings(|| {
+            op(&mut k, p, &reg, &mut pool)
+                .unwrap_or_else(|e| panic!("{label}: fault-free run failed: {e:?}"))
+        });
+        assert!(
+            trace
+                .crossings
+                .iter()
+                .any(|c| c.site == fpr_faults::FaultSite::PoolCheckout),
+            "{label}: checkout never crossed pool_checkout"
+        );
+        trace.len()
+    };
+
+    for nth in 0..k_count {
+        let (mut k, p, reg, _cache, mut pool) = pool_world();
+        let base = k.baseline();
+        let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+        let (result, trace) = with_plan(plan, || op(&mut k, p, &reg, &mut pool));
+        let injected = trace.injected();
+        assert_eq!(injected.len(), 1, "{label}: crossing {nth} did not inject");
+        let site = injected[0].site;
+        let err = result.expect_err(&format!(
+            "{label}: injected fault at {site}#{nth} was swallowed"
+        ));
+        assert!(
+            clean_creation_error(err),
+            "{label}: fault at {site}#{nth} surfaced as {err:?}"
+        );
+        assert_eq!(
+            pool.available("/bin/tool"),
+            1,
+            "{label}: fault at {site}#{nth} lost the parked child"
+        );
+        if let Err(v) = k.leak_check(&base) {
+            panic!(
+                "{label}: fault at {site}#{nth} leaked:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        if let Err(v) = k.check_invariants() {
+            panic!(
+                "{label}: fault at {site}#{nth} broke invariants:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        // The re-parked child serves the retry once the fault clears.
+        op(&mut k, p, &reg, &mut pool).unwrap_or_else(|e| {
+            panic!("{label}: retry after fault at {site}#{nth} cleared failed: {e:?}")
+        });
+    }
 }
 
 #[test]

@@ -11,6 +11,7 @@
 //!    so the perf trajectory of the hot path is tracked in-repo from
 //!    this PR onward.
 
+use forkroad_core::experiments::spawn_fastpath::{self, Mode};
 use forkroad_core::experiments::{
     aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling, stdio,
     threads, vma_sweep,
@@ -40,6 +41,13 @@ fn smoke_tab(id: &str, tab: &TableData) {
         .unwrap_or_else(|e| panic!("{id}: emitted file unreadable: {e}"));
     let back = TableData::from_json(&text).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
     assert!(!back.rows.is_empty(), "{id}: round-trip lost all rows");
+}
+
+/// Median of a seed-parameterised measurement across the ASLR seed set.
+fn median_over_seeds(f: impl Fn(u64) -> u64) -> u64 {
+    let mut samples: Vec<u64> = SEEDS.iter().map(|&seed| f(seed)).collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
 /// Median simulated cycles of `op` across the ASLR seed set.
@@ -77,6 +85,7 @@ fn main() {
     smoke_tab("tab_forkbomb", &forkbomb::run(&[16, 64], 512));
     smoke_tab("tab_faultmatrix", &robustness::fault_matrix());
     smoke_tab("tab_e9_robustness", &robustness::run());
+    smoke_fig("fig_spawn_fastpath", &spawn_fastpath::run(&[256, 4_096, 65_536]));
 
     // API × mode cycle medians: the machine-tracked perf snapshot.
     let entries: Vec<(&str, &str, u64)> = vec![
@@ -149,6 +158,90 @@ fn main() {
     assert!(
         get("fork", "ondemand") * 5 < get("fork", "cow"),
         "on-demand fork must be far below COW fork at {FOOTPRINT} pages"
+    );
+
+    // E11 snapshot: the spawn fast path tracked alongside the fork
+    // modes, per footprint (the 4 GiB point lives in the core tests —
+    // the smoke keeps the sweep short).
+    let fp_sweep: [u64; 3] = [256, 4_096, 65_536];
+    let fast_entries: Vec<(u64, &str, u64)> = fp_sweep
+        .iter()
+        .flat_map(|&fp| {
+            [
+                (
+                    fp,
+                    "posix_spawn",
+                    median_over_seeds(|s| spawn_fastpath::measure_spawn_seeded(Mode::Plain, fp, s)),
+                ),
+                (
+                    fp,
+                    "spawn(cache)",
+                    median_over_seeds(|s| spawn_fastpath::measure_spawn_seeded(Mode::Cache, fp, s)),
+                ),
+                (
+                    fp,
+                    "spawn(cache+pool)",
+                    median_over_seeds(|s| {
+                        spawn_fastpath::measure_spawn_seeded(Mode::CachePool, fp, s)
+                    }),
+                ),
+                (
+                    fp,
+                    "fork(ondemand)",
+                    median_over_seeds(|s| spawn_fastpath::measure_odf_seeded(fp, s)),
+                ),
+            ]
+        })
+        .collect();
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_spawn_fastpath\",\n");
+    json.push_str(&format!("  \"aslr_seeds\": {},\n", SEEDS.len()));
+    json.push_str("  \"median_cycles\": [\n");
+    for (i, (fp, api, cycles)) in fast_entries.iter().enumerate() {
+        let comma = if i + 1 == fast_entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"footprint_pages\": {fp}, \"api\": \"{api}\", \"cycles\": {cycles}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_spawn_fastpath.json", &json).expect("write BENCH_spawn_fastpath.json");
+
+    println!("\n# BENCH_spawn_fastpath — median cycles per api x footprint");
+    for (fp, api, cycles) in &fast_entries {
+        println!("{:<28} {cycles:>10}", format!("{api}@{fp}p"));
+    }
+    println!("[saved BENCH_spawn_fastpath.json]");
+
+    // The E11 ordering at the reference footprint: the cached+pooled
+    // spawn beats every fork flavour, and the fork flavours keep their
+    // established order.
+    let fast = |api: &str| {
+        fast_entries
+            .iter()
+            .find(|(fp, a, _)| *fp == FOOTPRINT && *a == api)
+            .map(|(_, _, c)| *c)
+            .unwrap()
+    };
+    let order = [
+        ("spawn(cache+pool)", fast("spawn(cache+pool)")),
+        ("fork(ondemand)", get("fork", "ondemand")),
+        ("fork(cow)", get("fork", "cow")),
+        ("fork(eager)", get("fork", "eager")),
+    ];
+    for pair in order.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "E11 ordering violated at {FOOTPRINT} pages: {} ({}) > {} ({})",
+            pair[0].0,
+            pair[0].1,
+            pair[1].0,
+            pair[1].1
+        );
+    }
+    println!(
+        "E11 ordering holds at {FOOTPRINT} pages: \
+         spawn(cache+pool) <= fork(ondemand) <= fork(cow) <= fork(eager)"
     );
     println!("\n=== bench smoke OK ===");
 }

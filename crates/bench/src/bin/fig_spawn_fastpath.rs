@@ -1,0 +1,16 @@
+//! E11: spawn fast path (image cache + warm pool) vs fork(OnDemand)
+//! across parent footprints, 1 MiB to 4 GiB.
+
+use forkroad_core::experiments::spawn_fastpath;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    // Pages of populated parent heap: 1 MiB → 4 GiB.
+    let footprints: Vec<u64> = if quick_mode() {
+        vec![256, 4_096, 65_536]
+    } else {
+        vec![256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576]
+    };
+    let fig = spawn_fastpath::run(&footprints);
+    emit("fig_spawn_fastpath", &fig.render(), &fig.to_json());
+}

@@ -3,8 +3,8 @@
 //! evaluation.
 
 use forkroad_core::experiments::{
-    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling, stdio,
-    vma_sweep,
+    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling,
+    spawn_fastpath, stdio, vma_sweep,
 };
 use fpr_bench::emit;
 
@@ -49,6 +49,9 @@ fn main() {
     emit("tab_faultmatrix", &t10.render(), &t10.to_json());
     let t10b = robustness::run();
     emit("tab_e9_robustness", &t10b.render(), &t10b.to_json());
+
+    let f11 = spawn_fastpath::run(&[256, 4_096, 65_536, 262_144]);
+    emit("fig_spawn_fastpath", &f11.render(), &f11.to_json());
 
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");

@@ -19,6 +19,10 @@ pub enum Strategy {
     Zygote,
     /// posix_spawn per child.
     SpawnPer,
+    /// Warm-pool checkout per child (the E11 fast path): pre-built like a
+    /// zygote's children, but each checkout slides the image to a fresh
+    /// layout draw — the zygote's speed without its shared layout.
+    WarmPool,
 }
 
 /// Creates `n` children with the strategy and measures layout sharing.
@@ -38,6 +42,19 @@ pub fn run_cell(strategy: Strategy, n: usize) -> ZygoteReport {
                     .expect("spawn")
             })
             .collect(),
+        Strategy::WarmPool => {
+            os.enable_spawn_fastpath().expect("enable");
+            os.pool_prefill("/bin/server", n).expect("prefill");
+            let kids = (0..n)
+                .map(|_| {
+                    os.spawn(init, "/bin/server", &[], &SpawnAttrs::default())
+                        .expect("checkout")
+                })
+                .collect();
+            let f = os.fastpath().expect("enabled");
+            assert_eq!(f.pool.checkouts(), n as u64, "all served from the pool");
+            kids
+        }
     };
     zygote_entropy(&os.kernel, &children).expect("audit")
 }
@@ -58,6 +75,7 @@ pub fn run(n: usize) -> TableData {
     for (s, name) in [
         (Strategy::Zygote, "zygote(fork)"),
         (Strategy::SpawnPer, "spawn-per-child"),
+        (Strategy::WarmPool, "spawn(warm-pool)"),
     ] {
         let r = run_cell(s, n);
         t.push_row(vec![
@@ -96,12 +114,34 @@ mod tests {
     }
 
     #[test]
-    fn table_contrasts_the_two() {
+    fn warm_pool_children_share_no_entropy() {
+        // The E11 regression: pool checkouts re-randomise, so pooled
+        // siblings look like independent spawns — no identical pair,
+        // near-zero shared bits, near-full residual entropy. This is the
+        // property the zygote row fails.
+        let r = run_cell(Strategy::WarmPool, 8);
+        assert_eq!(r.identical_pairs, 0);
+        assert!(
+            r.effective_entropy_bits > 50.0,
+            "residual entropy {}",
+            r.effective_entropy_bits
+        );
+        assert!(
+            r.mean_shared_bits < MAX_LAYOUT_BITS as f64 * 0.1,
+            "pooled siblings share ~0 layout bits, got {}",
+            r.mean_shared_bits
+        );
+    }
+
+    #[test]
+    fn table_contrasts_the_strategies() {
         let t = run(6);
-        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows.len(), 3);
         let zygote_pairs: u32 = t.rows[0][2].parse().unwrap();
         let spawn_pairs: u32 = t.rows[1][2].parse().unwrap();
+        let pool_pairs: u32 = t.rows[2][2].parse().unwrap();
         assert!(zygote_pairs > 0);
         assert_eq!(spawn_pairs, 0);
+        assert_eq!(pool_pairs, 0);
     }
 }

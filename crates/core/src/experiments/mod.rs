@@ -14,6 +14,7 @@ pub mod odf_storm;
 pub mod overcommit;
 pub mod robustness;
 pub mod scaling;
+pub mod spawn_fastpath;
 pub mod stdio;
 pub mod threads;
 pub mod vma_sweep;

@@ -6,9 +6,9 @@
 //! downstream user writes `os.fork(pid)` / `os.spawn(pid, "/bin/tool")`
 //! instead of threading four subsystems by hand.
 
-use fpr_api::{FileAction, ProcessBuilder, SpawnAttrs};
-use fpr_exec::{AslrConfig, Image, ImageRegistry};
-use fpr_kernel::{KResult, Kernel, MachineConfig, Pid};
+use fpr_api::{FileAction, ProcessBuilder, SpawnAttrs, WarmPool};
+use fpr_exec::{AslrConfig, Image, ImageCache, ImageRegistry};
+use fpr_kernel::{Errno, KResult, Kernel, MachineConfig, Pid};
 use fpr_mem::{ForkMode, Prot, Share, Vpn};
 use fpr_trace::ProcessShape;
 use fpr_rng::Rng;
@@ -34,6 +34,15 @@ impl Default for OsConfig {
     }
 }
 
+/// The spawn fast path's moving parts, owned by [`Os`] while enabled.
+#[derive(Debug)]
+pub struct SpawnFastpath {
+    /// Exec image cache consulted by every spawn while enabled.
+    pub cache: ImageCache,
+    /// Warm pool of pre-built children.
+    pub pool: WarmPool,
+}
+
 /// A booted simulated OS.
 #[derive(Debug)]
 pub struct Os {
@@ -46,6 +55,9 @@ pub struct Os {
     /// PID of init.
     pub init: Pid,
     rng: Rng,
+    /// `Some` while the spawn fast path is enabled; `None` keeps every
+    /// spawn byte-identical to the classic `posix_spawn`.
+    fastpath: Option<SpawnFastpath>,
 }
 
 impl Os {
@@ -66,6 +78,7 @@ impl Os {
             aslr: cfg.aslr,
             init,
             rng: Rng::seed_from_u64(cfg.seed),
+            fastpath: None,
         }
     }
 
@@ -110,7 +123,9 @@ impl Os {
         fpr_exec::execve(&mut self.kernel, pid, &self.images, path, self.aslr, seed)
     }
 
-    /// `posix_spawn(3)` with a fresh random layout.
+    /// `posix_spawn(3)` with a fresh random layout. While the spawn fast
+    /// path is enabled this routes through the warm pool + image cache
+    /// (same semantics, fewer cycles); otherwise it is the classic call.
     pub fn spawn(
         &mut self,
         parent: Pid,
@@ -119,16 +134,115 @@ impl Os {
         attrs: &SpawnAttrs,
     ) -> KResult<Pid> {
         let seed = self.fresh_seed();
-        fpr_api::posix_spawn(
-            &mut self.kernel,
-            parent,
-            &self.images,
-            path,
-            actions,
-            attrs,
-            self.aslr,
-            seed,
-        )
+        match &mut self.fastpath {
+            Some(f) => fpr_api::spawn_fast(
+                &mut self.kernel,
+                parent,
+                &self.images,
+                path,
+                actions,
+                attrs,
+                self.aslr,
+                seed,
+                &mut f.cache,
+                &mut f.pool,
+            ),
+            None => fpr_api::posix_spawn(
+                &mut self.kernel,
+                parent,
+                &self.images,
+                path,
+                actions,
+                attrs,
+                self.aslr,
+                seed,
+            ),
+        }
+    }
+
+    /// Turns the spawn fast path on: binds every registered binary to a
+    /// backing VFS file (so rewrites invalidate the cache) and installs
+    /// an empty image cache + warm pool. Idempotent.
+    pub fn enable_spawn_fastpath(&mut self) -> KResult<()> {
+        self.ensure_vfs_backing()?;
+        if self.fastpath.is_none() {
+            self.fastpath = Some(SpawnFastpath {
+                cache: ImageCache::new(),
+                pool: WarmPool::new(self.init),
+            });
+        }
+        Ok(())
+    }
+
+    /// Turns the fast path off again, draining the pool and unpinning
+    /// every cached frame. Spawns go back to the classic path.
+    pub fn disable_spawn_fastpath(&mut self) -> KResult<()> {
+        if let Some(mut f) = self.fastpath.take() {
+            f.pool.drain(&mut self.kernel)?;
+            f.cache.clear(&mut self.kernel);
+        }
+        Ok(())
+    }
+
+    /// True while spawns route through the fast path.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fastpath.is_some()
+    }
+
+    /// Read access to the fast-path state (counters, pool occupancy).
+    pub fn fastpath(&self) -> Option<&SpawnFastpath> {
+        self.fastpath.as_ref()
+    }
+
+    /// Pre-builds `n` warm children of `path` (fails with
+    /// [`Errno::Einval`] unless the fast path is enabled).
+    pub fn pool_prefill(&mut self, path: &str, n: usize) -> KResult<()> {
+        let f = self.fastpath.as_mut().ok_or(Errno::Einval)?;
+        f.pool
+            .prefill(&mut self.kernel, &self.images, &mut f.cache, path, n)
+    }
+
+    /// Rewrites the backing file of the binary at `path`, bumping its
+    /// write generation — from then on its effective file id changes, so
+    /// cached frames and parked children built from the old bytes are
+    /// stale and will be discarded rather than served. Returns the new
+    /// generation.
+    pub fn rewrite_binary(&mut self, path: &str) -> KResult<u64> {
+        self.ensure_vfs_backing()?;
+        let img = self.images.lookup(path).ok_or(Errno::Enoent)?;
+        let file_id = img.file_id;
+        let ino = self.images.backing_ino(file_id).ok_or(Errno::Enoent)?;
+        self.kernel.vfs.write_at(ino, 0, b"patched")?;
+        Ok(self.kernel.vfs.generation(ino))
+    }
+
+    /// Creates a VFS file behind every registered binary that lacks one
+    /// and binds it in the registry. Run identity note: this is only
+    /// called from the fast-path/rewrite knobs, so default runs never
+    /// touch the VFS and stay byte-identical to the classic behaviour.
+    fn ensure_vfs_backing(&mut self) -> KResult<()> {
+        let root = self.kernel.vfs.root();
+        if self.kernel.vfs.resolve("/bin", root).is_err() {
+            self.kernel.vfs.mkdir("/bin", root)?;
+        }
+        let paths: Vec<String> = self.images.paths().iter().map(|p| p.to_string()).collect();
+        for path in paths {
+            let Some(img) = self.images.lookup(&path) else {
+                continue; // scripts resolve through their interpreter
+            };
+            if self.images.backing_ino(img.file_id).is_some() {
+                continue;
+            }
+            let ino = match self.kernel.vfs.resolve(&path, root) {
+                Ok(ino) => ino,
+                Err(_) => self
+                    .kernel
+                    .vfs
+                    .create(&path, root, format!("ELF:{path}").into_bytes())?,
+            };
+            self.images.bind_backing(&path, ino);
+        }
+        Ok(())
     }
 
     /// Starts a cross-process builder spawn with a fresh random layout.

@@ -8,8 +8,9 @@
 //! duplication work between these two calls is pure waste.
 
 use crate::aslr::{randomize, AslrConfig};
+use crate::cache::ImageCache;
 use crate::image::ImageRegistry;
-use crate::loader::load;
+use crate::loader::{load, load_cached};
 use fpr_kernel::{Errno, KResult, Kernel, Pid, SpaceRef};
 use fpr_trace::{metrics, sink};
 use std::collections::BTreeMap;
@@ -63,13 +64,48 @@ pub fn execve_args(
     aslr: AslrConfig,
     aslr_seed: u64,
 ) -> KResult<()> {
+    execve_args_cached(
+        kernel, pid, registry, path, argv, env, aslr, aslr_seed, None,
+    )
+}
+
+/// [`execve_args`] with an optional exec [`ImageCache`]. With
+/// `Some(cache)`, the loader serves file-backed startup pages from
+/// pinned cached frames (or donates them on a miss); with `None` the
+/// path — and its cycle cost — is exactly the classic one.
+#[allow(clippy::too_many_arguments)]
+pub fn execve_args_cached(
+    kernel: &mut Kernel,
+    pid: Pid,
+    registry: &ImageRegistry,
+    path: &str,
+    argv: Vec<String>,
+    env: Env,
+    aslr: AslrConfig,
+    aslr_seed: u64,
+    cache: Option<&mut ImageCache>,
+) -> KResult<()> {
     let start = kernel.cycles.total();
     sink::span_begin("exec", "exec", start);
-    let r = execve_args_inner(kernel, pid, registry, path, argv, env, aslr, aslr_seed);
+    let r = execve_args_inner(kernel, pid, registry, path, argv, env, aslr, aslr_seed, cache);
     let end = kernel.cycles.total();
     metrics::observe("exec.exec_cycles", end - start);
     sink::span_end("exec", end);
     r
+}
+
+/// The *effective* file id of a registered binary: its registry-assigned
+/// base id plus the backing inode's write generation in the high bits.
+/// Mapped-page content stamps and exec-image-cache entries key off this,
+/// so rewriting a binary's bytes changes what subsequent execs map even
+/// though the registry entry (and base id) is unchanged. A binary with no
+/// bound backing file, or one never written since boot, keeps
+/// `effective == base` — runs that never rewrite binaries are unaffected.
+pub fn effective_file_id(kernel: &Kernel, registry: &ImageRegistry, file_id: u64) -> u64 {
+    match registry.backing_ino(file_id) {
+        Some(ino) => file_id + (kernel.vfs.generation(ino) << 32),
+        None => file_id,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -82,12 +118,14 @@ fn execve_args_inner(
     env: Env,
     aslr: AslrConfig,
     aslr_seed: u64,
+    cache: Option<&mut ImageCache>,
 ) -> KResult<()> {
     kernel.charge_syscall();
-    let (image, interp_prefix) = {
+    let (mut image, interp_prefix) = {
         let (img, prefix) = registry.resolve(path).ok_or(Errno::Enoexec)?;
         (img.clone(), prefix)
     };
+    image.file_id = effective_file_id(kernel, registry, image.file_id);
     let mut full_argv = interp_prefix;
     full_argv.extend(argv);
 
@@ -139,7 +177,10 @@ fn execve_args_inner(
     // 6. Load the new image under a fresh layout.
     let layout = randomize(aslr, aslr_seed);
     sink::instant("aslr_randomize", "exec", kernel.cycles.total());
-    load(kernel, pid, &image, layout)
+    match cache {
+        Some(c) => load_cached(kernel, pid, &image, layout, c),
+        None => load(kernel, pid, &image, layout),
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! the file-backed content stamps of mapped pages, so a loaded process
 //! really does "read" its text from the image.
 
+use fpr_kernel::vfs::Ino;
 use std::collections::BTreeMap;
 
 /// One loadable program image.
@@ -82,6 +83,11 @@ pub enum Executable {
 #[derive(Debug, Default)]
 pub struct ImageRegistry {
     images: BTreeMap<String, Executable>,
+    /// file id → VFS inode holding the binary's bytes. Exec consults the
+    /// inode's write generation to build an *effective* file id, so
+    /// rewriting a binary on disk changes the stamps of freshly mapped
+    /// pages and invalidates exec-image-cache entries.
+    backing: BTreeMap<u64, Ino>,
     next_file_id: u64,
 }
 
@@ -90,8 +96,26 @@ impl ImageRegistry {
     pub fn new() -> ImageRegistry {
         ImageRegistry {
             images: BTreeMap::new(),
+            backing: BTreeMap::new(),
             next_file_id: 1000,
         }
+    }
+
+    /// Binds the binary registered at `path` to the VFS inode holding its
+    /// bytes. Returns false if no binary is registered there.
+    pub fn bind_backing(&mut self, path: &str, ino: Ino) -> bool {
+        match self.lookup(path) {
+            Some(img) => {
+                self.backing.insert(img.file_id, ino);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The VFS inode backing `file_id`, if one was bound.
+    pub fn backing_ino(&self, file_id: u64) -> Option<Ino> {
+        self.backing.get(&file_id).copied()
     }
 
     /// Registers `image` at `path`, assigning it a fresh file id.

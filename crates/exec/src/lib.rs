@@ -8,11 +8,13 @@
 //! collapse) that undo most of what fork copied.
 
 pub mod aslr;
+pub mod cache;
 pub mod exec;
 pub mod image;
 pub mod loader;
 
 pub use aslr::{randomize, shared_bits, AslrConfig};
-pub use exec::{execve, execve_args, Env};
+pub use cache::ImageCache;
+pub use exec::{effective_file_id, execve, execve_args, execve_args_cached, Env};
 pub use image::{Executable, Image, ImageRegistry};
-pub use loader::{load, STARTUP_TOUCHED_PAGES};
+pub use loader::{load, load_cached, STARTUP_TOUCHED_PAGES};

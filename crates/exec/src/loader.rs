@@ -5,9 +5,10 @@
 //! pages touched at startup. Crucially it is O(image), not O(parent) —
 //! the flat line in Figure 1.
 
+use crate::cache::ImageCache;
 use crate::image::Image;
 use fpr_kernel::{Errno, KResult, Kernel, LayoutInfo, Pid};
-use fpr_mem::{Backing, Prot, Share, VmArea, VmaKind, Vpn};
+use fpr_mem::{Backing, Pfn, Prot, Share, VmArea, VmaKind, Vpn};
 
 /// Pages the loader eagerly populates (entry page of text, first data
 /// page, first stack page) — the faults a real exec takes before main().
@@ -27,7 +28,92 @@ pub fn load(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) ->
     r
 }
 
+/// Like [`load`], but consults the exec [`ImageCache`]: on a hit the
+/// file-backed startup pages are mapped copy-on-write from pinned cached
+/// frames (a PTE copy each — no fault, no file read); on a miss the image
+/// loads normally and then donates those frames to the cache for the next
+/// exec of the same binary. The miss path costs exactly what [`load`]
+/// does, plus nothing: donation is pin bookkeeping and charges no cycles.
+pub fn load_cached(
+    kernel: &mut Kernel,
+    pid: Pid,
+    image: &Image,
+    layout: LayoutInfo,
+    cache: &mut ImageCache,
+) -> KResult<()> {
+    fpr_trace::sink::span_begin("image_load", "exec", kernel.cycles.total());
+    fpr_trace::metrics::incr("exec.image_load");
+    let r = load_cached_inner(kernel, pid, image, layout, cache);
+    fpr_trace::sink::span_end("image_load", kernel.cycles.total());
+    r
+}
+
+fn load_cached_inner(
+    kernel: &mut Kernel,
+    pid: Pid,
+    image: &Image,
+    layout: LayoutInfo,
+    cache: &mut ImageCache,
+) -> KResult<()> {
+    map_segments(kernel, pid, image, layout)?;
+    match cache.lookup(kernel, image.file_id) {
+        Some(frames) => {
+            // Hit: install each cached frame copy-on-write at its place in
+            // the image. The startup reads then find resident pages; only
+            // the stack write still demand-faults.
+            for (off, pfn) in frames {
+                let exec = off < image.text_pages;
+                kernel.map_shared_frame(pid, Vpn(layout.text_base + off), pfn, exec)?;
+            }
+            touch_startup(kernel, pid, image, layout)
+        }
+        None => {
+            touch_startup(kernel, pid, image, layout)?;
+            // Donate the file-backed pages just faulted in: write-protect
+            // them in the donor (their frames are about to outlive it) and
+            // pin them into the cache.
+            let mut donated: Vec<(u64, Pfn)> = Vec::new();
+            for off in startup_file_offsets(image) {
+                let pte = kernel.cow_protect_page(pid, Vpn(layout.text_base + off))?;
+                donated.push((off, pte.pfn));
+            }
+            cache.insert(kernel, image.file_id, donated)
+        }
+    }
+}
+
+/// File page offsets of the startup-touched pages that are file-backed
+/// (cacheable): the entry page of text, and the first data page if the
+/// image has initialised data. The other startup touches (BSS read when
+/// there is no data, the stack write) hit anonymous zero-fill pages that
+/// no cache can share.
+fn startup_file_offsets(image: &Image) -> Vec<u64> {
+    let mut offs = vec![image.entry_page];
+    if image.data_pages > 0 && !offs.contains(&image.text_pages) {
+        offs.push(image.text_pages);
+    }
+    offs
+}
+
+/// The startup faults every exec takes before `main()`: entry page of
+/// text, first data-or-bss page, top stack page.
+fn touch_startup(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) -> KResult<()> {
+    kernel.read_mem(pid, Vpn(layout.text_base + image.entry_page))?;
+    if image.data_pages + image.bss_pages > 0 {
+        kernel.read_mem(pid, Vpn(layout.text_base + image.text_pages))?;
+    }
+    kernel.write_mem(pid, Vpn(layout.stack_base - 1), 0xdead)?;
+    Ok(())
+}
+
 fn load_inner(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) -> KResult<()> {
+    map_segments(kernel, pid, image, layout)?;
+    touch_startup(kernel, pid, image, layout)
+}
+
+/// Creates the six image VMAs (text, data, bss, heap, guard, stack) and
+/// records the layout, without touching any memory.
+fn map_segments(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) -> KResult<()> {
     // Text: read-execute, file-backed, shared among instances.
     let text = VmArea {
         start: Vpn(layout.text_base),
@@ -106,14 +192,6 @@ fn load_inner(kernel: &mut Kernel, pid: Pid, image: &Image, layout: LayoutInfo) 
         p.layout = layout;
         p.name = image.name.clone();
     }
-
-    // Startup faults: entry page of text, first data-or-bss page, top
-    // stack page.
-    kernel.read_mem(pid, Vpn(layout.text_base + image.entry_page))?;
-    if image.data_pages + image.bss_pages > 0 {
-        kernel.read_mem(pid, Vpn(layout.text_base + image.text_pages))?;
-    }
-    kernel.write_mem(pid, Vpn(layout.stack_base - 1), 0xdead)?;
     Ok(())
 }
 

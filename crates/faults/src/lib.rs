@@ -89,11 +89,17 @@ pub enum FaultSite {
     /// (`fpr-mem::page_table`): the private leaf node allocated when a
     /// shared subtree is first written, unmapped, or reprotected.
     PtUnshare,
+    /// Pinning a freshly loaded executable's segment frames into the
+    /// exec image cache (`fpr-exec::cache`).
+    ImageCacheInsert,
+    /// Checking a pre-warmed child out of the spawn warm pool
+    /// (`fpr-api::fastpath`).
+    PoolCheckout,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by sweeps and coverage reports).
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::FrameAlloc,
         FaultSite::PtNodeAlloc,
         FaultSite::VmaClone,
@@ -104,6 +110,8 @@ impl FaultSite {
         FaultSite::SpawnFileAction,
         FaultSite::XprocStep,
         FaultSite::PtUnshare,
+        FaultSite::ImageCacheInsert,
+        FaultSite::PoolCheckout,
     ];
 
     /// Stable snake_case name (report/JSON key).
@@ -119,6 +127,8 @@ impl FaultSite {
             FaultSite::SpawnFileAction => "spawn_file_action",
             FaultSite::XprocStep => "xproc_step",
             FaultSite::PtUnshare => "pt_unshare",
+            FaultSite::ImageCacheInsert => "image_cache_insert",
+            FaultSite::PoolCheckout => "pool_checkout",
         }
     }
 }

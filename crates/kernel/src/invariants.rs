@@ -94,8 +94,9 @@ impl Kernel {
     /// message per violation:
     ///
     /// 1. every frame's reference count equals the number of PTEs mapping
-    ///    it across all owned address spaces (no over- or under-counted
-    ///    COW sharing);
+    ///    it across all owned address spaces plus its kernel pins (no
+    ///    over- or under-counted COW sharing, no orphaned image-cache
+    ///    entries);
     /// 2. every resident page lies inside a VMA of its space;
     /// 3. every descriptor references a live open file description, and
     ///    each description's reference count equals the number of
@@ -137,6 +138,11 @@ impl Kernel {
                 }
             });
             seen_nodes.extend(new_nodes);
+        }
+        // Kernel pins (exec image cache) hold references too; a frame held
+        // only by pins must still balance and count as used.
+        for (pfn, pins) in self.phys.pinned() {
+            *pte_refs.entry(pfn.0).or_insert(0) += pins;
         }
         for (pfn, expect) in &pte_refs {
             match self.phys.refs(fpr_mem::Pfn(*pfn)) {

@@ -18,8 +18,8 @@ use crate::task::Process;
 use crate::time::Clock;
 use crate::vfs::Vfs;
 use fpr_mem::{
-    AddressSpace, CommitAccount, CostModel, Cycles, FaultOutcome, OvercommitPolicy, PhysMemory,
-    Prot, Share, TlbModel, VmArea, VmaKind, Vpn,
+    AddressSpace, CommitAccount, CostModel, Cycles, FaultOutcome, OvercommitPolicy, Pfn,
+    PhysMemory, Prot, Pte, Share, TlbModel, VmArea, VmaKind, Vpn,
 };
 use fpr_trace::metrics;
 use fpr_trace::sink;
@@ -667,6 +667,115 @@ impl Kernel {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Spawn fast-path plumbing (exec image cache + warm-child pool)
+    // ------------------------------------------------------------------
+
+    /// Relocates the VMA of `pid` starting exactly at `old` to `new`,
+    /// carrying resident pages along (see
+    /// [`AddressSpace::slide_vma`]). No TLB work: the only caller slides
+    /// warm-pool children that have never been scheduled, so no CPU holds
+    /// stale translations.
+    pub fn slide_vma(&mut self, pid: Pid, old: Vpn, new: Vpn) -> KResult<u64> {
+        let owner = self.space_owner(pid)?;
+        let Kernel {
+            phys,
+            cycles,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&owner).ok_or(Errno::Esrch)?;
+        let cost = phys.cost().clone();
+        Ok(p.aspace.slide_vma(old, new, phys, cycles, &cost)?)
+    }
+
+    /// Maps an image-cache frame at `vpn` of `pid` copy-on-write (see
+    /// [`AddressSpace::map_shared_frame`]). `exec` governs the NX bit.
+    pub fn map_shared_frame(&mut self, pid: Pid, vpn: Vpn, pfn: Pfn, exec: bool) -> KResult<()> {
+        let owner = self.space_owner(pid)?;
+        let Kernel {
+            phys,
+            cycles,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&owner).ok_or(Errno::Esrch)?;
+        Ok(p.aspace.map_shared_frame(vpn, pfn, exec, phys, cycles)?)
+    }
+
+    /// Write-protects and COW-marks the resident page at `vpn` of `pid`
+    /// so its frame can enter the exec image cache (see
+    /// [`AddressSpace::cow_protect_page`]). Returns the installed PTE.
+    pub fn cow_protect_page(&mut self, pid: Pid, vpn: Vpn) -> KResult<Pte> {
+        let owner = self.space_owner(pid)?;
+        let Kernel {
+            phys,
+            cycles,
+            procs,
+            ..
+        } = self;
+        let p = procs.get_mut(&owner).ok_or(Errno::Esrch)?;
+        Ok(p.aspace.cow_protect_page(vpn, phys, cycles)?)
+    }
+
+    /// Re-parents a warm-pool child onto `new_parent` at checkout: the
+    /// child adopts the new parent's credentials, resource limits, working
+    /// directory, and process group/session — exactly what it would have
+    /// inherited had `new_parent` spawned it directly — and per-uid
+    /// process accounting moves with it. Enforces the adopter's
+    /// `RLIMIT_NPROC` the same way [`Kernel::allocate_process`] does, so a
+    /// pool hit cannot evade the limit a plain spawn would hit.
+    pub fn adopt_process(&mut self, child: Pid, new_parent: Pid) -> KResult<()> {
+        self.ensure_alive(child)?;
+        self.ensure_alive(new_parent)?;
+        let (new_uid, nproc_limit, cwd, cred, rlimits, pgid, sid) = {
+            let p = self.process(new_parent)?;
+            (
+                p.cred.uid,
+                p.rlimits.get(Resource::Nproc).soft,
+                p.cwd,
+                p.cred,
+                p.rlimits,
+                p.pgid,
+                p.sid,
+            )
+        };
+        let (old_ppid, old_uid) = {
+            let p = self.process(child)?;
+            (p.ppid, p.cred.uid)
+        };
+        // The child already counts in its current uid bucket; compare the
+        // count it would add to, excluding itself.
+        let counted = if new_uid == old_uid {
+            self.nproc_of(new_uid).saturating_sub(1)
+        } else {
+            self.nproc_of(new_uid)
+        };
+        if counted >= nproc_limit {
+            return Err(Errno::Eagain);
+        }
+        if let Some(pp) = self.procs.get_mut(&old_ppid) {
+            pp.children.retain(|c| *c != child);
+        }
+        if let Some(np) = self.procs.get_mut(&new_parent) {
+            np.children.push(child);
+        }
+        if new_uid != old_uid {
+            if let Some(c) = self.user_counts.get_mut(&old_uid) {
+                *c = c.saturating_sub(1);
+            }
+            *self.user_counts.entry(new_uid).or_insert(0) += 1;
+        }
+        let p = self.process_mut(child)?;
+        p.ppid = new_parent;
+        p.cwd = cwd;
+        p.cred = cred;
+        p.rlimits = rlimits;
+        p.pgid = pgid;
+        p.sid = sid;
+        Ok(())
+    }
+
     /// Releases one descriptor-table entry (public wrapper over the io
     /// internals, for the exec path in `fpr-exec`).
     pub fn release_fd_entry(&mut self, entry: FdEntry) -> KResult<()> {
@@ -824,6 +933,49 @@ mod tests {
         let space = k.clone_address_space(init, fpr_mem::ForkMode::Cow).unwrap();
         assert_eq!(k.commit.committed(), before + 8);
         assert_eq!(space.virtual_pages(), 8);
+    }
+
+    #[test]
+    fn adopt_process_reparents_and_enforces_adopter_nproc() {
+        let (mut k, init) = boot_with_init();
+        let parked = k.allocate_process(init, "parked").unwrap();
+        let adopter = k.allocate_process(init, "adopter").unwrap();
+        // Three live processes of uid 0; an adopter capped at 2 would not
+        // have been allowed to spawn the child itself, so adoption fails.
+        k.process_mut(adopter)
+            .unwrap()
+            .rlimits
+            .set(Resource::Nproc, crate::rlimit::Rlimit::both(2));
+        assert_eq!(k.adopt_process(parked, adopter), Err(Errno::Eagain));
+        assert_eq!(k.process(parked).unwrap().ppid, init, "unchanged on Err");
+        k.process_mut(adopter)
+            .unwrap()
+            .rlimits
+            .set(Resource::Nproc, crate::rlimit::Rlimit::both(8));
+        k.adopt_process(parked, adopter).unwrap();
+        assert_eq!(k.process(parked).unwrap().ppid, adopter);
+        assert!(k.process(adopter).unwrap().children.contains(&parked));
+        assert!(!k.process(init).unwrap().children.contains(&parked));
+        assert_eq!(k.nproc_of(0), 3, "same-uid adoption moves no accounting");
+        // Adopting back restores the original linkage (the re-park path).
+        k.adopt_process(parked, init).unwrap();
+        assert_eq!(k.process(parked).unwrap().ppid, init);
+        assert!(!k.process(adopter).unwrap().children.contains(&parked));
+    }
+
+    #[test]
+    fn slide_vma_via_kernel_keeps_commit_and_resident() {
+        let (mut k, init) = boot_with_init();
+        let base = k.mmap_anon(init, 8, Prot::RW, Share::Private).unwrap();
+        k.write_mem(init, base, 3).unwrap();
+        let committed = k.commit.committed();
+        let resident = k.process(init).unwrap().resident_pages();
+        let dest = Vpn(base.0 + 0x10_0000);
+        let moved = k.slide_vma(init, base, dest).unwrap();
+        assert_eq!(moved, 1, "one resident page carried");
+        assert_eq!(k.commit.committed(), committed);
+        assert_eq!(k.process(init).unwrap().resident_pages(), resident);
+        assert_eq!(k.read_mem(init, dest), Ok(3));
     }
 
     #[test]

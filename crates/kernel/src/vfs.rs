@@ -19,6 +19,10 @@ pub enum InodeKind {
     File {
         /// File bytes.
         data: Vec<u8>,
+        /// Content generation: 0 at creation, bumped by every write.
+        /// Consumers caching derived state (the exec image cache) compare
+        /// generations to detect rewrites.
+        generation: u64,
     },
     /// Directory mapping names to inodes.
     Dir {
@@ -184,7 +188,10 @@ impl Vfs {
             ino,
             Inode {
                 ino,
-                kind: InodeKind::File { data },
+                kind: InodeKind::File {
+                    data,
+                    generation: 0,
+                },
                 mode: 0o644,
             },
         );
@@ -216,7 +223,7 @@ impl Vfs {
     /// Reads up to `len` bytes at `offset` from a regular file.
     pub fn read_at(&self, ino: Ino, offset: u64, len: usize) -> KResult<Vec<u8>> {
         match &self.inode(ino)?.kind {
-            InodeKind::File { data } => {
+            InodeKind::File { data, .. } => {
                 let start = (offset as usize).min(data.len());
                 let end = (start + len).min(data.len());
                 Ok(data[start..end].to_vec())
@@ -229,22 +236,32 @@ impl Vfs {
     /// zeroes if needed. Returns bytes written.
     pub fn write_at(&mut self, ino: Ino, offset: u64, buf: &[u8]) -> KResult<usize> {
         match &mut self.inode_mut(ino)?.kind {
-            InodeKind::File { data } => {
+            InodeKind::File { data, generation } => {
                 let end = offset as usize + buf.len();
                 if data.len() < end {
                     data.resize(end, 0);
                 }
                 data[offset as usize..end].copy_from_slice(buf);
+                *generation += 1;
                 Ok(buf.len())
             }
             InodeKind::Dir { .. } => Err(Errno::Eisdir),
         }
     }
 
+    /// Content generation of a regular file: 0 at creation, +1 per write.
+    /// Directories and missing inodes report 0.
+    pub fn generation(&self, ino: Ino) -> u64 {
+        match self.inodes.get(&ino).map(|i| &i.kind) {
+            Some(InodeKind::File { generation, .. }) => *generation,
+            _ => 0,
+        }
+    }
+
     /// Length of a regular file in bytes.
     pub fn len(&self, ino: Ino) -> KResult<u64> {
         match &self.inode(ino)?.kind {
-            InodeKind::File { data } => Ok(data.len() as u64),
+            InodeKind::File { data, .. } => Ok(data.len() as u64),
             InodeKind::Dir { .. } => Err(Errno::Eisdir),
         }
     }
@@ -307,6 +324,20 @@ mod tests {
         assert_eq!(v.len(f).unwrap(), 8);
         assert_eq!(v.read_at(f, 0, 8).unwrap(), b"\0\0\0\0abcd");
         assert_eq!(v.read_at(f, 6, 10).unwrap(), b"cd", "short read at EOF");
+    }
+
+    #[test]
+    fn generation_bumps_on_every_write_only() {
+        let mut v = fs();
+        let f = v.create("/prog", v.root(), b"v1".to_vec()).unwrap();
+        assert_eq!(v.generation(f), 0);
+        v.read_at(f, 0, 2).unwrap();
+        assert_eq!(v.generation(f), 0, "reads do not bump");
+        v.write_at(f, 0, b"v2").unwrap();
+        assert_eq!(v.generation(f), 1);
+        v.write_at(f, 1, b"x").unwrap();
+        assert_eq!(v.generation(f), 2);
+        assert_eq!(v.generation(v.root()), 0, "directories report 0");
     }
 
     #[test]

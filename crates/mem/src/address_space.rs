@@ -8,8 +8,8 @@
 //! state), not O(1), which is why fork latency in Figure 1 grows with the
 //! parent while `posix_spawn` stays flat.
 
-use crate::addr::{VirtAddr, Vpn, PT_ENTRIES};
-use crate::cost::Cycles;
+use crate::addr::{Pfn, VirtAddr, Vpn, PT_ENTRIES};
+use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
 use crate::phys::PhysMemory;
 use crate::pte::{Pte, PteFlags};
@@ -410,6 +410,133 @@ impl AddressSpace {
             tlb.shootdown(cpus_running, cycles, &cost);
         }
         Ok(released)
+    }
+
+    /// Relocates the VMA starting exactly at `old_start` to `new_start`,
+    /// carrying its resident pages along: every present PTE is remapped at
+    /// the new base with the same frame and flags. No frames are copied,
+    /// no reference counts change, and the commit charge is untouched —
+    /// the mapping just moves. Returns the number of PTEs moved.
+    ///
+    /// This is the warm-pool ASLR primitive: a parked child's segments are
+    /// loaded at provisional bases, and checkout slides each VMA to a
+    /// freshly randomized base. The caller is responsible for TLB
+    /// invalidation; a never-scheduled address space (no CPU ever loaded
+    /// its root) needs none.
+    ///
+    /// The destination range must be entirely free (including of the
+    /// source VMA itself — overlapping slides are rejected). On `Err` the
+    /// space is unchanged.
+    pub fn slide_vma(
+        &mut self,
+        old_start: Vpn,
+        new_start: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<u64> {
+        if old_start == new_start {
+            return Ok(0);
+        }
+        let vma = self
+            .vmas
+            .get(&old_start.0)
+            .cloned()
+            .ok_or(MemError::NotMapped)?;
+        if !new_start.is_user() || !Vpn(new_start.0 + vma.pages - 1).is_user() {
+            return Err(MemError::BadAddress);
+        }
+        if self.overlaps(new_start, vma.pages) {
+            return Err(MemError::Overlap);
+        }
+        // Leaf subtrees still shared with another space cannot be mutated
+        // in place; privatize them first (no-op for a private space).
+        let span = PT_ENTRIES as u64;
+        let first_base = old_start.0 & !(span - 1);
+        let mut base = first_base;
+        while base < old_start.0 + vma.pages {
+            self.unshare_subtree(Vpn(base), phys, cycles)?;
+            base += span;
+        }
+        let present = self.pt.leaves_in_range(old_start, vma.pages);
+        // Map into the destination first so a mid-slide allocation failure
+        // (page-table node exhaustion, injected fault) can roll back by
+        // unmapping only what was just mapped — the source is untouched
+        // until every destination entry exists.
+        let mut moved: Vec<Vpn> = Vec::with_capacity(present.len());
+        for (vpn, pte) in &present {
+            let nv = Vpn(vpn.0 - old_start.0 + new_start.0);
+            cycles.charge(cost.pte_copy);
+            if let Err(e) = self.pt.map(nv, *pte, cycles, cost) {
+                for m in moved {
+                    self.pt.unmap(m).expect("destination entry just mapped");
+                }
+                return Err(e);
+            }
+            moved.push(nv);
+        }
+        for (vpn, _) in &present {
+            self.pt.unmap(*vpn).expect("source entry just enumerated");
+        }
+        let mut vma = self.vmas.remove(&old_start.0).expect("looked up above");
+        vma.start = new_start;
+        self.vmas.insert(new_start.0, vma);
+        metrics::add("mem.slide.pte_move", present.len() as u64);
+        sink::instant("vma_slide", "mem", cycles.total());
+        Ok(present.len() as u64)
+    }
+
+    /// Maps an already-allocated frame at `vpn` copy-on-write — the exec
+    /// image-cache hit path. The caller keeps whatever reference it holds
+    /// (a kernel pin); this call takes one more for the new mapping. The
+    /// page arrives write-protected with [`PteFlags::COW`] set, so a first
+    /// write breaks the share with an ordinary COW copy; `exec` governs
+    /// the NX bit. Charges one PTE copy. On `Err` nothing changed.
+    ///
+    /// The target must lie inside an existing VMA and must not already be
+    /// resident.
+    pub fn map_shared_frame(
+        &mut self,
+        vpn: Vpn,
+        pfn: Pfn,
+        exec: bool,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        if self.vma_at(vpn).is_none() {
+            return Err(MemError::NotMapped);
+        }
+        let cost = phys.cost().clone();
+        let mut flags = PteFlags::USER | PteFlags::ACCESSED | PteFlags::COW;
+        if !exec {
+            flags = flags | PteFlags::NX;
+        }
+        phys.inc_ref(pfn)?;
+        cycles.charge(cost.pte_copy);
+        if let Err(e) = self.pt.map(vpn, Pte::new(pfn, flags), cycles, &cost) {
+            phys.dec_ref(pfn, cycles).expect("reference just taken");
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Write-protects and COW-marks the resident page at `vpn` — the donor
+    /// side of an exec image-cache insert. The frame is about to gain a
+    /// long-lived kernel pin, so the donor must no longer write it in
+    /// place; its first write after this breaks the share like any COW
+    /// page. Returns the PTE now installed. Charges no cycles: tightening
+    /// permissions on a page the donor has not yet been scheduled to touch
+    /// is flag surgery, not copied data, and the insert path must leave
+    /// the donor's spawn cost exactly equal to the uncached path.
+    pub fn cow_protect_page(&mut self, vpn: Vpn, phys: &mut PhysMemory, cycles: &mut Cycles) -> MemResult<Pte> {
+        let pte = self.pt.translate(vpn).ok_or(MemError::NotMapped)?;
+        let mut new = pte;
+        new.flags = new.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+        if new != pte {
+            self.unshare_subtree(vpn, phys, cycles)?;
+            self.pt.update(vpn, new).expect("translated above");
+        }
+        Ok(new)
     }
 
     /// Rewrites the fork policy of every page in `[start, start+pages)`,
@@ -942,6 +1069,123 @@ mod tests {
         };
         a.mmap(ro, &mut phys, &mut cy).unwrap(); // RO file: 0
         assert_eq!(a.commit_pages(), 10);
+    }
+
+    #[test]
+    fn slide_vma_moves_resident_pages_without_copying_frames() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(100, 8), &mut phys, &mut cy).unwrap();
+        a.populate(Vpn(100), 4, &mut phys, &mut cy).unwrap();
+        let pte_before = a.translate(Vpn(102)).unwrap();
+        let frames_before = phys.used_frames();
+        let refs_before = phys.refs(pte_before.pfn).unwrap();
+        let cost = phys.cost().clone();
+        let moved = a
+            .slide_vma(Vpn(100), Vpn(5000), &mut phys, &mut cy, &cost)
+            .unwrap();
+        assert_eq!(moved, 4);
+        assert!(a.vma_at(Vpn(100)).is_none());
+        assert_eq!(a.vma_at(Vpn(5003)).unwrap().start, Vpn(5000));
+        assert_eq!(a.translate(Vpn(102)), None);
+        assert_eq!(a.translate(Vpn(5002)), Some(pte_before), "same frame, same flags");
+        assert_eq!(phys.used_frames(), frames_before, "no frames copied or freed");
+        assert_eq!(phys.refs(pte_before.pfn).unwrap(), refs_before);
+        assert_eq!(a.resident_pages(), 4);
+    }
+
+    #[test]
+    fn slide_vma_rejects_occupied_destination_and_missing_source() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(100, 8), &mut phys, &mut cy).unwrap();
+        a.mmap(anon(200, 4), &mut phys, &mut cy).unwrap();
+        let cost = phys.cost().clone();
+        assert_eq!(
+            a.slide_vma(Vpn(100), Vpn(198), &mut phys, &mut cy, &cost),
+            Err(MemError::Overlap)
+        );
+        assert_eq!(
+            a.slide_vma(Vpn(101), Vpn(400), &mut phys, &mut cy, &cost),
+            Err(MemError::NotMapped),
+            "source must be an exact VMA start"
+        );
+        assert_eq!(a.vma_at(Vpn(100)).unwrap().start, Vpn(100), "space unchanged");
+    }
+
+    #[test]
+    fn slide_vma_charges_per_moved_pte() {
+        let (mut phys, mut cy, _) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(0, 8), &mut phys, &mut cy).unwrap();
+        a.populate(Vpn(0), 8, &mut phys, &mut cy).unwrap();
+        let cost = phys.cost().clone();
+        let before = cy.total();
+        a.slide_vma(Vpn(0), Vpn(1024), &mut phys, &mut cy, &cost)
+            .unwrap();
+        // 8 PTE moves plus one fresh leaf + intermediate nodes at the
+        // destination (the source leaf is reclaimed, not re-priced).
+        let delta = cy.total() - before;
+        assert!(delta >= 8 * cost.pte_copy);
+        assert!(delta <= 8 * cost.pte_copy + 4 * cost.pt_node_alloc);
+    }
+
+    #[test]
+    fn map_shared_frame_installs_cow_mapping_over_pinned_frame() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        // Donor page, resident, with a kernel pin as the image cache takes.
+        let mut donor = AddressSpace::new();
+        donor.mmap(anon(0, 1), &mut phys, &mut cy).unwrap();
+        donor.populate(Vpn(0), 1, &mut phys, &mut cy).unwrap();
+        let pfn = donor.translate(Vpn(0)).unwrap().pfn;
+        phys.pin(pfn).unwrap();
+
+        let mut child = AddressSpace::new();
+        child.mmap(anon(100, 1), &mut phys, &mut cy).unwrap();
+        child
+            .map_shared_frame(Vpn(100), pfn, false, &mut phys, &mut cy)
+            .unwrap();
+        let pte = child.translate(Vpn(100)).unwrap();
+        assert_eq!(pte.pfn, pfn);
+        assert!(pte.is_cow() && !pte.is_writable());
+        assert!(pte.flags.contains(PteFlags::NX), "data mapping is NX");
+        assert_eq!(phys.refs(pfn).unwrap(), 3, "donor map + pin + child map");
+        // Double-map of the same page is rejected, space intact.
+        assert_eq!(
+            child.map_shared_frame(Vpn(100), pfn, false, &mut phys, &mut cy),
+            Err(MemError::Overlap)
+        );
+        assert_eq!(phys.refs(pfn).unwrap(), 3, "failed map returned its ref");
+        // The child's first write breaks the share with a private copy.
+        child.write(Vpn(100), 7, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+        assert_ne!(child.translate(Vpn(100)).unwrap().pfn, pfn);
+        assert_eq!(phys.refs(pfn).unwrap(), 2);
+    }
+
+    #[test]
+    fn cow_protect_page_is_free_and_forces_copy_on_next_write() {
+        let (mut phys, mut cy, mut tlb) = world(64);
+        let mut a = AddressSpace::new();
+        a.mmap(anon(0, 2), &mut phys, &mut cy).unwrap();
+        a.write(Vpn(0), 5, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+        let pfn = a.translate(Vpn(0)).unwrap().pfn;
+        let before = cy.total();
+        let pte = a.cow_protect_page(Vpn(0), &mut phys, &mut cy).unwrap();
+        assert_eq!(cy.total(), before, "permission tightening is free");
+        assert!(pte.is_cow() && !pte.is_writable());
+        // Pin the frame as the cache would; the donor's next write must
+        // copy (the pinned original keeps the cached content) rather than
+        // reuse the frame in place.
+        phys.pin(pfn).unwrap();
+        a.write(Vpn(0), 9, &mut phys, &mut cy, &mut tlb, 1).unwrap();
+        assert_ne!(a.translate(Vpn(0)).unwrap().pfn, pfn);
+        assert_eq!(phys.content(pfn), Ok(5), "cached frame unchanged");
+        assert_eq!(a.observe(Vpn(0), &phys), Ok(9));
+        assert_eq!(
+            a.cow_protect_page(Vpn(1), &mut phys, &mut cy),
+            Err(MemError::NotMapped),
+            "non-resident page cannot donate"
+        );
     }
 
     #[test]

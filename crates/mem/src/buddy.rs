@@ -90,6 +90,24 @@ impl BuddyAllocator {
         Ok(Pfn(blk))
     }
 
+    /// Allocates a `2^order` run like [`BuddyAllocator::alloc`], but
+    /// records each frame of the run as its own order-0 allocation, so the
+    /// caller may free frames one at a time (coalescing still reassembles
+    /// the block once all of them come back). This is the per-CPU
+    /// frame-cache refill primitive: one global-allocator acquisition
+    /// yields a batch of independently-freeable frames.
+    pub fn alloc_run(&mut self, order: usize) -> MemResult<Vec<Pfn>> {
+        let base = self.alloc(order)?;
+        self.allocated.remove(&base.0);
+        let n = 1u64 << order;
+        let mut run = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            self.allocated.insert(base.0 + i, 0);
+            run.push(Pfn(base.0 + i));
+        }
+        Ok(run)
+    }
+
     /// Frees a block previously returned by [`BuddyAllocator::alloc`],
     /// coalescing with its buddy as far as possible.
     ///
@@ -187,6 +205,23 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn alloc_run_frames_free_individually_and_recoalesce() {
+        let mut b = BuddyAllocator::new(Pfn(0), 64);
+        let run = b.alloc_run(3).unwrap();
+        assert_eq!(run.len(), 8);
+        assert_eq!(b.free_frames(), 56);
+        // Frames are contiguous and each one frees on its own.
+        for w in run.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+        for pfn in &run {
+            b.free(*pfn);
+        }
+        assert_eq!(b.free_frames(), 64);
+        assert_eq!(b.largest_free_order(), Some(6), "run coalesced back");
     }
 
     #[test]

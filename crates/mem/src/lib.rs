@@ -37,5 +37,6 @@ pub use error::{MemError, MemResult};
 pub use fault::FaultOutcome;
 pub use overcommit::{CommitAccount, OvercommitPolicy};
 pub use phys::PhysMemory;
+pub use pte::{Pte, PteFlags};
 pub use tlb::TlbModel;
 pub use vma::{Backing, ForkPolicy, Prot, Share, VmArea, VmaKind};

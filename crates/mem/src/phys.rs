@@ -8,11 +8,23 @@
 //! verify copy-on-write semantics (a child must observe the parent's stamps
 //! as of fork time, and later writes must not leak across), while the
 //! *costs* of moving real data are charged through [`CostModel`].
+//!
+//! Frames come from a buddy allocator. Two optional layers sit on top:
+//!
+//! * **Pins** — a kernel-side reference (e.g. the exec image cache) that
+//!   keeps a frame alive independent of page-table mappings. Pins are
+//!   tracked separately from PTE references so the structural invariant
+//!   checker can account for them.
+//! * **Per-CPU frame caches** — opt-in free-list magazines refilled by
+//!   *batched* buddy allocations, so concurrent creators pay the global
+//!   allocator's serialization once per batch instead of once per frame.
+//!   Disabled by default; when disabled every cost is byte-identical to
+//!   the plain allocator path.
 
 use crate::addr::Pfn;
+use crate::buddy::BuddyAllocator;
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
-use crate::frame::{BitmapFrameAllocator, FrameAllocator};
 use fpr_faults::FaultSite;
 use fpr_trace::metrics;
 use std::collections::HashMap;
@@ -24,12 +36,31 @@ struct FrameMeta {
     content: u64,
 }
 
+/// Opt-in per-CPU free-list magazines over the buddy allocator.
+#[derive(Debug, Clone)]
+struct FrameCache {
+    /// One free-frame stack per CPU.
+    magazines: Vec<Vec<Pfn>>,
+    /// Target refill batch (frames fetched per global acquisition).
+    batch: u64,
+    /// Total frames parked across all magazines (counted as free).
+    cached: u64,
+}
+
 /// The machine's physical memory.
 #[derive(Debug)]
 pub struct PhysMemory {
-    alloc: BitmapFrameAllocator,
+    alloc: BuddyAllocator,
     meta: HashMap<u64, FrameMeta>,
     cost: CostModel,
+    /// Kernel pins per frame (image cache etc.); each pin holds one ref.
+    pins: HashMap<u64, u32>,
+    cache: Option<FrameCache>,
+    current_cpu: usize,
+    /// Modeled number of *other* CPUs concurrently hammering the global
+    /// allocator; each global-path acquisition pays
+    /// `frame_alloc_contended` per contender. Zero by default.
+    contenders: u32,
     /// Cumulative count of frames ever allocated (statistics).
     pub frames_allocated_total: u64,
     /// Cumulative count of 4 KiB page copies performed (statistics).
@@ -41,9 +72,13 @@ impl PhysMemory {
     /// cost model.
     pub fn new(total_frames: u64, cost: CostModel) -> Self {
         PhysMemory {
-            alloc: BitmapFrameAllocator::new(total_frames),
+            alloc: BuddyAllocator::new(Pfn(0), total_frames),
             meta: HashMap::new(),
             cost,
+            pins: HashMap::new(),
+            cache: None,
+            current_cpu: 0,
+            contenders: 0,
             frames_allocated_total: 0,
             pages_copied_total: 0,
         }
@@ -59,9 +94,9 @@ impl PhysMemory {
         self.cost = cost;
     }
 
-    /// Number of frames currently free.
+    /// Number of frames currently free (buddy free list + magazines).
     pub fn free_frames(&self) -> u64 {
-        self.alloc.free_frames()
+        self.alloc.free_frames() + self.cache.as_ref().map_or(0, |c| c.cached)
     }
 
     /// Total number of frames in the machine.
@@ -74,11 +109,170 @@ impl PhysMemory {
         self.total_frames() - self.free_frames()
     }
 
+    /// Enables per-CPU frame caching with one magazine per CPU and the
+    /// given refill batch size (frames per global acquisition). No-op
+    /// costs change for hits/refills; all other accounting is unchanged.
+    pub fn enable_frame_cache(&mut self, cpus: usize, batch: u64) {
+        assert!(cpus > 0 && batch > 0, "frame cache needs cpus > 0, batch > 0");
+        if self.cache.is_none() {
+            self.cache = Some(FrameCache {
+                magazines: vec![Vec::new(); cpus],
+                batch,
+                cached: 0,
+            });
+        }
+    }
+
+    /// Disables per-CPU caching, draining every magazine back to the
+    /// buddy allocator.
+    pub fn disable_frame_cache(&mut self) {
+        if let Some(cache) = self.cache.take() {
+            for mag in cache.magazines {
+                for pfn in mag {
+                    self.alloc.free(pfn);
+                }
+            }
+        }
+    }
+
+    /// True if per-CPU frame caching is active.
+    pub fn frame_cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Frames currently parked in per-CPU magazines.
+    pub fn cached_frames(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.cached)
+    }
+
+    /// Sets which CPU's magazine subsequent allocations use.
+    pub fn set_current_cpu(&mut self, cpu: usize) {
+        self.current_cpu = cpu;
+    }
+
+    /// Sets the modeled global-allocator contention (other concurrent
+    /// allocators). Used by the scaling ablation; zero by default.
+    pub fn set_contenders(&mut self, n: u32) {
+        self.contenders = n;
+    }
+
+    /// One frame off the global (buddy) path, paying serialization.
+    fn take_global(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let pfn = self.alloc.alloc(0)?;
+        cycles.charge(self.cost.frame_alloc);
+        if self.contenders > 0 {
+            cycles.charge(self.cost.frame_alloc_contended * self.contenders as u64);
+        }
+        Ok(pfn)
+    }
+
+    /// One frame, through the per-CPU cache when enabled.
+    fn take_frame(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let (slot, batch) = match self.cache.as_ref() {
+            None => return self.take_global(cycles),
+            Some(c) => (self.current_cpu % c.magazines.len(), c.batch),
+        };
+        let popped = {
+            let cache = self.cache.as_mut().expect("checked above");
+            let p = cache.magazines[slot].pop();
+            if p.is_some() {
+                cache.cached -= 1;
+            }
+            p
+        };
+        if let Some(pfn) = popped {
+            cycles.charge(self.cost.frame_cache_hit);
+            metrics::incr("mem.frame_cache.hit");
+            return Ok(pfn);
+        }
+        // Refill: one batched buddy acquisition pays the global
+        // serialization once for the whole batch. Fall back to smaller
+        // runs under fragmentation or near-exhaustion.
+        let mut order = 63 - batch.leading_zeros() as usize;
+        let run = loop {
+            match self.alloc.alloc_run(order) {
+                Ok(run) => break run,
+                Err(_) if order > 0 => order -= 1,
+                Err(e) => {
+                    // Global pool dry: steal from the fullest other
+                    // magazine before reporting exhaustion.
+                    let stolen = {
+                        let cache = self.cache.as_mut().expect("checked above");
+                        let victim = (0..cache.magazines.len())
+                            .max_by_key(|&i| cache.magazines[i].len())
+                            .expect("at least one magazine");
+                        let p = cache.magazines[victim].pop();
+                        if p.is_some() {
+                            cache.cached -= 1;
+                        }
+                        p
+                    };
+                    return match stolen {
+                        Some(pfn) => {
+                            cycles.charge(self.cost.frame_cache_hit);
+                            metrics::incr("mem.frame_cache.steal");
+                            Ok(pfn)
+                        }
+                        None => Err(e),
+                    };
+                }
+            }
+        };
+        cycles.charge(self.cost.frame_cache_refill);
+        if self.contenders > 0 {
+            cycles.charge(self.cost.frame_alloc_contended * self.contenders as u64);
+        }
+        metrics::incr("mem.frame_cache.refill");
+        let mut run = run.into_iter();
+        let first = run.next().expect("alloc_run returns at least one frame");
+        let cache = self.cache.as_mut().expect("checked above");
+        for pfn in run {
+            cache.magazines[slot].push(pfn);
+            cache.cached += 1;
+        }
+        Ok(first)
+    }
+
+    /// Returns one freed frame to the magazine (cache on) or buddy.
+    fn release_frame(&mut self, pfn: Pfn) {
+        if self.cache.is_none() {
+            self.alloc.free(pfn);
+            return;
+        }
+        let drained = {
+            let cpu = self.current_cpu;
+            let cache = self.cache.as_mut().expect("checked above");
+            let slot = cpu % cache.magazines.len();
+            cache.magazines[slot].push(pfn);
+            cache.cached += 1;
+            // Overfull magazine: drain a batch back to the buddy so one
+            // CPU freeing heavily cannot strand the whole pool.
+            if cache.magazines[slot].len() as u64 > 2 * cache.batch {
+                let mut v = Vec::with_capacity(cache.batch as usize);
+                for _ in 0..cache.batch {
+                    if let Some(p) = cache.magazines[slot].pop() {
+                        cache.cached -= 1;
+                        v.push(p);
+                    }
+                }
+                v
+            } else {
+                Vec::new()
+            }
+        };
+        if !drained.is_empty() {
+            for p in drained {
+                self.alloc.free(p);
+            }
+            metrics::incr("mem.frame_cache.drain");
+        }
+    }
+
     /// Allocates a zeroed frame with reference count 1.
     pub fn alloc_zeroed(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
         fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
-        let pfn = self.alloc.alloc()?;
-        cycles.charge(self.cost.frame_alloc + self.cost.page_zero);
+        let pfn = self.take_frame(cycles)?;
+        cycles.charge(self.cost.page_zero);
         self.meta.insert(
             pfn.0,
             FrameMeta {
@@ -95,8 +289,8 @@ impl PhysMemory {
     /// charging a file-read rather than a zero-fill.
     pub fn alloc_filled(&mut self, content: u64, cycles: &mut Cycles) -> MemResult<Pfn> {
         fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
-        let pfn = self.alloc.alloc()?;
-        cycles.charge(self.cost.frame_alloc + self.cost.file_read_page);
+        let pfn = self.take_frame(cycles)?;
+        cycles.charge(self.cost.file_read_page);
         self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
         self.frames_allocated_total += 1;
         metrics::incr("mem.frame_alloc");
@@ -108,8 +302,8 @@ impl PhysMemory {
     pub fn copy_frame(&mut self, src: Pfn, cycles: &mut Cycles) -> MemResult<Pfn> {
         fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
         let content = self.content(src)?;
-        let pfn = self.alloc.alloc()?;
-        cycles.charge(self.cost.frame_alloc + self.cost.page_copy);
+        let pfn = self.take_frame(cycles)?;
+        cycles.charge(self.cost.page_copy);
         self.meta.insert(pfn.0, FrameMeta { refs: 1, content });
         self.frames_allocated_total += 1;
         self.pages_copied_total += 1;
@@ -133,13 +327,46 @@ impl PhysMemory {
         m.refs -= 1;
         if m.refs == 0 {
             self.meta.remove(&pfn.0);
-            self.alloc.free(pfn);
+            self.release_frame(pfn);
             cycles.charge(self.cost.frame_free);
             metrics::incr("mem.frame_free");
             Ok(true)
         } else {
             Ok(false)
         }
+    }
+
+    /// Takes a kernel pin on `pfn`: one additional reference held by a
+    /// kernel-side owner (e.g. the exec image cache) rather than a PTE.
+    /// The invariant checker accounts pins separately from mappings.
+    pub fn pin(&mut self, pfn: Pfn) -> MemResult<()> {
+        self.inc_ref(pfn)?;
+        *self.pins.entry(pfn.0).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Drops one kernel pin from `pfn`, freeing the frame if that was the
+    /// last reference. Returns `true` if the frame was freed.
+    pub fn unpin(&mut self, pfn: Pfn, cycles: &mut Cycles) -> MemResult<bool> {
+        let n = self.pins.get_mut(&pfn.0).ok_or(MemError::NotMapped)?;
+        debug_assert!(*n > 0);
+        *n -= 1;
+        if *n == 0 {
+            self.pins.remove(&pfn.0);
+        }
+        self.dec_ref(pfn, cycles)
+    }
+
+    /// Current kernel-pin count of `pfn` (zero if unpinned).
+    pub fn pin_count(&self, pfn: Pfn) -> u32 {
+        self.pins.get(&pfn.0).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of every pinned frame and its pin count, sorted by PFN.
+    pub fn pinned(&self) -> Vec<(Pfn, u32)> {
+        let mut v: Vec<(Pfn, u32)> = self.pins.iter().map(|(&p, &n)| (Pfn(p), n)).collect();
+        v.sort_by_key(|(p, _)| p.0);
+        v
     }
 
     /// Returns the current reference count of `pfn`.
@@ -234,5 +461,98 @@ mod tests {
         p.dec_ref(f, &mut c).unwrap();
         let g = p.alloc_zeroed(&mut c).unwrap();
         assert_eq!(p.content(g), Ok(0), "recycled frame must be zeroed");
+    }
+
+    #[test]
+    fn pin_holds_frame_alive_past_last_unmap_ref() {
+        let (mut p, mut c) = pm(16);
+        let f = p.alloc_zeroed(&mut c).unwrap();
+        p.write_content(f, 0xCAFE).unwrap();
+        p.pin(f).unwrap();
+        assert_eq!(p.refs(f), Ok(2));
+        assert_eq!(p.pin_count(f), 1);
+        // The mapping reference goes away; the pin keeps the content.
+        assert_eq!(p.dec_ref(f, &mut c), Ok(false));
+        assert_eq!(p.content(f), Ok(0xCAFE));
+        assert_eq!(p.pinned(), vec![(f, 1)]);
+        assert_eq!(p.unpin(f, &mut c), Ok(true), "last pin frees");
+        assert_eq!(p.pin_count(f), 0);
+        assert_eq!(p.used_frames(), 0);
+    }
+
+    #[test]
+    fn cache_hit_is_cheaper_than_global_alloc_and_refill_batches() {
+        let cost = CostModel::default();
+        let (mut p, mut c) = pm(1024);
+        p.enable_frame_cache(2, 8);
+        let before = c.total();
+        p.alloc_zeroed(&mut c).unwrap(); // miss: one batched refill
+        let refill_cost = c.total() - before;
+        assert_eq!(refill_cost, cost.frame_cache_refill + cost.page_zero);
+        assert_eq!(p.cached_frames(), 7, "batch of 8 minus the one returned");
+        let before = c.total();
+        p.alloc_zeroed(&mut c).unwrap(); // hit
+        assert_eq!(c.total() - before, cost.frame_cache_hit + cost.page_zero);
+        assert!(cost.frame_cache_hit < cost.frame_alloc);
+    }
+
+    #[test]
+    fn cache_disabled_costs_are_identical_to_plain_path() {
+        let cost = CostModel::default();
+        let (mut p, mut c) = pm(64);
+        p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(c.total(), cost.frame_alloc + cost.page_zero);
+    }
+
+    #[test]
+    fn cached_frames_count_as_free_and_drain_on_disable() {
+        let (mut p, mut c) = pm(64);
+        p.enable_frame_cache(1, 8);
+        let f = p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(p.free_frames(), 63, "magazine frames are still free");
+        assert_eq!(p.used_frames(), 1);
+        p.dec_ref(f, &mut c).unwrap();
+        assert_eq!(p.used_frames(), 0);
+        p.disable_frame_cache();
+        assert_eq!(p.cached_frames(), 0);
+        assert_eq!(p.free_frames(), 64, "drain returned everything to buddy");
+    }
+
+    #[test]
+    fn cache_steals_from_other_magazines_before_oom() {
+        let (mut p, mut c) = pm(8);
+        p.enable_frame_cache(2, 8);
+        p.set_current_cpu(0);
+        let _f = p.alloc_zeroed(&mut c).unwrap(); // cpu0 magazine holds the other 7
+        p.set_current_cpu(1);
+        // Buddy is empty; cpu1 must steal from cpu0's magazine.
+        for _ in 0..7 {
+            p.alloc_zeroed(&mut c).unwrap();
+        }
+        assert_eq!(p.alloc_zeroed(&mut c), Err(MemError::OutOfMemory));
+        assert_eq!(p.used_frames(), 8);
+    }
+
+    #[test]
+    fn contention_charges_only_on_global_path() {
+        let cost = CostModel::default();
+        let (mut p, mut c) = pm(1024);
+        p.set_contenders(4);
+        let before = c.total();
+        p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(
+            c.total() - before,
+            cost.frame_alloc + 4 * cost.frame_alloc_contended + cost.page_zero
+        );
+        p.enable_frame_cache(1, 8);
+        let before = c.total();
+        p.alloc_zeroed(&mut c).unwrap(); // refill: contention paid once
+        assert_eq!(
+            c.total() - before,
+            cost.frame_cache_refill + 4 * cost.frame_alloc_contended + cost.page_zero
+        );
+        let before = c.total();
+        p.alloc_zeroed(&mut c).unwrap(); // hit: no contention
+        assert_eq!(c.total() - before, cost.frame_cache_hit + cost.page_zero);
     }
 }

@@ -12,6 +12,12 @@ use fpr_trace::metrics;
 use fpr_trace::sink;
 use fpr_trace::{Phase, TraceEvent};
 
+/// Pages above which a ranged flush stops paying per-page invalidation
+/// cost: past this many entries a full-context flush is cheaper, so the
+/// per-page term is capped (Linux's `tlb_single_page_flush_ceiling` plays
+/// the same role).
+pub const RANGE_FLUSH_CEILING: u64 = 64;
+
 /// TLB accounting for one simulated machine.
 #[derive(Debug, Clone)]
 pub struct TlbModel {
@@ -23,6 +29,10 @@ pub struct TlbModel {
     pub shootdowns: u64,
     /// Total remote-CPU acknowledgements across all shootdowns.
     pub remote_acks: u64,
+    /// Number of batched ranged flushes initiated.
+    pub range_flushes: u64,
+    /// Total pages covered by batched ranged flushes.
+    pub range_pages_flushed: u64,
 }
 
 impl Default for TlbModel {
@@ -32,6 +42,8 @@ impl Default for TlbModel {
             local_invalidations: 0,
             shootdowns: 0,
             remote_acks: 0,
+            range_flushes: 0,
+            range_pages_flushed: 0,
         }
     }
 }
@@ -68,6 +80,31 @@ impl TlbModel {
             );
         }
     }
+
+    /// Charges one batched ranged flush covering `pages` entries: a single
+    /// shootdown round (one IPI per remote CPU, not one per page) plus a
+    /// per-page invalidation term capped at [`RANGE_FLUSH_CEILING`] — past
+    /// the ceiling the flush degrades to a full-context flush and the
+    /// per-page cost stops growing.
+    ///
+    /// With `pages == 0` nothing is flushed and nothing is charged.
+    pub fn shootdown_range(
+        &mut self,
+        cpus_running: u32,
+        pages: u64,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) {
+        if pages == 0 {
+            return;
+        }
+        self.range_flushes += 1;
+        self.range_pages_flushed += pages;
+        cycles.charge(cost.tlb_range_flush_page * pages.min(RANGE_FLUSH_CEILING));
+        metrics::incr("mem.tlb.range_flush");
+        metrics::add("mem.tlb.range_pages", pages);
+        self.shootdown(cpus_running, cycles, cost);
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +137,49 @@ mod tests {
         );
         assert_eq!(t.shootdowns, 2);
         assert_eq!(t.remote_acks, 7);
+    }
+
+    #[test]
+    fn ranged_flush_charges_one_ipi_round_plus_per_page() {
+        let cost = CostModel::default();
+        let mut t = TlbModel::new();
+        let mut cy = Cycles::new();
+        t.shootdown_range(4, 16, &mut cy, &cost);
+        assert_eq!(
+            cy.total(),
+            cost.tlb_shootdown_base + 3 * cost.tlb_shootdown_per_cpu + 16 * cost.tlb_range_flush_page,
+            "one shootdown round, not one per page"
+        );
+        assert_eq!(t.range_flushes, 1);
+        assert_eq!(t.range_pages_flushed, 16);
+        assert_eq!(t.shootdowns, 1, "ranged flush rides a single shootdown");
+    }
+
+    #[test]
+    fn ranged_flush_per_page_cost_is_capped() {
+        let cost = CostModel::default();
+        let mut t = TlbModel::new();
+        let mut big = Cycles::new();
+        t.shootdown_range(1, 100_000, &mut big, &cost);
+        let mut ceil = Cycles::new();
+        t.shootdown_range(1, RANGE_FLUSH_CEILING, &mut ceil, &cost);
+        assert_eq!(
+            big.total(),
+            ceil.total(),
+            "past the ceiling a full flush is charged instead"
+        );
+        assert_eq!(t.range_pages_flushed, 100_000 + RANGE_FLUSH_CEILING);
+    }
+
+    #[test]
+    fn ranged_flush_of_zero_pages_is_free() {
+        let cost = CostModel::default();
+        let mut t = TlbModel::new();
+        let mut cy = Cycles::new();
+        t.shootdown_range(8, 0, &mut cy, &cost);
+        assert_eq!(cy.total(), 0);
+        assert_eq!(t.range_flushes, 0);
+        assert_eq!(t.shootdowns, 0);
     }
 
     #[test]
