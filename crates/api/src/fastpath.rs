@@ -20,7 +20,7 @@
 
 use crate::spawn::{apply_attrs, apply_file_actions, posix_spawn_cached, FileAction, SpawnAttrs};
 use fpr_exec::{effective_file_id, load_cached, randomize, AslrConfig, Image, ImageCache, ImageRegistry};
-use fpr_kernel::{Errno, KResult, Kernel, LayoutInfo, Pid};
+use fpr_kernel::{Errno, KResult, Kernel, LayoutInfo, Pid, OOM_SCORE_ADJ_MIN};
 use fpr_mem::Vpn;
 use fpr_trace::{metrics, sink, Phase, TraceEvent};
 use std::collections::BTreeMap;
@@ -62,6 +62,9 @@ struct ParkedChild {
     eff_file_id: u64,
     /// The staging layout it was built into.
     layout: LayoutInfo,
+    /// Logical timestamp of when the child was (re-)parked; memory
+    /// pressure drains oldest-parked first.
+    parked_at: u64,
 }
 
 /// A pool of pre-built children, keyed by executable path.
@@ -71,10 +74,13 @@ pub struct WarmPool {
     /// re-parents them to the caller, re-park hands them back.
     host: Pid,
     parked: BTreeMap<String, Vec<ParkedChild>>,
+    /// Monotonic logical clock stamping `ParkedChild::parked_at`.
+    tick: u64,
     checkouts: u64,
     refills: u64,
     misses: u64,
     discards: u64,
+    reclaims: u64,
 }
 
 impl WarmPool {
@@ -83,10 +89,12 @@ impl WarmPool {
         WarmPool {
             host,
             parked: BTreeMap::new(),
+            tick: 0,
             checkouts: 0,
             refills: 0,
             misses: 0,
             discards: 0,
+            reclaims: 0,
         }
     }
 
@@ -111,6 +119,9 @@ impl WarmPool {
                 kernel.abort_process_creation(child)?;
                 return Err(e);
             }
+            // A parked child is pure cache: the OOM killer must never
+            // pick it (shrinker reclaim drains it instead).
+            kernel.process_mut(child)?.oom_score_adj = OOM_SCORE_ADJ_MIN;
             self.refills += 1;
             metrics::incr("api.pool.refill");
             self.park(
@@ -119,6 +130,7 @@ impl WarmPool {
                     pid: child,
                     eff_file_id: image.file_id,
                     layout,
+                    parked_at: 0,
                 },
             );
         }
@@ -174,6 +186,8 @@ impl WarmPool {
             self.park(path, parked);
             return Err(e);
         }
+        // Checked out: a real process again, visible to the OOM killer.
+        kernel.process_mut(parked.pid)?.oom_score_adj = 0;
 
         // Snapshot the state the re-park path must restore; everything
         // else (cwd, creds, rlimits, pgid, sid) is restored by adopting
@@ -227,6 +241,7 @@ impl WarmPool {
                         c.umask = saved_umask;
                         c.argv.clear();
                         c.envp.clear();
+                        c.oom_score_adj = OOM_SCORE_ADJ_MIN;
                     }
                     kernel.adopt_process(pid, self.host)
                 })();
@@ -239,6 +254,38 @@ impl WarmPool {
                 Err(e)
             }
         }
+    }
+
+    /// Tears down oldest-parked children until `target` frames have been
+    /// returned to the allocator or the pool is empty, reporting frames
+    /// actually freed. This is the pool's [`fpr_kernel::Shrinker`] work
+    /// under memory pressure: spawns of the drained paths degrade to the
+    /// classic-path cost until a refill, but nobody gets OOM-killed. The
+    /// reclaim pass crosses [`fpr_faults::FaultSite::PoolDrain`] before
+    /// calling this.
+    pub fn shrink(&mut self, kernel: &mut Kernel, target: u64) -> KResult<u64> {
+        let free_before = kernel.phys.free_frames();
+        while kernel.phys.free_frames() - free_before < target {
+            let lru = self
+                .parked
+                .iter()
+                .flat_map(|(path, list)| {
+                    list.iter().map(move |p| (p.parked_at, path.clone()))
+                })
+                .min();
+            let Some((parked_at, path)) = lru else { break };
+            let list = self.parked.get_mut(&path).expect("came from iteration");
+            let idx = list
+                .iter()
+                .position(|p| p.parked_at == parked_at)
+                .expect("came from iteration");
+            let child = list.remove(idx);
+            kernel.abort_process_creation(child.pid)?;
+            self.reclaims += 1;
+            metrics::incr("api.pool.reclaim");
+        }
+        self.parked.retain(|_, list| !list.is_empty());
+        Ok(kernel.phys.free_frames() - free_before)
     }
 
     /// Tears down every parked child (pool disable / shutdown).
@@ -286,7 +333,14 @@ impl WarmPool {
         self.discards
     }
 
-    fn park(&mut self, path: &str, child: ParkedChild) {
+    /// Parked children torn down by memory-pressure reclaim.
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims
+    }
+
+    fn park(&mut self, path: &str, mut child: ParkedChild) {
+        self.tick += 1;
+        child.parked_at = self.tick;
         self.parked.entry(path.to_string()).or_default().push(child);
     }
 
@@ -294,6 +348,39 @@ impl WarmPool {
         let list = self.parked.get_mut(path)?;
         let idx = list.iter().position(|p| p.eff_file_id != eff)?;
         Some(list.remove(idx))
+    }
+}
+
+/// Under memory pressure the pool gives its parked children back, oldest
+/// first: the fast path degrades toward classic-spawn latency instead of
+/// the OOM killer picking a victim.
+impl fpr_kernel::Shrinker for WarmPool {
+    fn name(&self) -> &'static str {
+        "warm_pool"
+    }
+
+    fn fault_site(&self) -> fpr_faults::FaultSite {
+        fpr_faults::FaultSite::PoolDrain
+    }
+
+    fn reclaimable(&self, kernel: &Kernel) -> u64 {
+        // Upper bound: a parked child's resident pages. Pages CoW-shared
+        // with the image cache survive its death through the cache pins,
+        // so the pass may free less than this.
+        self.parked
+            .values()
+            .flatten()
+            .map(|p| {
+                kernel
+                    .process(p.pid)
+                    .map(|proc| proc.resident_pages())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    fn shrink(&mut self, kernel: &mut Kernel, target: u64) -> KResult<u64> {
+        WarmPool::shrink(self, kernel, target)
     }
 }
 
@@ -738,6 +825,48 @@ mod tests {
         k.write_fd(c, STDOUT, b"via pool").unwrap();
         let ino = k.vfs.resolve("/fast.txt", k.vfs.root()).unwrap();
         assert_eq!(k.vfs.read_at(ino, 0, 16).unwrap(), b"via pool");
+    }
+
+    #[test]
+    fn pool_shrink_drains_oldest_first_and_parked_children_are_oom_exempt() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 3)
+            .unwrap();
+        // Parked children are pure cache: the OOM killer skips them.
+        for pid in k.pids() {
+            if pid != init {
+                assert_eq!(k.oom_badness(pid), None, "parked child is exempt");
+            }
+        }
+        let procs_before = k.process_count();
+        let freed = pool.shrink(&mut k, 1).unwrap();
+        assert!(freed >= 1, "a parked child has private frames to give");
+        assert_eq!(pool.total_parked(), 2);
+        assert_eq!(pool.reclaims(), 1);
+        assert_eq!(k.process_count(), procs_before - 1);
+
+        // A checked-out child becomes a normal process again: killable.
+        let c = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            21,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        assert!(k.oom_badness(c).is_some(), "checked-out child is visible");
+
+        pool.shrink(&mut k, u64::MAX).unwrap();
+        assert_eq!(pool.total_parked(), 0);
+        cache.clear(&mut k);
+        k.check_invariants().unwrap();
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //!
 //! The simulator has no wall clock, so backoff is charged in cycles: each
 //! failed attempt charges `base_backoff_cycles << attempt` before the
-//! next try, mirroring the cost a real process would pay sleeping.
+//! next try (capped — see [`RetryPolicy::backoff_for`]), mirroring the
+//! cost a real process would pay sleeping.
+//!
+//! When the failure is memory pressure and shrinkers are registered,
+//! backoff is more than waiting: each retry first runs
+//! [`fpr_kernel::Kernel::balance_pressure`], so the wait is spent
+//! reclaiming the cache frames that caused the `ENOMEM` in the first
+//! place.
 
 use fpr_kernel::{Errno, KResult, Kernel};
 
@@ -37,6 +44,21 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base_backoff_cycles: 1_000,
         }
+    }
+}
+
+/// Widest doubling applied to the base backoff: beyond this the wait is
+/// flat. Keeps `base << attempt` from wrapping u64 for large
+/// `max_attempts` (a 32-bit shift of a large base already overflowed).
+const MAX_BACKOFF_DOUBLINGS: u32 = 20;
+
+impl RetryPolicy {
+    /// Backoff charged after failed attempt number `attempt` (1-based):
+    /// exponential in the attempt, saturating at
+    /// `base << MAX_BACKOFF_DOUBLINGS` and never overflowing.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let doublings = (attempt - 1).min(MAX_BACKOFF_DOUBLINGS);
+        self.base_backoff_cycles.saturating_mul(1u64 << doublings)
     }
 }
 
@@ -67,10 +89,15 @@ pub fn retry_with_backoff<T>(
         match op(kernel) {
             Ok(v) => return (Ok(v), stats),
             Err(e) if is_transient(e) && stats.attempts < policy.max_attempts => {
+                // If the failure is memory pressure that reclaim could
+                // relieve, spend the wait shrinking caches instead of
+                // just sleeping. Free (zero cycles, zero effect) when no
+                // shrinker is registered or there is no pressure.
+                if e == Errno::Enomem {
+                    kernel.balance_pressure();
+                }
                 // Exponential backoff, charged as burnt CPU time.
-                let wait = policy
-                    .base_backoff_cycles
-                    .saturating_mul(1u64 << (stats.attempts - 1).min(32));
+                let wait = policy.backoff_for(stats.attempts);
                 kernel.cycles.charge(wait);
                 stats.backoff_cycles += wait;
             }
@@ -140,6 +167,130 @@ mod tests {
         // 100 + 200 + 400 (no backoff after the final attempt).
         assert_eq!(stats.backoff_cycles, 700);
         assert_eq!(k.cycles.total() - before, 700);
+    }
+
+    #[test]
+    fn huge_max_attempts_saturates_backoff_without_overflow() {
+        // Regression: `base << attempt` wrapped u64 once attempts out-ran
+        // the word size, making late backoffs tiny (or zero).
+        let (mut k, _) = boot();
+        let policy = RetryPolicy {
+            max_attempts: 200,
+            base_backoff_cycles: 1 << 30,
+        };
+        let mut waits = Vec::new();
+        let mut last_total = k.cycles.total();
+        let (r, stats) = retry_with_backoff(&mut k, policy, |k| {
+            waits.push(k.cycles.total() - last_total);
+            last_total = k.cycles.total();
+            Err::<(), Errno>(Errno::Eagain)
+        });
+        assert_eq!(r, Err(Errno::Eagain));
+        assert_eq!(stats.attempts, 200);
+        // Monotone non-decreasing, and every late wait sits at the
+        // saturation plateau instead of wrapping back down.
+        assert!(waits.windows(2).all(|w| w[0] <= w[1]), "never shrinks");
+        assert_eq!(*waits.last().unwrap(), (1u64 << 30) << 20, "flat at the cap");
+        assert_eq!(policy.backoff_for(200), policy.backoff_for(100));
+        assert!(policy.backoff_for(200) >= policy.backoff_for(1));
+        // A base big enough to overflow at the cap saturates cleanly.
+        let big = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_cycles: u64::MAX / 2,
+        };
+        assert_eq!(big.backoff_for(40), u64::MAX);
+    }
+
+    #[test]
+    fn enomem_retry_reclaims_pool_frames_and_succeeds() {
+        use crate::fastpath::WarmPool;
+        use fpr_exec::{Image, ImageCache, ImageRegistry};
+        use fpr_kernel::{MachineConfig, ShrinkerHandle};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut k = Kernel::new(MachineConfig {
+            frames: 64,
+            ..MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let mut reg = ImageRegistry::new();
+        reg.register("/bin/tool", Image::small("tool"));
+        let mut cache = ImageCache::new();
+        let pool = Rc::new(RefCell::new(WarmPool::new(init)));
+        pool.borrow_mut()
+            .prefill(&mut k, &reg, &mut cache, "/bin/tool", 2)
+            .unwrap();
+        k.register_shrinker(&(pool.clone() as ShrinkerHandle));
+
+        // Hog free frames to just below the low watermark (each parked
+        // child has only a frame or two of private memory to give back).
+        let low = k.phys.watermarks().low;
+        let mut hog = Vec::new();
+        while k.phys.free_frames() >= low {
+            hog.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
+        }
+        let high = k.phys.watermarks().high;
+        assert!(k.phys.free_frames() < high);
+
+        // An op that needs headroom up to the high watermark: attempt 1
+        // fails, the backoff runs balance_pressure (draining the pool),
+        // attempt 2 finds the frames.
+        let (r, stats) = retry_with_backoff(&mut k, RetryPolicy::default(), |k| {
+            if k.phys.free_frames() < k.phys.watermarks().high {
+                Err(Errno::Enomem)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_ok(), "reclaimed pool frames let the retry succeed: {r:?}");
+        assert_eq!(stats.attempts, 2);
+        assert!(pool.borrow().reclaims() > 0, "the wait was spent reclaiming");
+        assert!(k.reclaim_stats().frames_reclaimed > 0);
+        for f in hog {
+            k.phys.dec_ref(f, &mut k.cycles).unwrap();
+        }
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn enomem_inside_populate_direct_reclaims_and_succeeds() {
+        use crate::fastpath::WarmPool;
+        use fpr_exec::{Image, ImageCache, ImageRegistry};
+        use fpr_kernel::{MachineConfig, ShrinkerHandle};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut k = Kernel::new(MachineConfig {
+            frames: 64,
+            ..MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let mut reg = ImageRegistry::new();
+        reg.register("/bin/tool", Image::small("tool"));
+        let mut cache = ImageCache::new();
+        let pool = Rc::new(RefCell::new(WarmPool::new(init)));
+        pool.borrow_mut()
+            .prefill(&mut k, &reg, &mut cache, "/bin/tool", 2)
+            .unwrap();
+        k.register_shrinker(&(pool.clone() as ShrinkerHandle));
+
+        // Map while commit headroom exists, then hog the free frames so
+        // the populate's frame allocations fail without reclaim.
+        let base = k
+            .mmap_anon(init, 4, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        let mut hog = Vec::new();
+        while k.phys.free_frames() > 2 {
+            hog.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
+        }
+        assert_eq!(k.populate(init, base, 4), Ok(()), "direct reclaim saved it");
+        assert!(pool.borrow().reclaims() > 0);
+        assert!(k.reclaim_stats().frames_reclaimed > 0);
+        for f in hog {
+            k.phys.dec_ref(f, &mut k.cycles).unwrap();
+        }
+        k.check_invariants().unwrap();
     }
 
     #[test]

@@ -402,6 +402,101 @@ fn pool_checkout_survives_every_fail_point() {
     }
 }
 
+/// Sweeps a kernel reclaim pass over both fast-path shrinkers. The pass
+/// is two-phase: it crosses `pool_drain` (for the warm pool) and
+/// `reclaim_shrink` (for the image cache) *before* either shrinker
+/// mutates, so an injected failure at either site must leave the kernel
+/// byte-identical to the post-prefill baseline — parked children intact,
+/// cache still pinned — and the retried pass must free real frames.
+#[test]
+fn reclaim_pass_survives_every_fail_point() {
+    use fpr_kernel::ShrinkerHandle;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let label = "reclaim pass";
+    let reclaim_world = || {
+        let (mut k, init, reg) = world();
+        let cache = Rc::new(RefCell::new(ImageCache::new()));
+        let pool = Rc::new(RefCell::new(WarmPool::new(init)));
+        pool.borrow_mut()
+            .prefill(&mut k, &reg, &mut cache.borrow_mut(), "/bin/tool", 2)
+            .unwrap();
+        k.register_shrinker(&(pool.clone() as ShrinkerHandle));
+        k.register_shrinker(&(cache.clone() as ShrinkerHandle));
+        (k, cache, pool)
+    };
+
+    let k_count = {
+        let (mut k, _cache, _pool) = reclaim_world();
+        let trace = count_crossings(|| {
+            let freed = k.reclaim(u64::MAX).expect("fault-free reclaim");
+            assert!(freed > 0, "{label}: nothing reclaimed from a warm world");
+        });
+        for site in [
+            fpr_faults::FaultSite::PoolDrain,
+            fpr_faults::FaultSite::ReclaimShrink,
+        ] {
+            assert!(
+                trace.crossings.iter().any(|c| c.site == site),
+                "{label}: pass never crossed {site}"
+            );
+        }
+        trace.len()
+    };
+
+    for nth in 0..k_count {
+        let (mut k, cache, pool) = reclaim_world();
+        let base = k.baseline();
+        let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+        let (result, trace) = with_plan(plan, || k.reclaim(u64::MAX));
+        let injected = trace.injected();
+        assert_eq!(injected.len(), 1, "{label}: crossing {nth} did not inject");
+        let site = injected[0].site;
+        let err = result.expect_err(&format!(
+            "{label}: injected fault at {site}#{nth} was swallowed"
+        ));
+        assert!(
+            clean_creation_error(err),
+            "{label}: fault at {site}#{nth} surfaced as {err:?}"
+        );
+        assert_eq!(
+            pool.borrow().available("/bin/tool"),
+            2,
+            "{label}: fault at {site}#{nth} lost parked children"
+        );
+        assert!(
+            cache.borrow().cached_frames() > 0,
+            "{label}: fault at {site}#{nth} dropped the cache early"
+        );
+        if let Err(v) = k.leak_check(&base) {
+            panic!(
+                "{label}: fault at {site}#{nth} leaked:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        if let Err(v) = k.check_invariants() {
+            panic!(
+                "{label}: fault at {site}#{nth} broke invariants:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        assert_eq!(
+            k.reclaim_stats().aborted_passes,
+            1,
+            "{label}: abort at {site}#{nth} not accounted"
+        );
+        // The fault was transient: the retried pass drains everything.
+        let freed = k
+            .reclaim(u64::MAX)
+            .unwrap_or_else(|e| panic!("{label}: retry after {site}#{nth} failed: {e:?}"));
+        assert!(freed > 0, "{label}: retry after {site}#{nth} freed nothing");
+        assert_eq!(pool.borrow().available("/bin/tool"), 0);
+        assert_eq!(cache.borrow().cached_frames(), 0);
+        k.check_invariants()
+            .unwrap_or_else(|v| panic!("{label}: post-retry invariants: {v:?}"));
+    }
+}
+
 #[test]
 fn xproc_builder_survives_every_fail_point() {
     sweep("xproc", |k, p, reg| {

@@ -13,8 +13,8 @@
 
 use forkroad_core::experiments::spawn_fastpath::{self, Mode};
 use forkroad_core::experiments::{
-    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling, stdio,
-    threads, vma_sweep,
+    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
+    stdio, threads, vma_sweep,
 };
 use forkroad_core::{Os, OsConfig};
 use fpr_api::SpawnAttrs;
@@ -86,6 +86,53 @@ fn main() {
     smoke_tab("tab_faultmatrix", &robustness::fault_matrix());
     smoke_tab("tab_e9_robustness", &robustness::run());
     smoke_fig("fig_spawn_fastpath", &spawn_fastpath::run(&[256, 4_096, 65_536]));
+    smoke_fig("fig_pressure", &pressure::run());
+
+    // E12 snapshot: the pressure storm tracked in-repo. The shrinker arm
+    // absorbing the whole storm with zero OOM kills is a hard guarantee
+    // of the memory-pressure subsystem, so the smoke asserts it — a
+    // regression here fails `make verify`, not a reader of the figure.
+    let (with, without) = pressure::run_pair();
+    assert_eq!(
+        with.oom_victims.len(),
+        0,
+        "pressure storm with shrinkers must not OOM-kill (victims: {:?})",
+        with.oom_victims
+    );
+    assert!(
+        !without.oom_victims.is_empty(),
+        "shrinker-less baseline must show the OOM failure mode"
+    );
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_pressure\",\n");
+    json.push_str(&format!("  \"storm_pages\": {},\n", with.touched_pages));
+    json.push_str(&format!(
+        "  \"shrinkers\": {{\"oom_kills\": {}, \"reclaim_passes\": {}, \"frames_reclaimed\": {}, \
+         \"stall_cycles\": {}, \"spawn_cycles\": [{}, {}, {}]}},\n",
+        with.oom_victims.len(),
+        with.reclaim_passes,
+        with.frames_reclaimed,
+        with.stall_cycles,
+        with.spawn_before,
+        with.spawn_during,
+        with.spawn_after
+    ));
+    json.push_str(&format!(
+        "  \"baseline\": {{\"oom_kills\": {}, \"pinned_frames_at_first_kill\": {}}}\n",
+        without.oom_victims.len(),
+        without.pinned_frames_at_first_kill
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_pressure.json", &json).expect("write BENCH_pressure.json");
+    println!(
+        "\n# BENCH_pressure — storm of {} pages: {} kills with shrinkers \
+         ({} frames reclaimed), {} kills without",
+        with.touched_pages,
+        with.oom_victims.len(),
+        with.frames_reclaimed,
+        without.oom_victims.len()
+    );
+    println!("[saved BENCH_pressure.json]");
 
     // API × mode cycle medians: the machine-tracked perf snapshot.
     let entries: Vec<(&str, &str, u64)> = vec![

@@ -1,0 +1,29 @@
+//! E12: memory-pressure storm — spawn latency through the three storm
+//! phases with the fast-path caches registered as shrinkers, against the
+//! classic-path reference, plus the OOM body count of the shrinker-less
+//! baseline run at identical demand.
+
+use forkroad_core::experiments::pressure;
+use fpr_bench::emit;
+
+fn main() {
+    // The storm is a fixed scenario, not a sweep: --quick runs the same
+    // figure (it is already seconds-fast at the storm machine size).
+    let fig = pressure::run();
+    emit("fig_pressure", &fig.render(), &fig.to_json());
+
+    let (with, without) = pressure::run_pair();
+    println!("# storm detail (demand = {} pages)", with.touched_pages);
+    println!(
+        "shrinkers:    {} oom kills, {} reclaim passes, {} frames reclaimed, {} stall cycles",
+        with.oom_victims.len(),
+        with.reclaim_passes,
+        with.frames_reclaimed,
+        with.stall_cycles
+    );
+    println!(
+        "no shrinkers: {} oom kills ({} cache frames pinned at first kill)",
+        without.oom_victims.len(),
+        without.pinned_frames_at_first_kill
+    );
+}

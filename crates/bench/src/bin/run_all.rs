@@ -3,7 +3,7 @@
 //! evaluation.
 
 use forkroad_core::experiments::{
-    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, robustness, scaling,
+    aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
     spawn_fastpath, stdio, vma_sweep,
 };
 use fpr_bench::emit;
@@ -52,6 +52,9 @@ fn main() {
 
     let f11 = spawn_fastpath::run(&[256, 4_096, 65_536, 262_144]);
     emit("fig_spawn_fastpath", &f11.render(), &f11.to_json());
+
+    let f12 = pressure::run();
+    emit("fig_pressure", &f12.render(), &f12.to_json());
 
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");

@@ -52,7 +52,7 @@ pub fn run_cell(strategy: Strategy, n: usize) -> ZygoteReport {
                 })
                 .collect();
             let f = os.fastpath().expect("enabled");
-            assert_eq!(f.pool.checkouts(), n as u64, "all served from the pool");
+            assert_eq!(f.pool().checkouts(), n as u64, "all served from the pool");
             kids
         }
     };

@@ -12,6 +12,7 @@ pub mod fig1;
 pub mod forkbomb;
 pub mod odf_storm;
 pub mod overcommit;
+pub mod pressure;
 pub mod robustness;
 pub mod scaling;
 pub mod spawn_fastpath;

@@ -1,0 +1,379 @@
+//! E12: pressure storm — the spawn fast path degrades gracefully.
+//!
+//! The fast path (E11) wins its latency by *holding* memory: pinned
+//! image-cache frames and pre-built warm-pool children. That is exactly
+//! the memory a loaded machine wants back. This experiment drives the
+//! machine into memory pressure with a wave of faulting workers and
+//! compares two worlds:
+//!
+//! * **shrinkers registered** (the default): the kernel's reclaim pass
+//!   drains warm children (LRU) and evicts cold image entries. Demand
+//!   that would have OOM-killed is absorbed; the only casualty is spawn
+//!   latency, which degrades to the classic-path cost while the caches
+//!   are empty and recovers after relief.
+//! * **shrinkers cleared** (the baseline failure mode): the kernel
+//!   cannot see the caches. The OOM killer fires and — because parked
+//!   children are OOM-exempt — it kills *innocent workers* while
+//!   hundreds of reclaimable frames sit pinned.
+
+use crate::os::{Os, OsConfig};
+use fpr_api::SpawnAttrs;
+use fpr_kernel::{Errno, MachineConfig, Pid};
+use fpr_mem::{OvercommitPolicy, PressureLevel, Prot, Share, CYCLES_PER_US};
+use fpr_trace::{FigureData, ProcessShape, Series};
+
+/// Warm-pool children parked before the storm (also the recovery target).
+pub const POOL_PREFILL: usize = 8;
+/// Physical frames of the storm machine: small enough that the caches
+/// are a meaningful fraction of memory.
+pub const STORM_FRAMES: u64 = 1024;
+/// Faulting workers the storm demand is spread across.
+const WORKERS: usize = 4;
+
+/// Everything one storm arm observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureOutcome {
+    /// Whether the fast-path caches were registered as shrinkers.
+    pub shrinkers: bool,
+    /// Total pages the workers successfully touched.
+    pub touched_pages: u64,
+    /// OOM victims, in kill order.
+    pub oom_victims: Vec<Pid>,
+    /// Whether the first OOM victim was a bystander (not the worker
+    /// whose write triggered the kill) — the paper's "innocent victim".
+    pub first_victim_was_bystander: bool,
+    /// Pinned (reclaimable-but-unseen) cache frames at first kill.
+    pub pinned_frames_at_first_kill: u64,
+    /// Spawn cost before the storm (warm pool hit), cycles.
+    pub spawn_before: u64,
+    /// Spawn cost at peak pressure (caches drained), cycles.
+    pub spawn_during: u64,
+    /// Spawn cost after relief and re-prefill, cycles.
+    pub spawn_after: u64,
+    /// Parked children before / at peak / after relief.
+    pub pool_occupancy: [usize; 3],
+    /// Pinned image-cache frames before / at peak / after relief.
+    pub cache_frames: [u64; 3],
+    /// Worst pressure level seen during the storm.
+    pub peak_pressure: PressureLevel,
+    /// Kernel reclaim passes run by the storm.
+    pub reclaim_passes: u64,
+    /// Frames those passes recovered.
+    pub frames_reclaimed: u64,
+    /// PSI-style stall cycles charged to reclaim.
+    pub stall_cycles: u64,
+}
+
+fn storm_config() -> OsConfig {
+    OsConfig {
+        machine: MachineConfig {
+            frames: STORM_FRAMES,
+            overcommit: OvercommitPolicy::Always,
+            ..MachineConfig::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn boot_world() -> (Os, Pid) {
+    let mut os = Os::boot(storm_config());
+    let parent = os
+        .make_parent(ProcessShape::with_heap(32))
+        .expect("parent fits");
+    os.enable_spawn_fastpath().expect("enable");
+    os.pool_prefill("/bin/tool", POOL_PREFILL).expect("prefill");
+    (os, parent)
+}
+
+/// Spawns `/bin/tool` from `parent`, retires the child, returns cycles.
+fn spawn_once(os: &mut Os, parent: Pid) -> u64 {
+    let (child, cycles) = os.measure(|os| {
+        os.spawn(parent, "/bin/tool", &[], &SpawnAttrs::default())
+            .expect("spawn survives the storm")
+    });
+    os.kernel.exit(child, 0).expect("exit");
+    os.kernel.waitpid(parent, Some(child)).expect("reap");
+    cycles
+}
+
+/// The classic-path reference cost: same machine, same parent shape,
+/// fast path never enabled.
+pub fn classic_spawn_cost() -> u64 {
+    let mut os = Os::boot(storm_config());
+    let parent = os
+        .make_parent(ProcessShape::with_heap(32))
+        .expect("parent fits");
+    let (child, cycles) = os.measure(|os| {
+        os.spawn(parent, "/bin/tool", &[], &SpawnAttrs::default())
+            .expect("spawn")
+    });
+    let _ = child;
+    cycles
+}
+
+fn pool_parked(os: &Os) -> usize {
+    os.fastpath().expect("enabled").pool().total_parked()
+}
+
+fn cache_frames(os: &Os) -> u64 {
+    os.fastpath().expect("enabled").cache().cached_frames()
+}
+
+/// Runs one storm arm. `demand` caps total pages touched; `None` means
+/// "until the reclaimable caches are exhausted" (shrinker arm only).
+pub fn run_storm(shrinkers: bool, demand: Option<u64>) -> PressureOutcome {
+    let (mut os, parent) = boot_world();
+    if !shrinkers {
+        os.kernel.clear_shrinkers();
+    }
+
+    let pool_before = pool_parked(&os);
+    let cache_before = cache_frames(&os);
+    let spawn_before = spawn_once(&mut os, parent);
+    // The warm-up spawn consumed a parked child; top the pool back up so
+    // both arms enter the storm with the full prefill.
+    os.pool_prefill("/bin/tool", 1).expect("top up");
+
+    // Workers reserve generous anonymous regions up front (Always-mode
+    // overcommit admits them on credit) and then fault pages in
+    // round-robin: the bill arrives one page at a time.
+    let chunk = STORM_FRAMES / WORKERS as u64;
+    let workers: Vec<(Pid, fpr_mem::Vpn)> = (0..WORKERS)
+        .map(|i| {
+            let w = os
+                .kernel
+                .allocate_process(os.init, &format!("worker{i}"))
+                .expect("worker");
+            let base = os
+                .kernel
+                .mmap_anon(w, chunk, Prot::RW, Share::Private)
+                .expect("admitted on credit");
+            (w, base)
+        })
+        .collect();
+
+    let mut touched = [0u64; WORKERS];
+    let mut alive = [true; WORKERS];
+    let mut total = 0u64;
+    let mut peak = PressureLevel::None;
+    let mut first_victim_was_bystander = false;
+    let mut pinned_at_first_kill = 0u64;
+    let drained =
+        |os: &Os| pool_parked(os) == 0 && cache_frames(os) == 0;
+
+    'storm: loop {
+        let before = total;
+        for (i, &(w, base)) in workers.iter().enumerate() {
+            if !alive[i] || touched[i] >= chunk {
+                continue;
+            }
+            if let Some(d) = demand {
+                if total >= d {
+                    break 'storm;
+                }
+            } else if drained(&os) {
+                break 'storm;
+            }
+            loop {
+                match os.kernel.write_mem(w, base.add(touched[i]), total) {
+                    Ok(_) => {
+                        touched[i] += 1;
+                        total += 1;
+                        break;
+                    }
+                    // With shrinkers the kernel already direct-reclaimed
+                    // before surfacing this: memory is genuinely full.
+                    Err(Errno::Enomem) if shrinkers => break 'storm,
+                    Err(Errno::Enomem) => match os.kernel.oom_kill() {
+                        Some(victim) => {
+                            if os.kernel.oom_kills.len() == 1 {
+                                first_victim_was_bystander = victim != w;
+                                pinned_at_first_kill = cache_frames(&os);
+                            }
+                            for (j, &(wj, _)) in workers.iter().enumerate() {
+                                if wj == victim {
+                                    alive[j] = false;
+                                }
+                            }
+                            if victim == w {
+                                break;
+                            }
+                        }
+                        None => break 'storm,
+                    },
+                    Err(e) => panic!("unexpected storm error: {e}"),
+                }
+            }
+            peak = peak.max(os.kernel.memory_pressure());
+        }
+        if total == before {
+            // No worker made progress this round: demand met or everyone
+            // is dead/capped.
+            break;
+        }
+    }
+
+    let pool_during = pool_parked(&os);
+    let cache_during = cache_frames(&os);
+    // At peak pressure the pool is empty and the cache cold (shrinker
+    // arm): this spawn rides the classic path.
+    let spawn_during = spawn_once(&mut os, parent);
+
+    // Relief: the storm passes — workers exit and their frames return.
+    for (i, &(w, _)) in workers.iter().enumerate() {
+        if alive[i] {
+            os.kernel.exit(w, 0).expect("worker exit");
+        }
+        os.kernel.waitpid(os.init, Some(w)).expect("reap worker");
+    }
+    // Recovery: re-prefill restores the warm pool (and re-warms the
+    // image cache as a side effect of loading the children).
+    let refill = POOL_PREFILL.saturating_sub(pool_parked(&os));
+    os.pool_prefill("/bin/tool", refill).expect("re-prefill");
+    let spawn_after = spawn_once(&mut os, parent);
+    os.pool_prefill("/bin/tool", 1).expect("top up");
+
+    os.kernel.check_invariants().expect("invariants hold");
+    let stats = os.kernel.reclaim_stats();
+    PressureOutcome {
+        shrinkers,
+        touched_pages: total,
+        oom_victims: os.kernel.oom_kills.clone(),
+        first_victim_was_bystander,
+        pinned_frames_at_first_kill: pinned_at_first_kill,
+        spawn_before,
+        spawn_during,
+        spawn_after,
+        pool_occupancy: [pool_before, pool_during, pool_parked(&os)],
+        cache_frames: [cache_before, cache_during, cache_frames(&os)],
+        peak_pressure: peak,
+        reclaim_passes: stats.passes,
+        frames_reclaimed: stats.frames_reclaimed,
+        stall_cycles: os.kernel.phys.stall_cycles_total(),
+    }
+}
+
+/// Runs both arms with identical demand: the shrinker arm sizes the
+/// storm adaptively (touch until the caches are dry), the baseline then
+/// replays the same number of pages without reclaim.
+pub fn run_pair() -> (PressureOutcome, PressureOutcome) {
+    let with = run_storm(true, None);
+    let without = run_storm(false, Some(with.touched_pages));
+    (with, without)
+}
+
+/// Builds the E12 figure: spawn latency across the three storm phases,
+/// against the classic-path reference, plus the OOM body count.
+pub fn run() -> FigureData {
+    let (with, without) = run_pair();
+    let classic = classic_spawn_cost();
+    let us = |c: u64| c as f64 / CYCLES_PER_US as f64;
+
+    let mut fig = FigureData::new(
+        "fig_pressure",
+        "spawn latency and OOM kills through a memory-pressure storm",
+        "phase (0=calm, 1=storm peak, 2=after relief)",
+        "spawn latency us / kill count",
+    );
+    let mut fast = Series::new("spawn (shrinkers)");
+    fast.push(0.0, us(with.spawn_before));
+    fast.push(1.0, us(with.spawn_during));
+    fast.push(2.0, us(with.spawn_after));
+    let mut reference = Series::new("classic spawn (reference)");
+    for x in 0..3 {
+        reference.push(x as f64, us(classic));
+    }
+    let mut pool = Series::new("parked children (shrinkers)");
+    for (x, &n) in with.pool_occupancy.iter().enumerate() {
+        pool.push(x as f64, n as f64);
+    }
+    let mut kills_with = Series::new("oom kills (shrinkers)");
+    let mut kills_without = Series::new("oom kills (no shrinkers)");
+    kills_with.push(1.0, with.oom_victims.len() as f64);
+    kills_without.push(1.0, without.oom_victims.len() as f64);
+    fig.series = vec![fast, reference, pool, kills_with, kills_without];
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinker_storm_absorbs_demand_without_killing() {
+        let o = run_storm(true, None);
+        assert!(o.oom_victims.is_empty(), "no kills: {:?}", o.oom_victims);
+        assert!(o.reclaim_passes >= 1, "the storm forced reclaim");
+        assert!(o.frames_reclaimed > 0);
+        assert!(o.stall_cycles > 0, "reclaim stalls are accounted");
+        assert!(
+            o.peak_pressure >= PressureLevel::High,
+            "storm reached {:?}",
+            o.peak_pressure
+        );
+        // The caches were fully drained at peak…
+        assert_eq!(o.pool_occupancy[1], 0, "pool drained at peak");
+        assert_eq!(o.cache_frames[1], 0, "cache evicted at peak");
+        // …and recover to prefill levels after relief.
+        assert_eq!(o.pool_occupancy[2], POOL_PREFILL, "pool refilled");
+        assert!(o.cache_frames[2] >= o.cache_frames[0], "cache re-warmed");
+    }
+
+    #[test]
+    fn latency_degrades_to_classic_and_recovers() {
+        let o = run_storm(true, None);
+        let classic = classic_spawn_cost();
+        assert!(
+            o.spawn_before < o.spawn_during,
+            "calm pool hit {} must beat the degraded spawn {}",
+            o.spawn_before,
+            o.spawn_during
+        );
+        assert!(
+            o.spawn_after < o.spawn_during,
+            "post-relief spawn {} must beat the degraded spawn {}",
+            o.spawn_after,
+            o.spawn_during
+        );
+        // The degraded spawn rides the classic path: same cost class.
+        let ratio = o.spawn_during as f64 / classic as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "degraded spawn {} vs classic {} (ratio {ratio:.3})",
+            o.spawn_during,
+            classic
+        );
+    }
+
+    #[test]
+    fn baseline_kills_innocents_while_reclaimable_frames_sit_pinned() {
+        let (with, without) = run_pair();
+        assert!(with.oom_victims.is_empty());
+        assert!(
+            !without.oom_victims.is_empty(),
+            "same demand without shrinkers must OOM-kill"
+        );
+        assert!(
+            without.pinned_frames_at_first_kill > 0,
+            "reclaimable cache frames sat pinned while the killer fired"
+        );
+        assert!(
+            without.first_victim_was_bystander,
+            "the OOM killer shot a worker that was not even faulting"
+        );
+        // The exempt pool children survived the massacre.
+        assert_eq!(without.pool_occupancy[1], POOL_PREFILL);
+    }
+
+    #[test]
+    fn figure_renders_with_all_series() {
+        let fig = run();
+        assert_eq!(fig.series.len(), 5);
+        assert!(fig.series("spawn (shrinkers)").is_some());
+        let kills = fig.series("oom kills (no shrinkers)").unwrap();
+        assert!(kills.points[0].y >= 1.0);
+        let none = fig.series("oom kills (shrinkers)").unwrap();
+        assert_eq!(none.points[0].y, 0.0);
+        assert!(fig.render().contains("fig_pressure"));
+    }
+}

@@ -223,7 +223,7 @@ mod tests {
         let r = os.spawn(init, "/bin/tool", &actions, &SpawnAttrs::default());
         assert_eq!(r, Err(fpr_kernel::Errno::Ebadf));
         assert_eq!(os.kernel.process_count(), procs, "child re-parked, not leaked");
-        assert_eq!(os.fastpath().unwrap().pool.available("/bin/tool"), 1);
+        assert_eq!(os.fastpath().unwrap().pool().available("/bin/tool"), 1);
         os.kernel.check_invariants().unwrap();
         let _ = posix_spawn; // keep the classic symbol linked for parity
     }
@@ -244,7 +244,7 @@ mod tests {
             .spawn(init, "/bin/tool", &[], &SpawnAttrs::default())
             .unwrap();
         let f = os.fastpath().unwrap();
-        assert!(f.pool.discards() > 0, "stale parked child discarded");
+        assert!(f.pool().discards() > 0, "stale parked child discarded");
         let base_id = os.images.lookup("/bin/tool").unwrap().file_id;
         let img = os.images.lookup("/bin/tool").unwrap().clone();
         let l_old = os.kernel.process(before).unwrap().layout;

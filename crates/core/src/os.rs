@@ -8,10 +8,12 @@
 
 use fpr_api::{FileAction, ProcessBuilder, SpawnAttrs, WarmPool};
 use fpr_exec::{AslrConfig, Image, ImageCache, ImageRegistry};
-use fpr_kernel::{Errno, KResult, Kernel, MachineConfig, Pid};
+use fpr_kernel::{Errno, KResult, Kernel, MachineConfig, Pid, ShrinkerHandle};
 use fpr_mem::{ForkMode, Prot, Share, Vpn};
 use fpr_trace::ProcessShape;
 use fpr_rng::Rng;
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
 
 /// Configuration for [`Os::boot`].
 #[derive(Debug, Clone)]
@@ -35,12 +37,30 @@ impl Default for OsConfig {
 }
 
 /// The spawn fast path's moving parts, owned by [`Os`] while enabled.
+///
+/// Cache and pool are shared (`Rc<RefCell<…>>`) because the kernel holds
+/// weak handles to both as memory-pressure shrinkers: under pressure a
+/// reclaim pass drains warm children and evicts cold image entries
+/// instead of OOM-killing. Dropping this struct (fast-path disable)
+/// unregisters both automatically.
 #[derive(Debug)]
 pub struct SpawnFastpath {
     /// Exec image cache consulted by every spawn while enabled.
-    pub cache: ImageCache,
+    pub cache: Rc<RefCell<ImageCache>>,
     /// Warm pool of pre-built children.
-    pub pool: WarmPool,
+    pub pool: Rc<RefCell<WarmPool>>,
+}
+
+impl SpawnFastpath {
+    /// Read access to the image cache (counters, occupancy).
+    pub fn cache(&self) -> Ref<'_, ImageCache> {
+        self.cache.borrow()
+    }
+
+    /// Read access to the warm pool (counters, occupancy).
+    pub fn pool(&self) -> Ref<'_, WarmPool> {
+        self.pool.borrow()
+    }
 }
 
 /// A booted simulated OS.
@@ -144,8 +164,8 @@ impl Os {
                 attrs,
                 self.aslr,
                 seed,
-                &mut f.cache,
-                &mut f.pool,
+                &mut f.cache.borrow_mut(),
+                &mut f.pool.borrow_mut(),
             ),
             None => fpr_api::posix_spawn(
                 &mut self.kernel,
@@ -161,25 +181,32 @@ impl Os {
     }
 
     /// Turns the spawn fast path on: binds every registered binary to a
-    /// backing VFS file (so rewrites invalidate the cache) and installs
-    /// an empty image cache + warm pool. Idempotent.
+    /// backing VFS file (so rewrites invalidate the cache), installs an
+    /// empty image cache + warm pool, and registers both with the kernel
+    /// as memory-pressure shrinkers (pool first: draining warm children
+    /// frees more per step than evicting cache entries whose frames they
+    /// share). Idempotent.
     pub fn enable_spawn_fastpath(&mut self) -> KResult<()> {
         self.ensure_vfs_backing()?;
         if self.fastpath.is_none() {
-            self.fastpath = Some(SpawnFastpath {
-                cache: ImageCache::new(),
-                pool: WarmPool::new(self.init),
-            });
+            let cache = Rc::new(RefCell::new(ImageCache::new()));
+            let pool = Rc::new(RefCell::new(WarmPool::new(self.init)));
+            self.kernel
+                .register_shrinker(&(pool.clone() as ShrinkerHandle));
+            self.kernel
+                .register_shrinker(&(cache.clone() as ShrinkerHandle));
+            self.fastpath = Some(SpawnFastpath { cache, pool });
         }
         Ok(())
     }
 
     /// Turns the fast path off again, draining the pool and unpinning
-    /// every cached frame. Spawns go back to the classic path.
+    /// every cached frame. Spawns go back to the classic path, and
+    /// dropping the strong handles unregisters both shrinkers.
     pub fn disable_spawn_fastpath(&mut self) -> KResult<()> {
-        if let Some(mut f) = self.fastpath.take() {
-            f.pool.drain(&mut self.kernel)?;
-            f.cache.clear(&mut self.kernel);
+        if let Some(f) = self.fastpath.take() {
+            f.pool.borrow_mut().drain(&mut self.kernel)?;
+            f.cache.borrow_mut().clear(&mut self.kernel);
         }
         Ok(())
     }
@@ -198,8 +225,13 @@ impl Os {
     /// [`Errno::Einval`] unless the fast path is enabled).
     pub fn pool_prefill(&mut self, path: &str, n: usize) -> KResult<()> {
         let f = self.fastpath.as_mut().ok_or(Errno::Einval)?;
-        f.pool
-            .prefill(&mut self.kernel, &self.images, &mut f.cache, path, n)
+        f.pool.borrow_mut().prefill(
+            &mut self.kernel,
+            &self.images,
+            &mut f.cache.borrow_mut(),
+            path,
+            n,
+        )
     }
 
     /// Rewrites the backing file of the binary at `path`, bumping its

@@ -1,0 +1,238 @@
+//! Seeded property test for the memory-pressure subsystem.
+//!
+//! Random interleavings of alloc / free / spawn / fork / reclaim must:
+//!
+//! 1. keep [`Kernel::check_invariants`] green after *every* step;
+//! 2. leak nothing on failed steps — a failed operation leaves the
+//!    kernel at its pre-op baseline, unless a reclaim pass ran inside
+//!    it (reclaim legitimately frees cached state, so there the check
+//!    weakens to "resource counts only went *down*");
+//! 3. tear down to the post-boot baseline exactly (full-run leak check);
+//! 4. with the fast path toggled off, replay byte-identically to a
+//!    world that never had it (same results, same cycle totals).
+//!
+//! The workspace builds without proptest, so this is a hand-rolled
+//! generator over `fpr_rng` with fixed seeds: failures reproduce.
+
+use forkroad_core::os::{Os, OsConfig};
+use fpr_api::SpawnAttrs;
+use fpr_kernel::{Errno, MachineConfig, Pid};
+use fpr_mem::{OvercommitPolicy, Prot, Share, Vpn};
+use fpr_rng::Rng;
+use fpr_trace::ProcessShape;
+
+const STEPS: usize = 60;
+const FRAMES: u64 = 2048;
+
+fn boot() -> Os {
+    Os::boot(OsConfig {
+        machine: MachineConfig {
+            frames: FRAMES,
+            overcommit: OvercommitPolicy::Always,
+            ..MachineConfig::default()
+        },
+        ..Default::default()
+    })
+}
+
+/// One process the sequence owns, with the regions it mapped.
+struct Actor {
+    pid: Pid,
+    regions: Vec<(Vpn, u64)>,
+}
+
+/// Drives one random sequence. `fastpath` gates the pool-prefill arm of
+/// the reclaim op (the parity worlds have no fast path to prefill).
+/// Returns a step-by-step trace of (what ran, what it returned, cycle
+/// total afterwards) for byte-identity comparison.
+fn drive(os: &mut Os, seed: u64, fastpath: bool, checked: bool) -> Vec<String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let root = os
+        .make_parent(ProcessShape::with_heap(16))
+        .expect("root fits");
+    let mut actors = vec![Actor {
+        pid: root,
+        regions: vec![],
+    }];
+    let mut trace = Vec::with_capacity(STEPS);
+
+    for step in 0..STEPS {
+        let pre = os.kernel.baseline();
+        let pre_passes = os.kernel.reclaim_stats().passes;
+        let op = rng.gen_below(6);
+        let desc: String = match op {
+            // alloc: map a fresh region on a random actor and fault in
+            // a prefix of it.
+            0 => {
+                let a = rng.gen_index(actors.len());
+                let pages = 1 + rng.gen_below(16);
+                match os.kernel.mmap_anon(actors[a].pid, pages, Prot::RW, Share::Private) {
+                    Ok(base) => {
+                        let touch = rng.gen_below(pages + 1).min(8);
+                        let mut touched = 0;
+                        for i in 0..touch {
+                            match os.kernel.write_mem(actors[a].pid, base.add(i), step as u64) {
+                                Ok(_) => touched += 1,
+                                Err(Errno::Enomem) => break,
+                                Err(e) => panic!("touch failed: {e}"),
+                            }
+                        }
+                        actors[a].regions.push((base, pages));
+                        format!("alloc[{a}] {pages}p touched {touched}")
+                    }
+                    Err(e) => format!("alloc[{a}] failed {e}"),
+                }
+            }
+            // free: unmap a random previously mapped region.
+            1 => {
+                let candidates: Vec<usize> = (0..actors.len())
+                    .filter(|&i| !actors[i].regions.is_empty())
+                    .collect();
+                if candidates.is_empty() {
+                    "free: nothing mapped".into()
+                } else {
+                    let a = candidates[rng.gen_index(candidates.len())];
+                    let r = rng.gen_index(actors[a].regions.len());
+                    let (base, pages) = actors[a].regions.remove(r);
+                    let freed = os
+                        .kernel
+                        .munmap(actors[a].pid, base, pages)
+                        .expect("munmap of a live region");
+                    format!("free[{a}] {pages}p -> {freed} frames")
+                }
+            }
+            // spawn a fresh child of root.
+            2 => match os.spawn(root, "/bin/tool", &[], &SpawnAttrs::default()) {
+                Ok(c) => {
+                    actors.push(Actor {
+                        pid: c,
+                        regions: vec![],
+                    });
+                    format!("spawn ok ({} actors)", actors.len())
+                }
+                Err(e) => format!("spawn failed {e}"),
+            },
+            // fork root (children of children would complicate reaping
+            // without adding coverage: the clone path is the same).
+            3 => match os.fork(root) {
+                Ok(c) => {
+                    actors.push(Actor {
+                        pid: c,
+                        regions: vec![],
+                    });
+                    format!("fork ok ({} actors)", actors.len())
+                }
+                Err(e) => format!("fork failed {e}"),
+            },
+            // reclaim: run a balance pass; with the fast path on, also
+            // occasionally restock the pool so there is something to
+            // reclaim next time.
+            4 => {
+                let freed = os.kernel.balance_pressure();
+                if fastpath && rng.gen_bool(0.5) {
+                    let r = os.pool_prefill("/bin/tool", 1);
+                    format!("reclaim {freed} + prefill {r:?}")
+                } else {
+                    format!("reclaim {freed}")
+                }
+            }
+            // exit: retire a random non-root actor.
+            _ => {
+                if actors.len() == 1 {
+                    "exit: only root left".into()
+                } else {
+                    let a = 1 + rng.gen_index(actors.len() - 1);
+                    let victim = actors.remove(a);
+                    os.kernel.exit(victim.pid, 0).expect("exit");
+                    os.kernel.waitpid(root, Some(victim.pid)).expect("reap");
+                    format!("exit actor {}", victim.pid.0)
+                }
+            }
+        };
+
+        if checked {
+            os.kernel
+                .check_invariants()
+                .unwrap_or_else(|v| panic!("step {step} ({desc}): invariants broken: {v:?}"));
+            if desc.contains("failed") {
+                if os.kernel.reclaim_stats().passes == pre_passes {
+                    os.kernel.leak_check(&pre).unwrap_or_else(|v| {
+                        panic!("step {step} ({desc}): failed op leaked: {v:?}")
+                    });
+                } else {
+                    // A reclaim pass ran inside the failing op: cached
+                    // state was legitimately torn down, so counts may
+                    // shrink — but never grow.
+                    let now = os.kernel.baseline();
+                    assert!(
+                        now.used_frames <= pre.used_frames
+                            && now.committed <= pre.committed,
+                        "step {step} ({desc}): failed op grew resources"
+                    );
+                }
+            }
+        }
+        trace.push(format!("{step}:{desc}@{}", os.kernel.cycles.total()));
+    }
+
+    // Teardown: retire every actor (root last) so the caller can leak-
+    // check against its post-boot baseline.
+    for a in actors.iter().skip(1) {
+        os.kernel.exit(a.pid, 0).expect("exit child");
+        os.kernel.waitpid(root, Some(a.pid)).expect("reap child");
+    }
+    os.kernel.exit(root, 0).expect("exit root");
+    os.kernel.waitpid(os.init, Some(root)).expect("reap root");
+    trace
+}
+
+#[test]
+fn random_sequences_hold_invariants_and_leak_nothing() {
+    for case in 0..10u64 {
+        let mut os = boot();
+        // Baseline after enabling: binding binaries to VFS backing files
+        // creates inodes that persist by design (they back the images).
+        os.enable_spawn_fastpath().expect("enable");
+        let boot_base = os.kernel.baseline();
+        os.pool_prefill("/bin/tool", 4).expect("prefill");
+        drive(&mut os, 0xE12_000 + case, true, true);
+        os.disable_spawn_fastpath().expect("disable");
+        os.kernel
+            .check_invariants()
+            .unwrap_or_else(|v| panic!("case {case}: final invariants: {v:?}"));
+        os.kernel
+            .leak_check(&boot_base)
+            .unwrap_or_else(|v| panic!("case {case}: full-run leak: {v:?}"));
+    }
+}
+
+#[test]
+fn toggled_off_fastpath_replays_byte_identical_to_classic() {
+    for case in 0..6u64 {
+        let seed = 0xE12_100 + case;
+        let mut classic = boot();
+        let classic_trace = drive(&mut classic, seed, false, true);
+
+        let mut toggled = boot();
+        toggled.enable_spawn_fastpath().expect("enable");
+        toggled.disable_spawn_fastpath().expect("disable");
+        assert!(!toggled.fastpath_enabled());
+        let toggled_trace = drive(&mut toggled, seed, false, true);
+
+        assert_eq!(
+            classic_trace, toggled_trace,
+            "case {case}: toggled world diverged from classic"
+        );
+        assert_eq!(
+            classic.kernel.cycles.total(),
+            toggled.kernel.cycles.total(),
+            "case {case}: cycle totals diverged"
+        );
+        // Baselines match except inodes: the toggled world keeps the VFS
+        // backing files the enable created (they back the binaries).
+        let (mut c, mut t) = (classic.kernel.baseline(), toggled.kernel.baseline());
+        c.inodes = 0;
+        t.inodes = 0;
+        assert_eq!(c, t, "case {case}: resource counts diverged");
+    }
+}

@@ -31,12 +31,17 @@ struct Entry {
     eff_file_id: u64,
     /// `(page offset into the file, pinned frame)`, ascending by offset.
     frames: Vec<(u64, Pfn)>,
+    /// Logical timestamp of the last hit (or the insert), for LRU
+    /// eviction under memory pressure.
+    last_used: u64,
 }
 
 /// Cache of pinned exec-image frames, keyed by base file id.
 #[derive(Debug, Default)]
 pub struct ImageCache {
     entries: BTreeMap<u64, Entry>,
+    /// Monotonic logical clock stamping `Entry::last_used`.
+    tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -62,8 +67,11 @@ impl ImageCache {
         if stale {
             self.evict(kernel, base);
         }
-        match self.entries.get(&base) {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&base) {
             Some(e) => {
+                e.last_used = tick;
                 self.hits += 1;
                 metrics::incr("exec.image_cache.hit");
                 Some(e.frames.clone())
@@ -97,8 +105,36 @@ impl ImageCache {
         }
         metrics::incr("exec.image_cache.insert");
         metrics::add("exec.image_cache.frames", frames.len() as u64);
-        self.entries.insert(base, Entry { eff_file_id, frames });
+        self.tick += 1;
+        self.entries.insert(
+            base,
+            Entry {
+                eff_file_id,
+                frames,
+                last_used: self.tick,
+            },
+        );
         Ok(())
+    }
+
+    /// Evicts least-recently-used entries until `target` frames have been
+    /// returned to the allocator or the cache is empty, reporting frames
+    /// actually freed (an evicted frame still mapped by a live child
+    /// survives through its mapping references and counts for nothing).
+    /// This is the cache's [`fpr_kernel::Shrinker`] work; the reclaim
+    /// pass crosses the fault site before calling it.
+    pub fn shrink(&mut self, kernel: &mut Kernel, target: u64) -> KResult<u64> {
+        let free_before = kernel.phys.free_frames();
+        while kernel.phys.free_frames() - free_before < target {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(base, _)| *base);
+            let Some(base) = lru else { break };
+            self.evict(kernel, base);
+        }
+        Ok(kernel.phys.free_frames() - free_before)
     }
 
     fn evict(&mut self, kernel: &mut Kernel, base: u64) {
@@ -151,6 +187,27 @@ impl ImageCache {
     /// Entries evicted (stale generation or replacement) so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+}
+
+/// Under memory pressure the cache gives pinned image frames back, LRU
+/// first: spawn latency for the evicted binaries degrades to the classic
+/// uncached path instead of some process being OOM-killed.
+impl fpr_kernel::Shrinker for ImageCache {
+    fn name(&self) -> &'static str {
+        "image_cache"
+    }
+
+    fn fault_site(&self) -> fpr_faults::FaultSite {
+        fpr_faults::FaultSite::ReclaimShrink
+    }
+
+    fn reclaimable(&self, _kernel: &Kernel) -> u64 {
+        self.cached_frames()
+    }
+
+    fn shrink(&mut self, kernel: &mut Kernel, target: u64) -> KResult<u64> {
+        ImageCache::shrink(self, kernel, target)
     }
 }
 
@@ -274,6 +331,46 @@ mod tests {
         // Old frames stay alive only through the old child's mappings.
         assert_eq!(cache.cached_frames(), 2);
         let _ = used_before;
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shrink_evicts_lru_first_and_reports_frames_freed() {
+        let (mut k, init) = world();
+        let mut cache = ImageCache::new();
+        let mut cold = Image::small("cold");
+        cold.file_id = 2001;
+        let mut warm = Image::small("warm");
+        warm.file_id = 2002;
+        for (i, img) in [&cold, &warm].iter().enumerate() {
+            let donor = k.allocate_process(init, "donor").unwrap();
+            load_cached(
+                &mut k,
+                donor,
+                img,
+                randomize(AslrConfig::default(), 10 + i as u64),
+                &mut cache,
+            )
+            .unwrap();
+            k.abort_process_creation(donor).unwrap();
+        }
+        // Touch `warm` so `cold` is the LRU entry.
+        let p = k.allocate_process(init, "p").unwrap();
+        load_cached(&mut k, p, &warm, randomize(AslrConfig::default(), 12), &mut cache).unwrap();
+        k.abort_process_creation(p).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        // Asking for one frame evicts exactly the cold entry (2 frames,
+        // both pinned-only, so both come back).
+        let freed = cache.shrink(&mut k, 1).unwrap();
+        assert_eq!(freed, 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&mut k, warm.file_id).is_some(), "warm survived");
+        assert!(cache.lookup(&mut k, cold.file_id).is_none(), "cold evicted");
+        // Shrinking an empty-enough cache reports what it could do.
+        let freed = cache.shrink(&mut k, 1000).unwrap();
+        assert_eq!(freed, 2);
+        assert!(cache.is_empty());
         k.check_invariants().unwrap();
     }
 

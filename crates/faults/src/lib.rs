@@ -95,11 +95,20 @@ pub enum FaultSite {
     /// Checking a pre-warmed child out of the spawn warm pool
     /// (`fpr-api::fastpath`).
     PoolCheckout,
+    /// One shrinker invocation of the memory-pressure reclaim pass
+    /// (`fpr-kernel::reclaim`). Crossed for every shrinker *before* any
+    /// shrinker mutates, so an injected failure aborts the whole pass
+    /// with the kernel byte-identical to before it.
+    ReclaimShrink,
+    /// Draining warm-pool children under memory pressure
+    /// (`fpr-api::fastpath`): the pool shrinker's work-list setup,
+    /// crossed before any parked child is torn down.
+    PoolDrain,
 }
 
 impl FaultSite {
     /// Every site, in a stable order (used by sweeps and coverage reports).
-    pub const ALL: [FaultSite; 12] = [
+    pub const ALL: [FaultSite; 14] = [
         FaultSite::FrameAlloc,
         FaultSite::PtNodeAlloc,
         FaultSite::VmaClone,
@@ -112,6 +121,8 @@ impl FaultSite {
         FaultSite::PtUnshare,
         FaultSite::ImageCacheInsert,
         FaultSite::PoolCheckout,
+        FaultSite::ReclaimShrink,
+        FaultSite::PoolDrain,
     ];
 
     /// Stable snake_case name (report/JSON key).
@@ -129,6 +140,8 @@ impl FaultSite {
             FaultSite::PtUnshare => "pt_unshare",
             FaultSite::ImageCacheInsert => "image_cache_insert",
             FaultSite::PoolCheckout => "pool_checkout",
+            FaultSite::ReclaimShrink => "reclaim_shrink",
+            FaultSite::PoolDrain => "pool_drain",
         }
     }
 }

@@ -92,6 +92,11 @@ pub struct Kernel {
     pub(crate) procs: BTreeMap<Pid, Process>,
     /// Live process count per real uid (RLIMIT_NPROC accounting).
     pub(crate) user_counts: BTreeMap<u32, u64>,
+    /// Registered shrinkers, held weakly: subsystems own the strong
+    /// handles and dropping them unregisters (see `reclaim`).
+    pub(crate) shrinkers: Vec<std::rc::Weak<std::cell::RefCell<dyn crate::reclaim::Shrinker>>>,
+    /// Cumulative reclaim-pass statistics.
+    pub(crate) reclaim_stats: crate::reclaim::ReclaimStats,
 }
 
 impl Kernel {
@@ -116,6 +121,8 @@ impl Kernel {
             tids: TidAllocator::new(),
             procs: BTreeMap::new(),
             user_counts: BTreeMap::new(),
+            shrinkers: Vec::new(),
+            reclaim_stats: crate::reclaim::ReclaimStats::default(),
         }
     }
 
@@ -300,8 +307,17 @@ impl Kernel {
         Ok(start)
     }
 
-    /// Maps an explicit VMA (loader path), charging commit.
+    /// Maps an explicit VMA (loader path), charging commit. An `ENOMEM`
+    /// under real memory pressure triggers one direct-reclaim pass (see
+    /// `reclaim`) and a single retry before surfacing.
     pub fn mmap_at(&mut self, pid: Pid, vma: VmArea) -> KResult<()> {
+        match self.mmap_at_inner(pid, vma.clone()) {
+            Err(Errno::Enomem) if self.direct_reclaim() => self.mmap_at_inner(pid, vma),
+            r => r,
+        }
+    }
+
+    fn mmap_at_inner(&mut self, pid: Pid, vma: VmArea) -> KResult<()> {
         self.ensure_alive(pid)?;
         let Kernel {
             phys,
@@ -350,8 +366,17 @@ impl Kernel {
         Ok(freed)
     }
 
-    /// Writes `val` to the page at `vpn` of `pid`, faulting as needed.
+    /// Writes `val` to the page at `vpn` of `pid`, faulting as needed. An
+    /// `ENOMEM` under real memory pressure triggers one direct-reclaim
+    /// pass and a single retry before surfacing.
     pub fn write_mem(&mut self, pid: Pid, vpn: Vpn, val: u64) -> KResult<FaultOutcome> {
+        match self.write_mem_inner(pid, vpn, val) {
+            Err(Errno::Enomem) if self.direct_reclaim() => self.write_mem_inner(pid, vpn, val),
+            r => r,
+        }
+    }
+
+    fn write_mem_inner(&mut self, pid: Pid, vpn: Vpn, val: u64) -> KResult<FaultOutcome> {
         self.ensure_alive(pid)?;
         let owner = self.space_owner(pid)?;
         let cpus = self.cpus_running(owner);
@@ -380,8 +405,18 @@ impl Kernel {
         Ok(p.aspace.read(vpn, phys, cycles)?.0)
     }
 
-    /// Pre-faults a range (`MAP_POPULATE`).
+    /// Pre-faults a range (`MAP_POPULATE`). An `ENOMEM` under real memory
+    /// pressure triggers one direct-reclaim pass and a single retry
+    /// before surfacing; an interrupted populate is resumable, so the
+    /// retry picks up where the failed pass stopped.
     pub fn populate(&mut self, pid: Pid, start: Vpn, pages: u64) -> KResult<()> {
+        match self.populate_inner(pid, start, pages) {
+            Err(Errno::Enomem) if self.direct_reclaim() => self.populate_inner(pid, start, pages),
+            r => r,
+        }
+    }
+
+    fn populate_inner(&mut self, pid: Pid, start: Vpn, pages: u64) -> KResult<()> {
         self.ensure_alive(pid)?;
         let owner = self.space_owner(pid)?;
         let Kernel {
@@ -519,7 +554,14 @@ impl Kernel {
         mode: fpr_mem::ForkMode,
     ) -> KResult<AddressSpace> {
         sink::span_begin("clone_address_space", "kernel", self.cycles.total());
-        let r = self.clone_address_space_inner(pid, mode);
+        let r = match self.clone_address_space_inner(pid, mode) {
+            // The clone rolls back on failure, so a single direct-reclaim
+            // retry under real pressure is safe.
+            Err(Errno::Enomem) if self.direct_reclaim() => {
+                self.clone_address_space_inner(pid, mode)
+            }
+            r => r,
+        };
         sink::span_end("clone_address_space", self.cycles.total());
         r
     }

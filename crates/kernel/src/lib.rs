@@ -30,6 +30,7 @@ pub mod pgroup;
 pub mod pid;
 pub mod pipe;
 pub mod procfs;
+pub mod reclaim;
 pub mod rlimit;
 pub mod sched;
 pub mod signal;
@@ -53,9 +54,10 @@ pub use lifecycle::OOM_EXIT_STATUS;
 pub use mm::Madvice;
 pub use pgroup::{Pgid, Sid};
 pub use pid::{Pid, Tid};
+pub use reclaim::{ReclaimStats, Shrinker, ShrinkerHandle};
 pub use rlimit::{Resource, Rlimit, RlimitSet};
 pub use signal::{Disposition, HandlerId, Sig, SignalState};
 pub use stdio::{BufMode, UserStream};
 pub use sync::{LockId, LockTable};
-pub use task::{LayoutInfo, ProcState, Process, SpaceRef};
+pub use task::{LayoutInfo, ProcState, Process, SpaceRef, OOM_SCORE_ADJ_MIN};
 pub use thread::{Thread, ThreadState};

@@ -202,19 +202,56 @@ impl Kernel {
         Ok(None)
     }
 
-    /// The OOM killer: kills the non-init process with the largest
-    /// resident set. Returns its PID, or `None` if there is no candidate.
+    /// OOM badness of one process: how much memory killing it would
+    /// actually give back, in pages. `None` means the process is exempt
+    /// (init, zombies, borrowed address spaces, or an `oom_score_adj` of
+    /// [`crate::task::OOM_SCORE_ADJ_MIN`] — warm-pool children are parked
+    /// with that so pressure reclaims them through shrinkers, never the
+    /// killer).
+    ///
+    /// The score is *freeable* resident pages (resident minus pages whose
+    /// backing frame is pinned — killing the process leaves those frames
+    /// in the pinning cache) plus committed charge (an `Always`-mode hog
+    /// that committed gigabytes but touched nothing is a prime victim,
+    /// where resident-only scoring saw zero) plus `oom_score_adj`.
+    pub fn oom_badness(&self, pid: Pid) -> Option<i64> {
+        let p = self.procs.get(&pid)?;
+        if p.is_zombie() || p.pid == Pid(1) || p.space_ref != SpaceRef::Owned {
+            return None;
+        }
+        if p.oom_score_adj <= crate::task::OOM_SCORE_ADJ_MIN {
+            return None;
+        }
+        let mut resident = 0i64;
+        let mut pinned = 0i64;
+        p.aspace.for_each_resident(|_vpn, pte| {
+            resident += 1;
+            if self.phys.pin_count(pte.pfn) > 0 {
+                pinned += 1;
+            }
+        });
+        let score = (resident - pinned) + p.aspace.commit_pages() as i64 + p.oom_score_adj;
+        Some(score.max(0))
+    }
+
+    /// The OOM killer: kills the process with the highest badness (see
+    /// [`Kernel::oom_badness`]). Ties break toward the largest PID — the
+    /// youngest process, deterministically. Returns the victim's PID, or
+    /// `None` if every process is exempt.
     pub fn oom_kill(&mut self) -> Option<Pid> {
         let victim = self
             .procs
-            .values()
-            .filter(|p| !p.is_zombie() && p.pid != Pid(1) && p.space_ref == SpaceRef::Owned)
-            .max_by_key(|p| (p.resident_pages(), std::cmp::Reverse(p.pid)))?
-            .pid;
+            .keys()
+            .copied()
+            .filter_map(|pid| self.oom_badness(pid).map(|score| (score, pid)))
+            .max_by_key(|&(score, pid)| (score, pid))?
+            .1;
         if let Some(p) = self.procs.get_mut(&victim) {
             p.oom_killed = true;
         }
         self.oom_kills.push(victim);
+        fpr_trace::metrics::incr("kernel.oom.kills");
+        fpr_trace::sink::instant("oom_kill", "kernel", self.cycles.total());
         self.exit(victim, OOM_EXIT_STATUS).ok()?;
         Some(victim)
     }
@@ -368,6 +405,67 @@ mod tests {
             ProcState::Zombie(OOM_EXIT_STATUS)
         );
         assert!(!k.process(small).unwrap().is_zombie());
+    }
+
+    #[test]
+    fn oom_killer_sees_commit_hog_with_no_resident_pages() {
+        // An Always-mode hog that committed a huge mapping but touched
+        // nothing was invisible to resident-only scoring; badness folds
+        // committed charge in.
+        let mut k = Kernel::new(crate::kernel::MachineConfig {
+            overcommit: fpr_mem::OvercommitPolicy::Always,
+            ..Default::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let worker = k.allocate_process(init, "worker").unwrap();
+        let hog = k.allocate_process(init, "hog").unwrap();
+        let b = k.mmap_anon(worker, 8, Prot::RW, Share::Private).unwrap();
+        k.populate(worker, b, 8).unwrap();
+        k.mmap_anon(hog, 4096, Prot::RW, Share::Private).unwrap(); // never touched
+        assert!(k.oom_badness(hog).unwrap() > k.oom_badness(worker).unwrap());
+        assert_eq!(k.oom_kill(), Some(hog));
+        assert!(!k.process(worker).unwrap().is_zombie());
+    }
+
+    #[test]
+    fn oom_badness_discounts_pinned_pages_and_adj_min_exempts() {
+        let (mut k, init) = boot();
+        let a = child_of(&mut k, init);
+        let b = child_of(&mut k, init);
+        let va = k.mmap_anon(a, 16, Prot::RW, Share::Private).unwrap();
+        k.populate(a, va, 16).unwrap();
+        let vb = k.mmap_anon(b, 16, Prot::RW, Share::Private).unwrap();
+        k.populate(b, vb, 16).unwrap();
+        assert_eq!(k.oom_badness(a), k.oom_badness(b));
+        // Pin every frame of `a`: killing it would free nothing resident.
+        let mut pfns = Vec::new();
+        k.process(a).unwrap().aspace.for_each_resident(|_, pte| pfns.push(pte.pfn));
+        for pfn in &pfns {
+            k.phys.pin(*pfn).unwrap();
+        }
+        assert!(k.oom_badness(a).unwrap() < k.oom_badness(b).unwrap());
+        assert_eq!(k.oom_kill(), Some(b));
+        for pfn in &pfns {
+            let mut c = fpr_mem::Cycles::new();
+            k.phys.unpin(*pfn, &mut c).unwrap();
+        }
+        // OOM_SCORE_ADJ_MIN exempts entirely.
+        k.process_mut(a).unwrap().oom_score_adj = crate::task::OOM_SCORE_ADJ_MIN;
+        assert_eq!(k.oom_badness(a), None);
+        assert_eq!(k.oom_kill(), None, "init and the exempt child survive");
+    }
+
+    #[test]
+    fn oom_kill_ties_break_toward_youngest_pid() {
+        let (mut k, init) = boot();
+        let older = child_of(&mut k, init);
+        let younger = child_of(&mut k, init);
+        for pid in [older, younger] {
+            let v = k.mmap_anon(pid, 8, Prot::RW, Share::Private).unwrap();
+            k.populate(pid, v, 8).unwrap();
+        }
+        assert_eq!(k.oom_badness(older), k.oom_badness(younger));
+        assert_eq!(k.oom_kill(), Some(younger));
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Memory-pressure reclaim: the shrinker registry and the kernel-driven
+//! reclaim pass.
+//!
+//! The paper's overcommit section observes that fork-style memory
+//! accounting makes exhaustion arrive as an OOM kill "at the worst
+//! possible time". This module gives the kernel a gentler first response:
+//! subsystems that hold *reclaimable* memory — the exec image cache and
+//! the warm-child pool from the spawn fast path — register a [`Shrinker`]
+//! and the kernel asks them to give frames back before anyone is killed.
+//! The cost of reclaim is degraded spawn latency (back toward the classic
+//! path), not a dead process.
+//!
+//! ## Transactionality
+//!
+//! A reclaim pass must be safe to inject faults into: the faultsweep
+//! acceptance for this subsystem is *kernel at baseline after every
+//! injection*. Partial reclaim (shrinker A freed frames, then shrinker
+//! B's fault site failed) would leave the machine changed-but-Err, which
+//! the sweeps would flag as a leak of intent if not of frames. So
+//! [`Kernel::reclaim`] is two-phase: it first crosses **every**
+//! participating shrinker's fault site, and only when all crossings
+//! survive does any shrinker mutate. An injected failure therefore always
+//! aborts the pass before the first freed frame.
+//!
+//! ## Re-entrancy
+//!
+//! Shrinkers live above the kernel (`fpr-exec`, `fpr-api`) and are shared
+//! via `Rc<RefCell<…>>`; the kernel holds only [`Weak`] references, so
+//! dropping the owning subsystem (e.g. `Os::disable_spawn_fastpath`)
+//! unregisters automatically. Direct reclaim can fire while the fast path
+//! itself holds a cache borrow (spawn under pressure); `try_borrow_mut`
+//! skips busy shrinkers instead of panicking.
+
+use crate::error::KResult;
+use crate::kernel::Kernel;
+use fpr_faults::FaultSite;
+use fpr_mem::PressureLevel;
+use fpr_trace::{metrics, sink};
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+/// A subsystem that can give frames back to the kernel under memory
+/// pressure.
+pub trait Shrinker {
+    /// Stable name for metrics and traces.
+    fn name(&self) -> &'static str;
+
+    /// The fault site a reclaim pass crosses on this shrinker's behalf
+    /// *before* any shrinker mutates (see the module docs).
+    fn fault_site(&self) -> FaultSite;
+
+    /// Upper bound on frames this shrinker could free right now. A zero
+    /// answer excludes it from the pass (and from fault crossings).
+    fn reclaimable(&self, kernel: &Kernel) -> u64;
+
+    /// Frees up to `target` frames, returning how many were freed. Must
+    /// not cross fault sites (the pass already did) and must leave its
+    /// subsystem consistent at every return.
+    fn shrink(&mut self, kernel: &mut Kernel, target: u64) -> KResult<u64>;
+}
+
+/// Strong handle to a registered shrinker; the owning subsystem keeps
+/// this alive, the kernel only holds a [`Weak`].
+pub type ShrinkerHandle = Rc<RefCell<dyn Shrinker>>;
+
+/// Cumulative reclaim statistics, for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Reclaim passes that ran at least one shrinker.
+    pub passes: u64,
+    /// Frames freed by shrinkers, cumulative.
+    pub frames_reclaimed: u64,
+    /// Passes aborted by an injected fault before any mutation.
+    pub aborted_passes: u64,
+}
+
+impl Kernel {
+    /// Registers a shrinker. The kernel keeps a weak reference: dropping
+    /// every strong handle unregisters it on the next pass.
+    pub fn register_shrinker(&mut self, shrinker: &ShrinkerHandle) {
+        self.shrinkers.push(Rc::downgrade(shrinker));
+    }
+
+    /// Drops every registered shrinker (the E12 baseline arm: reclaimable
+    /// frames sit pinned while the OOM killer picks victims).
+    pub fn clear_shrinkers(&mut self) {
+        self.shrinkers.clear();
+    }
+
+    /// Number of currently live (upgradable) shrinkers.
+    pub fn live_shrinker_count(&mut self) -> usize {
+        self.shrinkers.retain(|w| w.strong_count() > 0);
+        self.shrinkers.len()
+    }
+
+    /// The machine's current memory-pressure level.
+    pub fn memory_pressure(&self) -> PressureLevel {
+        self.phys.pressure()
+    }
+
+    /// Runs a reclaim pass asking registered shrinkers for `target`
+    /// frames, LRU-first within each shrinker. Returns the number of
+    /// frames actually freed (possibly less than `target`, possibly 0).
+    ///
+    /// Two-phase (see module docs): every participating shrinker's fault
+    /// site is crossed before any shrinker mutates, so an `Err` from this
+    /// function always leaves the kernel byte-identical to before the
+    /// call.
+    pub fn reclaim(&mut self, target: u64) -> KResult<u64> {
+        if target == 0 {
+            return Ok(0);
+        }
+        self.shrinkers.retain(|w| w.strong_count() > 0);
+        if self.shrinkers.is_empty() {
+            return Ok(0);
+        }
+        let handles: Vec<ShrinkerHandle> =
+            self.shrinkers.iter().filter_map(Weak::upgrade).collect();
+        // Phase 0: who can participate? Busy shrinkers (the fast path is
+        // mid-spawn holding the borrow) and empty ones sit the pass out.
+        let mut ready: Vec<ShrinkerHandle> = Vec::new();
+        for h in handles {
+            let can = match h.try_borrow_mut() {
+                Ok(guard) => guard.reclaimable(self) > 0,
+                Err(_) => false,
+            };
+            if can {
+                ready.push(h);
+            }
+        }
+        if ready.is_empty() {
+            return Ok(0);
+        }
+        // Phase 1: cross every fault site before any mutation.
+        for h in &ready {
+            let site = h.borrow().fault_site();
+            if let Err(e) = fpr_faults::cross(site).map_err(|_| crate::error::Errno::Enomem) {
+                self.reclaim_stats.aborted_passes += 1;
+                metrics::incr("kernel.reclaim.aborted");
+                return Err(e);
+            }
+        }
+        // Phase 2: shrink until the target is met or everyone is empty.
+        sink::span_begin("reclaim", "kernel", self.cycles.total());
+        let stall_start = self.cycles.total();
+        let mut freed = 0u64;
+        for h in &ready {
+            if freed >= target {
+                break;
+            }
+            let got = {
+                let mut guard = h.borrow_mut();
+                let got = guard.shrink(self, target - freed);
+                metrics::add(
+                    match guard.name() {
+                        "warm_pool" => "kernel.reclaim.pool_frames",
+                        _ => "kernel.reclaim.cache_frames",
+                    },
+                    *got.as_ref().unwrap_or(&0),
+                );
+                got
+            };
+            match got {
+                Ok(n) => freed += n,
+                Err(e) => {
+                    sink::span_end("reclaim", self.cycles.total());
+                    return Err(e);
+                }
+            }
+        }
+        self.reclaim_stats.passes += 1;
+        self.reclaim_stats.frames_reclaimed += freed;
+        let stalled = self.cycles.total() - stall_start;
+        self.phys.note_stall(stalled);
+        metrics::incr("kernel.reclaim.passes");
+        metrics::add("kernel.reclaim.frames", freed);
+        metrics::observe("kernel.reclaim.stall_cycles", stalled);
+        sink::span_end("reclaim", self.cycles.total());
+        Ok(freed)
+    }
+
+    /// Background-style pressure balancing (kswapd): if free frames have
+    /// dropped below the low watermark and shrinkers are registered,
+    /// reclaims up to the high watermark. Zero cost and zero effect when
+    /// there is no pressure or nothing registered — callers may invoke it
+    /// freely on hot paths.
+    ///
+    /// Injected faults during the pass are swallowed here (background
+    /// reclaim failing must not fail the foreground operation); use
+    /// [`Kernel::reclaim`] directly to observe them.
+    pub fn balance_pressure(&mut self) -> u64 {
+        if self.shrinkers.is_empty() {
+            return 0;
+        }
+        if self.phys.free_frames() >= self.phys.watermarks().low {
+            return 0;
+        }
+        let target = self.phys.reclaim_target();
+        self.reclaim(target).unwrap_or(0)
+    }
+
+    /// True when a failed allocation is worth retrying after reclaim:
+    /// there is real pressure and at least one live shrinker with frames
+    /// to give. Used by direct-reclaim call sites and by
+    /// `fpr-api::retry_with_backoff` as backpressure.
+    pub fn reclaim_could_help(&mut self) -> bool {
+        if self.live_shrinker_count() == 0 {
+            return false;
+        }
+        if self.phys.pressure() == PressureLevel::None {
+            return false;
+        }
+        let handles: Vec<ShrinkerHandle> =
+            self.shrinkers.iter().filter_map(Weak::upgrade).collect();
+        handles.iter().any(|h| match h.try_borrow() {
+            Ok(guard) => guard.reclaimable(self) > 0,
+            Err(_) => false,
+        })
+    }
+
+    /// Cumulative reclaim statistics.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.reclaim_stats
+    }
+
+    /// Direct reclaim on an allocation failure: runs a pass if (and only
+    /// if) there is real pressure and a live shrinker with frames to
+    /// give, returning true when frames were actually freed — the
+    /// caller's cue to retry the failed operation exactly once.
+    ///
+    /// The pressure gate matters for fault injection: an *injected*
+    /// `ENOMEM` in an unpressured world must surface to its sweep, not be
+    /// papered over by a retry.
+    pub(crate) fn direct_reclaim(&mut self) -> bool {
+        if !self.reclaim_could_help() {
+            return false;
+        }
+        metrics::incr("kernel.reclaim.direct");
+        let target = self.phys.reclaim_target().max(1);
+        matches!(self.reclaim(target), Ok(n) if n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::MachineConfig;
+    use fpr_faults::FaultPlan;
+
+    /// A test shrinker over a bag of frames the kernel allocated for it.
+    struct FrameBag {
+        frames: Vec<fpr_mem::Pfn>,
+    }
+
+    impl Shrinker for FrameBag {
+        fn name(&self) -> &'static str {
+            "frame_bag"
+        }
+        fn fault_site(&self) -> FaultSite {
+            FaultSite::ReclaimShrink
+        }
+        fn reclaimable(&self, _k: &Kernel) -> u64 {
+            self.frames.len() as u64
+        }
+        fn shrink(&mut self, k: &mut Kernel, target: u64) -> KResult<u64> {
+            let mut freed = 0;
+            while freed < target {
+                let Some(f) = self.frames.pop() else { break };
+                k.phys.dec_ref(f, &mut k.cycles).map_err(|_| crate::error::Errno::Enomem)?;
+                freed += 1;
+            }
+            Ok(freed)
+        }
+    }
+
+    fn small_kernel(frames: u64) -> Kernel {
+        Kernel::new(MachineConfig {
+            frames,
+            ..MachineConfig::default()
+        })
+    }
+
+    fn bag_with(k: &mut Kernel, n: usize) -> Rc<RefCell<FrameBag>> {
+        let mut frames = Vec::new();
+        for _ in 0..n {
+            frames.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
+        }
+        Rc::new(RefCell::new(FrameBag { frames }))
+    }
+
+    #[test]
+    fn reclaim_frees_up_to_target_and_counts() {
+        let mut k = small_kernel(64);
+        let bag = bag_with(&mut k, 16);
+        k.register_shrinker(&(bag.clone() as ShrinkerHandle));
+        assert_eq!(k.reclaim(10), Ok(10));
+        assert_eq!(bag.borrow().frames.len(), 6);
+        assert_eq!(k.reclaim_stats().frames_reclaimed, 10);
+        assert_eq!(k.reclaim_stats().passes, 1);
+    }
+
+    #[test]
+    fn reclaim_with_no_shrinkers_is_free_and_zero() {
+        let mut k = small_kernel(64);
+        let before = k.cycles.total();
+        assert_eq!(k.reclaim(100), Ok(0));
+        assert_eq!(k.cycles.total(), before);
+        assert_eq!(k.reclaim_stats(), ReclaimStats::default());
+    }
+
+    #[test]
+    fn dropping_the_handle_unregisters() {
+        let mut k = small_kernel(64);
+        let bag = bag_with(&mut k, 4);
+        k.register_shrinker(&(bag.clone() as ShrinkerHandle));
+        assert_eq!(k.live_shrinker_count(), 1);
+        // Give the frames back so dropping the bag doesn't leak them.
+        assert_eq!(k.reclaim(4), Ok(4));
+        drop(bag);
+        assert_eq!(k.live_shrinker_count(), 0);
+        assert_eq!(k.reclaim(10), Ok(0));
+    }
+
+    #[test]
+    fn busy_shrinker_is_skipped_not_deadlocked() {
+        let mut k = small_kernel(64);
+        let bag = bag_with(&mut k, 4);
+        k.register_shrinker(&(bag.clone() as ShrinkerHandle));
+        let guard = bag.borrow_mut(); // the subsystem is mid-operation
+        assert_eq!(k.reclaim(4), Ok(0));
+        drop(guard);
+        assert_eq!(k.reclaim(4), Ok(4));
+    }
+
+    #[test]
+    fn injected_fault_aborts_before_any_mutation() {
+        let mut k = small_kernel(64);
+        let bag = bag_with(&mut k, 8);
+        k.register_shrinker(&(bag.clone() as ShrinkerHandle));
+        let free_before = k.phys.free_frames();
+        let (res, trace) = fpr_faults::with_plan(
+            FaultPlan::passive().fail_nth_crossing(0),
+            || k.reclaim(8),
+        );
+        assert_eq!(trace.injected().len(), 1);
+        assert!(res.is_err());
+        assert_eq!(bag.borrow().frames.len(), 8, "no shrinker mutated");
+        assert_eq!(k.phys.free_frames(), free_before);
+        assert_eq!(k.reclaim_stats().aborted_passes, 1);
+        assert_eq!(k.reclaim_stats().passes, 0);
+        // And the pass succeeds on retry.
+        assert_eq!(k.reclaim(8), Ok(8));
+    }
+
+    #[test]
+    fn balance_pressure_is_inert_without_pressure() {
+        let mut k = small_kernel(262_144);
+        let bag = bag_with(&mut k, 8);
+        k.register_shrinker(&(bag.clone() as ShrinkerHandle));
+        let before = k.cycles.total();
+        assert_eq!(k.balance_pressure(), 0);
+        assert_eq!(k.cycles.total(), before);
+        assert_eq!(bag.borrow().frames.len(), 8);
+        assert_eq!(k.reclaim(8), Ok(8)); // cleanup
+    }
+
+    #[test]
+    fn balance_pressure_reclaims_toward_high_watermark() {
+        let mut k = small_kernel(256);
+        let w = k.phys.watermarks();
+        // Pin the machine below the low watermark with bag frames.
+        let mut frames = Vec::new();
+        while k.phys.free_frames() >= w.low {
+            frames.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
+        }
+        let bag = Rc::new(RefCell::new(FrameBag { frames }));
+        k.register_shrinker(&(bag.clone() as ShrinkerHandle));
+        assert!(k.memory_pressure() >= PressureLevel::High);
+        let freed = k.balance_pressure();
+        assert!(freed > 0);
+        assert!(k.phys.free_frames() >= w.high);
+        assert_eq!(k.memory_pressure(), PressureLevel::None);
+        // Drain the rest for a clean world.
+        let rest = bag.borrow().frames.len() as u64;
+        assert_eq!(k.reclaim(rest), Ok(rest));
+    }
+}

@@ -110,7 +110,15 @@ pub struct Process {
     pub vfork_children: Vec<Pid>,
     /// True if this process was terminated by the OOM killer.
     pub oom_killed: bool,
+    /// OOM badness adjustment, Linux-style: added to the badness score in
+    /// pages; [`OOM_SCORE_ADJ_MIN`] makes the process unkillable (used for
+    /// warm-pool children that are pure cache and reclaimed by shrinkers
+    /// instead).
+    pub oom_score_adj: i64,
 }
+
+/// `oom_score_adj` value that exempts a process from the OOM killer.
+pub const OOM_SCORE_ADJ_MIN: i64 = -1000;
 
 impl Process {
     /// Creates a fresh process shell; the kernel fills in pid/ppid/fds.
@@ -140,6 +148,7 @@ impl Process {
             children: Vec::new(),
             vfork_children: Vec::new(),
             oom_killed: false,
+            oom_score_adj: 0,
         }
     }
 

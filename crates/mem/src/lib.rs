@@ -36,7 +36,7 @@ pub use cost::{CostModel, Cycles, CYCLES_PER_US};
 pub use error::{MemError, MemResult};
 pub use fault::FaultOutcome;
 pub use overcommit::{CommitAccount, OvercommitPolicy};
-pub use phys::PhysMemory;
+pub use phys::{PhysMemory, PressureLevel, Watermarks};
 pub use pte::{Pte, PteFlags};
 pub use tlb::TlbModel;
 pub use vma::{Backing, ForkPolicy, Prot, Share, VmArea, VmaKind};

@@ -29,6 +29,49 @@ use fpr_faults::FaultSite;
 use fpr_trace::metrics;
 use std::collections::HashMap;
 
+/// Free-frame watermarks, mirroring Linux's per-zone `min`/`low`/`high`.
+///
+/// Background reclaim (the simulated kswapd, [`PressureLevel::Low`] and
+/// worse) should run while free frames sit below `low` and stop once they
+/// recover past `high`; only below `min` is the machine in OOM territory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Below this, allocations are in OOM territory.
+    pub min: u64,
+    /// Below this, background reclaim should run.
+    pub low: u64,
+    /// Reclaim's refill target; pressure clears above it.
+    pub high: u64,
+}
+
+impl Watermarks {
+    /// Default watermarks for a machine of `total_frames`, scaled the way
+    /// Linux derives zone watermarks from `min_free_kbytes`: `min` is
+    /// 1/64th of memory (at least 4 frames), `low` and `high` sit 25% and
+    /// 50% above it.
+    pub fn for_total(total_frames: u64) -> Watermarks {
+        let min = (total_frames / 64).max(4).min(total_frames);
+        Watermarks {
+            min,
+            low: (min + min / 4).min(total_frames),
+            high: (min + min / 2).min(total_frames),
+        }
+    }
+}
+
+/// How tight free memory currently is, judged against [`Watermarks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Free frames at or above the high watermark: no pressure.
+    None,
+    /// Free frames below high but at or above low: reclaim soon.
+    Low,
+    /// Free frames below low but at or above min: reclaim now.
+    High,
+    /// Free frames below min: allocations may fail; OOM territory.
+    Critical,
+}
+
 /// Per-frame metadata: COW reference count and logical content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FrameMeta {
@@ -65,6 +108,12 @@ pub struct PhysMemory {
     pub frames_allocated_total: u64,
     /// Cumulative count of 4 KiB page copies performed (statistics).
     pub pages_copied_total: u64,
+    /// Free-frame watermarks the pressure level is judged against.
+    watermarks: Watermarks,
+    /// PSI-style stall accounting: cycles spent in reclaim passes.
+    stall_cycles_total: u64,
+    /// PSI-style stall accounting: number of reclaim stalls recorded.
+    stall_events_total: u64,
 }
 
 impl PhysMemory {
@@ -81,6 +130,9 @@ impl PhysMemory {
             contenders: 0,
             frames_allocated_total: 0,
             pages_copied_total: 0,
+            watermarks: Watermarks::for_total(total_frames),
+            stall_cycles_total: 0,
+            stall_events_total: 0,
         }
     }
 
@@ -107,6 +159,59 @@ impl PhysMemory {
     /// Number of frames currently in use.
     pub fn used_frames(&self) -> u64 {
         self.total_frames() - self.free_frames()
+    }
+
+    /// The active free-frame watermarks.
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Replaces the watermarks (experiments tighten them to provoke
+    /// pressure without filling a whole machine).
+    pub fn set_watermarks(&mut self, w: Watermarks) {
+        assert!(
+            w.min <= w.low && w.low <= w.high,
+            "watermarks must satisfy min <= low <= high"
+        );
+        self.watermarks = w;
+    }
+
+    /// The current pressure level, judging free frames against the
+    /// watermarks. Costs nothing: it is a pure read.
+    pub fn pressure(&self) -> PressureLevel {
+        let free = self.free_frames();
+        if free >= self.watermarks.high {
+            PressureLevel::None
+        } else if free >= self.watermarks.low {
+            PressureLevel::Low
+        } else if free >= self.watermarks.min {
+            PressureLevel::High
+        } else {
+            PressureLevel::Critical
+        }
+    }
+
+    /// Frames a reclaim pass should free to clear pressure: the gap from
+    /// the current free count up to the high watermark (zero when free).
+    pub fn reclaim_target(&self) -> u64 {
+        self.watermarks.high.saturating_sub(self.free_frames())
+    }
+
+    /// Records a PSI-style memory stall: `cycles` spent waiting on
+    /// reclaim instead of making progress.
+    pub fn note_stall(&mut self, cycles: u64) {
+        self.stall_cycles_total += cycles;
+        self.stall_events_total += 1;
+    }
+
+    /// Cumulative cycles recorded as memory-pressure stalls.
+    pub fn stall_cycles_total(&self) -> u64 {
+        self.stall_cycles_total
+    }
+
+    /// Cumulative number of memory-pressure stalls recorded.
+    pub fn stall_events_total(&self) -> u64 {
+        self.stall_events_total
     }
 
     /// Enables per-CPU frame caching with one magazine per CPU and the
@@ -494,6 +599,59 @@ mod tests {
         p.alloc_zeroed(&mut c).unwrap(); // hit
         assert_eq!(c.total() - before, cost.frame_cache_hit + cost.page_zero);
         assert!(cost.frame_cache_hit < cost.frame_alloc);
+    }
+
+    #[test]
+    fn watermarks_scale_with_total_and_stay_ordered() {
+        for total in [4, 64, 256, 4096, 262_144] {
+            let w = Watermarks::for_total(total);
+            assert!(w.min >= 1, "total={total}");
+            assert!(w.min <= w.low && w.low <= w.high, "total={total}");
+            assert!(w.high <= total, "total={total}");
+        }
+    }
+
+    #[test]
+    fn pressure_level_tracks_free_frames_across_watermarks() {
+        let (mut p, mut c) = pm(256);
+        let w = p.watermarks();
+        assert_eq!(p.pressure(), PressureLevel::None);
+        assert_eq!(p.reclaim_target(), 0);
+        let mut frames = Vec::new();
+        while p.free_frames() >= w.high {
+            frames.push(p.alloc_zeroed(&mut c).unwrap());
+        }
+        assert_eq!(p.pressure(), PressureLevel::Low);
+        assert!(p.reclaim_target() > 0);
+        while p.free_frames() >= w.low {
+            frames.push(p.alloc_zeroed(&mut c).unwrap());
+        }
+        assert_eq!(p.pressure(), PressureLevel::High);
+        while p.free_frames() >= w.min {
+            frames.push(p.alloc_zeroed(&mut c).unwrap());
+        }
+        assert_eq!(p.pressure(), PressureLevel::Critical);
+        for f in frames {
+            p.dec_ref(f, &mut c).unwrap();
+        }
+        assert_eq!(p.pressure(), PressureLevel::None);
+    }
+
+    #[test]
+    fn pressure_levels_are_ordered() {
+        assert!(PressureLevel::None < PressureLevel::Low);
+        assert!(PressureLevel::Low < PressureLevel::High);
+        assert!(PressureLevel::High < PressureLevel::Critical);
+    }
+
+    #[test]
+    fn stall_accounting_accumulates() {
+        let (mut p, _c) = pm(16);
+        assert_eq!(p.stall_cycles_total(), 0);
+        p.note_stall(100);
+        p.note_stall(250);
+        assert_eq!(p.stall_cycles_total(), 350);
+        assert_eq!(p.stall_events_total(), 2);
     }
 
     #[test]
