@@ -29,11 +29,16 @@ doctest:
 	$(CARGO) test --workspace --doc -q
 
 # The fault-injection acceptance gate on its own: every fail point of
-# every creation API must produce a clean error and an intact kernel.
+# every creation API and of the swap tier (slot alloc, swap-out,
+# swap-in) must produce a clean error — or, for a swap-in I/O failure,
+# kill only the faulting process — and leave an intact kernel. The
+# pressure proptests replay random swap/reclaim schedules under the
+# same leak checks.
 leakcheck:
 	$(CARGO) test -q -p fpr-api --test faultsweep
 	$(CARGO) test -q -p fpr-kernel --test proptest_faults
 	$(CARGO) test -q -p fpr-mem --test proptest_faults
+	$(CARGO) test -q -p forkroad-core --test pressure_property
 
 # Non-timing smoke: every fig*/tab* driver runs at reduced size into a
 # scratch results dir, each emitted JSON must round-trip through the

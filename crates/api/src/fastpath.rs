@@ -81,6 +81,7 @@ pub struct WarmPool {
     misses: u64,
     discards: u64,
     reclaims: u64,
+    throttled: u64,
 }
 
 impl WarmPool {
@@ -95,6 +96,7 @@ impl WarmPool {
             misses: 0,
             discards: 0,
             reclaims: 0,
+            throttled: 0,
         }
     }
 
@@ -110,6 +112,14 @@ impl WarmPool {
         path: &str,
         n: usize,
     ) -> KResult<()> {
+        // While the swap tier is thrashing, growing the pool would evict
+        // working-set pages to park cache: refills wait out the storm
+        // (spawns of the path degrade to the classic cost, nothing worse).
+        if kernel.swap_thrashing() {
+            self.throttled += 1;
+            metrics::incr("api.pool.throttled");
+            return Ok(());
+        }
         for _ in 0..n {
             let mut image = registry.resolve(path).ok_or(Errno::Enoexec)?.0.clone();
             image.file_id = effective_file_id(kernel, registry, image.file_id);
@@ -336,6 +346,11 @@ impl WarmPool {
     /// Parked children torn down by memory-pressure reclaim.
     pub fn reclaims(&self) -> u64 {
         self.reclaims
+    }
+
+    /// Prefills skipped because the swap tier was thrashing.
+    pub fn throttled(&self) -> u64 {
+        self.throttled
     }
 
     fn park(&mut self, path: &str, mut child: ParkedChild) {
@@ -866,6 +881,40 @@ mod tests {
         pool.shrink(&mut k, u64::MAX).unwrap();
         assert_eq!(pool.total_parked(), 0);
         cache.clear(&mut k);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn thrashing_swap_throttles_prefill() {
+        let mut k = Kernel::new(fpr_kernel::MachineConfig {
+            frames: 256,
+            swap_slots: 16,
+            ..fpr_kernel::MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let mut reg = ImageRegistry::new();
+        reg.register("/bin/tool", Image::small("tool"));
+        // Provoke a refault storm: evict eight pages, fault them all
+        // straight back.
+        let base = k
+            .mmap_anon(init, 8, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        for i in 0..8 {
+            k.write_mem(init, Vpn(base.0 + i), i).unwrap();
+        }
+        assert_eq!(k.swap_out_pass(8), Ok(8));
+        for i in 0..8 {
+            assert_eq!(k.read_mem(init, Vpn(base.0 + i)), Ok(i));
+        }
+        assert!(k.swap_thrashing());
+
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        pool.prefill(&mut k, &reg, &mut cache, "/bin/tool", 3)
+            .unwrap();
+        assert_eq!(pool.available("/bin/tool"), 0, "refill waits out the storm");
+        assert_eq!(pool.throttled(), 1);
+        assert_eq!(pool.refills(), 0);
         k.check_invariants().unwrap();
     }
 

@@ -52,6 +52,11 @@ impl Default for RetryPolicy {
 /// `max_attempts` (a 32-bit shift of a large base already overflowed).
 const MAX_BACKOFF_DOUBLINGS: u32 = 20;
 
+/// Extra backoff multiplier while the swap device reports thrashing: a
+/// refault storm means the machine is re-reading what it just evicted,
+/// and an eager retry only deepens it.
+pub const THRASH_BACKOFF_FACTOR: u64 = 4;
+
 impl RetryPolicy {
     /// Backoff charged after failed attempt number `attempt` (1-based):
     /// exponential in the attempt, saturating at
@@ -96,8 +101,13 @@ pub fn retry_with_backoff<T>(
                 if e == Errno::Enomem {
                     kernel.balance_pressure();
                 }
-                // Exponential backoff, charged as burnt CPU time.
-                let wait = policy.backoff_for(stats.attempts);
+                // Exponential backoff, charged as burnt CPU time; a
+                // thrashing swap tier stretches the wait so the refault
+                // storm can drain before the next attempt.
+                let mut wait = policy.backoff_for(stats.attempts);
+                if kernel.swap_thrashing() {
+                    wait = wait.saturating_mul(THRASH_BACKOFF_FACTOR);
+                }
                 kernel.cycles.charge(wait);
                 stats.backoff_cycles += wait;
             }
@@ -291,6 +301,40 @@ mod tests {
             k.phys.dec_ref(f, &mut k.cycles).unwrap();
         }
         k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn thrashing_swap_stretches_backoff() {
+        use fpr_kernel::MachineConfig;
+        // A 16-slot device whose whole population is evicted and
+        // immediately faulted back: every swap-in is a refault, so the
+        // thrash signal asserts and backoff quadruples.
+        let mut k = Kernel::new(MachineConfig {
+            frames: 256,
+            swap_slots: 16,
+            ..MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let base = k.mmap_anon(init, 8, Prot::RW, Share::Private).unwrap();
+        for i in 0..8 {
+            k.write_mem(init, fpr_mem::Vpn(base.0 + i), i).unwrap();
+        }
+        assert_eq!(k.swap_out_pass(8), Ok(8));
+        for i in 0..8 {
+            assert_eq!(k.read_mem(init, fpr_mem::Vpn(base.0 + i)), Ok(i));
+        }
+        assert!(k.swap_thrashing(), "all-refault window asserts thrash");
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_cycles: 100,
+        };
+        let (r, stats) = retry_with_backoff(&mut k, policy, |_| Err::<(), Errno>(Errno::Eagain));
+        assert_eq!(r, Err(Errno::Eagain));
+        assert_eq!(
+            stats.backoff_cycles,
+            100 * THRASH_BACKOFF_FACTOR,
+            "thrash multiplies the base wait"
+        );
     }
 
     #[test]

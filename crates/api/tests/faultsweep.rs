@@ -497,6 +497,194 @@ fn reclaim_pass_survives_every_fail_point() {
     }
 }
 
+/// A machine with a swap device and sixteen dirty private pages to
+/// evict: the swap sweeps' common fixture.
+fn swap_world() -> (Kernel, Pid, fpr_mem::Vpn) {
+    let mut k = Kernel::new(fpr_kernel::MachineConfig {
+        frames: 256,
+        swap_slots: 64,
+        ..fpr_kernel::MachineConfig::default()
+    });
+    let init = k.create_init("init").unwrap();
+    let base = k.mmap_anon(init, 16, Prot::RW, Share::Private).unwrap();
+    for i in 0..16 {
+        k.write_mem(init, base.add(i), 0xAB00 + i).unwrap();
+    }
+    (k, init, base)
+}
+
+/// Sweeps the swap-out pass: it crosses `swap_out` once and
+/// `swap_slot_alloc` once per page *before* any PTE is rewritten, so an
+/// injected failure at any crossing must leave the kernel byte-identical
+/// — every page still resident, every reserved slot returned — and the
+/// identical pass must succeed on retry.
+#[test]
+fn swap_out_pass_survives_every_fail_point() {
+    let label = "swap-out pass";
+    let k_count = {
+        let (mut k, _, _) = swap_world();
+        let trace = count_crossings(|| {
+            assert_eq!(k.swap_out_pass(8), Ok(8), "{label}: fault-free run");
+        });
+        for site in [
+            fpr_faults::FaultSite::SwapOut,
+            fpr_faults::FaultSite::SwapSlotAlloc,
+        ] {
+            assert!(
+                trace.crossings.iter().any(|c| c.site == site),
+                "{label}: pass never crossed {site}"
+            );
+        }
+        trace.len()
+    };
+
+    for nth in 0..k_count {
+        let (mut k, init, vbase) = swap_world();
+        let base = k.baseline();
+        let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+        let (result, trace) = with_plan(plan, || k.swap_out_pass(8));
+        let injected = trace.injected();
+        assert_eq!(injected.len(), 1, "{label}: crossing {nth} did not inject");
+        let site = injected[0].site;
+        let err = result.expect_err(&format!(
+            "{label}: injected fault at {site}#{nth} was swallowed"
+        ));
+        assert!(
+            clean_creation_error(err),
+            "{label}: fault at {site}#{nth} surfaced as {err:?}"
+        );
+        assert_eq!(
+            k.process(init).unwrap().aspace.swapped_pages(),
+            0,
+            "{label}: fault at {site}#{nth} left pages evicted"
+        );
+        assert_eq!(
+            k.phys.swap().used_slots(),
+            0,
+            "{label}: fault at {site}#{nth} leaked reserved slots"
+        );
+        if let Err(v) = k.leak_check(&base) {
+            panic!(
+                "{label}: fault at {site}#{nth} leaked:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        if let Err(v) = k.check_invariants() {
+            panic!(
+                "{label}: fault at {site}#{nth} broke invariants:\n  {}",
+                v.join("\n  ")
+            );
+        }
+        // Byte-identical includes the bytes: every page still reads back.
+        for i in 0..16 {
+            assert_eq!(k.read_mem(init, vbase.add(i)), Ok(0xAB00 + i));
+        }
+        // The fault was transient; the identical pass succeeds.
+        assert_eq!(
+            k.swap_out_pass(8),
+            Ok(8),
+            "{label}: retry after fault at {site}#{nth} cleared"
+        );
+    }
+}
+
+/// Sweeps a fault-in of a swapped page. Two regimes: an injected
+/// `swap_in` I/O error is *not* transparent — the backing store lost the
+/// page, so the faulting process (and only it) dies SIGBUS-style, with
+/// every frame and slot it held released. Every other injected failure
+/// (the replacement frame allocation) rolls back byte-identically and
+/// the retry succeeds.
+#[test]
+fn swap_in_sweep_contains_io_failure_to_the_faulting_process() {
+    let label = "swap-in";
+    let victim_world = || {
+        let mut k = Kernel::new(fpr_kernel::MachineConfig {
+            frames: 256,
+            swap_slots: 64,
+            ..fpr_kernel::MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let victim = k.allocate_process(init, "victim").unwrap();
+        let base = k.mmap_anon(victim, 4, Prot::RW, Share::Private).unwrap();
+        for i in 0..4 {
+            k.write_mem(victim, base.add(i), 0xAB00 + i).unwrap();
+        }
+        assert_eq!(k.swap_out_pass(4), Ok(4));
+        (k, init, victim, base)
+    };
+
+    let k_count = {
+        let (mut k, _, victim, vbase) = victim_world();
+        let trace = count_crossings(|| {
+            assert_eq!(k.read_mem(victim, vbase), Ok(0xAB00), "{label}: fault-free");
+        });
+        assert!(
+            trace
+                .crossings
+                .iter()
+                .any(|c| c.site == fpr_faults::FaultSite::SwapIn),
+            "{label}: fault-in never crossed swap_in"
+        );
+        trace.len()
+    };
+
+    for nth in 0..k_count {
+        let (mut k, init, victim, vbase) = victim_world();
+        let base = k.baseline();
+        let plan = FaultPlan::passive().fail_nth_crossing(nth as u64);
+        let (result, trace) = with_plan(plan, || k.read_mem(victim, vbase));
+        let injected = trace.injected();
+        assert_eq!(injected.len(), 1, "{label}: crossing {nth} did not inject");
+        let site = injected[0].site;
+        if site == fpr_faults::FaultSite::SwapIn {
+            // The device lost the page: SIGBUS containment, not rollback.
+            assert_eq!(result, Err(Errno::Efault), "{label}: EIO surfaced wrong");
+            assert!(
+                k.process(victim).unwrap().is_zombie(),
+                "{label}: faulting process survived a lost page"
+            );
+            assert!(
+                !k.process(init).unwrap().is_zombie(),
+                "{label}: I/O error must not spread beyond the faulter"
+            );
+            let (pid, status) = k.waitpid(init, Some(victim)).unwrap().unwrap();
+            assert_eq!(pid, victim);
+            assert_eq!(status, fpr_kernel::SIGBUS_EXIT_STATUS);
+            assert_eq!(
+                k.phys.swap().used_slots(),
+                0,
+                "{label}: dead process leaked swap slots"
+            );
+        } else {
+            // Transient failure: byte-identical rollback, retry works.
+            let err = result.expect_err(&format!(
+                "{label}: injected fault at {site}#{nth} was swallowed"
+            ));
+            assert!(
+                clean_creation_error(err),
+                "{label}: fault at {site}#{nth} surfaced as {err:?}"
+            );
+            if let Err(v) = k.leak_check(&base) {
+                panic!(
+                    "{label}: fault at {site}#{nth} leaked:\n  {}",
+                    v.join("\n  ")
+                );
+            }
+            assert_eq!(
+                k.read_mem(victim, vbase),
+                Ok(0xAB00),
+                "{label}: retry after fault at {site}#{nth} cleared"
+            );
+        }
+        if let Err(v) = k.check_invariants() {
+            panic!(
+                "{label}: fault at {site}#{nth} broke invariants:\n  {}",
+                v.join("\n  ")
+            );
+        }
+    }
+}
+
 #[test]
 fn xproc_builder_survives_every_fail_point() {
     sweep("xproc", |k, p, reg| {

@@ -134,6 +134,61 @@ fn main() {
     );
     println!("[saved BENCH_pressure.json]");
 
+    // E13 snapshot: the swap tier below the shrinkers. The swap arm
+    // absorbing 1.5x physical memory with zero OOM kills is the PR's
+    // hard guarantee — the killer is a last resort, not the first
+    // response — so the smoke asserts it, along with the thrash signal
+    // the refault loop provokes on purpose.
+    smoke_fig("fig_swap", &pressure::run_swap());
+    let (with, without) = pressure::run_swap_pair();
+    assert_eq!(
+        with.oom_victims.len(),
+        0,
+        "swap storm must absorb without OOM kills (victims: {:?})",
+        with.oom_victims
+    );
+    assert!(
+        with.touched_pages > pressure::STORM_FRAMES,
+        "swap arm must dirty more pages than physical memory"
+    );
+    assert!(with.thrash_seen, "refault loop must assert the thrash signal");
+    assert!(
+        !without.oom_victims.is_empty(),
+        "swapless baseline must show the OOM failure mode"
+    );
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_swap\",\n");
+    json.push_str(&format!("  \"storm_pages\": {},\n", with.touched_pages));
+    json.push_str(&format!(
+        "  \"swap\": {{\"oom_kills\": {}, \"swap_outs\": {}, \"swap_ins\": {}, \
+         \"refaults\": {}, \"peak_slots_used\": {}, \"stall_cycles\": {}, \"thrashed\": {}}},\n",
+        with.oom_victims.len(),
+        with.swap_outs,
+        with.swap_ins,
+        with.refaults,
+        with.peak_slots_used,
+        with.stall_cycles,
+        with.thrash_seen
+    ));
+    json.push_str(&format!(
+        "  \"baseline\": {{\"oom_kills\": {}, \"survivors\": {}}}\n",
+        without.oom_victims.len(),
+        without.survivors
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_swap.json", &json).expect("write BENCH_swap.json");
+    println!(
+        "# BENCH_swap — storm of {} pages on {} frames: {} kills with swap \
+         ({} swap-outs, {} refaults), {} kills without",
+        with.touched_pages,
+        pressure::STORM_FRAMES,
+        with.oom_victims.len(),
+        with.swap_outs,
+        with.refaults,
+        without.oom_victims.len()
+    );
+    println!("[saved BENCH_swap.json]");
+
     // API × mode cycle medians: the machine-tracked perf snapshot.
     let entries: Vec<(&str, &str, u64)> = vec![
         (

@@ -26,4 +26,27 @@ fn main() {
         without.oom_victims.len(),
         without.pinned_frames_at_first_kill
     );
+
+    // E13: the same storm machine with a swap tier below the shrinkers.
+    let fig = pressure::run_swap();
+    emit("fig_swap", &fig.render(), &fig.to_json());
+
+    let (with, without) = pressure::run_swap_pair();
+    println!("# swap storm detail (demand = {} pages)", with.touched_pages);
+    println!(
+        "with swap: {} oom kills, {} swap-outs, {} swap-ins, {} refaults, peak {} slots, {} stall cycles{}",
+        with.oom_victims.len(),
+        with.swap_outs,
+        with.swap_ins,
+        with.refaults,
+        with.peak_slots_used,
+        with.stall_cycles,
+        if with.thrash_seen { " (thrashed)" } else { "" }
+    );
+    println!(
+        "no swap:   {} oom kills, {}/{} workers survived",
+        without.oom_victims.len(),
+        without.survivors,
+        4
+    );
 }

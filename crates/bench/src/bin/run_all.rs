@@ -56,6 +56,9 @@ fn main() {
     let f12 = pressure::run();
     emit("fig_pressure", &f12.render(), &f12.to_json());
 
+    let f13 = pressure::run_swap();
+    emit("fig_swap", &f13.render(), &f13.to_json());
+
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");
         println!("{:>16} {:>12}", "touch fraction", "total us");

@@ -262,6 +262,204 @@ pub fn run_pair() -> (PressureOutcome, PressureOutcome) {
     (with, without)
 }
 
+// ---------------------------------------------------------------------
+// E13: the swap tier under a storm that exceeds physical memory.
+// ---------------------------------------------------------------------
+
+/// Swap slots of the E13 machine: another machine's worth of backing
+/// store below the [`STORM_FRAMES`] of RAM.
+pub const SWAP_SLOTS: u64 = 1024;
+
+/// Everything one E13 arm observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapOutcome {
+    /// Whether the machine had a swap device.
+    pub swap: bool,
+    /// Total pages the workers successfully dirtied.
+    pub touched_pages: u64,
+    /// OOM victims, in kill order.
+    pub oom_victims: Vec<Pid>,
+    /// Workers still alive at the end of the storm.
+    pub survivors: usize,
+    /// Pages evicted to the device, cumulative.
+    pub swap_outs: u64,
+    /// Pages faulted back from the device, cumulative.
+    pub swap_ins: u64,
+    /// Swap-ins of recently evicted pages (working-set misses).
+    pub refaults: u64,
+    /// Most slots in use at any sampled instant.
+    pub peak_slots_used: u64,
+    /// Whether the refault-rate thrash signal ever asserted.
+    pub thrash_seen: bool,
+    /// Worst pressure level seen.
+    pub peak_pressure: PressureLevel,
+    /// PSI-style stall cycles charged to reclaim + swap passes.
+    pub stall_cycles: u64,
+}
+
+/// Runs one E13 arm: four workers dirty 1.5× physical memory of private
+/// anonymous pages. With a swap device the reclaim tier below the
+/// shrinkers evicts cold pages and every write lands; without one the
+/// demand ends in OOM kills. `demand` caps total pages touched; `None`
+/// lets the arm run until RAM *and* swap are genuinely full.
+///
+/// The swap arm finishes with a deliberate refault loop — re-reading
+/// just-evicted pages until the thrash signal asserts — so the figure
+/// carries the pathological regime too, not only the win.
+pub fn run_swap_storm(swap: bool, demand: Option<u64>) -> SwapOutcome {
+    let mut os = Os::boot(OsConfig {
+        machine: MachineConfig {
+            frames: STORM_FRAMES,
+            swap_slots: if swap { SWAP_SLOTS } else { 0 },
+            overcommit: OvercommitPolicy::Always,
+            ..MachineConfig::default()
+        },
+        ..Default::default()
+    });
+
+    // 1.5x physical memory of demand, spread across the workers.
+    let chunk = (STORM_FRAMES + SWAP_SLOTS / 2) / WORKERS as u64;
+    let workers: Vec<(Pid, fpr_mem::Vpn)> = (0..WORKERS)
+        .map(|i| {
+            let w = os
+                .kernel
+                .allocate_process(os.init, &format!("worker{i}"))
+                .expect("worker");
+            let base = os
+                .kernel
+                .mmap_anon(w, chunk, Prot::RW, Share::Private)
+                .expect("admitted on credit");
+            (w, base)
+        })
+        .collect();
+
+    let mut touched = [0u64; WORKERS];
+    let mut alive = [true; WORKERS];
+    let mut total = 0u64;
+    let mut peak = PressureLevel::None;
+    let mut peak_slots = 0u64;
+
+    'storm: loop {
+        let before = total;
+        for (i, &(w, base)) in workers.iter().enumerate() {
+            if !alive[i] || touched[i] >= chunk {
+                continue;
+            }
+            if let Some(d) = demand {
+                if total >= d {
+                    break 'storm;
+                }
+            }
+            loop {
+                match os.kernel.write_mem(w, base.add(touched[i]), total) {
+                    Ok(_) => {
+                        touched[i] += 1;
+                        total += 1;
+                        break;
+                    }
+                    // With swap, the kernel already ran the whole reclaim
+                    // ladder before surfacing this: RAM and device are
+                    // genuinely full.
+                    Err(Errno::Enomem) if swap => break 'storm,
+                    Err(Errno::Enomem) => match os.kernel.oom_kill() {
+                        Some(victim) => {
+                            for (j, &(wj, _)) in workers.iter().enumerate() {
+                                if wj == victim {
+                                    alive[j] = false;
+                                }
+                            }
+                            if victim == w {
+                                break;
+                            }
+                        }
+                        None => break 'storm,
+                    },
+                    Err(e) => panic!("unexpected storm error: {e}"),
+                }
+            }
+            peak = peak.max(os.kernel.memory_pressure());
+            peak_slots = peak_slots.max(os.kernel.phys.swap().used_slots());
+        }
+        if total == before {
+            break;
+        }
+    }
+
+    // The thrash regime: walk the cold front of each surviving worker's
+    // region. Every read swaps the page back in *clean*, which makes it
+    // the next eviction's first candidate — rereading the same window
+    // turns the device into a revolving door until the refault-majority
+    // signal asserts.
+    let mut thrash_seen = false;
+    if swap {
+        'thrash: for _round in 0..8 {
+            for (i, &(w, base)) in workers.iter().enumerate() {
+                if !alive[i] || touched[i] == 0 {
+                    continue;
+                }
+                for j in 0..touched[i].min(16) {
+                    os.kernel.read_mem(w, base.add(j)).expect("reread");
+                    if os.kernel.swap_thrashing() {
+                        thrash_seen = true;
+                        break 'thrash;
+                    }
+                }
+            }
+        }
+    }
+
+    os.kernel.check_invariants().expect("invariants hold");
+    let stats = os.kernel.phys.swap().stats();
+    SwapOutcome {
+        swap,
+        touched_pages: total,
+        oom_victims: os.kernel.oom_kills.clone(),
+        survivors: alive.iter().filter(|a| **a).count(),
+        swap_outs: stats.swap_outs,
+        swap_ins: stats.swap_ins,
+        refaults: stats.refaults,
+        peak_slots_used: peak_slots.max(os.kernel.phys.swap().used_slots()),
+        thrash_seen,
+        peak_pressure: peak,
+        stall_cycles: os.kernel.phys.stall_cycles_total(),
+    }
+}
+
+/// Runs both E13 arms with identical demand: the swap arm sizes the
+/// storm adaptively (dirty pages until RAM and device are full), the
+/// swapless baseline replays the same page count and shows the kills.
+pub fn run_swap_pair() -> (SwapOutcome, SwapOutcome) {
+    let with = run_swap_storm(true, None);
+    let without = run_swap_storm(false, Some(with.touched_pages));
+    (with, without)
+}
+
+/// Builds the E13 figure: pages absorbed and the OOM body count with
+/// and without the swap tier, plus the device traffic that paid for it.
+pub fn run_swap() -> FigureData {
+    let (with, without) = run_swap_pair();
+    let mut fig = FigureData::new(
+        "fig_swap",
+        "a swap tier absorbs a storm of 1.5x physical memory that otherwise ends in OOM kills",
+        "metric (0=pages dirtied, 1=oom kills, 2=surviving workers)",
+        "pages / count",
+    );
+    let mut s_with = Series::new("with swap");
+    s_with.push(0.0, with.touched_pages as f64);
+    s_with.push(1.0, with.oom_victims.len() as f64);
+    s_with.push(2.0, with.survivors as f64);
+    let mut s_without = Series::new("no swap");
+    s_without.push(0.0, without.touched_pages as f64);
+    s_without.push(1.0, without.oom_victims.len() as f64);
+    s_without.push(2.0, without.survivors as f64);
+    let mut traffic = Series::new("device traffic (with swap)");
+    traffic.push(0.0, with.swap_outs as f64);
+    traffic.push(1.0, with.swap_ins as f64);
+    traffic.push(2.0, with.refaults as f64);
+    fig.series = vec![s_with, s_without, traffic];
+    fig
+}
+
 /// Builds the E12 figure: spawn latency across the three storm phases,
 /// against the classic-path reference, plus the OOM body count.
 pub fn run() -> FigureData {
@@ -375,5 +573,52 @@ mod tests {
         let none = fig.series("oom kills (shrinkers)").unwrap();
         assert_eq!(none.points[0].y, 0.0);
         assert!(fig.render().contains("fig_pressure"));
+    }
+
+    #[test]
+    fn swap_storm_absorbs_oversized_demand_without_killing() {
+        let o = run_swap_storm(true, None);
+        assert!(o.oom_victims.is_empty(), "no kills: {:?}", o.oom_victims);
+        assert_eq!(o.survivors, WORKERS, "every worker lived");
+        assert!(
+            o.touched_pages > STORM_FRAMES,
+            "the storm dirtied {} pages, more than the {} frames of RAM",
+            o.touched_pages,
+            STORM_FRAMES
+        );
+        assert!(o.swap_outs > 0, "the tier evicted to the device");
+        assert!(o.peak_slots_used > 0);
+        assert!(o.stall_cycles > 0, "swap stalls are accounted");
+        assert!(
+            o.peak_pressure >= PressureLevel::High,
+            "storm reached {:?}",
+            o.peak_pressure
+        );
+        assert!(o.thrash_seen, "the refault loop asserted the thrash signal");
+        assert!(o.refaults > 0);
+        assert!(o.swap_ins > 0);
+    }
+
+    #[test]
+    fn swapless_baseline_kills_under_the_same_demand() {
+        let (with, without) = run_swap_pair();
+        assert!(with.oom_victims.is_empty(), "swap arm must absorb the storm");
+        assert!(
+            !without.oom_victims.is_empty(),
+            "same demand without swap must OOM-kill"
+        );
+        assert!(without.survivors < WORKERS);
+        assert_eq!(without.swap_outs, 0, "no device, no traffic");
+    }
+
+    #[test]
+    fn swap_figure_renders_with_all_series() {
+        let fig = run_swap();
+        assert_eq!(fig.series.len(), 3);
+        let with = fig.series("with swap").unwrap();
+        assert_eq!(with.points[1].y, 0.0, "zero kills with swap");
+        let without = fig.series("no swap").unwrap();
+        assert!(without.points[1].y >= 1.0, "kills without swap");
+        assert!(fig.render().contains("fig_swap"));
     }
 }

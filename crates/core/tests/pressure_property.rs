@@ -186,6 +186,226 @@ fn drive(os: &mut Os, seed: u64, fastpath: bool, checked: bool) -> Vec<String> {
     trace
 }
 
+const SWAP_STEPS: usize = 80;
+
+fn boot_swap(slots: u64) -> Os {
+    Os::boot(OsConfig {
+        machine: MachineConfig {
+            frames: FRAMES,
+            swap_slots: slots,
+            overcommit: OvercommitPolicy::Always,
+            ..MachineConfig::default()
+        },
+        ..Default::default()
+    })
+}
+
+/// One process the swap sequence owns: per region, base, size, how many
+/// pages were written, and the value written.
+struct SwapActor {
+    pid: Pid,
+    regions: Vec<(Vpn, u64, u64, u64)>,
+}
+
+/// Like [`drive`], with the swap tier in the mix: direct swap-out
+/// passes, re-reads of previously written pages (swap-ins when the page
+/// was evicted), forks that copy swap entries, and unmaps/exits that
+/// must release slots. `call_swap` false skips the `swap_out_pass` call
+/// itself while drawing the same random numbers — the byte-identity
+/// test uses it to prove the call is observably absent on a swapless
+/// machine.
+fn drive_swap(os: &mut Os, seed: u64, call_swap: bool, checked: bool) -> Vec<String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let root = os
+        .make_parent(ProcessShape::with_heap(16))
+        .expect("root fits");
+    let mut actors = vec![SwapActor {
+        pid: root,
+        regions: vec![],
+    }];
+    let mut trace = Vec::with_capacity(SWAP_STEPS);
+
+    for step in 0..SWAP_STEPS {
+        let pre = os.kernel.baseline();
+        let op = rng.gen_below(6);
+        let desc: String = match op {
+            // alloc: map a fresh region on a random actor and write a
+            // prefix of it (dirty private pages are eviction candidates).
+            0 => {
+                let a = rng.gen_index(actors.len());
+                let pages = 1 + rng.gen_below(16);
+                let val = 0x5A00 + step as u64;
+                match os
+                    .kernel
+                    .mmap_anon(actors[a].pid, pages, Prot::RW, Share::Private)
+                {
+                    Ok(base) => {
+                        let touch = rng.gen_below(pages + 1).min(8);
+                        let mut touched = 0;
+                        for i in 0..touch {
+                            match os.kernel.write_mem(actors[a].pid, base.add(i), val) {
+                                Ok(_) => touched += 1,
+                                Err(Errno::Enomem) => break,
+                                Err(e) => panic!("touch failed: {e}"),
+                            }
+                        }
+                        actors[a].regions.push((base, pages, touched, val));
+                        format!("alloc[{a}] {pages}p touched {touched}")
+                    }
+                    Err(e) => format!("alloc[{a}] failed {e}"),
+                }
+            }
+            // free: unmap a random region — swapped pages in it must
+            // release their slots.
+            1 => {
+                let candidates: Vec<usize> = (0..actors.len())
+                    .filter(|&i| !actors[i].regions.is_empty())
+                    .collect();
+                if candidates.is_empty() {
+                    "free: nothing mapped".into()
+                } else {
+                    let a = candidates[rng.gen_index(candidates.len())];
+                    let r = rng.gen_index(actors[a].regions.len());
+                    let (base, pages, _, _) = actors[a].regions.remove(r);
+                    let freed = os
+                        .kernel
+                        .munmap(actors[a].pid, base, pages)
+                        .expect("munmap of a live region");
+                    format!("free[{a}] {pages}p -> {freed} frames")
+                }
+            }
+            // read-back: fault a random page of a random region — a
+            // swap-in when the pass evicted it, and the value written
+            // before eviction must come back exactly.
+            2 => {
+                let candidates: Vec<usize> = (0..actors.len())
+                    .filter(|&i| !actors[i].regions.is_empty())
+                    .collect();
+                if candidates.is_empty() {
+                    "read: nothing mapped".into()
+                } else {
+                    let a = candidates[rng.gen_index(candidates.len())];
+                    let r = rng.gen_index(actors[a].regions.len());
+                    let (base, pages, touched, val) = actors[a].regions[r];
+                    let i = rng.gen_below(pages);
+                    let expect = if i < touched { val } else { 0 };
+                    let got = os
+                        .kernel
+                        .read_mem(actors[a].pid, base.add(i))
+                        .expect("read of a live page");
+                    assert_eq!(got, expect, "step {step}: page content changed");
+                    format!("read[{a}] page {i} -> {got:#x}")
+                }
+            }
+            // fork root: swap entries are copied by reference count.
+            3 => match os.fork(root) {
+                Ok(c) => {
+                    actors.push(SwapActor {
+                        pid: c,
+                        regions: vec![],
+                    });
+                    format!("fork ok ({} actors)", actors.len())
+                }
+                Err(e) => format!("fork failed {e}"),
+            },
+            // swap-out: evict up to a small random target.
+            4 => {
+                let t = 1 + rng.gen_below(8);
+                let n = if call_swap {
+                    os.kernel.swap_out_pass(t).expect("uninjected pass")
+                } else {
+                    0
+                };
+                format!("swapout target {t} -> {n}")
+            }
+            // exit: retire a random non-root actor (its swap slots and
+            // frames must all come back).
+            _ => {
+                if actors.len() == 1 {
+                    "exit: only root left".into()
+                } else {
+                    let a = 1 + rng.gen_index(actors.len() - 1);
+                    let victim = actors.remove(a);
+                    os.kernel.exit(victim.pid, 0).expect("exit");
+                    os.kernel.waitpid(root, Some(victim.pid)).expect("reap");
+                    format!("exit actor {}", victim.pid.0)
+                }
+            }
+        };
+
+        if checked {
+            os.kernel
+                .check_invariants()
+                .unwrap_or_else(|v| panic!("step {step} ({desc}): invariants broken: {v:?}"));
+            if desc.contains("failed") {
+                os.kernel
+                    .leak_check(&pre)
+                    .unwrap_or_else(|v| panic!("step {step} ({desc}): failed op leaked: {v:?}"));
+            }
+        }
+        trace.push(format!("{step}:{desc}@{}", os.kernel.cycles.total()));
+    }
+
+    for a in actors.iter().skip(1) {
+        os.kernel.exit(a.pid, 0).expect("exit child");
+        os.kernel.waitpid(root, Some(a.pid)).expect("reap child");
+    }
+    os.kernel.exit(root, 0).expect("exit root");
+    os.kernel.waitpid(os.init, Some(root)).expect("reap root");
+    trace
+}
+
+#[test]
+fn random_swap_sequences_hold_invariants_and_leak_nothing() {
+    let mut total_out = 0;
+    let mut total_in = 0;
+    for case in 0..10u64 {
+        let mut os = boot_swap(512);
+        let boot_base = os.kernel.baseline();
+        drive_swap(&mut os, 0xE13_000 + case, true, true);
+        os.kernel
+            .check_invariants()
+            .unwrap_or_else(|v| panic!("case {case}: final invariants: {v:?}"));
+        os.kernel
+            .leak_check(&boot_base)
+            .unwrap_or_else(|v| panic!("case {case}: full-run leak: {v:?}"));
+        let stats = os.kernel.phys.swap().stats();
+        total_out += stats.swap_outs;
+        total_in += stats.swap_ins;
+    }
+    // The sequences genuinely exercised the tier in both directions.
+    assert!(total_out > 0, "no sequence ever swapped out");
+    assert!(total_in > 0, "no sequence ever swapped back in");
+}
+
+#[test]
+fn disabled_swap_replays_byte_identical_to_a_swapless_world() {
+    // With no slots configured, every swap entry point must be
+    // observably absent: same step results, same cycle totals as a run
+    // that never calls into the tier at all.
+    for case in 0..6u64 {
+        let seed = 0xE13_100 + case;
+        let mut called = boot_swap(0);
+        let called_trace = drive_swap(&mut called, seed, true, true);
+        let mut skipped = boot_swap(0);
+        let skipped_trace = drive_swap(&mut skipped, seed, false, true);
+        assert_eq!(
+            called_trace, skipped_trace,
+            "case {case}: disabled swap tier was observable"
+        );
+        assert_eq!(
+            called.kernel.cycles.total(),
+            skipped.kernel.cycles.total(),
+            "case {case}: cycle totals diverged"
+        );
+        assert_eq!(
+            called.kernel.baseline(),
+            skipped.kernel.baseline(),
+            "case {case}: resource counts diverged"
+        );
+    }
+}
+
 #[test]
 fn random_sequences_hold_invariants_and_leak_nothing() {
     for case in 0..10u64 {

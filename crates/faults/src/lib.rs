@@ -104,11 +104,34 @@ pub enum FaultSite {
     /// (`fpr-api::fastpath`): the pool shrinker's work-list setup,
     /// crossed before any parked child is torn down.
     PoolDrain,
+    /// Allocating a swap slot from the device bitmap during a swap-out
+    /// pass (`fpr-mem::swap`). An injected failure aborts the pass with
+    /// every already-reserved slot returned — the kernel stays
+    /// byte-identical.
+    SwapSlotAlloc,
+    /// The swap-out pass itself (`fpr-kernel::reclaim`), crossed once
+    /// per pass before any page table or frame is touched, so an
+    /// injected failure aborts the pass byte-identically.
+    SwapOut,
+    /// Reading a page back from the swap device on a major fault
+    /// (`fpr-mem::swap`). An injected failure models a device I/O error
+    /// and surfaces as SIGBUS-style death of the faulting process only.
+    SwapIn,
 }
 
 impl FaultSite {
+    /// Number of [`FaultSite`] variants, tied to [`FaultSite::index`]'s
+    /// exhaustive `match`: adding a variant breaks that match at compile
+    /// time, and the unit test below forces `ALL` and `COUNT` to follow.
+    pub const COUNT: usize = 17;
+
     /// Every site, in a stable order (used by sweeps and coverage reports).
-    pub const ALL: [FaultSite; 14] = [
+    ///
+    /// Completeness is enforced, not hoped for: the array length is
+    /// [`FaultSite::COUNT`] and a unit test asserts
+    /// `ALL[i].index() == i` for every element, which together make it
+    /// impossible to omit, duplicate, or reorder a variant silently.
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
         FaultSite::FrameAlloc,
         FaultSite::PtNodeAlloc,
         FaultSite::VmaClone,
@@ -123,7 +146,38 @@ impl FaultSite {
         FaultSite::PoolCheckout,
         FaultSite::ReclaimShrink,
         FaultSite::PoolDrain,
+        FaultSite::SwapSlotAlloc,
+        FaultSite::SwapOut,
+        FaultSite::SwapIn,
     ];
+
+    /// Position of this site in [`FaultSite::ALL`].
+    ///
+    /// The `match` is deliberately written without a wildcard arm: a new
+    /// variant fails to compile here until it is given an index, and the
+    /// `all_is_exhaustive_and_ordered` test then fails until `ALL` and
+    /// [`FaultSite::COUNT`] include it.
+    pub const fn index(self) -> usize {
+        match self {
+            FaultSite::FrameAlloc => 0,
+            FaultSite::PtNodeAlloc => 1,
+            FaultSite::VmaClone => 2,
+            FaultSite::CommitCharge => 3,
+            FaultSite::PidAlloc => 4,
+            FaultSite::FdAlloc => 5,
+            FaultSite::VfsOp => 6,
+            FaultSite::SpawnFileAction => 7,
+            FaultSite::XprocStep => 8,
+            FaultSite::PtUnshare => 9,
+            FaultSite::ImageCacheInsert => 10,
+            FaultSite::PoolCheckout => 11,
+            FaultSite::ReclaimShrink => 12,
+            FaultSite::PoolDrain => 13,
+            FaultSite::SwapSlotAlloc => 14,
+            FaultSite::SwapOut => 15,
+            FaultSite::SwapIn => 16,
+        }
+    }
 
     /// Stable snake_case name (report/JSON key).
     pub fn name(self) -> &'static str {
@@ -142,6 +196,9 @@ impl FaultSite {
             FaultSite::PoolCheckout => "pool_checkout",
             FaultSite::ReclaimShrink => "reclaim_shrink",
             FaultSite::PoolDrain => "pool_drain",
+            FaultSite::SwapSlotAlloc => "swap_slot_alloc",
+            FaultSite::SwapOut => "swap_out",
+            FaultSite::SwapIn => "swap_in",
         }
     }
 }
@@ -458,6 +515,34 @@ pub fn reset_coverage() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_is_exhaustive_and_ordered() {
+        // `index()` is an exhaustive match, so a new variant cannot
+        // compile without an index; this assertion then forces `ALL` (and
+        // `COUNT`) to carry every variant exactly once, in index order.
+        assert_eq!(FaultSite::ALL.len(), FaultSite::COUNT);
+        for (i, site) in FaultSite::ALL.iter().enumerate() {
+            assert_eq!(
+                site.index(),
+                i,
+                "FaultSite::ALL[{i}] is {site}, whose index() is {}",
+                site.index()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = BTreeSet::new();
+        for site in FaultSite::ALL {
+            assert!(seen.insert(site.name()), "duplicate name {}", site.name());
+            assert!(site
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
 
     #[test]
     fn passive_plan_injects_nothing_but_traces() {

@@ -50,6 +50,8 @@ pub enum Errno {
     Ebusy,
     /// Interrupted system call.
     Eintr,
+    /// I/O error (swap device failure on swap-in).
+    Eio,
 }
 
 impl Errno {
@@ -78,6 +80,7 @@ impl Errno {
             Errno::Eacces => "EACCES",
             Errno::Ebusy => "EBUSY",
             Errno::Eintr => "EINTR",
+            Errno::Eio => "EIO",
         }
     }
 }
@@ -99,6 +102,7 @@ impl From<fpr_mem::MemError> for Errno {
             | fpr_mem::MemError::NotMapped
             | fpr_mem::MemError::Protection => Errno::Efault,
             fpr_mem::MemError::Fragmented => Errno::Enomem,
+            fpr_mem::MemError::SwapIo => Errno::Eio,
         }
     }
 }
@@ -122,5 +126,6 @@ mod tests {
         assert_eq!(Errno::from(fpr_mem::MemError::CommitLimit), Errno::Enomem);
         assert_eq!(Errno::from(fpr_mem::MemError::NotMapped), Errno::Efault);
         assert_eq!(Errno::from(fpr_mem::MemError::Overlap), Errno::Einval);
+        assert_eq!(Errno::from(fpr_mem::MemError::SwapIo), Errno::Eio);
     }
 }

@@ -39,6 +39,8 @@ pub struct KernelBaseline {
     pub live_pipes: usize,
     /// Filesystem inodes.
     pub inodes: usize,
+    /// Swap slots in use.
+    pub swap_used: u64,
     /// Per-uid live process counts.
     pub nproc: BTreeMap<u32, u64>,
 }
@@ -54,6 +56,7 @@ impl Kernel {
             live_ofds: self.ofds.live(),
             live_pipes: self.pipes.live(),
             inodes: self.vfs.inode_count(),
+            swap_used: self.phys.swap().used_slots(),
             nproc: self.user_counts.clone(),
         }
     }
@@ -76,6 +79,7 @@ impl Kernel {
         cmp("open file descriptions", base.live_ofds as u64, now.live_ofds as u64);
         cmp("pipes", base.live_pipes as u64, now.live_pipes as u64);
         cmp("inodes", base.inodes as u64, now.inodes as u64);
+        cmp("swap slots", base.swap_used, now.swap_used);
         for uid in base.nproc.keys().chain(now.nproc.keys()) {
             let b = base.nproc.get(uid).copied().unwrap_or(0);
             let a = now.nproc.get(uid).copied().unwrap_or(0);
@@ -158,6 +162,56 @@ impl Kernel {
                 "{} frames in use but {} distinct frames mapped",
                 self.phys.used_frames(),
                 pte_refs.len()
+            ));
+        }
+
+        // --- Swap: slot refcounts vs swap-entry PTEs. ---
+        // Same node-identity dedup as frames: a leaf subtree shared by an
+        // on-demand fork holds each slot reference once, and each space's
+        // `swapped` counter must match its own swap-entry population.
+        let mut slot_refs: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut seen_swap_nodes: std::collections::BTreeSet<usize> =
+            std::collections::BTreeSet::new();
+        for p in self.procs.values() {
+            if p.space_ref != SpaceRef::Owned {
+                continue;
+            }
+            let pid = p.pid;
+            let mut new_nodes: Vec<usize> = Vec::new();
+            let mut entries: u64 = 0;
+            p.aspace.for_each_swap_entry_keyed(|nid, vpn, slot| {
+                entries += 1;
+                if !seen_swap_nodes.contains(&nid) {
+                    *slot_refs.entry(slot).or_insert(0) += 1;
+                    new_nodes.push(nid);
+                }
+                if p.aspace.vma_at(vpn).is_none() {
+                    v.push(format!("pid {pid}: swap entry {} outside any VMA", vpn.0));
+                }
+            });
+            seen_swap_nodes.extend(new_nodes);
+            if entries != p.aspace.swapped_pages() {
+                v.push(format!(
+                    "pid {pid}: swapped counter {} but {entries} swap entries present",
+                    p.aspace.swapped_pages()
+                ));
+            }
+        }
+        let device: BTreeMap<u64, u32> = self.phys.swap().used_slot_refs().into_iter().collect();
+        for (slot, expect) in &slot_refs {
+            match device.get(slot) {
+                Some(actual) if actual == expect => {}
+                Some(actual) => v.push(format!(
+                    "swap slot {slot}: refcount {actual} but {expect} swap entries name it"
+                )),
+                None => v.push(format!("swap slot {slot}: named by a PTE but not allocated")),
+            }
+        }
+        if slot_refs.len() as u64 != self.phys.swap().used_slots() {
+            v.push(format!(
+                "{} swap slots in use but {} distinct slots referenced",
+                self.phys.swap().used_slots(),
+                slot_refs.len()
             ));
         }
 

@@ -42,6 +42,10 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Maximum simultaneously live PIDs.
     pub max_pids: u32,
+    /// Swap-device capacity in one-page slots. Zero (the default) means
+    /// no swap is configured and the kernel behaves exactly as before the
+    /// swap tier existed.
+    pub swap_slots: u64,
 }
 
 impl Default for MachineConfig {
@@ -52,6 +56,7 @@ impl Default for MachineConfig {
             overcommit: OvercommitPolicy::Heuristic,
             cost: CostModel::default(),
             max_pids: 4096,
+            swap_slots: 0,
         }
     }
 }
@@ -102,12 +107,17 @@ pub struct Kernel {
 impl Kernel {
     /// Boots a machine.
     pub fn new(cfg: MachineConfig) -> Kernel {
+        let mut phys = PhysMemory::new(cfg.frames, cfg.cost);
+        phys.set_swap_capacity(cfg.swap_slots);
+        let mut commit = CommitAccount::new(cfg.overcommit, cfg.frames);
+        // CommitLimit = ratio * RAM + SwapTotal (Linux `Never` mode).
+        commit.set_swap_pages(cfg.swap_slots);
         Kernel {
-            phys: PhysMemory::new(cfg.frames, cfg.cost),
+            phys,
             tlb: TlbModel::new(),
             cycles: Cycles::new(),
             clock: Clock::new(),
-            commit: CommitAccount::new(cfg.overcommit, cfg.frames),
+            commit,
             vfs: Vfs::new(),
             ofds: OfdTable::new(),
             pipes: PipeTable::new(),
@@ -372,6 +382,7 @@ impl Kernel {
     pub fn write_mem(&mut self, pid: Pid, vpn: Vpn, val: u64) -> KResult<FaultOutcome> {
         match self.write_mem_inner(pid, vpn, val) {
             Err(Errno::Enomem) if self.direct_reclaim() => self.write_mem_inner(pid, vpn, val),
+            Err(Errno::Eio) => self.swap_io_sigbus(pid),
             r => r,
         }
     }
@@ -391,8 +402,18 @@ impl Kernel {
         Ok(p.aspace.write(vpn, val, phys, cycles, tlb, cpus)?)
     }
 
-    /// Reads the page at `vpn` of `pid`, faulting as needed.
+    /// Reads the page at `vpn` of `pid`, faulting as needed. A read of a
+    /// swapped-out page allocates a frame, so an `ENOMEM` under real
+    /// pressure triggers one direct-reclaim pass and a single retry.
     pub fn read_mem(&mut self, pid: Pid, vpn: Vpn) -> KResult<u64> {
+        match self.read_mem_inner(pid, vpn) {
+            Err(Errno::Enomem) if self.direct_reclaim() => self.read_mem_inner(pid, vpn),
+            Err(Errno::Eio) => self.swap_io_sigbus(pid),
+            r => r,
+        }
+    }
+
+    fn read_mem_inner(&mut self, pid: Pid, vpn: Vpn) -> KResult<u64> {
         self.ensure_alive(pid)?;
         let owner = self.space_owner(pid)?;
         let Kernel {
@@ -412,8 +433,29 @@ impl Kernel {
     pub fn populate(&mut self, pid: Pid, start: Vpn, pages: u64) -> KResult<()> {
         match self.populate_inner(pid, start, pages) {
             Err(Errno::Enomem) if self.direct_reclaim() => self.populate_inner(pid, start, pages),
+            Err(Errno::Eio) => self.swap_io_sigbus(pid),
             r => r,
         }
+    }
+
+    /// SIGBUS-style containment for a swap-device I/O error: the process
+    /// whose access needed the unreadable page is killed with the exit
+    /// status of a fatal `SIGBUS` and the access fails with `EFAULT`.
+    /// Only the faulting process dies — the swap entry, its slot, and all
+    /// kernel-wide state stay consistent (real kernels deliver `SIGBUS`
+    /// on exactly this path: a swap-in that the device fails).
+    fn swap_io_sigbus<T>(&mut self, pid: Pid) -> KResult<T> {
+        metrics::incr("kernel.swap.sigbus");
+        sink::instant("swap_sigbus", "kernel", self.cycles.total());
+        self.exit(pid, crate::lifecycle::SIGBUS_EXIT_STATUS)?;
+        Err(Errno::Efault)
+    }
+
+    /// True while the swap device's refault window shows thrashing — the
+    /// machine is paging against its own working set. Spawn fast-path
+    /// refill and retry backoff use this as a backpressure signal.
+    pub fn swap_thrashing(&self) -> bool {
+        self.phys.swap().thrashing()
     }
 
     fn populate_inner(&mut self, pid: Pid, start: Vpn, pages: u64) -> KResult<()> {
@@ -856,6 +898,16 @@ impl Kernel {
             .values()
             .filter(|p| !p.is_zombie())
             .map(|p| p.resident_pages())
+            .sum()
+    }
+
+    /// Total swapped-out pages across all live processes (page-table
+    /// view; shared slots count once per referencing space, like RSS).
+    pub fn total_swapped(&self) -> u64 {
+        self.procs
+            .values()
+            .filter(|p| !p.is_zombie())
+            .map(|p| p.aspace.swapped_pages())
             .sum()
     }
 }

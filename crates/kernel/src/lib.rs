@@ -50,7 +50,7 @@ pub use file::{FileObject, OfdId, OpenFlags};
 pub use invariants::KernelBaseline;
 pub use io::ReadResult;
 pub use kernel::{Kernel, MachineConfig};
-pub use lifecycle::OOM_EXIT_STATUS;
+pub use lifecycle::{OOM_EXIT_STATUS, SIGBUS_EXIT_STATUS};
 pub use mm::Madvice;
 pub use pgroup::{Pgid, Sid};
 pub use pid::{Pid, Tid};

@@ -9,6 +9,11 @@ use crate::task::{ProcState, SpaceRef};
 /// Exit status the OOM killer assigns (128 + SIGKILL).
 pub const OOM_EXIT_STATUS: i32 = 137;
 
+/// Exit status of a process killed by a fatal `SIGBUS` (128 + SIGBUS) —
+/// the fate of a process whose swapped-out page the device fails to read
+/// back.
+pub const SIGBUS_EXIT_STATUS: i32 = 135;
+
 impl Kernel {
     /// Installs a signal disposition (`sigaction`).
     pub fn sigaction(&mut self, pid: Pid, sig: Sig, d: Disposition) -> KResult<()> {
@@ -230,7 +235,10 @@ impl Kernel {
                 pinned += 1;
             }
         });
-        let score = (resident - pinned) + p.aspace.commit_pages() as i64 + p.oom_score_adj;
+        // Swapped pages count too: killing the process frees their slots,
+        // which is exactly the headroom the swap tier needs back.
+        let swapped = p.aspace.swapped_pages() as i64;
+        let score = (resident - pinned) + swapped + p.aspace.commit_pages() as i64 + p.oom_score_adj;
         Some(score.max(0))
     }
 

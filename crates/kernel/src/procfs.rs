@@ -77,6 +77,11 @@ impl Kernel {
             p.aspace.virtual_pages() * PAGE_SIZE / 1024
         );
         let _ = writeln!(out, "VmRSS:\t{} kB", p.resident_pages() * PAGE_SIZE / 1024);
+        let _ = writeln!(
+            out,
+            "VmSwap:\t{} kB",
+            p.aspace.swapped_pages() * PAGE_SIZE / 1024
+        );
         let _ = writeln!(out, "Threads:\t{}", p.threads.len());
         let _ = writeln!(out, "FDSize:\t{}", p.fds.open_count());
         let _ = writeln!(out, "SigBlk:\t{}", blocked_count(p));
@@ -88,7 +93,26 @@ impl Kernel {
         let total = self.phys.total_frames() * PAGE_SIZE / 1024;
         let free = self.phys.free_frames() * PAGE_SIZE / 1024;
         let committed = self.commit.committed() * PAGE_SIZE / 1024;
-        format!("MemTotal:\t{total} kB\nMemFree:\t{free} kB\nCommitted_AS:\t{committed} kB\n")
+        let swap_total = self.phys.swap().capacity() * PAGE_SIZE / 1024;
+        let swap_free = self.phys.swap().free_slots() * PAGE_SIZE / 1024;
+        format!(
+            "MemTotal:\t{total} kB\nMemFree:\t{free} kB\nSwapTotal:\t{swap_total} kB\n\
+             SwapFree:\t{swap_free} kB\nCommitted_AS:\t{committed} kB\n"
+        )
+    }
+
+    /// Renders `/proc/pressure/memory` (PSI): the share of simulated
+    /// cycles spent stalled in reclaim instead of making progress. The
+    /// simulation has no wall clock, so the three Linux averaging windows
+    /// collapse to a single whole-run average; `total` is stall cycles
+    /// (Linux reports microseconds).
+    pub fn proc_pressure_memory(&self) -> String {
+        let stalled = self.phys.stall_cycles_total();
+        let pct = 100.0 * stalled as f64 / self.cycles.total().max(1) as f64;
+        format!(
+            "some avg10={pct:.2} avg60={pct:.2} avg300={pct:.2} total={stalled}\n\
+             full avg10={pct:.2} avg60={pct:.2} avg300={pct:.2} total={stalled}\n"
+        )
     }
 
     /// Renders a one-line-per-process table (a minimal `ps`).
@@ -169,6 +193,34 @@ mod tests {
         k.mmap_anon(p, 256, Prot::RW, Share::Private).unwrap();
         let after = k.proc_meminfo();
         assert!(after.contains("Committed_AS:\t1024 kB"));
+    }
+
+    #[test]
+    fn meminfo_and_status_report_swap() {
+        let mut k = Kernel::new(crate::kernel::MachineConfig {
+            swap_slots: 64,
+            ..Default::default()
+        });
+        let p = k.create_init("init").unwrap();
+        let mem = k.proc_meminfo();
+        assert!(mem.contains("SwapTotal:\t256 kB"));
+        assert!(mem.contains("SwapFree:\t256 kB"));
+        let st = k.proc_status(p).unwrap();
+        assert!(st.contains("VmSwap:\t0 kB"));
+    }
+
+    #[test]
+    fn pressure_memory_reports_stalls() {
+        let (mut k, p) = boot();
+        let idle = k.proc_pressure_memory();
+        assert!(idle.starts_with("some avg10=0.00"));
+        assert!(idle.contains("full avg10=0.00"));
+        let base = k.mmap_anon(p, 4, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 4).unwrap();
+        k.phys.note_stall(1_000_000_000);
+        let stalled = k.proc_pressure_memory();
+        assert!(stalled.contains("total=1000000000"));
+        assert!(!stalled.contains("avg10=0.00"));
     }
 
     #[test]

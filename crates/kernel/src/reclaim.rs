@@ -72,6 +72,12 @@ pub struct ReclaimStats {
     pub frames_reclaimed: u64,
     /// Passes aborted by an injected fault before any mutation.
     pub aborted_passes: u64,
+    /// Swap-out passes that evicted at least one page.
+    pub swap_out_passes: u64,
+    /// Pages evicted to the swap device, cumulative.
+    pub pages_swapped_out: u64,
+    /// Swap-out passes aborted by an injected fault, byte-identically.
+    pub aborted_swap_passes: u64,
 }
 
 impl Kernel {
@@ -189,14 +195,135 @@ impl Kernel {
     /// reclaim failing must not fail the foreground operation); use
     /// [`Kernel::reclaim`] directly to observe them.
     pub fn balance_pressure(&mut self) -> u64 {
-        if self.shrinkers.is_empty() {
+        if self.shrinkers.is_empty() && !self.phys.swap().enabled() {
             return 0;
         }
         if self.phys.free_frames() >= self.phys.watermarks().low {
             return 0;
         }
         let target = self.phys.reclaim_target();
-        self.reclaim(target).unwrap_or(0)
+        let mut freed = self.reclaim(target).unwrap_or(0);
+        if freed < target && self.swap_could_help() {
+            freed += self.swap_out_pass(target - freed).unwrap_or(0);
+        }
+        freed
+    }
+
+    /// The reclaim tier *below* the shrinkers: evicts sole-owner private
+    /// anonymous pages to the swap device, clean pages first. Runs only
+    /// after cache/pool shrinking has come up short, and before anyone
+    /// considers the OOM killer.
+    ///
+    /// Two-phase like [`Kernel::reclaim`]: the pass-level
+    /// [`FaultSite::SwapOut`] site is crossed before any mutation, and
+    /// each page's [`FaultSite::SwapSlotAlloc`] crossing happens while
+    /// slots are being reserved — an injected failure there returns every
+    /// already-reserved slot, so an `Err` always leaves the kernel
+    /// byte-identical. Only after every slot is held does the infallible
+    /// commit rewrite PTEs, release frames, and issue one batched TLB
+    /// shootdown.
+    pub fn swap_out_pass(&mut self, target: u64) -> KResult<u64> {
+        let budget = target.min(self.phys.swap().free_slots());
+        if budget == 0 {
+            return Ok(0);
+        }
+        // Phase 0: gather eviction candidates across live processes.
+        let mut work: Vec<(crate::pid::Pid, fpr_mem::Vpn)> = Vec::new();
+        let pids: Vec<crate::pid::Pid> = self.procs.keys().copied().collect();
+        for pid in pids {
+            let room = budget as usize - work.len();
+            if room == 0 {
+                break;
+            }
+            let p = &self.procs[&pid];
+            if p.is_zombie() || p.space_ref != crate::task::SpaceRef::Owned {
+                continue;
+            }
+            for vpn in p.aspace.swap_out_candidates(&self.phys, room) {
+                work.push((pid, vpn));
+            }
+        }
+        if work.is_empty() {
+            return Ok(0);
+        }
+        // Phase 1: the pass-level fault site, before any mutation.
+        if fpr_faults::cross(FaultSite::SwapOut).is_err() {
+            self.reclaim_stats.aborted_swap_passes += 1;
+            metrics::incr("kernel.swap.aborted");
+            return Err(crate::error::Errno::Enomem);
+        }
+        // Phase 2: reserve one slot per page (each crossing
+        // SwapSlotAlloc); an injected failure unwinds every reservation.
+        sink::span_begin("swap_out", "kernel", self.cycles.total());
+        let stall_start = self.cycles.total();
+        let mut reserved: Vec<(crate::pid::Pid, fpr_mem::Vpn, u64)> = Vec::new();
+        for (pid, vpn) in work {
+            let pte = self.procs[&pid]
+                .aspace
+                .translate(vpn)
+                .expect("candidate just enumerated");
+            let stamp = self.phys.content(pte.pfn).expect("candidate frame live");
+            match self.phys.swap_out_page(stamp, &mut self.cycles) {
+                Ok(slot) => reserved.push((pid, vpn, slot)),
+                Err(_) => {
+                    for (_, _, slot) in reserved {
+                        self.phys.swap_mut().unalloc_slot(slot);
+                    }
+                    self.reclaim_stats.aborted_swap_passes += 1;
+                    metrics::incr("kernel.swap.aborted");
+                    sink::span_end("swap_out", self.cycles.total());
+                    return Err(crate::error::Errno::Enomem);
+                }
+            }
+        }
+        // Phase 3: infallible commit — PTE rewrites, frame releases, and
+        // one batched shootdown for every stale translation at once.
+        let evicted = reserved.len() as u64;
+        let mut max_cpus = 0u32;
+        let mut affected: Vec<crate::pid::Pid> = Vec::new();
+        for (pid, vpn, slot) in reserved {
+            let Kernel {
+                phys,
+                cycles,
+                procs,
+                ..
+            } = self;
+            let p = procs.get_mut(&pid).expect("candidate process live");
+            p.aspace.swap_out_commit(vpn, slot, phys, cycles);
+            if affected.last() != Some(&pid) {
+                affected.push(pid);
+            }
+        }
+        for pid in affected {
+            max_cpus = max_cpus.max(self.cpus_running(pid));
+        }
+        let cost = self.phys.cost().clone();
+        self.tlb.shootdown(max_cpus, &mut self.cycles, &cost);
+        self.reclaim_stats.swap_out_passes += 1;
+        self.reclaim_stats.pages_swapped_out += evicted;
+        let stalled = self.cycles.total() - stall_start;
+        self.phys.note_stall(stalled);
+        metrics::add("kernel.swap.out_pages", evicted);
+        metrics::observe("kernel.swap.stall_cycles", stalled);
+        sink::span_end("swap_out", self.cycles.total());
+        Ok(evicted)
+    }
+
+    /// True when the swap tier could make progress: the device has free
+    /// slots, there is real pressure, and some live process owns an
+    /// evictable page.
+    pub fn swap_could_help(&mut self) -> bool {
+        if self.phys.swap().free_slots() == 0 {
+            return false;
+        }
+        if self.phys.pressure() == PressureLevel::None {
+            return false;
+        }
+        self.procs.values().any(|p| {
+            !p.is_zombie()
+                && p.space_ref == crate::task::SpaceRef::Owned
+                && !p.aspace.swap_out_candidates(&self.phys, 1).is_empty()
+        })
     }
 
     /// True when a failed allocation is worth retrying after reclaim:
@@ -223,21 +350,29 @@ impl Kernel {
         self.reclaim_stats
     }
 
-    /// Direct reclaim on an allocation failure: runs a pass if (and only
-    /// if) there is real pressure and a live shrinker with frames to
-    /// give, returning true when frames were actually freed — the
-    /// caller's cue to retry the failed operation exactly once.
+    /// Direct reclaim on an allocation failure: shrinks caches first,
+    /// then falls through to the swap tier if the shrinkers came up
+    /// short, returning true when any frames were actually freed — the
+    /// caller's cue to retry the failed operation exactly once. The OOM
+    /// killer is never invoked from here; it remains the policy of the
+    /// layer above, and with a working swap tier it fires only when swap
+    /// is full *and* this path returns false.
     ///
-    /// The pressure gate matters for fault injection: an *injected*
+    /// The pressure gates matter for fault injection: an *injected*
     /// `ENOMEM` in an unpressured world must surface to its sweep, not be
     /// papered over by a retry.
     pub(crate) fn direct_reclaim(&mut self) -> bool {
-        if !self.reclaim_could_help() {
-            return false;
-        }
-        metrics::incr("kernel.reclaim.direct");
         let target = self.phys.reclaim_target().max(1);
-        matches!(self.reclaim(target), Ok(n) if n > 0)
+        let mut freed = 0;
+        if self.reclaim_could_help() {
+            metrics::incr("kernel.reclaim.direct");
+            freed = self.reclaim(target).unwrap_or(0);
+        }
+        if freed < target && self.swap_could_help() {
+            metrics::incr("kernel.swap.direct");
+            freed += self.swap_out_pass(target - freed).unwrap_or(0);
+        }
+        freed > 0
     }
 }
 
@@ -350,6 +485,161 @@ mod tests {
         assert_eq!(k.reclaim_stats().passes, 0);
         // And the pass succeeds on retry.
         assert_eq!(k.reclaim(8), Ok(8));
+    }
+
+    fn swap_kernel(frames: u64, slots: u64) -> (Kernel, crate::pid::Pid) {
+        let mut k = Kernel::new(MachineConfig {
+            frames,
+            swap_slots: slots,
+            ..MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        (k, init)
+    }
+
+    fn write_pages(k: &mut Kernel, pid: crate::pid::Pid, base: fpr_mem::Vpn, n: u64) {
+        for i in 0..n {
+            k.write_mem(pid, fpr_mem::Vpn(base.0 + i), 0xAB00 + i).unwrap();
+        }
+    }
+
+    #[test]
+    fn swap_out_evicts_and_faults_bring_pages_back() {
+        let (mut k, init) = swap_kernel(256, 128);
+        let base = k
+            .mmap_anon(init, 32, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        write_pages(&mut k, init, base, 32);
+        assert_eq!(k.swap_out_pass(16), Ok(16));
+        assert_eq!(k.process(init).unwrap().aspace.swapped_pages(), 16);
+        assert_eq!(k.phys.swap().used_slots(), 16);
+        assert_eq!(k.reclaim_stats().pages_swapped_out, 16);
+        k.assert_consistent();
+        // Faulting every page back restores the exact contents and frees
+        // the slots.
+        for i in 0..32 {
+            assert_eq!(
+                k.read_mem(init, fpr_mem::Vpn(base.0 + i)),
+                Ok(0xAB00 + i)
+            );
+        }
+        assert_eq!(k.process(init).unwrap().aspace.swapped_pages(), 0);
+        assert_eq!(k.phys.swap().used_slots(), 0);
+        assert_eq!(k.phys.swap().stats().swap_ins, 16);
+        k.assert_consistent();
+    }
+
+    #[test]
+    fn injected_swap_out_fault_aborts_byte_identical() {
+        let (mut k, init) = swap_kernel(256, 64);
+        let vbase = k
+            .mmap_anon(init, 16, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        write_pages(&mut k, init, vbase, 16);
+        let base = k.baseline();
+        let (res, trace) = fpr_faults::with_plan(
+            FaultPlan::passive().fail_at(FaultSite::SwapOut, 0),
+            || k.swap_out_pass(8),
+        );
+        assert_eq!(trace.injected().len(), 1);
+        assert!(res.is_err());
+        k.leak_check(&base).unwrap();
+        k.assert_consistent();
+        assert_eq!(k.reclaim_stats().aborted_swap_passes, 1);
+        assert_eq!(k.reclaim_stats().swap_out_passes, 0);
+        // And the identical pass succeeds on retry.
+        assert_eq!(k.swap_out_pass(8), Ok(8));
+    }
+
+    #[test]
+    fn injected_slot_alloc_fault_unwinds_every_reservation() {
+        let (mut k, init) = swap_kernel(256, 64);
+        let vbase = k
+            .mmap_anon(init, 16, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        write_pages(&mut k, init, vbase, 16);
+        let base = k.baseline();
+        // Fail the *fourth* slot reservation: three slots are already held
+        // and must all be returned.
+        let (res, trace) = fpr_faults::with_plan(
+            FaultPlan::passive().fail_at(FaultSite::SwapSlotAlloc, 3),
+            || k.swap_out_pass(8),
+        );
+        assert_eq!(trace.injected().len(), 1);
+        assert!(res.is_err());
+        assert_eq!(k.phys.swap().used_slots(), 0);
+        k.leak_check(&base).unwrap();
+        k.assert_consistent();
+        assert_eq!(k.reclaim_stats().aborted_swap_passes, 1);
+    }
+
+    #[test]
+    fn swap_in_io_error_is_contained_to_the_faulting_process() {
+        let (mut k, init) = swap_kernel(256, 64);
+        let child = k.allocate_process(init, "victim").unwrap();
+        let vbase = k
+            .mmap_anon(child, 8, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        write_pages(&mut k, child, vbase, 8);
+        assert_eq!(k.swap_out_pass(8), Ok(8));
+        let (res, trace) = fpr_faults::with_plan(
+            FaultPlan::passive().fail_at(FaultSite::SwapIn, 0),
+            || k.read_mem(child, vbase),
+        );
+        assert_eq!(trace.injected().len(), 1);
+        assert_eq!(res, Err(crate::error::Errno::Efault));
+        assert_eq!(k.phys.swap().stats().io_errors, 1);
+        // Only the faulting process died — SIGBUS-style — and its exit
+        // released every frame and swap slot it held.
+        assert!(k.process(child).unwrap().is_zombie());
+        let (pid, status) = k.waitpid(init, Some(child)).unwrap().unwrap();
+        assert_eq!(pid, child);
+        assert_eq!(status, crate::lifecycle::SIGBUS_EXIT_STATUS);
+        assert_eq!(k.phys.swap().used_slots(), 0);
+        k.assert_consistent();
+    }
+
+    #[test]
+    fn swap_tier_stays_idle_without_pressure() {
+        let (mut k, init) = swap_kernel(262_144, 64);
+        let vbase = k
+            .mmap_anon(init, 8, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        write_pages(&mut k, init, vbase, 8);
+        assert!(!k.swap_could_help(), "no pressure, no eviction");
+        assert!(!k.direct_reclaim());
+        assert_eq!(k.phys.swap().used_slots(), 0);
+    }
+
+    #[test]
+    fn write_storm_swaps_instead_of_oom_killing() {
+        // 160 pages of dirty anonymous memory on a 128-frame machine
+        // (two mappings: heuristic overcommit refuses a single oversize
+        // charge): without swap this storm must kill someone; with it,
+        // direct reclaim evicts cold pages and every write lands.
+        let (mut k, init) = swap_kernel(128, 256);
+        let a = k
+            .mmap_anon(init, 80, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        let b = k
+            .mmap_anon(init, 80, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        write_pages(&mut k, init, a, 80);
+        write_pages(&mut k, init, b, 80);
+        let p = k.process(init).unwrap();
+        assert!(!p.is_zombie(), "init survived the storm");
+        assert_eq!(
+            p.resident_pages() + p.aspace.swapped_pages(),
+            160,
+            "every page is resident or swapped"
+        );
+        assert!(k.reclaim_stats().pages_swapped_out > 0);
+        k.assert_consistent();
+        // Spot-check contents across the resident/swapped split.
+        for i in [0u64, 42, 79] {
+            assert_eq!(k.read_mem(init, fpr_mem::Vpn(a.0 + i)), Ok(0xAB00 + i));
+            assert_eq!(k.read_mem(init, fpr_mem::Vpn(b.0 + i)), Ok(0xAB00 + i));
+        }
     }
 
     #[test]

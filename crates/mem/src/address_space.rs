@@ -66,6 +66,9 @@ pub struct AddressSpace {
     /// VMAs keyed by start VPN.
     pub(crate) vmas: BTreeMap<u64, VmArea>,
     pub(crate) pt: crate::page_table::PageTable,
+    /// Installed PTEs that are swap entries rather than frames. The page
+    /// table counts both kinds as "mapped"; residency subtracts this.
+    pub(crate) swapped: u64,
     /// Work counters.
     pub stats: AsStats,
 }
@@ -82,6 +85,7 @@ impl AddressSpace {
         AddressSpace {
             vmas: BTreeMap::new(),
             pt: crate::page_table::PageTable::new(),
+            swapped: 0,
             stats: AsStats::default(),
         }
     }
@@ -105,9 +109,15 @@ impl AddressSpace {
         self.vmas.len()
     }
 
-    /// Total mapped (resident) pages.
+    /// Total mapped (resident) pages. Swap entries occupy page-table
+    /// slots but hold no frame, so they are excluded.
     pub fn resident_pages(&self) -> u64 {
-        self.pt.mapped_pages()
+        self.pt.mapped_pages() - self.swapped
+    }
+
+    /// Pages of this space currently evicted to the swap device.
+    pub fn swapped_pages(&self) -> u64 {
+        self.swapped
     }
 
     /// Total pages covered by VMAs (virtual size).
@@ -217,8 +227,15 @@ impl AddressSpace {
             let v = self.vmas.remove(&k).expect("key just enumerated");
             for (vpn, pte) in self.pt.leaves_in_range(v.start, v.pages) {
                 self.pt.unmap(vpn).expect("leaf just enumerated");
-                phys.dec_ref(pte.pfn, cycles)?;
-                released += 1;
+                if pte.is_swap() {
+                    // A swap entry holds a device slot, not a frame, and
+                    // was never in any TLB (non-present).
+                    phys.swap_mut().dec_ref(pte.swap_slot())?;
+                    self.swapped -= 1;
+                } else {
+                    phys.dec_ref(pte.pfn, cycles)?;
+                    released += 1;
+                }
             }
         }
         if released > 0 {
@@ -273,7 +290,12 @@ impl AddressSpace {
                 None => return Ok(released),
                 Some((base, true)) => {
                     let arc = self.pt.detach_leaf(base).expect("node just enumerated");
-                    released += arc.live as u64;
+                    // Slot references follow leaf-node identity, so the
+                    // surviving owner keeps the swap slots too.
+                    let swap_in_node =
+                        arc.ptes.iter().flatten().filter(|p| p.is_swap()).count() as u64;
+                    self.swapped -= swap_in_node;
+                    released += arc.live as u64 - swap_in_node;
                     // Still referenced by the other space, which releases
                     // the frames when it drops its copy; our drop is free.
                 }
@@ -402,8 +424,13 @@ impl AddressSpace {
         let mut released = self.prepare_release_range(start, pages, phys, cycles)?;
         for (vpn, pte) in self.pt.leaves_in_range(start, pages) {
             self.pt.unmap(vpn).expect("leaf just enumerated");
-            phys.dec_ref(pte.pfn, cycles)?;
-            released += 1;
+            if pte.is_swap() {
+                phys.swap_mut().dec_ref(pte.swap_slot())?;
+                self.swapped -= 1;
+            } else {
+                phys.dec_ref(pte.pfn, cycles)?;
+                released += 1;
+            }
         }
         if released > 0 {
             let cost = phys.cost().clone();
@@ -530,6 +557,11 @@ impl AddressSpace {
     /// the donor's spawn cost exactly equal to the uncached path.
     pub fn cow_protect_page(&mut self, vpn: Vpn, phys: &mut PhysMemory, cycles: &mut Cycles) -> MemResult<Pte> {
         let pte = self.pt.translate(vpn).ok_or(MemError::NotMapped)?;
+        if pte.is_swap() {
+            // A swapped-out page is not resident and cannot donate its
+            // frame to the image cache.
+            return Err(MemError::NotMapped);
+        }
         let mut new = pte;
         new.flags = new.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
         if new != pte {
@@ -575,10 +607,15 @@ impl AddressSpace {
     ) -> MemResult<()> {
         for i in 0..pages {
             let vpn = start.add(i);
-            if self.pt.translate(vpn).is_some() {
-                continue;
+            match self.pt.translate(vpn) {
+                Some(pte) if pte.is_swap() => {
+                    self.swap_in(vpn, pte, phys, cycles)?;
+                }
+                Some(_) => {}
+                None => {
+                    self.demand_fill(vpn, phys, cycles)?;
+                }
             }
-            self.demand_fill(vpn, phys, cycles)?;
         }
         Ok(())
     }
@@ -589,6 +626,7 @@ impl AddressSpace {
     pub fn observe(&self, vpn: Vpn, phys: &PhysMemory) -> MemResult<u64> {
         let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?;
         match self.pt.translate(vpn) {
+            Some(pte) if pte.is_swap() => phys.swap().peek(pte.swap_slot()),
             Some(pte) => phys.content(pte.pfn),
             None => Ok(vma.initial_content(vpn)),
         }
@@ -600,17 +638,111 @@ impl AddressSpace {
     }
 
     /// Visits every resident page with its PTE, in ascending VPN order
-    /// (verification aid for kernel-wide invariant checks).
-    pub fn for_each_resident(&self, f: impl FnMut(Vpn, Pte)) {
-        self.pt.for_each_leaf(f)
+    /// (verification aid for kernel-wide invariant checks). Swap entries
+    /// hold no frame and are skipped; see
+    /// [`Self::for_each_swap_entry_keyed`].
+    pub fn for_each_resident(&self, mut f: impl FnMut(Vpn, Pte)) {
+        self.pt.for_each_leaf(|vpn, pte| {
+            if pte.is_present() {
+                f(vpn, pte)
+            }
+        })
     }
 
     /// Like [`Self::for_each_resident`], but also yields a stable identity
     /// for the leaf page-table node holding each PTE. Two spaces yielding
     /// the same identity reference the *same* shared subtree (on-demand
     /// fork), so cross-space accounting must count its PTEs once.
-    pub fn for_each_resident_keyed(&self, f: impl FnMut(usize, Vpn, Pte)) {
-        self.pt.for_each_leaf_keyed(f)
+    pub fn for_each_resident_keyed(&self, mut f: impl FnMut(usize, Vpn, Pte)) {
+        self.pt.for_each_leaf_keyed(|id, vpn, pte| {
+            if pte.is_present() {
+                f(id, vpn, pte)
+            }
+        })
+    }
+
+    /// Visits every swap entry with its slot index, plus the stable leaf
+    /// identity (same contract as [`Self::for_each_resident_keyed`]: a
+    /// shared subtree's slots must be counted once across spaces).
+    pub fn for_each_swap_entry_keyed(&self, mut f: impl FnMut(usize, Vpn, u64)) {
+        self.pt.for_each_leaf_keyed(|id, vpn, pte| {
+            if pte.is_swap() {
+                f(id, vpn, pte.swap_slot())
+            }
+        })
+    }
+
+    /// Scans for pages the reclaim swap tier may evict, cheapest first:
+    /// clean pages before dirty ones. A page qualifies only when evicting
+    /// it cannot be observed by anyone else: private anonymous mapping,
+    /// sole frame owner (no COW sharing), unpinned, not `MAP_SHARED`, and
+    /// not inside a leaf subtree an on-demand fork still shares. Returns
+    /// at most `max` pages.
+    pub fn swap_out_candidates(&self, phys: &PhysMemory, max: usize) -> Vec<Vpn> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mut clean: Vec<Vpn> = Vec::new();
+        let mut dirty: Vec<Vpn> = Vec::new();
+        for (base, l1, idx) in self.pt.leaf_slot_coords() {
+            let arc = self.pt.leaf_at(l1, idx);
+            if Arc::strong_count(arc) != 1 {
+                // Evicting through a shared subtree would pull the page
+                // out from under the other space.
+                continue;
+            }
+            for (j, slot) in arc.ptes.iter().enumerate() {
+                let Some(pte) = slot else { continue };
+                if !pte.is_present() || pte.flags.contains(PteFlags::SHARED) {
+                    continue;
+                }
+                if phys.refs(pte.pfn).unwrap_or(u32::MAX) != 1 || phys.pin_count(pte.pfn) > 0 {
+                    continue;
+                }
+                let vpn = Vpn(base | j as u64);
+                let anon_private = self
+                    .vma_at(vpn)
+                    .map(|v| v.share == Share::Private && matches!(v.backing, Backing::Anon))
+                    .unwrap_or(false);
+                if !anon_private {
+                    continue;
+                }
+                if pte.flags.contains(PteFlags::DIRTY) {
+                    dirty.push(vpn);
+                } else {
+                    clean.push(vpn);
+                }
+            }
+        }
+        clean.extend(dirty);
+        clean.truncate(max);
+        clean
+    }
+
+    /// Replaces the resident candidate at `vpn` with a swap entry for
+    /// `slot`, releasing its frame. Infallible by construction: the
+    /// kernel's swap-out pass has already reserved the slot and crossed
+    /// every fault site, so this is the commit half of the transaction —
+    /// a PTE rewrite plus a frame release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is not a resident sole-owner page (i.e. was not
+    /// vetted by [`Self::swap_out_candidates`] in the same pass).
+    pub fn swap_out_commit(
+        &mut self,
+        vpn: Vpn,
+        slot: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) {
+        let pte = self.pt.translate(vpn).expect("candidate still resident");
+        assert!(pte.is_present(), "candidate already swapped");
+        self.pt
+            .update(vpn, Pte::swap_entry(slot))
+            .expect("translated above");
+        phys.dec_ref(pte.pfn, cycles).expect("sole owner");
+        self.swapped += 1;
     }
 
     /// Tears down the whole space, releasing every frame. Must be called
@@ -625,14 +757,22 @@ impl AddressSpace {
             match Arc::try_unwrap(arc) {
                 Ok(node) => {
                     for pte in node.ptes.iter().flatten() {
-                        phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+                        if pte.is_swap() {
+                            phys.swap_mut()
+                                .dec_ref(pte.swap_slot())
+                                .expect("slot tracked");
+                        } else {
+                            phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+                        }
                     }
                 }
                 Err(_) => {
-                    // Still shared: the other table keeps the frames alive.
+                    // Still shared: the other table keeps the frames (and
+                    // swap slots — references follow leaf identity) alive.
                 }
             }
         }
+        self.swapped = 0;
         self.vmas.clear();
     }
 
@@ -660,8 +800,16 @@ impl AddressSpace {
         let cost = phys.cost().clone();
         let present = self.pt.privatize_leaf(vpn, cycles, &cost)?;
         for pte in &present {
-            phys.inc_ref(pte.pfn)
-                .expect("frame tracked by shared subtree");
+            if pte.is_swap() {
+                // The privatized copy now references the slot from a
+                // second distinct leaf node.
+                phys.swap_mut()
+                    .inc_ref(pte.swap_slot())
+                    .expect("slot tracked by shared subtree");
+            } else {
+                phys.inc_ref(pte.pfn)
+                    .expect("frame tracked by shared subtree");
+            }
         }
         self.stats.pt_unshares += 1;
         self.stats.ptes_unshare_copied += present.len() as u64;
@@ -833,6 +981,10 @@ impl AddressSpace {
                 }
                 let arc = Arc::clone(parent.pt.leaf_at(l1, idx));
                 child.pt.attach_leaf(base, arc, cycles, &cost)?;
+                // Sharing the node shares its swap entries by identity —
+                // no slot refcount change, but the child's residency
+                // accounting must know they hold no frames.
+                child.swapped += slots.iter().filter(|(_, _, p, _)| p.is_swap()).count() as u64;
                 parent.stats.pt_subtrees_shared += 1;
                 sink::instant("pt_subtree_share", "mem", cycles.total());
                 continue;
@@ -842,6 +994,10 @@ impl AddressSpace {
                 let Some(share) = inherit else { continue };
                 cycles.charge(cost.pte_copy);
                 parent.stats.ptes_copied += 1;
+                if pte.is_swap() {
+                    Self::fork_copy_swap_entry(child, vpn, pte, phys, cycles, &cost)?;
+                    continue;
+                }
                 match share {
                     Share::Shared => {
                         phys.inc_ref(pte.pfn)?;
@@ -898,6 +1054,13 @@ impl AddressSpace {
             for (vpn, pte) in parent.pt.leaves_in_range(vma.start, vma.pages) {
                 cycles.charge(cost.pte_copy);
                 parent.stats.ptes_copied += 1;
+                if pte.is_swap() {
+                    // Swapped pages stay swapped across every fork mode
+                    // (even Eager: fork must not block on fallible device
+                    // I/O); the child shares the slot like a COW frame.
+                    Self::fork_copy_swap_entry(child, vpn, pte, phys, cycles, &cost)?;
+                    continue;
+                }
                 match (vma.share, mode) {
                     (Share::Shared, _) => {
                         phys.inc_ref(pte.pfn)?;
@@ -932,6 +1095,27 @@ impl AddressSpace {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Copies one swap entry into a fork child: the child's distinct leaf
+    /// node takes its own slot reference, exactly as a present PTE copy
+    /// takes a frame reference.
+    fn fork_copy_swap_entry(
+        child: &mut AddressSpace,
+        vpn: Vpn,
+        pte: Pte,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<()> {
+        let slot = pte.swap_slot();
+        phys.swap_mut().inc_ref(slot)?;
+        if let Err(e) = child.pt.map(vpn, pte, cycles, cost) {
+            phys.swap_mut().dec_ref(slot).expect("ref just taken");
+            return Err(e);
+        }
+        child.swapped += 1;
         Ok(())
     }
 }

@@ -70,6 +70,16 @@ pub struct CostModel {
     /// invalidation broadcast inside a single shootdown IPI, instead of
     /// one IPI per page.
     pub tlb_range_flush_page: u64,
+    /// Reserving one slot in the swap-device bitmap (find-first-zero scan
+    /// plus the bookkeeping write).
+    pub swap_slot_alloc: u64,
+    /// Writing one 4 KiB page out to the swap device. Writes are queued
+    /// behind the device's write-back cache, so this is cheaper than the
+    /// synchronous read-back.
+    pub swap_out_page: u64,
+    /// Reading one 4 KiB page back from the swap device on a major fault
+    /// (fast-NVMe-class latency; this is what makes thrashing expensive).
+    pub swap_in_page: u64,
 }
 
 impl Default for CostModel {
@@ -94,6 +104,9 @@ impl Default for CostModel {
             frame_cache_refill: 400,
             frame_alloc_contended: 60,
             tlb_range_flush_page: 40,
+            swap_slot_alloc: 150,
+            swap_out_page: 24_000,
+            swap_in_page: 30_000,
         }
     }
 }
@@ -122,6 +135,9 @@ impl CostModel {
             frame_cache_refill: 0,
             frame_alloc_contended: 0,
             tlb_range_flush_page: 0,
+            swap_slot_alloc: 0,
+            swap_out_page: 0,
+            swap_in_page: 0,
         }
     }
 }

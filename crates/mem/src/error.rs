@@ -21,6 +21,9 @@ pub enum MemError {
     Protection,
     /// The requested contiguous run could not be satisfied (fragmentation).
     Fragmented,
+    /// The swap device failed an I/O operation (injected device error on
+    /// swap-in). Surfaces as SIGBUS-style death of the faulting process.
+    SwapIo,
 }
 
 impl fmt::Display for MemError {
@@ -34,6 +37,7 @@ impl fmt::Display for MemError {
             MemError::NotMapped => "no mapping covers the address",
             MemError::Protection => "access violates mapping protection",
             MemError::Fragmented => "no contiguous run available",
+            MemError::SwapIo => "swap device I/O error",
         };
         f.write_str(s)
     }

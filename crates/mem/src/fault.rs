@@ -29,6 +29,8 @@ pub enum FaultOutcome {
     CowCopy,
     /// A COW break resolved by reclaiming sole ownership (refcount 1).
     CowReuse,
+    /// A swapped-out page was read back from the swap device.
+    SwapIn,
 }
 
 impl AddressSpace {
@@ -78,6 +80,43 @@ impl AddressSpace {
         Ok(pte)
     }
 
+    /// Reads the swapped-out page at `vpn` back into a fresh frame and
+    /// returns its new PTE, rederiving permissions from the VMA like a
+    /// demand fill. Crosses [`fpr_faults::FaultSite::SwapIn`] (an injected
+    /// device I/O error surfaces as [`MemError::SwapIo`]) and
+    /// `FrameAlloc` before the page table changes, so on `Err` the swap
+    /// entry — and the slot behind it — are intact and the access can be
+    /// retried.
+    pub(crate) fn swap_in(
+        &mut self,
+        vpn: Vpn,
+        pte: Pte,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<Pte> {
+        debug_assert!(pte.is_swap());
+        let vma = self.vma_at(vpn).ok_or(MemError::NotMapped)?.clone();
+        // The entry may sit in a leaf an on-demand fork still shares;
+        // the PTE rewrite below must not mutate the shared node.
+        self.unshare_subtree(vpn, phys, cycles)?;
+        let slot = pte.swap_slot();
+        let pfn = phys.swap_in_frame(slot, cycles)?;
+        let mut flags = PteFlags::USER | PteFlags::ACCESSED;
+        if vma.prot.write {
+            flags = flags | PteFlags::WRITABLE;
+        }
+        if !vma.prot.exec {
+            flags = flags | PteFlags::NX;
+        }
+        let new = Pte::new(pfn, flags);
+        self.pt.update(vpn, new).expect("swap entry translated");
+        phys.swap_mut().dec_ref(slot).expect("slot read above");
+        self.swapped -= 1;
+        metrics::incr("mem.fault.swap_in");
+        sink::instant("swap_in", "mem", cycles.total());
+        Ok(new)
+    }
+
     /// Simulated load from the page at `vpn`. Returns the page's logical
     /// content and what the fault handler had to do.
     pub fn read(
@@ -91,6 +130,11 @@ impl AddressSpace {
             return Err(MemError::Protection);
         }
         match self.pt.translate(vpn) {
+            Some(pte) if pte.is_swap() => {
+                cycles.charge(phys.cost().fault_entry);
+                let new = self.swap_in(vpn, pte, phys, cycles)?;
+                Ok((phys.content(new.pfn)?, FaultOutcome::SwapIn))
+            }
             Some(pte) => Ok((phys.content(pte.pfn)?, FaultOutcome::Hit)),
             None => {
                 cycles.charge(phys.cost().fault_entry);
@@ -136,6 +180,13 @@ impl AddressSpace {
                 phys.write_content(pte.pfn, value)?;
                 self.mark_dirty(vpn);
                 Ok(FaultOutcome::DemandFill)
+            }
+            Some(pte) if pte.is_swap() => {
+                cycles.charge(cost.fault_entry);
+                let new = self.swap_in(vpn, pte, phys, cycles)?;
+                phys.write_content(new.pfn, value)?;
+                self.mark_dirty(vpn);
+                Ok(FaultOutcome::SwapIn)
             }
             Some(pte) if pte.is_writable() => {
                 phys.write_content(pte.pfn, value)?;
@@ -204,6 +255,9 @@ impl AddressSpace {
 
     fn mark_dirty(&mut self, vpn: Vpn) {
         if let Some(mut pte) = self.pt.translate(vpn) {
+            if !pte.is_present() {
+                return;
+            }
             pte.flags = pte.flags.union(PteFlags::DIRTY | PteFlags::ACCESSED);
             let _ = self.pt.update(vpn, pte);
         }

@@ -27,6 +27,7 @@ pub mod overcommit;
 pub mod page_table;
 pub mod phys;
 pub mod pte;
+pub mod swap;
 pub mod tlb;
 pub mod vma;
 
@@ -38,5 +39,6 @@ pub use fault::FaultOutcome;
 pub use overcommit::{CommitAccount, OvercommitPolicy};
 pub use phys::{PhysMemory, PressureLevel, Watermarks};
 pub use pte::{Pte, PteFlags};
+pub use swap::{SwapDevice, SwapStats};
 pub use tlb::TlbModel;
 pub use vma::{Backing, ForkPolicy, Prot, Share, VmArea, VmaKind};

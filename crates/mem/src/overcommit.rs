@@ -34,17 +34,28 @@ pub enum OvercommitPolicy {
 pub struct CommitAccount {
     policy: OvercommitPolicy,
     total_frames: u64,
+    swap_pages: u64,
     committed: u64,
 }
 
 impl CommitAccount {
-    /// Creates an account for a machine with `total_frames` frames.
+    /// Creates an account for a machine with `total_frames` frames and no
+    /// swap; see [`CommitAccount::set_swap_pages`].
     pub fn new(policy: OvercommitPolicy, total_frames: u64) -> Self {
         CommitAccount {
             policy,
             total_frames,
+            swap_pages: 0,
             committed: 0,
         }
+    }
+
+    /// Declares `pages` of swap capacity. Linux's `Never` mode computes
+    /// `CommitLimit = ratio * MemTotal + SwapTotal` — committed pages that
+    /// exceed RAM can live on the device, so swap raises the cap
+    /// frame-for-frame, not scaled by the ratio.
+    pub fn set_swap_pages(&mut self, pages: u64) {
+        self.swap_pages = pages;
     }
 
     /// Currently committed pages.
@@ -67,7 +78,7 @@ impl CommitAccount {
     pub fn limit(&self) -> Option<u64> {
         match self.policy {
             OvercommitPolicy::Never { ratio } => {
-                Some((self.total_frames as f64 * ratio) as u64)
+                Some((self.total_frames as f64 * ratio) as u64 + self.swap_pages)
             }
             OvercommitPolicy::Heuristic | OvercommitPolicy::Always => None,
         }
@@ -79,9 +90,8 @@ impl CommitAccount {
     pub fn charge(&mut self, pages: u64, free_frames: u64) -> MemResult<()> {
         fpr_faults::cross(FaultSite::CommitCharge).map_err(|_| MemError::CommitLimit)?;
         let ok = match self.policy {
-            OvercommitPolicy::Never { ratio } => {
-                let limit = (self.total_frames as f64 * ratio) as u64;
-                self.committed + pages <= limit
+            OvercommitPolicy::Never { .. } => {
+                self.committed + pages <= self.limit().expect("Never mode is bounded")
             }
             OvercommitPolicy::Heuristic => pages <= free_frames,
             OvercommitPolicy::Always => true,
@@ -112,10 +122,24 @@ mod tests {
     #[test]
     fn never_enforces_ratio() {
         let mut a = CommitAccount::new(OvercommitPolicy::Never { ratio: 0.5 }, 100);
+        assert_eq!(a.limit(), Some(50), "no swap: ratio * RAM only");
         assert!(a.charge(50, 100).is_ok());
         assert_eq!(a.charge(1, 100), Err(MemError::CommitLimit));
         a.release(10);
         assert!(a.charge(10, 100).is_ok());
+    }
+
+    #[test]
+    fn never_limit_includes_swap_unscaled() {
+        let mut a = CommitAccount::new(OvercommitPolicy::Never { ratio: 0.5 }, 100);
+        a.set_swap_pages(30);
+        assert_eq!(a.limit(), Some(80), "ratio * RAM + SwapTotal");
+        assert!(a.charge(80, 100).is_ok());
+        assert_eq!(a.charge(1, 100), Err(MemError::CommitLimit));
+        // Swap does not change the unbounded modes.
+        let mut h = CommitAccount::new(OvercommitPolicy::Heuristic, 100);
+        h.set_swap_pages(30);
+        assert_eq!(h.limit(), None);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::addr::Pfn;
 use crate::buddy::BuddyAllocator;
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
+use crate::swap::SwapDevice;
 use fpr_faults::FaultSite;
 use fpr_trace::metrics;
 use std::collections::HashMap;
@@ -114,6 +115,8 @@ pub struct PhysMemory {
     stall_cycles_total: u64,
     /// PSI-style stall accounting: number of reclaim stalls recorded.
     stall_events_total: u64,
+    /// The swap device (capacity 0 = no swap configured).
+    swap: SwapDevice,
 }
 
 impl PhysMemory {
@@ -133,7 +136,60 @@ impl PhysMemory {
             watermarks: Watermarks::for_total(total_frames),
             stall_cycles_total: 0,
             stall_events_total: 0,
+            swap: SwapDevice::new(0),
         }
+    }
+
+    /// Attaches a swap device of `slots` one-page slots (replacing the
+    /// default zero-capacity device). Boot-time only: swapping an active
+    /// device out from under live swap entries would orphan them.
+    pub fn set_swap_capacity(&mut self, slots: u64) {
+        assert_eq!(
+            self.swap.used_slots(),
+            0,
+            "cannot resize a swap device holding pages"
+        );
+        self.swap = SwapDevice::new(slots);
+    }
+
+    /// The swap device.
+    pub fn swap(&self) -> &SwapDevice {
+        &self.swap
+    }
+
+    /// The swap device, mutably (slot refcounting during fork/unshare).
+    pub fn swap_mut(&mut self) -> &mut SwapDevice {
+        &mut self.swap
+    }
+
+    /// Writes one page out: reserves a slot holding `stamp`, charging the
+    /// bitmap scan and the device write. Crosses
+    /// [`fpr_faults::FaultSite::SwapSlotAlloc`]; on `Err` nothing changed.
+    pub fn swap_out_page(&mut self, stamp: u64, cycles: &mut Cycles) -> MemResult<u64> {
+        let PhysMemory { swap, cost, .. } = self;
+        swap.alloc_slot(stamp, cycles, cost)
+    }
+
+    /// Reads slot `slot` back into a fresh frame on a major fault.
+    ///
+    /// Order matters for transactionality: the device read (crossing
+    /// [`fpr_faults::FaultSite::SwapIn`]) and the frame allocation
+    /// (crossing [`fpr_faults::FaultSite::FrameAlloc`]) both happen
+    /// before any state mutates, so either failure leaves the address
+    /// space, the device, and the frame pool untouched. The slot
+    /// reference is still held on success; the caller drops it once the
+    /// PTE points at the new frame.
+    pub fn swap_in_frame(&mut self, slot: u64, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let stamp = {
+            let PhysMemory { swap, cost, .. } = self;
+            swap.read_slot(slot, cycles, cost)?
+        };
+        fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
+        let pfn = self.take_frame(cycles)?;
+        self.meta.insert(pfn.0, FrameMeta { refs: 1, content: stamp });
+        self.frames_allocated_total += 1;
+        metrics::incr("mem.frame_alloc");
+        Ok(pfn)
     }
 
     /// Returns the active cost model.

@@ -26,6 +26,10 @@ impl PteFlags {
     pub const COW: PteFlags = PteFlags(1 << 6);
     /// Software bit: the frame backs a MAP_SHARED mapping.
     pub const SHARED: PteFlags = PteFlags(1 << 7);
+    /// Software bit: a non-present swap entry. The `pfn` field holds a
+    /// swap-slot index, not a frame number (real kernels encode swap
+    /// entries in the non-present PTE format the same way).
+    pub const SWAP: PteFlags = PteFlags(1 << 8);
 
     /// Empty flag set.
     pub const fn empty() -> PteFlags {
@@ -87,6 +91,40 @@ impl Pte {
     pub fn is_cow(self) -> bool {
         self.flags.contains(PteFlags::COW)
     }
+
+    /// Creates a non-present swap entry pointing at device slot `slot`.
+    ///
+    /// The slot index rides in the `pfn` field; no permission bits are
+    /// kept — swap-in rederives them from the owning VMA, exactly like a
+    /// fresh demand fill.
+    pub fn swap_entry(slot: u64) -> Pte {
+        Pte {
+            pfn: Pfn(slot),
+            flags: PteFlags::SWAP,
+        }
+    }
+
+    /// Returns true if the translation is valid (maps a frame).
+    pub fn is_present(self) -> bool {
+        self.flags.contains(PteFlags::PRESENT)
+    }
+
+    /// Returns true if the entry is a non-present swap entry.
+    pub fn is_swap(self) -> bool {
+        self.flags.contains(PteFlags::SWAP)
+    }
+
+    /// The swap-slot index of a swap entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is not a swap entry — reading the `pfn` field
+    /// of a present entry as a slot index would silently corrupt both
+    /// refcount domains.
+    pub fn swap_slot(self) -> u64 {
+        assert!(self.is_swap(), "swap_slot() on a present PTE");
+        self.pfn.0
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +151,23 @@ mod tests {
         assert!(!p.is_cow());
         let q = Pte::new(Pfn(5), PteFlags::WRITABLE | PteFlags::COW);
         assert!(q.is_writable() && q.is_cow());
+    }
+
+    #[test]
+    fn swap_entry_is_not_present_and_carries_slot() {
+        let s = Pte::swap_entry(42);
+        assert!(s.is_swap());
+        assert!(!s.is_present());
+        assert!(!s.is_writable());
+        assert_eq!(s.swap_slot(), 42);
+        let p = Pte::new(Pfn(7), PteFlags::USER);
+        assert!(p.is_present());
+        assert!(!p.is_swap());
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_slot")]
+    fn swap_slot_of_present_pte_panics() {
+        Pte::new(Pfn(3), PteFlags::empty()).swap_slot();
     }
 }
