@@ -685,6 +685,170 @@ fn swap_in_sweep_contains_io_failure_to_the_faulting_process() {
     }
 }
 
+/// A THP machine with a huge-aligned private anonymous span big enough
+/// for two 2 MiB blocks.
+fn thp_world() -> (Kernel, Pid, fpr_mem::Vpn) {
+    let mut k = Kernel::new(fpr_kernel::MachineConfig {
+        thp: true,
+        ..fpr_kernel::MachineConfig::default()
+    });
+    let init = k.create_init("init").unwrap();
+    let base = k.mmap_anon(init, 1024, Prot::RW, Share::Private).unwrap();
+    (k, init, base)
+}
+
+/// Sweeps the promotion site. Promotion is an *optimisation*: an
+/// injected `pt_promote` failure must be absorbed — the enclosing
+/// operation still succeeds and the user-visible world is identical to
+/// one where the block simply never promoted. Teardown then proves
+/// nothing leaked.
+#[test]
+fn thp_promotion_failure_is_absorbed() {
+    let label = "thp promote";
+    let k_count = {
+        let (mut k, p, base) = thp_world();
+        let trace = count_crossings(|| {
+            k.populate(p, base, 1024).unwrap();
+        });
+        let promotes = trace
+            .crossings
+            .iter()
+            .filter(|c| c.site == fpr_faults::FaultSite::PtPromote)
+            .count();
+        assert_eq!(promotes, 2, "{label}: one promotion attempt per block");
+        promotes
+    };
+
+    for nth in 0..k_count {
+        let (mut k, p, base) = thp_world();
+        let pre_mmap = {
+            // Baseline from a world identical up to (but excluding) the
+            // mmap: populate + munmap below must return to it exactly.
+            let mut k2 = Kernel::new(fpr_kernel::MachineConfig {
+                thp: true,
+                ..fpr_kernel::MachineConfig::default()
+            });
+            k2.create_init("init").unwrap();
+            k2.baseline()
+        };
+        let plan =
+            FaultPlan::passive().fail_at(fpr_faults::FaultSite::PtPromote, nth as u64);
+        let (result, trace) = with_plan(plan, || k.populate(p, base, 1024));
+        assert_eq!(trace.injected().len(), 1, "{label}: crossing {nth} injected");
+        result.unwrap_or_else(|e| {
+            panic!("{label}: promotion failure at #{nth} must be absorbed, got {e:?}")
+        });
+        assert!(
+            k.phys.thp_stats().failed >= 1,
+            "{label}: absorbed failure not accounted"
+        );
+        if let Err(v) = k.check_invariants() {
+            panic!("{label}: fault at #{nth} broke invariants:\n  {}", v.join("\n  "));
+        }
+        // The block that stayed small behaves byte-identically.
+        for i in [0u64, 511, 512, 1023] {
+            k.write_mem(p, base.add(i), 0xC0DE + i).unwrap();
+            assert_eq!(k.read_mem(p, base.add(i)), Ok(0xC0DE + i));
+        }
+        k.munmap(p, base, 1024).unwrap();
+        if let Err(v) = k.leak_check(&pre_mmap) {
+            panic!("{label}: fault at #{nth} leaked:\n  {}", v.join("\n  "));
+        }
+    }
+}
+
+/// Sweeps the demotion site through the operations that must split a
+/// huge block: a partial mprotect, a partial munmap, and a post-fork COW
+/// write to a shared block. Demotion failure is *not* absorbable — the
+/// enclosing operation needs the split — so each op must fail cleanly,
+/// leave the kernel byte-identical, and succeed on retry.
+#[test]
+fn thp_demotion_failure_rolls_back_cleanly() {
+    type DemoteWorld = fn() -> (Kernel, Pid, fpr_mem::Vpn);
+    type DemoteOp = Box<dyn Fn(&mut Kernel, Pid, fpr_mem::Vpn) -> Result<(), Errno>>;
+    /// A promoted 2 MiB block owned by init.
+    fn promoted_world() -> (Kernel, Pid, fpr_mem::Vpn) {
+        let (mut k, p, base) = thp_world();
+        k.populate(p, base, 512).unwrap();
+        assert_eq!(
+            k.process(p).unwrap().aspace.huge_pages(),
+            1,
+            "fixture block promoted"
+        );
+        (k, p, base)
+    }
+    /// The same block after a fork: huge in both spaces, COW-shared, so
+    /// the first write must demote before it can break a single page.
+    fn forked_world() -> (Kernel, Pid, fpr_mem::Vpn) {
+        let (mut k, p, base) = promoted_world();
+        let child = fork(&mut k, p).unwrap();
+        (k, child, base)
+    }
+    let ops: Vec<(&str, DemoteWorld, DemoteOp)> = vec![
+        (
+            "thp demote(mprotect)",
+            promoted_world,
+            Box::new(|k, p, base| k.mprotect(p, base.add(8), 16, Prot::R)),
+        ),
+        (
+            "thp demote(partial munmap)",
+            promoted_world,
+            Box::new(|k, p, base| k.munmap(p, base.add(4), 8).map(|_| ())),
+        ),
+        (
+            "thp demote(cow write)",
+            forked_world,
+            Box::new(|k, p, base| k.write_mem(p, base.add(3), 0xBAD).map(|_| ())),
+        ),
+    ];
+
+    for (label, world, op) in &ops {
+        let k_count = {
+            let (mut k, p, base) = world();
+            let trace = count_crossings(|| {
+                op(&mut k, p, base)
+                    .unwrap_or_else(|e| panic!("{label}: fault-free run failed: {e:?}"))
+            });
+            let demotes = trace
+                .crossings
+                .iter()
+                .filter(|c| c.site == fpr_faults::FaultSite::PtDemote)
+                .count();
+            assert!(demotes >= 1, "{label}: op never crossed pt_demote");
+            demotes
+        };
+
+        for nth in 0..k_count {
+            let (mut k, p, base) = world();
+            let pre_op = k.baseline();
+            let plan =
+                FaultPlan::passive().fail_at(fpr_faults::FaultSite::PtDemote, nth as u64);
+            let (result, trace) = with_plan(plan, || op(&mut k, p, base));
+            assert_eq!(trace.injected().len(), 1, "{label}: crossing {nth} injected");
+            let err = result.expect_err(&format!(
+                "{label}: injected demote failure #{nth} was swallowed"
+            ));
+            assert!(
+                clean_creation_error(err),
+                "{label}: fault #{nth} surfaced as {err:?}"
+            );
+            if let Err(v) = k.leak_check(&pre_op) {
+                panic!("{label}: fault #{nth} leaked:\n  {}", v.join("\n  "));
+            }
+            if let Err(v) = k.check_invariants() {
+                panic!(
+                    "{label}: fault #{nth} broke invariants:\n  {}",
+                    v.join("\n  ")
+                );
+            }
+            // The fault was transient; the identical op succeeds.
+            op(&mut k, p, base).unwrap_or_else(|e| {
+                panic!("{label}: retry after fault #{nth} cleared failed: {e:?}")
+            });
+        }
+    }
+}
+
 #[test]
 fn xproc_builder_survives_every_fail_point() {
     sweep("xproc", |k, p, reg| {

@@ -345,5 +345,109 @@ fn main() {
         "E11 ordering holds at {FOOTPRINT} pages: \
          spawn(cache+pool) <= fork(ondemand) <= fork(cow) <= fork(eager)"
     );
+
+    // E14 snapshot: transparent huge pages at a fully promotable 4 GiB
+    // heap. Three hard guarantees tracked in-repo: fork(OnDemand+THP)
+    // never exceeds fork(OnDemand); the fork's page-table term (PTE
+    // copies + subtree shares) collapses by >=100x, because whole huge
+    // directories share with one pointer copy; and tearing the heap down
+    // flushes >=100x fewer TLB entries, because a huge block invalidates
+    // as one ranged entry instead of 512. The small-page world's legacy
+    // shootdown is a broadcast with no per-entry accounting, so its
+    // entry count is the released page count — every per-page
+    // translation the region held.
+    let fp_thp: u64 = 1_048_576;
+    let cost = fpr_mem::CostModel::default();
+    let probe = |thp: bool| -> (u64, u64, u64, u64) {
+        let boot = || {
+            Os::boot(OsConfig {
+                machine: fpr_kernel::MachineConfig {
+                    thp,
+                    ..fig1::machine_for(fp_thp)
+                },
+                ..Default::default()
+            })
+        };
+        let mut os = boot();
+        let parent = os.make_parent(ProcessShape::with_heap(fp_thp)).expect("fits");
+        let huge_blocks = os.kernel.process(parent).unwrap().aspace.huge_pages();
+        let before = fpr_trace::metrics::snapshot();
+        let (_, fork_cycles) = os.measure(|os| {
+            os.fork_stats(parent, ForkMode::OnDemand).expect("fork");
+        });
+        let d = fpr_trace::metrics::snapshot().delta(&before);
+        let pt_term = d.counter("mem.fork.pte_copy") * cost.pte_copy
+            + d.counter("mem.fork.pt_subtree_share") * cost.pt_subtree_share;
+
+        let mut os = boot();
+        let parent = os.make_parent(ProcessShape::with_heap(fp_thp)).expect("fits");
+        let heap: Vec<(fpr_mem::Vpn, u64)> = os
+            .kernel
+            .process(parent)
+            .unwrap()
+            .aspace
+            .vmas()
+            .filter(|v| v.kind == fpr_mem::VmaKind::Mmap)
+            .map(|v| (v.start, v.pages))
+            .collect();
+        let before = fpr_trace::metrics::snapshot();
+        let mut released = 0;
+        for (start, pages) in heap {
+            os.kernel.munmap(parent, start, pages).expect("munmap");
+            released += pages;
+        }
+        let d = fpr_trace::metrics::snapshot().delta(&before);
+        let entries = if thp {
+            d.counter("mem.tlb.entries_flushed")
+        } else {
+            released
+        };
+        (fork_cycles, pt_term, entries, huge_blocks)
+    };
+    let (small_fork, small_pt, small_entries, small_blocks) = probe(false);
+    let (thp_fork, thp_pt, thp_entries, thp_blocks) = probe(true);
+    assert_eq!(small_blocks, 0, "THP-off world must stay small-paged");
+    assert_eq!(
+        thp_blocks,
+        fp_thp / 512,
+        "4 GiB heap must be fully promoted under THP"
+    );
+    assert!(
+        thp_fork <= small_fork,
+        "fork(OnDemand+THP) {thp_fork} must not exceed fork(OnDemand) {small_fork}"
+    );
+    assert!(
+        small_pt >= 100 * thp_pt.max(1),
+        "THP must shrink the fork page-table term >=100x: {small_pt} vs {thp_pt}"
+    );
+    assert!(
+        small_entries >= 100 * thp_entries.max(1),
+        "THP must shrink unmap shootdown entries >=100x: {small_entries} vs {thp_entries}"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_thp\",\n");
+    json.push_str(&format!("  \"footprint_pages\": {fp_thp},\n"));
+    json.push_str(&format!(
+        "  \"fork_ondemand\": {{\"cycles\": {small_fork}, \"pt_term_cycles\": {small_pt}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"fork_ondemand_thp\": {{\"cycles\": {thp_fork}, \"pt_term_cycles\": {thp_pt}, \
+         \"huge_blocks\": {thp_blocks}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"unmap_shootdown_entries\": {{\"small\": {small_entries}, \"thp\": {thp_entries}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_thp.json", &json).expect("write BENCH_thp.json");
+
+    println!(
+        "\n# BENCH_thp — 4 GiB fully promotable heap ({thp_blocks} blocks): \
+         fork {thp_fork} vs {small_fork} cycles, page-table term {thp_pt} vs {small_pt} \
+         ({:.0}x), unmap shootdown entries {thp_entries} vs {small_entries} ({:.0}x)",
+        small_pt as f64 / thp_pt.max(1) as f64,
+        small_entries as f64 / thp_entries.max(1) as f64
+    );
+    println!("[saved BENCH_thp.json]");
     println!("\n=== bench smoke OK ===");
 }

@@ -31,6 +31,7 @@ pub fn run(footprints: &[u64]) -> FigureData {
     );
     let mut fork_s = Series::new("fork+exec");
     let mut odf_s = Series::new("fork(OnDemand)+exec");
+    let mut thp_s = Series::new("fork(OnDemand+THP)+exec");
     let mut vfork_s = Series::new("vfork+exec");
     let mut spawn_s = Series::new("posix_spawn");
     let mut xproc_s = Series::new("xproc");
@@ -68,6 +69,27 @@ pub fn run(footprints: &[u64]) -> FigureData {
             });
             odf_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
         }
+        // fork on a THP machine: the populated heap sits in 2 MiB huge
+        // leaves, so the on-demand walk shares whole huge directories and
+        // the write-protect pass touches block entries, not pages.
+        {
+            let mut os = Os::boot(OsConfig {
+                machine: MachineConfig {
+                    thp: true,
+                    ..machine_for(fp)
+                },
+                ..Default::default()
+            });
+            let parent = os
+                .make_parent(ProcessShape::with_heap(fp))
+                .expect("parent fits");
+            let (_, cycles) = os.measure(|os| {
+                let (child, _) = os.fork_stats(parent, ForkMode::OnDemand).expect("fork fits");
+                os.exec(child, "/bin/tool").expect("exec");
+                child
+            });
+            thp_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
+        }
         // vfork + exec
         {
             let (mut os, parent) = mk();
@@ -97,7 +119,7 @@ pub fn run(footprints: &[u64]) -> FigureData {
             xproc_s.push(mib, cycles as f64 / CYCLES_PER_US as f64);
         }
     }
-    fig.series = vec![fork_s, odf_s, vfork_s, spawn_s, xproc_s];
+    fig.series = vec![fork_s, odf_s, thp_s, vfork_s, spawn_s, xproc_s];
     fig
 }
 
@@ -111,6 +133,7 @@ mod tests {
         let fig = run(&[256, 1024, 4096, 16_384]);
         let fork = fig.series("fork+exec").unwrap();
         let odf = fig.series("fork(OnDemand)+exec").unwrap();
+        let thp = fig.series("fork(OnDemand+THP)+exec").unwrap();
         let spawn = fig.series("posix_spawn").unwrap();
         let vfork = fig.series("vfork+exec").unwrap();
         let xproc = fig.series("xproc").unwrap();
@@ -134,6 +157,15 @@ mod tests {
             fork.last_y().unwrap() > odf.last_y().unwrap() * 10.0,
             "on-demand fork must beat page-copying fork by an order of \
              magnitude at the large end"
+        );
+        // THP never makes the on-demand fork worse, and at the large end
+        // (per-VMA heap ≥ one 2 MiB block, so promotion really fired) it
+        // is at least as cheap: whole huge blocks share as single units.
+        assert!(
+            thp.last_y().unwrap() <= odf.last_y().unwrap() * 1.01,
+            "fork(OnDemand+THP) {:?} must not exceed fork(OnDemand) {:?}",
+            thp.points,
+            odf.points
         );
         // At the largest size fork is much slower than spawn.
         assert!(fork.last_y().unwrap() > spawn.last_y().unwrap() * 20.0);
@@ -175,6 +207,27 @@ mod tests {
             odf_us <= spawn_us * 2.0,
             "fork(OnDemand) {odf_us:.2}us must stay within 2x of \
              posix_spawn {spawn_us:.2}us at 4 GiB"
+        );
+        // With THP the same heap sits in huge directories, so the fork
+        // walk shares a handful of directories instead of ~2048 leaf
+        // subtrees — it must undercut the small-page on-demand fork.
+        let thp_us = {
+            let mut os = Os::boot(OsConfig {
+                machine: MachineConfig {
+                    thp: true,
+                    ..machine_for(fp)
+                },
+                ..Default::default()
+            });
+            let parent = os.make_parent(ProcessShape::with_heap(fp)).unwrap();
+            let (_, cycles) =
+                os.measure(|os| os.fork_stats(parent, ForkMode::OnDemand).expect("fork"));
+            cycles as f64 / CYCLES_PER_US as f64
+        };
+        assert!(
+            thp_us <= odf_us,
+            "fork(OnDemand+THP) {thp_us:.2}us must not exceed \
+             fork(OnDemand) {odf_us:.2}us at a fully promotable 4 GiB"
         );
     }
 }

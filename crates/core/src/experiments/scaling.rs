@@ -73,6 +73,36 @@ pub fn measure(threads: u32, footprint: u64) -> ScalePoint {
     }
 }
 
+/// Fork cost with transparent huge pages and `threads` of the parent on
+/// CPU. The parent's heap is a single promotable VMA, so the COW fork
+/// write-protects and shares whole 2 MiB blocks: the shootdown becomes a
+/// short ranged flush of huge entries instead of a page-count-sized one,
+/// and the page-table pass touches block entries, not PTEs.
+pub fn measure_thp(threads: u32, footprint: u64) -> u64 {
+    let mut os = Os::boot(OsConfig {
+        machine: MachineConfig {
+            cpus: 128,
+            thp: true,
+            frames: footprint * 2 + 16_384,
+            overcommit: OvercommitPolicy::Always,
+            ..MachineConfig::default()
+        },
+        ..Default::default()
+    });
+    let parent = os
+        .make_parent(ProcessShape {
+            heap_pages: footprint,
+            vma_count: 1,
+            extra_fds: 0,
+            extra_threads: threads - 1,
+        })
+        .expect("parent fits");
+    os.kernel.sched.tick();
+    assert_eq!(os.kernel.cpus_running(parent), threads);
+    let (_, cycles) = os.measure(|os| os.fork_stats(parent, ForkMode::Cow).expect("fork"));
+    cycles
+}
+
 /// Frame-allocation storm: the cycles `pages` demand-zero faults cost
 /// while `threads` CPUs contend for the allocator. With
 /// `per_cpu_cache`, each CPU fills a private magazine from one batched
@@ -114,6 +144,7 @@ pub fn run(thread_counts: &[u32], footprint: u64) -> FigureData {
         "us",
     );
     let mut fork_s = Series::new("fork");
+    let mut thp_s = Series::new("fork_thp");
     let mut cow_s = Series::new("cow_break");
     let mut ablate_s = Series::new("fork_no_shootdown");
     let mut storm_global_s = Series::new("alloc_storm_global");
@@ -121,6 +152,10 @@ pub fn run(thread_counts: &[u32], footprint: u64) -> FigureData {
     for &t in thread_counts {
         let p = measure(t, footprint);
         fork_s.push(t as f64, p.fork_cycles as f64 / CYCLES_PER_US as f64);
+        thp_s.push(
+            t as f64,
+            measure_thp(t, footprint) as f64 / CYCLES_PER_US as f64,
+        );
         cow_s.push(t as f64, p.cow_break_cycles as f64 / CYCLES_PER_US as f64);
         ablate_s.push(
             t as f64,
@@ -135,7 +170,14 @@ pub fn run(thread_counts: &[u32], footprint: u64) -> FigureData {
             alloc_storm(t, footprint, true) as f64 / CYCLES_PER_US as f64,
         );
     }
-    fig.series = vec![fork_s, cow_s, ablate_s, storm_global_s, storm_cached_s];
+    fig.series = vec![
+        fork_s,
+        thp_s,
+        cow_s,
+        ablate_s,
+        storm_global_s,
+        storm_cached_s,
+    ];
     fig
 }
 
@@ -190,12 +232,26 @@ mod tests {
     }
 
     #[test]
-    fn figure_has_five_series() {
+    fn figure_has_six_series() {
         let fig = run(&[1, 4], 512);
-        assert_eq!(fig.series.len(), 5);
+        assert_eq!(fig.series.len(), 6);
         assert!(fig.series("fork").is_some());
+        assert!(fig.series("fork_thp").is_some());
         assert!(fig.series("fork_no_shootdown").is_some());
         assert!(fig.series("alloc_storm_global").is_some());
         assert!(fig.series("alloc_storm_percpu").is_some());
+    }
+
+    #[test]
+    fn thp_fork_undercuts_small_page_fork() {
+        // One promotable 2 MiB-per-block heap: the COW fork shares and
+        // write-protects whole blocks, so its cost sits well under the
+        // per-PTE small-page fork at the same footprint and occupancy.
+        let small = measure(16, 4_096).fork_cycles;
+        let huge = measure_thp(16, 4_096);
+        assert!(
+            huge * 2 < small,
+            "THP fork {huge} should undercut small-page fork {small}"
+        );
     }
 }

@@ -64,143 +64,107 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A named fault-injection site: one class of allocation that can fail.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum FaultSite {
+/// Declares [`FaultSite`] once; the enum, [`FaultSite::ALL`],
+/// [`FaultSite::COUNT`], [`FaultSite::index`] and [`FaultSite::name`] are
+/// all derived from the single variant list, so a new site *cannot* be
+/// added without automatically joining every sweep and coverage report —
+/// there is no hand-maintained array left to forget to update.
+macro_rules! fault_sites {
+    ($( $(#[$doc:meta])* $variant:ident => $name:literal, )+) => {
+        /// A named fault-injection site: one class of allocation that can fail.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(usize)]
+        pub enum FaultSite {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl FaultSite {
+            /// Number of [`FaultSite`] variants, derived from the
+            /// declaration list itself.
+            pub const COUNT: usize = [$(FaultSite::$variant,)+].len();
+
+            /// Every site, in declaration order (used by sweeps and
+            /// coverage reports). Derived, not hand-maintained: it is the
+            /// same list the enum is generated from.
+            pub const ALL: [FaultSite; FaultSite::COUNT] = [$(FaultSite::$variant,)+];
+
+            /// Position of this site in [`FaultSite::ALL`] (the enum
+            /// discriminant — declaration order by construction).
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Stable snake_case name (report/JSON key).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $( FaultSite::$variant => $name, )+
+                }
+            }
+        }
+    };
+}
+
+fault_sites! {
     /// Physical frame allocation (`fpr-mem::phys`).
-    FrameAlloc,
+    FrameAlloc => "frame_alloc",
     /// Page-table intermediate node allocation (`fpr-mem::page_table`).
-    PtNodeAlloc,
+    PtNodeAlloc => "pt_node_alloc",
     /// Per-VMA clone step during address-space fork (`fpr-mem::address_space`).
-    VmaClone,
+    VmaClone => "vma_clone",
     /// Commit-accounting charge (`fpr-mem::overcommit`).
-    CommitCharge,
+    CommitCharge => "commit_charge",
     /// PID allocation (`fpr-kernel::pid`).
-    PidAlloc,
+    PidAlloc => "pid_alloc",
     /// Descriptor-table slot installation (`fpr-kernel::fdtable`).
-    FdAlloc,
+    FdAlloc => "fd_alloc",
     /// VFS operation needing kernel memory (`fpr-kernel::vfs`).
-    VfsOp,
+    VfsOp => "vfs_op",
     /// One `posix_spawn` file action (`fpr-api::spawn`).
-    SpawnFileAction,
+    SpawnFileAction => "spawn_file_action",
     /// One xproc `ProcessBuilder` population step (`fpr-api::xproc`).
-    XprocStep,
+    XprocStep => "xproc_step",
     /// Deferred page-table subtree copy during on-demand fork
     /// (`fpr-mem::page_table`): the private leaf node allocated when a
     /// shared subtree is first written, unmapped, or reprotected.
-    PtUnshare,
+    PtUnshare => "pt_unshare",
     /// Pinning a freshly loaded executable's segment frames into the
     /// exec image cache (`fpr-exec::cache`).
-    ImageCacheInsert,
+    ImageCacheInsert => "image_cache_insert",
     /// Checking a pre-warmed child out of the spawn warm pool
     /// (`fpr-api::fastpath`).
-    PoolCheckout,
+    PoolCheckout => "pool_checkout",
     /// One shrinker invocation of the memory-pressure reclaim pass
     /// (`fpr-kernel::reclaim`). Crossed for every shrinker *before* any
     /// shrinker mutates, so an injected failure aborts the whole pass
     /// with the kernel byte-identical to before it.
-    ReclaimShrink,
+    ReclaimShrink => "reclaim_shrink",
     /// Draining warm-pool children under memory pressure
     /// (`fpr-api::fastpath`): the pool shrinker's work-list setup,
     /// crossed before any parked child is torn down.
-    PoolDrain,
+    PoolDrain => "pool_drain",
     /// Allocating a swap slot from the device bitmap during a swap-out
     /// pass (`fpr-mem::swap`). An injected failure aborts the pass with
     /// every already-reserved slot returned — the kernel stays
     /// byte-identical.
-    SwapSlotAlloc,
+    SwapSlotAlloc => "swap_slot_alloc",
     /// The swap-out pass itself (`fpr-kernel::reclaim`), crossed once
     /// per pass before any page table or frame is touched, so an
     /// injected failure aborts the pass byte-identically.
-    SwapOut,
+    SwapOut => "swap_out",
     /// Reading a page back from the swap device on a major fault
     /// (`fpr-mem::swap`). An injected failure models a device I/O error
     /// and surfaces as SIGBUS-style death of the faulting process only.
-    SwapIn,
-}
-
-impl FaultSite {
-    /// Number of [`FaultSite`] variants, tied to [`FaultSite::index`]'s
-    /// exhaustive `match`: adding a variant breaks that match at compile
-    /// time, and the unit test below forces `ALL` and `COUNT` to follow.
-    pub const COUNT: usize = 17;
-
-    /// Every site, in a stable order (used by sweeps and coverage reports).
-    ///
-    /// Completeness is enforced, not hoped for: the array length is
-    /// [`FaultSite::COUNT`] and a unit test asserts
-    /// `ALL[i].index() == i` for every element, which together make it
-    /// impossible to omit, duplicate, or reorder a variant silently.
-    pub const ALL: [FaultSite; FaultSite::COUNT] = [
-        FaultSite::FrameAlloc,
-        FaultSite::PtNodeAlloc,
-        FaultSite::VmaClone,
-        FaultSite::CommitCharge,
-        FaultSite::PidAlloc,
-        FaultSite::FdAlloc,
-        FaultSite::VfsOp,
-        FaultSite::SpawnFileAction,
-        FaultSite::XprocStep,
-        FaultSite::PtUnshare,
-        FaultSite::ImageCacheInsert,
-        FaultSite::PoolCheckout,
-        FaultSite::ReclaimShrink,
-        FaultSite::PoolDrain,
-        FaultSite::SwapSlotAlloc,
-        FaultSite::SwapOut,
-        FaultSite::SwapIn,
-    ];
-
-    /// Position of this site in [`FaultSite::ALL`].
-    ///
-    /// The `match` is deliberately written without a wildcard arm: a new
-    /// variant fails to compile here until it is given an index, and the
-    /// `all_is_exhaustive_and_ordered` test then fails until `ALL` and
-    /// [`FaultSite::COUNT`] include it.
-    pub const fn index(self) -> usize {
-        match self {
-            FaultSite::FrameAlloc => 0,
-            FaultSite::PtNodeAlloc => 1,
-            FaultSite::VmaClone => 2,
-            FaultSite::CommitCharge => 3,
-            FaultSite::PidAlloc => 4,
-            FaultSite::FdAlloc => 5,
-            FaultSite::VfsOp => 6,
-            FaultSite::SpawnFileAction => 7,
-            FaultSite::XprocStep => 8,
-            FaultSite::PtUnshare => 9,
-            FaultSite::ImageCacheInsert => 10,
-            FaultSite::PoolCheckout => 11,
-            FaultSite::ReclaimShrink => 12,
-            FaultSite::PoolDrain => 13,
-            FaultSite::SwapSlotAlloc => 14,
-            FaultSite::SwapOut => 15,
-            FaultSite::SwapIn => 16,
-        }
-    }
-
-    /// Stable snake_case name (report/JSON key).
-    pub fn name(self) -> &'static str {
-        match self {
-            FaultSite::FrameAlloc => "frame_alloc",
-            FaultSite::PtNodeAlloc => "pt_node_alloc",
-            FaultSite::VmaClone => "vma_clone",
-            FaultSite::CommitCharge => "commit_charge",
-            FaultSite::PidAlloc => "pid_alloc",
-            FaultSite::FdAlloc => "fd_alloc",
-            FaultSite::VfsOp => "vfs_op",
-            FaultSite::SpawnFileAction => "spawn_file_action",
-            FaultSite::XprocStep => "xproc_step",
-            FaultSite::PtUnshare => "pt_unshare",
-            FaultSite::ImageCacheInsert => "image_cache_insert",
-            FaultSite::PoolCheckout => "pool_checkout",
-            FaultSite::ReclaimShrink => "reclaim_shrink",
-            FaultSite::PoolDrain => "pool_drain",
-            FaultSite::SwapSlotAlloc => "swap_slot_alloc",
-            FaultSite::SwapOut => "swap_out",
-            FaultSite::SwapIn => "swap_in",
-        }
-    }
+    SwapIn => "swap_in",
+    /// Collapsing 512 small PTEs into one 2 MiB huge leaf
+    /// (`fpr-mem::page_table`). Promotion is strictly optional, so an
+    /// injected failure is *absorbed*: the operation succeeds with small
+    /// pages and the kernel is byte-identical to the un-promoted world.
+    PtPromote => "pt_promote",
+    /// Splitting one 2 MiB huge leaf back into 512 small PTEs
+    /// (`fpr-mem::page_table`), crossed before any PTE or frame mutates,
+    /// so an injected failure fails the enclosing operation cleanly with
+    /// the huge mapping intact.
+    PtDemote => "pt_demote",
 }
 
 impl std::fmt::Display for FaultSite {

@@ -46,6 +46,11 @@ pub struct MachineConfig {
     /// no swap is configured and the kernel behaves exactly as before the
     /// swap tier existed.
     pub swap_slots: u64,
+    /// Transparent huge pages. When enabled, every process address space
+    /// promotes eligible 2 MiB-aligned private anonymous blocks to huge
+    /// leaves; off (the default) reproduces the small-page-only machine
+    /// exactly.
+    pub thp: bool,
 }
 
 impl Default for MachineConfig {
@@ -57,6 +62,7 @@ impl Default for MachineConfig {
             cost: CostModel::default(),
             max_pids: 4096,
             swap_slots: 0,
+            thp: false,
         }
     }
 }
@@ -102,6 +108,8 @@ pub struct Kernel {
     pub(crate) shrinkers: Vec<std::rc::Weak<std::cell::RefCell<dyn crate::reclaim::Shrinker>>>,
     /// Cumulative reclaim-pass statistics.
     pub(crate) reclaim_stats: crate::reclaim::ReclaimStats,
+    /// Whether new address spaces get transparent huge pages.
+    pub(crate) thp: bool,
 }
 
 impl Kernel {
@@ -133,6 +141,7 @@ impl Kernel {
             user_counts: BTreeMap::new(),
             shrinkers: Vec::new(),
             reclaim_stats: crate::reclaim::ReclaimStats::default(),
+            thp: cfg.thp,
         }
     }
 
@@ -168,6 +177,7 @@ impl Kernel {
         let pid = self.pids.alloc()?;
         let tid = self.tids.alloc();
         let mut proc = Process::new(pid, pid, name, tid, self.vfs.root());
+        proc.aspace.set_thp(self.thp);
         proc.pgid = crate::pgroup::Pgid(pid.0);
         proc.sid = crate::pgroup::Sid(pid.0);
         for flags in [OpenFlags::RDONLY, OpenFlags::WRONLY, OpenFlags::WRONLY] {
@@ -254,6 +264,7 @@ impl Kernel {
         let pid = self.pids.alloc()?;
         let tid = self.tids.alloc();
         let mut proc = Process::new(pid, ppid, name, tid, cwd);
+        proc.aspace.set_thp(self.thp);
         proc.cred = cred;
         proc.rlimits = rlimits;
         proc.pgid = pgid;
@@ -309,7 +320,19 @@ impl Kernel {
             if p.aspace.virtual_pages() + pages > limit {
                 return Err(Errno::Enomem);
             }
-            p.aspace.find_free_range(pages, hint)?
+            if self.thp && share == Share::Private && pages >= fpr_mem::HUGE_PAGES {
+                // Linux's `thp_get_unmapped_area`: over-ask by one block
+                // and round up, so a block-sized private mapping starts
+                // 2 MiB-aligned and promotion has something to bite on.
+                // ASLR hints are page-granular, so without this a THP
+                // machine would almost never see an aligned VMA.
+                let s = p
+                    .aspace
+                    .find_free_range(pages + fpr_mem::HUGE_PAGES - 1, hint)?;
+                Vpn((s.0 + fpr_mem::HUGE_PAGES - 1) & !(fpr_mem::HUGE_PAGES - 1))
+            } else {
+                p.aspace.find_free_range(pages, hint)?
+            }
         };
         let mut vma = VmArea::anon(start, pages, prot, VmaKind::Mmap);
         vma.share = share;
@@ -745,8 +768,10 @@ impl Kernel {
     /// Replaces `pid`'s address space with an empty owned one *without*
     /// destroying the old (used when the old space was borrowed via vfork).
     pub fn detach_borrowed_space(&mut self, pid: Pid) -> KResult<()> {
+        let thp = self.thp;
         let p = self.process_mut(pid)?;
         p.aspace = AddressSpace::new();
+        p.aspace.set_thp(thp);
         p.space_ref = crate::task::SpaceRef::Owned;
         Ok(())
     }

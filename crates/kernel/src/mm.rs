@@ -104,6 +104,33 @@ mod tests {
     }
 
     #[test]
+    fn thp_huge_aligns_block_sized_private_mappings() {
+        let mut k = Kernel::new(crate::kernel::MachineConfig {
+            thp: true,
+            ..Default::default()
+        });
+        let p = k.create_init("init").unwrap();
+        // A small mapping first knocks the search cursor off alignment.
+        let small = k.mmap_anon(p, 3, Prot::RW, Share::Private).unwrap();
+        let big = k.mmap_anon(p, 512, Prot::RW, Share::Private).unwrap();
+        assert_eq!(
+            big.0 % fpr_mem::HUGE_PAGES,
+            0,
+            "thp_get_unmapped_area: block-sized mapping starts huge-aligned"
+        );
+        assert!(big.0 >= small.0 + 3);
+        // Sub-block mappings are packed as usual, no alignment gap.
+        let tail = k.mmap_anon(p, 4, Prot::RW, Share::Private).unwrap();
+        assert_eq!(tail.0, small.0 + 3);
+
+        // The THP-off machine keeps the historical packed placement.
+        let (mut k2, p2) = boot();
+        let small2 = k2.mmap_anon(p2, 3, Prot::RW, Share::Private).unwrap();
+        let big2 = k2.mmap_anon(p2, 512, Prot::RW, Share::Private).unwrap();
+        assert_eq!(big2.0, small2.0 + 3, "off: no alignment gap");
+    }
+
+    #[test]
     fn dontneed_discards_and_refills_zero() {
         let (mut k, p) = boot();
         let base = k.mmap_anon(p, 8, Prot::RW, Share::Private).unwrap();

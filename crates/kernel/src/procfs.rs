@@ -82,6 +82,11 @@ impl Kernel {
             "VmSwap:\t{} kB",
             p.aspace.swapped_pages() * PAGE_SIZE / 1024
         );
+        let _ = writeln!(
+            out,
+            "AnonHugePages:\t{} kB",
+            p.aspace.huge_pages() * fpr_mem::HUGE_PAGE_SIZE / 1024
+        );
         let _ = writeln!(out, "Threads:\t{}", p.threads.len());
         let _ = writeln!(out, "FDSize:\t{}", p.fds.open_count());
         let _ = writeln!(out, "SigBlk:\t{}", blocked_count(p));
@@ -95,9 +100,12 @@ impl Kernel {
         let committed = self.commit.committed() * PAGE_SIZE / 1024;
         let swap_total = self.phys.swap().capacity() * PAGE_SIZE / 1024;
         let swap_free = self.phys.swap().free_slots() * PAGE_SIZE / 1024;
+        let thp = self.phys.thp_stats();
         format!(
             "MemTotal:\t{total} kB\nMemFree:\t{free} kB\nSwapTotal:\t{swap_total} kB\n\
-             SwapFree:\t{swap_free} kB\nCommitted_AS:\t{committed} kB\n"
+             SwapFree:\t{swap_free} kB\nCommitted_AS:\t{committed} kB\n\
+             THP:\tpromoted {} demoted {} failed {}\n",
+            thp.promoted, thp.demoted, thp.failed
         )
     }
 
@@ -207,6 +215,38 @@ mod tests {
         assert!(mem.contains("SwapFree:\t256 kB"));
         let st = k.proc_status(p).unwrap();
         assert!(st.contains("VmSwap:\t0 kB"));
+    }
+
+    #[test]
+    fn status_and_meminfo_report_thp() {
+        let mut k = Kernel::new(crate::kernel::MachineConfig {
+            thp: true,
+            ..Default::default()
+        });
+        let p = k.create_init("init").unwrap();
+        let base = k.mmap_anon(p, 512, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 512).unwrap();
+        let st = k.proc_status(p).unwrap();
+        assert!(
+            st.contains("AnonHugePages:\t2048 kB"),
+            "one 2 MiB block promoted:\n{st}"
+        );
+        let mem = k.proc_meminfo();
+        assert!(
+            mem.contains("THP:\tpromoted 1 demoted 0 failed 0"),
+            "machine-wide THP counters:\n{mem}"
+        );
+    }
+
+    #[test]
+    fn thp_off_reports_zero_huge_pages() {
+        let (mut k, p) = boot();
+        let base = k.mmap_anon(p, 512, Prot::RW, Share::Private).unwrap();
+        k.populate(p, base, 512).unwrap();
+        let st = k.proc_status(p).unwrap();
+        assert!(st.contains("AnonHugePages:\t0 kB"));
+        let mem = k.proc_meminfo();
+        assert!(mem.contains("THP:\tpromoted 0 demoted 0 failed 0"));
     }
 
     #[test]

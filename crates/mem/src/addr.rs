@@ -14,6 +14,12 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 pub const PT_LEVELS: usize = 4;
 /// Number of entries in one page-table node (9 index bits per level).
 pub const PT_ENTRIES: usize = 512;
+/// Base-2 logarithm of the huge-page size (2 MiB: one full leaf table).
+pub const HUGE_SHIFT: u64 = 21;
+/// Size of one huge page in bytes (2 MiB).
+pub const HUGE_PAGE_SIZE: u64 = 1 << HUGE_SHIFT;
+/// Number of small pages covered by one huge page.
+pub const HUGE_PAGES: u64 = HUGE_PAGE_SIZE / PAGE_SIZE;
 /// Number of virtual-address bits that are translated.
 pub const VA_BITS: u64 = 48;
 /// Highest valid user virtual address (exclusive); the upper half is kernel.
@@ -118,6 +124,21 @@ impl Vpn {
     pub fn is_user(self) -> bool {
         self.base().is_user()
     }
+
+    /// Rounds this page down to the base of its 2 MiB huge-page block.
+    pub fn huge_base(self) -> Vpn {
+        Vpn(self.0 & !(HUGE_PAGES - 1))
+    }
+
+    /// Returns true if this page starts a 2 MiB huge-page block.
+    pub fn is_huge_aligned(self) -> bool {
+        self.0 & (HUGE_PAGES - 1) == 0
+    }
+
+    /// Offset of this page within its 2 MiB huge-page block.
+    pub fn huge_offset(self) -> u64 {
+        self.0 & (HUGE_PAGES - 1)
+    }
 }
 
 /// Converts a byte length to the number of pages needed to cover it.
@@ -174,6 +195,18 @@ mod tests {
         assert!(VirtAddr(0).is_user());
         assert!(VirtAddr(USER_VA_END - 1).is_user());
         assert!(!VirtAddr(USER_VA_END).is_user());
+    }
+
+    #[test]
+    fn huge_block_arithmetic() {
+        assert_eq!(HUGE_PAGES, 512);
+        assert_eq!(HUGE_PAGE_SIZE, 512 * PAGE_SIZE);
+        let v = Vpn(512 + 7);
+        assert_eq!(v.huge_base(), Vpn(512));
+        assert_eq!(v.huge_offset(), 7);
+        assert!(!v.is_huge_aligned());
+        assert!(Vpn(1024).is_huge_aligned());
+        assert!(Vpn(0).is_huge_aligned());
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! state), not O(1), which is why fork latency in Figure 1 grows with the
 //! parent while `posix_spawn` stays flat.
 
-use crate::addr::{Pfn, VirtAddr, Vpn, PT_ENTRIES};
+use crate::addr::{Pfn, VirtAddr, Vpn, HUGE_PAGES, PT_ENTRIES};
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
+use crate::page_table::{SlotKind, TakenLeaf};
 use crate::phys::PhysMemory;
 use crate::pte::{Pte, PteFlags};
 use crate::tlb::TlbModel;
@@ -60,6 +61,16 @@ pub struct AsStats {
     pub ptes_unshare_copied: u64,
 }
 
+/// What a range-release pass (munmap/discard) removed, for TLB-flush
+/// accounting: total pages freed, and the translation entries behind them
+/// (one per small page, one per 2 MiB huge leaf).
+#[derive(Debug, Default, Clone, Copy)]
+struct ReleaseTally {
+    pages: u64,
+    small_entries: u64,
+    huge_entries: u64,
+}
+
 /// A process address space.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
@@ -69,6 +80,11 @@ pub struct AddressSpace {
     /// Installed PTEs that are swap entries rather than frames. The page
     /// table counts both kinds as "mapped"; residency subtracts this.
     pub(crate) swapped: u64,
+    /// Transparent huge pages: when set, private anonymous blocks are
+    /// promoted to 2 MiB huge leaves at populate time and opportunistically
+    /// after faults. Inherited by fork children. Off by default — the
+    /// THP-off world must stay byte-identical to the pre-THP simulator.
+    pub(crate) thp: bool,
     /// Work counters.
     pub stats: AsStats,
 }
@@ -86,8 +102,26 @@ impl AddressSpace {
             vmas: BTreeMap::new(),
             pt: crate::page_table::PageTable::new(),
             swapped: 0,
+            thp: false,
             stats: AsStats::default(),
         }
+    }
+
+    /// Enables or disables transparent huge pages for this space. Existing
+    /// mappings are untouched; disabling stops future promotions only.
+    pub fn set_thp(&mut self, enabled: bool) {
+        self.thp = enabled;
+    }
+
+    /// Whether transparent huge pages are enabled for this space.
+    pub fn thp_enabled(&self) -> bool {
+        self.thp
+    }
+
+    /// Number of 2 MiB huge leaf mappings currently installed
+    /// (`AnonHugePages` is this times 512 small pages).
+    pub fn huge_pages(&self) -> u64 {
+        self.pt.huge_mapped()
     }
 
     /// Returns the VMA covering `vpn`, if any.
@@ -166,7 +200,12 @@ impl AddressSpace {
                 // failed mmap leaves the space untouched.
                 for (vpn, pte) in self.pt.leaves_in_range(start, pages) {
                     self.pt.unmap(vpn).expect("leaf just enumerated");
-                    phys.dec_ref(pte.pfn, cycles).expect("frame just installed");
+                    if pte.is_huge() {
+                        phys.dec_ref_run(pte.pfn, HUGE_PAGES, cycles)
+                            .expect("run just installed");
+                    } else {
+                        phys.dec_ref(pte.pfn, cycles).expect("frame just installed");
+                    }
                 }
                 self.vmas.remove(&start.0);
                 return Err(e);
@@ -215,6 +254,10 @@ impl AddressSpace {
         if pages == 0 {
             return Err(MemError::BadAlignment);
         }
+        // A huge block cut by a range boundary must be split back into
+        // small PTEs before any of it can be unmapped.
+        self.demote_straddling(start, phys, cycles)?;
+        self.demote_straddling(Vpn(start.0 + pages), phys, cycles)?;
         self.split_at(start);
         self.split_at(Vpn(start.0 + pages));
         let doomed: Vec<u64> = self
@@ -222,7 +265,7 @@ impl AddressSpace {
             .range(start.0..start.0 + pages)
             .map(|(k, _)| *k)
             .collect();
-        let mut released = self.prepare_release_range(start, pages, phys, cycles)?;
+        let mut tally = self.prepare_release_range(start, pages, phys, cycles)?;
         for k in doomed {
             let v = self.vmas.remove(&k).expect("key just enumerated");
             for (vpn, pte) in self.pt.leaves_in_range(v.start, v.pages) {
@@ -232,39 +275,97 @@ impl AddressSpace {
                     // was never in any TLB (non-present).
                     phys.swap_mut().dec_ref(pte.swap_slot())?;
                     self.swapped -= 1;
+                } else if pte.is_huge() {
+                    phys.dec_ref_run(pte.pfn, HUGE_PAGES, cycles)?;
+                    tally.pages += HUGE_PAGES;
+                    tally.huge_entries += 1;
                 } else {
                     phys.dec_ref(pte.pfn, cycles)?;
-                    released += 1;
+                    tally.pages += 1;
+                    tally.small_entries += 1;
                 }
             }
         }
-        if released > 0 {
-            let cost = phys.cost().clone();
-            tlb.shootdown(cpus_running, cycles, &cost);
+        let cost = phys.cost().clone();
+        self.release_shootdown(&tally, tlb, cpus_running, cycles, &cost);
+        Ok(tally.pages)
+    }
+
+    /// If `boundary` cuts through the interior of a huge block, demotes
+    /// that block so range operations only ever see whole blocks inside
+    /// their range. No-op when the boundary is block-aligned or no huge
+    /// mapping covers it.
+    fn demote_straddling(
+        &mut self,
+        boundary: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        if boundary.is_huge_aligned() || self.pt.huge_block(boundary).is_none() {
+            return Ok(());
         }
-        Ok(released)
+        // The block may live in a huge directory another space still
+        // shares; the split below mutates it, so privatize first.
+        self.unshare_subtree(boundary, phys, cycles)?;
+        let cost = phys.cost().clone();
+        self.pt.demote_block(boundary, cycles, &cost)?;
+        phys.note_thp_demoted();
+        Ok(())
+    }
+
+    /// Flushes stale translations after `tally` mappings were removed.
+    /// THP-off spaces keep the legacy single-round shootdown; THP-on
+    /// spaces use the entry-granular flush, where each huge leaf costs
+    /// one invalidation instead of 512.
+    fn release_shootdown(
+        &self,
+        tally: &ReleaseTally,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) {
+        if self.thp {
+            tlb.shootdown_entries(
+                cpus_running,
+                tally.small_entries,
+                tally.huge_entries,
+                cycles,
+                cost,
+            );
+        } else if tally.pages > 0 {
+            tlb.shootdown(cpus_running, cycles, cost);
+        }
     }
 
     /// Prepares `[start, start+pages)` for translation removal: leaf
-    /// subtrees still shared with another space are either detached (when
-    /// every present PTE falls inside the range — the other owner keeps
-    /// the frames, so dropping our reference is one pointer operation) or
-    /// privatized first (when the node straddles the range boundary).
-    /// Returns the number of pages released by whole-node detaches.
+    /// subtrees (and huge directories) still shared with another space are
+    /// either detached (when every present PTE falls inside the range —
+    /// the other owner keeps the frames, so dropping our reference is one
+    /// pointer operation) or privatized first (when the node straddles the
+    /// range boundary). Returns the pages and TLB entries released by
+    /// whole-node detaches.
     fn prepare_release_range(
         &mut self,
         start: Vpn,
         pages: u64,
         phys: &mut PhysMemory,
         cycles: &mut Cycles,
-    ) -> MemResult<u64> {
-        let mut released = 0u64;
+    ) -> MemResult<ReleaseTally> {
+        let mut tally = ReleaseTally::default();
         loop {
             // Detach/privatize invalidate arena coordinates, so rescan
             // after each mutation; shared nodes are rare and the scan is
             // O(nodes).
-            let mut target: Option<(u64, bool)> = None;
-            for (base, l1, idx) in self.pt.leaf_slot_coords() {
+            let mut target: Option<(u64, bool, SlotKind)> = None;
+            for (base, l1, idx, kind) in self.pt.leaf_slot_coords() {
+                // Lone huge leaves are never shared — fork shares their
+                // frames, not the entry — so only Arc-backed slots matter.
+                let stride = match kind {
+                    SlotKind::Huge => continue,
+                    SlotKind::Dir => HUGE_PAGES,
+                    SlotKind::Small => 1,
+                };
                 let arc = self.pt.leaf_at(l1, idx);
                 if Arc::strong_count(arc) == 1 {
                     continue;
@@ -273,33 +374,46 @@ impl AddressSpace {
                 let mut all_in = true;
                 for (j, slot) in arc.ptes.iter().enumerate() {
                     if slot.is_some() {
-                        let v = base | j as u64;
-                        if v >= start.0 && v < start.0 + pages {
+                        let lo = base + j as u64 * stride;
+                        // A huge-directory member counts as inside only
+                        // when its whole 2 MiB block is inside.
+                        if lo >= start.0 && lo + stride <= start.0 + pages {
                             any_in = true;
                         } else {
                             all_in = false;
+                            if lo + stride > start.0 && lo < start.0 + pages {
+                                any_in = true;
+                            }
                         }
                     }
                 }
                 if any_in {
-                    target = Some((base, all_in));
+                    target = Some((base, all_in, kind));
                     break;
                 }
             }
             match target {
-                None => return Ok(released),
-                Some((base, true)) => {
+                None => return Ok(tally),
+                Some((base, true, kind)) => {
                     let arc = self.pt.detach_leaf(base).expect("node just enumerated");
-                    // Slot references follow leaf-node identity, so the
-                    // surviving owner keeps the swap slots too.
-                    let swap_in_node =
-                        arc.ptes.iter().flatten().filter(|p| p.is_swap()).count() as u64;
-                    self.swapped -= swap_in_node;
-                    released += arc.live as u64 - swap_in_node;
+                    if matches!(kind, SlotKind::Dir) {
+                        // Huge pages never swap, so every member is a
+                        // resident 512-page block.
+                        tally.pages += arc.live as u64 * HUGE_PAGES;
+                        tally.huge_entries += arc.live as u64;
+                    } else {
+                        // Slot references follow leaf-node identity, so the
+                        // surviving owner keeps the swap slots too.
+                        let swap_in_node =
+                            arc.ptes.iter().flatten().filter(|p| p.is_swap()).count() as u64;
+                        self.swapped -= swap_in_node;
+                        tally.pages += arc.live as u64 - swap_in_node;
+                        tally.small_entries += arc.live as u64 - swap_in_node;
+                    }
                     // Still referenced by the other space, which releases
                     // the frames when it drops its copy; our drop is free.
                 }
-                Some((base, false)) => {
+                Some((base, false, _)) => {
                     self.unshare_subtree(Vpn(base), phys, cycles)?;
                 }
             }
@@ -365,6 +479,10 @@ impl AddressSpace {
         if covered < pages {
             return Err(MemError::NotMapped);
         }
+        // A protection boundary inside a huge block forces a split: the
+        // block's single PTE cannot carry two protections.
+        self.demote_straddling(start, phys, cycles)?;
+        self.demote_straddling(Vpn(start.0 + pages), phys, cycles)?;
         self.split_at(start);
         self.split_at(Vpn(start.0 + pages));
         let keys: Vec<u64> = self
@@ -372,7 +490,7 @@ impl AddressSpace {
             .range(start.0..start.0 + pages)
             .map(|(k, _)| *k)
             .collect();
-        let mut downgraded = false;
+        let mut tally = ReleaseTally::default();
         for k in keys {
             let v = self.vmas.get_mut(&k).expect("key just enumerated");
             let removing_write = v.prot.write && !prot.write;
@@ -381,7 +499,13 @@ impl AddressSpace {
                 let vs = v.start;
                 let vp = v.pages;
                 for (vpn, pte) in self.pt.leaves_in_range(vs, vp) {
-                    downgraded = true;
+                    if pte.is_huge() {
+                        tally.pages += HUGE_PAGES;
+                        tally.huge_entries += 1;
+                    } else {
+                        tally.pages += 1;
+                        tally.small_entries += 1;
+                    }
                     let mut new = pte;
                     new.flags = new.flags.minus(PteFlags::WRITABLE);
                     if new != pte {
@@ -393,10 +517,8 @@ impl AddressSpace {
                 }
             }
         }
-        if downgraded {
-            let cost = phys.cost().clone();
-            tlb.shootdown(cpus_running, cycles, &cost);
-        }
+        let cost = phys.cost().clone();
+        self.release_shootdown(&tally, tlb, cpus_running, cycles, &cost);
         Ok(())
     }
 
@@ -421,22 +543,27 @@ impl AddressSpace {
                 return Err(MemError::NotMapped);
             }
         }
-        let mut released = self.prepare_release_range(start, pages, phys, cycles)?;
+        self.demote_straddling(start, phys, cycles)?;
+        self.demote_straddling(Vpn(start.0 + pages), phys, cycles)?;
+        let mut tally = self.prepare_release_range(start, pages, phys, cycles)?;
         for (vpn, pte) in self.pt.leaves_in_range(start, pages) {
             self.pt.unmap(vpn).expect("leaf just enumerated");
             if pte.is_swap() {
                 phys.swap_mut().dec_ref(pte.swap_slot())?;
                 self.swapped -= 1;
+            } else if pte.is_huge() {
+                phys.dec_ref_run(pte.pfn, HUGE_PAGES, cycles)?;
+                tally.pages += HUGE_PAGES;
+                tally.huge_entries += 1;
             } else {
                 phys.dec_ref(pte.pfn, cycles)?;
-                released += 1;
+                tally.pages += 1;
+                tally.small_entries += 1;
             }
         }
-        if released > 0 {
-            let cost = phys.cost().clone();
-            tlb.shootdown(cpus_running, cycles, &cost);
-        }
-        Ok(released)
+        let cost = phys.cost().clone();
+        self.release_shootdown(&tally, tlb, cpus_running, cycles, &cost);
+        Ok(tally.pages)
     }
 
     /// Relocates the VMA starting exactly at `old_start` to `new_start`,
@@ -485,6 +612,17 @@ impl AddressSpace {
             self.unshare_subtree(Vpn(base), phys, cycles)?;
             base += span;
         }
+        // A huge block can move as a unit only if the slide preserves its
+        // 2 MiB alignment; otherwise split it and let the THP machinery
+        // re-promote at the new home.
+        if !(new_start.0.wrapping_sub(old_start.0)).is_multiple_of(HUGE_PAGES) {
+            for (vpn, pte) in self.pt.leaves_in_range(old_start, vma.pages) {
+                if pte.is_huge() {
+                    self.pt.demote_block(vpn, cycles, cost)?;
+                    phys.note_thp_demoted();
+                }
+            }
+        }
         let present = self.pt.leaves_in_range(old_start, vma.pages);
         // Map into the destination first so a mid-slide allocation failure
         // (page-table node exhaustion, injected fault) can roll back by
@@ -493,8 +631,14 @@ impl AddressSpace {
         let mut moved: Vec<Vpn> = Vec::with_capacity(present.len());
         for (vpn, pte) in &present {
             let nv = Vpn(vpn.0 - old_start.0 + new_start.0);
-            cycles.charge(cost.pte_copy);
-            if let Err(e) = self.pt.map(nv, *pte, cycles, cost) {
+            // One pte_copy per moved entry: copy_huge charges it itself.
+            let mapped = if pte.is_huge() {
+                self.pt.copy_huge(nv, *pte, cycles, cost)
+            } else {
+                cycles.charge(cost.pte_copy);
+                self.pt.map(nv, *pte, cycles, cost)
+            };
+            if let Err(e) = mapped {
                 for m in moved {
                     self.pt.unmap(m).expect("destination entry just mapped");
                 }
@@ -562,6 +706,16 @@ impl AddressSpace {
             // frame to the image cache.
             return Err(MemError::NotMapped);
         }
+        if pte.is_huge() {
+            // Donating one page out of a huge block pins and COW-marks
+            // that page alone, so the block must be split first (the
+            // demote charge is the price of the odd page-out).
+            self.unshare_subtree(vpn, phys, cycles)?;
+            let cost = phys.cost().clone();
+            self.pt.demote_block(vpn, cycles, &cost)?;
+            phys.note_thp_demoted();
+        }
+        let pte = self.pt.translate(vpn).expect("still mapped after demote");
         let mut new = pte;
         new.flags = new.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
         if new != pte {
@@ -605,8 +759,17 @@ impl AddressSpace {
         phys: &mut PhysMemory,
         cycles: &mut Cycles,
     ) -> MemResult<()> {
-        for i in 0..pages {
+        let mut i = 0;
+        while i < pages {
             let vpn = start.add(i);
+            if self.thp
+                && vpn.is_huge_aligned()
+                && pages - i >= HUGE_PAGES
+                && self.try_populate_huge(vpn, phys, cycles)?
+            {
+                i += HUGE_PAGES;
+                continue;
+            }
             match self.pt.translate(vpn) {
                 Some(pte) if pte.is_swap() => {
                     self.swap_in(vpn, pte, phys, cycles)?;
@@ -616,8 +779,125 @@ impl AddressSpace {
                     self.demand_fill(vpn, phys, cycles)?;
                 }
             }
+            i += 1;
         }
         Ok(())
+    }
+
+    /// Attempts to fill the whole 2 MiB block at aligned `base` with one
+    /// huge mapping instead of 512 demand fills. `Ok(false)` means the
+    /// block was not eligible — partially populated, wrong VMA shape,
+    /// fragmented physical memory, or an injected promotion failure — and
+    /// the caller falls back to small pages. That is the THP contract:
+    /// promotion is an optimisation, never a reason for an operation to
+    /// fail.
+    fn try_populate_huge(
+        &mut self,
+        base: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<bool> {
+        debug_assert!(base.is_huge_aligned());
+        let Some(vma) = self.vma_at(base) else {
+            return Ok(false);
+        };
+        if vma.share != Share::Private
+            || !matches!(vma.backing, Backing::Anon)
+            || !vma.contains(Vpn(base.0 + HUGE_PAGES - 1))
+            || vma.initial_content(base) != 0
+        {
+            return Ok(false);
+        }
+        let vma = vma.clone();
+        for k in 0..HUGE_PAGES {
+            if self.pt.translate(base.add(k)).is_some() {
+                return Ok(false);
+            }
+        }
+        // The injected-failure contract for promotion is absorption: the
+        // operation still succeeds, the block just stays small.
+        if fpr_faults::cross(FaultSite::PtPromote).is_err() {
+            phys.note_thp_promote_failed();
+            return Ok(false);
+        }
+        let head = match phys.alloc_zeroed_huge_run(cycles) {
+            Ok(h) => h,
+            Err(MemError::Fragmented) | Err(MemError::OutOfMemory) => {
+                phys.note_thp_promote_failed();
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut flags = PteFlags::USER | PteFlags::ACCESSED;
+        if vma.prot.write {
+            flags = flags | PteFlags::WRITABLE;
+        }
+        if !vma.prot.exec {
+            flags = flags | PteFlags::NX;
+        }
+        // The empty block may sit in a hole of a huge directory another
+        // space still shares; writing the member PTE mutates the node.
+        self.unshare_subtree(base, phys, cycles)?;
+        let cost = phys.cost().clone();
+        if let Err(e) = self.pt.map_huge(base, Pte::new(head, flags), cycles, &cost) {
+            phys.dec_ref_run(head, HUGE_PAGES, cycles)
+                .expect("run just allocated");
+            return Err(e);
+        }
+        phys.note_thp_promoted();
+        sink::instant("thp_promote", "mem", cycles.total());
+        Ok(true)
+    }
+
+    /// Opportunistic promotion after a fault: if the 2 MiB block around
+    /// `vpn` has become a full leaf of exclusively-owned, physically
+    /// contiguous small pages with uniform flags, collapse it into one
+    /// huge leaf. Every failure is absorbed — a missed promotion leaves
+    /// the world exactly as the THP-off simulator would have it.
+    pub(crate) fn try_promote(
+        &mut self,
+        vpn: Vpn,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> bool {
+        if !self.thp {
+            return false;
+        }
+        let base = vpn.huge_base();
+        let Some(vma) = self.vma_at(base) else {
+            return false;
+        };
+        if vma.share != Share::Private
+            || !matches!(vma.backing, Backing::Anon)
+            || !vma.contains(Vpn(base.0 + HUGE_PAGES - 1))
+        {
+            return false;
+        }
+        let Some(hpte) = self.pt.promotable(base) else {
+            return false;
+        };
+        if hpte.flags.contains(PteFlags::COW) || hpte.flags.contains(PteFlags::SHARED) {
+            return false;
+        }
+        // Frames COW-shared with another space (or pinned by the image
+        // cache) block promotion: the block must be breakable as a unit.
+        for k in 0..HUGE_PAGES {
+            let pfn = Pfn(hpte.pfn.0 + k);
+            if phys.refs(pfn).unwrap_or(u32::MAX) != 1 || phys.pin_count(pfn) > 0 {
+                return false;
+            }
+        }
+        if fpr_faults::cross(FaultSite::PtPromote).is_err() {
+            phys.note_thp_promote_failed();
+            return false;
+        }
+        let cost = phys.cost().clone();
+        if self.pt.promote_block(base, hpte, cycles, &cost).is_err() {
+            return false;
+        }
+        phys.note_thp_promoted();
+        sink::instant("thp_promote", "mem", cycles.total());
+        true
     }
 
     /// Observes the logical content of the page at `vpn` *without*
@@ -643,7 +923,23 @@ impl AddressSpace {
     /// [`Self::for_each_swap_entry_keyed`].
     pub fn for_each_resident(&self, mut f: impl FnMut(Vpn, Pte)) {
         self.pt.for_each_leaf(|vpn, pte| {
-            if pte.is_present() {
+            if !pte.is_present() {
+                return;
+            }
+            if pte.is_huge() {
+                // Expand a block into its 512 constituent pages so
+                // per-frame accounting (invariants, residency audits)
+                // needs no huge-awareness of its own.
+                for k in 0..HUGE_PAGES {
+                    f(
+                        Vpn(vpn.0 + k),
+                        Pte {
+                            pfn: Pfn(pte.pfn.0 + k),
+                            flags: pte.flags,
+                        },
+                    );
+                }
+            } else {
                 f(vpn, pte)
             }
         })
@@ -655,7 +951,21 @@ impl AddressSpace {
     /// fork), so cross-space accounting must count its PTEs once.
     pub fn for_each_resident_keyed(&self, mut f: impl FnMut(usize, Vpn, Pte)) {
         self.pt.for_each_leaf_keyed(|id, vpn, pte| {
-            if pte.is_present() {
+            if !pte.is_present() {
+                return;
+            }
+            if pte.is_huge() {
+                for k in 0..HUGE_PAGES {
+                    f(
+                        id,
+                        Vpn(vpn.0 + k),
+                        Pte {
+                            pfn: Pfn(pte.pfn.0 + k),
+                            flags: pte.flags,
+                        },
+                    );
+                }
+            } else {
                 f(id, vpn, pte)
             }
         })
@@ -684,7 +994,13 @@ impl AddressSpace {
         }
         let mut clean: Vec<Vpn> = Vec::new();
         let mut dirty: Vec<Vpn> = Vec::new();
-        for (base, l1, idx) in self.pt.leaf_slot_coords() {
+        for (base, l1, idx, kind) in self.pt.leaf_slot_coords() {
+            if !matches!(kind, SlotKind::Small) {
+                // Huge mappings never swap: a block is hot by construction
+                // (it was promoted because the whole thing is in use), and
+                // evicting it would force a demote. Reclaim skips them.
+                continue;
+            }
             let arc = self.pt.leaf_at(l1, idx);
             if Arc::strong_count(arc) != 1 {
                 // Evicting through a shared subtree would pull the page
@@ -753,23 +1069,35 @@ impl AddressSpace {
     /// a child that exits without touching its memory tears down in
     /// O(nodes), mirroring the cheap-exit property of on-demand fork.
     pub fn destroy(&mut self, phys: &mut PhysMemory, cycles: &mut Cycles) {
-        for (_, arc) in self.pt.take_leaves() {
-            match Arc::try_unwrap(arc) {
-                Ok(node) => {
-                    for pte in node.ptes.iter().flatten() {
-                        if pte.is_swap() {
-                            phys.swap_mut()
-                                .dec_ref(pte.swap_slot())
-                                .expect("slot tracked");
-                        } else {
-                            phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+        for (_, taken) in self.pt.take_leaves() {
+            match taken {
+                TakenLeaf::Huge(pte) => {
+                    // A lone huge leaf is never shared; its 512-frame run
+                    // is released frame by frame (COW children may still
+                    // hold references to individual frames).
+                    phys.dec_ref_run(pte.pfn, HUGE_PAGES, cycles)
+                        .expect("run tracked");
+                }
+                TakenLeaf::Node(arc) => match Arc::try_unwrap(arc) {
+                    Ok(node) => {
+                        for pte in node.ptes.iter().flatten() {
+                            if pte.is_swap() {
+                                phys.swap_mut()
+                                    .dec_ref(pte.swap_slot())
+                                    .expect("slot tracked");
+                            } else if pte.is_huge() {
+                                phys.dec_ref_run(pte.pfn, HUGE_PAGES, cycles)
+                                    .expect("run tracked");
+                            } else {
+                                phys.dec_ref(pte.pfn, cycles).expect("frame tracked");
+                            }
                         }
                     }
-                }
-                Err(_) => {
-                    // Still shared: the other table keeps the frames (and
-                    // swap slots — references follow leaf identity) alive.
-                }
+                    Err(_) => {
+                        // Still shared: the other table keeps the frames (and
+                        // swap slots — references follow leaf identity) alive.
+                    }
+                },
             }
         }
         self.swapped = 0;
@@ -806,6 +1134,11 @@ impl AddressSpace {
                 phys.swap_mut()
                     .inc_ref(pte.swap_slot())
                     .expect("slot tracked by shared subtree");
+            } else if pte.is_huge() {
+                // A privatized huge directory references each member's
+                // whole 512-frame run independently.
+                phys.inc_ref_run(pte.pfn, HUGE_PAGES)
+                    .expect("run tracked by shared subtree");
             } else {
                 phys.inc_ref(pte.pfn)
                     .expect("frame tracked by shared subtree");
@@ -851,17 +1184,18 @@ impl AddressSpace {
         cpus_running: u32,
     ) -> MemResult<AddressSpace> {
         let mut child = AddressSpace::new();
+        child.thp = parent.thp;
         let stats_base = parent.stats.clone();
         sink::span_begin("address_space_fork", "mem", cycles.total());
         // Undo log: parent PTEs downgraded to COW, with their original
         // value, in case the walk fails partway.
         let mut downgrades: Vec<(Vpn, Pte)> = Vec::new();
-        let result = match mode {
+        let result = Self::fork_demote_mixed_blocks(parent, phys, cycles).and_then(|_| match mode {
             ForkMode::OnDemand => {
                 Self::fork_walk_on_demand(parent, &mut child, &mut downgrades, phys, cycles)
             }
             _ => Self::fork_walk(parent, &mut child, &mut downgrades, mode, phys, cycles),
-        };
+        });
         let cost = phys.cost().clone();
         let out = match result {
             Ok(()) => {
@@ -910,6 +1244,139 @@ impl AddressSpace {
         out
     }
 
+    /// Fork policy is per-VMA but a huge block is all-or-nothing: a block
+    /// whose pages are no longer covered by a single VMA (a `DONTFORK` /
+    /// `WIPEONFORK` or protection split landed inside it) is demoted up
+    /// front so the fork walks only ever see uniformly inherited blocks.
+    /// The demotes survive a fork rollback — they are user-invisible.
+    fn fork_demote_mixed_blocks(
+        parent: &mut AddressSpace,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+    ) -> MemResult<()> {
+        let mut mixed: Vec<Vpn> = Vec::new();
+        parent.pt.for_each_leaf(|vpn, pte| {
+            if !pte.is_huge() {
+                return;
+            }
+            let whole = parent
+                .vma_at(vpn)
+                .map(|v| v.contains(Vpn(vpn.0 + HUGE_PAGES - 1)))
+                .unwrap_or(false);
+            if !whole {
+                mixed.push(vpn);
+            }
+        });
+        let cost = phys.cost().clone();
+        for b in mixed {
+            parent.unshare_subtree(b, phys, cycles)?;
+            parent.pt.demote_block(b, cycles, &cost)?;
+            phys.note_thp_demoted();
+        }
+        Ok(())
+    }
+
+    /// Classifies the huge block at `base` against the VMA list: `None`
+    /// if the block is not inherited by a fork child, `Some(share)` for
+    /// the sharing policy of its (single, whole-block-covering) VMA.
+    /// Callers run [`Self::fork_demote_mixed_blocks`] first, so every
+    /// surviving block has exactly one covering VMA.
+    fn block_inherit(&self, base: Vpn) -> Option<Share> {
+        self.vma_at(base)
+            .filter(|v| !v.fork_policy.dont_fork && !v.fork_policy.wipe_on_fork)
+            .map(|v| v.share)
+    }
+
+    /// COW-shares one 2 MiB huge block with a fork child as a single
+    /// unit: the child maps the same run with one huge PTE (taking one
+    /// reference per constituent frame), and a writable parent block is
+    /// downgraded to COW with a single PTE flip
+    /// ([`CostModel::huge_cow`]) instead of 512.
+    #[allow(clippy::too_many_arguments)]
+    fn fork_cow_huge_block(
+        parent: &mut AddressSpace,
+        child: &mut AddressSpace,
+        downgrades: &mut Vec<(Vpn, Pte)>,
+        vpn: Vpn,
+        pte: Pte,
+        share: Share,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<()> {
+        // `copy_huge` charges the pte_copy for the child's entry write.
+        cycles.charge(cost.huge_cow);
+        parent.stats.ptes_copied += 1;
+        phys.inc_ref_run(pte.pfn, HUGE_PAGES)?;
+        let mapped = match share {
+            Share::Shared => child.pt.copy_huge(vpn, pte, cycles, cost),
+            Share::Private => {
+                let mut cow = pte;
+                if cow.is_writable() || cow.is_cow() {
+                    cow.flags = cow.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+                }
+                let r = child.pt.copy_huge(vpn, cow, cycles, cost);
+                if r.is_ok() && pte.is_writable() {
+                    parent.pt.update(vpn, cow).expect("block just enumerated");
+                    downgrades.push((vpn, pte));
+                }
+                r
+            }
+        };
+        if let Err(e) = mapped {
+            phys.dec_ref_run(pte.pfn, HUGE_PAGES, cycles)
+                .expect("refs just taken");
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Eager-fork copy of one huge block: try to copy it into a fresh
+    /// 512-frame run so the child stays huge; when physical memory is too
+    /// fragmented for a run, fall back to 512 small copies in the child
+    /// while the parent keeps its block.
+    fn fork_eager_copy_huge_block(
+        parent: &mut AddressSpace,
+        child: &mut AddressSpace,
+        vpn: Vpn,
+        pte: Pte,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) -> MemResult<()> {
+        cycles.charge(cost.pte_copy);
+        parent.stats.ptes_copied += 1;
+        match phys.alloc_zeroed_huge_run(cycles) {
+            Ok(head) => {
+                for k in 0..HUGE_PAGES {
+                    let c = phys.content(Pfn(pte.pfn.0 + k))?;
+                    phys.write_content(Pfn(head.0 + k), c)?;
+                    cycles.charge(cost.page_copy);
+                }
+                parent.stats.pages_eager_copied += HUGE_PAGES;
+                if let Err(e) = child.pt.copy_huge(vpn, Pte { pfn: head, ..pte }, cycles, cost) {
+                    phys.dec_ref_run(head, HUGE_PAGES, cycles)
+                        .expect("run just allocated");
+                    return Err(e);
+                }
+                Ok(())
+            }
+            Err(MemError::Fragmented) => {
+                let flags = pte.flags.minus(PteFlags::HUGE);
+                for k in 0..HUGE_PAGES {
+                    let new = phys.copy_frame(Pfn(pte.pfn.0 + k), cycles)?;
+                    parent.stats.pages_eager_copied += 1;
+                    if let Err(e) = child.pt.map(vpn.add(k), Pte::new(new, flags), cycles, cost) {
+                        phys.dec_ref(new, cycles).expect("frame just copied");
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// The fallible body of an on-demand fork: clones VMA records, then
     /// shares whole leaf page-table subtrees with the child by refcount
     /// instead of copying PTEs. A subtree is shareable when every present
@@ -936,7 +1403,67 @@ impl AddressSpace {
             parent.stats.vmas_cloned += 1;
             child.vmas.insert(vma.start.0, vma);
         }
-        for (base, l1, idx) in parent.pt.leaf_slot_coords() {
+        // Gather loose huge blocks into (partial) directories first: each
+        // all-huge level-1 table then shares below with one pointer copy
+        // instead of a per-block COW copy.
+        parent.pt.group_huge_tables();
+        for (base, l1, idx, kind) in parent.pt.leaf_slot_coords() {
+            if matches!(kind, SlotKind::Huge) {
+                // A lone huge block COW-shares as a single unit.
+                let pte = parent.pt.huge_at(l1, idx);
+                let Some(share) = parent.block_inherit(Vpn(base)) else {
+                    continue;
+                };
+                Self::fork_cow_huge_block(
+                    parent, child, downgrades, Vpn(base), pte, share, phys, cycles, &cost,
+                )?;
+                continue;
+            }
+            if matches!(kind, SlotKind::Dir) {
+                // Classify each member block of this 1 GiB huge directory.
+                let mut slots: Vec<(usize, Vpn, Pte, Option<Share>)> = Vec::new();
+                {
+                    let node = parent.pt.leaf_at(l1, idx);
+                    for (j, slot) in node.ptes.iter().enumerate() {
+                        let Some(pte) = slot else { continue };
+                        let vpn = Vpn(base + j as u64 * HUGE_PAGES);
+                        slots.push((j, vpn, *pte, parent.block_inherit(vpn)));
+                    }
+                }
+                if !slots.is_empty() && slots.iter().all(|(_, _, _, i)| i.is_some()) {
+                    // Whole directory inherited: COW-mark the member
+                    // blocks in place (first share only — an already-shared
+                    // directory holds no writable members) and hand the
+                    // child the directory with one pointer copy. Up to a
+                    // GiB of huge mappings shares in O(1), which is what
+                    // makes fork of a fully-huge space almost free.
+                    let arc = parent.pt.leaf_at_mut(l1, idx);
+                    if let Some(node) = Arc::get_mut(arc) {
+                        for (j, vpn, pte, inherit) in &slots {
+                            if *inherit != Some(Share::Private) || !pte.is_writable() {
+                                continue;
+                            }
+                            let slot = node.ptes[*j].as_mut().expect("slot classified present");
+                            slot.flags = slot.flags.minus(PteFlags::WRITABLE).union(PteFlags::COW);
+                            downgrades.push((*vpn, *pte));
+                        }
+                    }
+                    let arc = Arc::clone(parent.pt.leaf_at(l1, idx));
+                    child.pt.attach_leaf(base, arc, true, cycles, &cost)?;
+                    parent.stats.pt_subtrees_shared += 1;
+                    sink::instant("pt_subtree_share", "mem", cycles.total());
+                } else {
+                    // Mixed directory: per-block huge COW copy for the
+                    // inherited members only.
+                    for (_, vpn, pte, inherit) in slots {
+                        let Some(share) = inherit else { continue };
+                        Self::fork_cow_huge_block(
+                            parent, child, downgrades, vpn, pte, share, phys, cycles, &cost,
+                        )?;
+                    }
+                }
+                continue;
+            }
             // Classify every present PTE of this 512-entry node: does the
             // child inherit it, and under which sharing policy?
             let span = PT_ENTRIES as u64;
@@ -980,7 +1507,7 @@ impl AddressSpace {
                     }
                 }
                 let arc = Arc::clone(parent.pt.leaf_at(l1, idx));
-                child.pt.attach_leaf(base, arc, cycles, &cost)?;
+                child.pt.attach_leaf(base, arc, false, cycles, &cost)?;
                 // Sharing the node shares its swap entries by identity —
                 // no slot refcount change, but the child's residency
                 // accounting must know they hold no frames.
@@ -1052,6 +1579,20 @@ impl AddressSpace {
                 continue;
             }
             for (vpn, pte) in parent.pt.leaves_in_range(vma.start, vma.pages) {
+                if pte.is_huge() {
+                    // Huge blocks fork as single units (the helpers charge
+                    // their own PTE-copy terms).
+                    if vma.share == Share::Private && mode == ForkMode::Eager {
+                        Self::fork_eager_copy_huge_block(
+                            parent, child, vpn, pte, phys, cycles, &cost,
+                        )?;
+                    } else {
+                        Self::fork_cow_huge_block(
+                            parent, child, downgrades, vpn, pte, vma.share, phys, cycles, &cost,
+                        )?;
+                    }
+                    continue;
+                }
                 cycles.charge(cost.pte_copy);
                 parent.stats.ptes_copied += 1;
                 if pte.is_swap() {

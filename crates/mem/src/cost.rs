@@ -80,6 +80,18 @@ pub struct CostModel {
     /// Reading one 4 KiB page back from the swap device on a major fault
     /// (fast-NVMe-class latency; this is what makes thrashing expensive).
     pub swap_in_page: u64,
+    /// Collapsing 512 resident small PTEs into one 2 MiB huge leaf:
+    /// verify contiguity, rewrite the leaf slot, free the old leaf table.
+    pub pt_promote: u64,
+    /// Splitting one huge leaf back into 512 small PTEs: allocate a leaf
+    /// table and write every entry (Linux's `split_huge_pmd` analogue).
+    pub pt_demote: u64,
+    /// Installing one 2 MiB huge leaf mapping (one PTE write covering a
+    /// whole block — the per-page map cost is what it avoids).
+    pub huge_map: u64,
+    /// COW-marking or COW-flipping one huge leaf at fork / write-back:
+    /// a single PTE flip instead of 512.
+    pub huge_cow: u64,
 }
 
 impl Default for CostModel {
@@ -107,6 +119,10 @@ impl Default for CostModel {
             swap_slot_alloc: 150,
             swap_out_page: 24_000,
             swap_in_page: 30_000,
+            pt_promote: 600,
+            pt_demote: 900,
+            huge_map: 450,
+            huge_cow: 30,
         }
     }
 }
@@ -138,6 +154,10 @@ impl CostModel {
             swap_slot_alloc: 0,
             swap_out_page: 0,
             swap_in_page: 0,
+            pt_promote: 0,
+            pt_demote: 0,
+            huge_map: 0,
+            huge_cow: 0,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! cost can exceed an eager copy once the workload touches enough of its
 //! memory — experiment E3 sweeps the touch fraction to find the crossover.
 
-use crate::addr::Vpn;
+use crate::addr::{Pfn, Vpn, HUGE_PAGES};
 use crate::address_space::AddressSpace;
 use crate::cost::Cycles;
 use crate::error::{MemError, MemResult};
@@ -77,6 +77,12 @@ impl AddressSpace {
         self.stats.demand_faults += 1;
         metrics::incr("mem.fault.demand_fill");
         sink::instant("demand_fill", "mem", cycles.total());
+        // The fill may have completed a 2 MiB block; collapse it while
+        // the fault is already paid for (khugepaed-in-the-fault-path).
+        // Promotion keeps every pfn, so the returned PTE stays valid.
+        if self.thp {
+            self.try_promote(vpn, phys, cycles);
+        }
         Ok(pte)
     }
 
@@ -114,6 +120,9 @@ impl AddressSpace {
         self.swapped -= 1;
         metrics::incr("mem.fault.swap_in");
         sink::instant("swap_in", "mem", cycles.total());
+        if self.thp {
+            self.try_promote(vpn, phys, cycles);
+        }
         Ok(new)
     }
 
@@ -195,6 +204,16 @@ impl AddressSpace {
             }
             Some(pte) if pte.is_cow() => {
                 cycles.charge(cost.fault_entry);
+                let pte = if pte.is_huge() {
+                    match self.huge_cow_break(vpn, value, phys, cycles, tlb, cpus_running)? {
+                        Some(outcome) => return Ok(outcome),
+                        // The block was just split; retranslate and break
+                        // COW on this one small page below.
+                        None => self.pt.translate(vpn).expect("demoted in place"),
+                    }
+                } else {
+                    pte
+                };
                 let outcome = if phys.refs(pte.pfn)? == 1 {
                     // Sole owner: reclaim the frame in place.
                     let mut new = pte;
@@ -242,7 +261,18 @@ impl AddressSpace {
                 // Present, not writable, not COW — but the VMA permits
                 // writes: an `mprotect` upgrade applied lazily. Take the
                 // fault and set the bit (real kernels do exactly this).
+                // Permissions are block-granular for a huge mapping, so
+                // the whole block upgrades with one PTE write.
                 cycles.charge(cost.fault_entry);
+                if pte.is_huge() {
+                    let base = vpn.huge_base();
+                    let mut block = self.pt.huge_block(vpn).expect("translated above");
+                    block.flags = block.flags.union(PteFlags::WRITABLE | PteFlags::DIRTY);
+                    self.pt.update(base, block).expect("translated above");
+                    tlb.invalidate_local(cycles, &cost);
+                    phys.write_content(pte.pfn, value)?;
+                    return Ok(FaultOutcome::Hit);
+                }
                 let mut new = pte;
                 new.flags = new.flags.union(PteFlags::WRITABLE | PteFlags::DIRTY);
                 self.pt.update(vpn, new).expect("translated above");
@@ -253,9 +283,62 @@ impl AddressSpace {
         }
     }
 
+    /// COW break inside a huge block. When this space is the sole owner of
+    /// the whole 512-frame run, the block flips writable in place — one
+    /// PTE write ([`crate::cost::CostModel::huge_cow`]), the huge analogue
+    /// of `CowReuse`, and the write completes here. Otherwise the run is
+    /// still shared with a fork relative, so the block is split (crossing
+    /// [`fpr_faults::FaultSite::PtDemote`]; an injected failure fails the
+    /// write cleanly with the block intact) and `None` is returned for the
+    /// per-page COW machinery to finish the job.
+    fn huge_cow_break(
+        &mut self,
+        vpn: Vpn,
+        value: u64,
+        phys: &mut PhysMemory,
+        cycles: &mut Cycles,
+        tlb: &mut TlbModel,
+        cpus_running: u32,
+    ) -> MemResult<Option<FaultOutcome>> {
+        let cost = phys.cost().clone();
+        let base = vpn.huge_base();
+        let block = self.pt.huge_block(vpn).expect("caller translated a huge PTE");
+        let sole = (0..HUGE_PAGES)
+            .all(|k| phys.refs(Pfn(block.pfn.0 + k)).map(|r| r == 1).unwrap_or(false));
+        // The block may sit in a huge directory an on-demand fork still
+        // shares; both the flip and the split mutate the node.
+        self.unshare_subtree(base, phys, cycles)?;
+        if sole {
+            let mut new = block;
+            new.flags = new
+                .flags
+                .minus(PteFlags::COW)
+                .union(PteFlags::WRITABLE | PteFlags::DIRTY);
+            self.pt.update(base, new).expect("block translated above");
+            cycles.charge(cost.huge_cow);
+            self.stats.cow_reuses += 1;
+            metrics::incr("mem.fault.cow_reuse");
+            tlb.shootdown(cpus_running, cycles, &cost);
+            phys.write_content(Pfn(block.pfn.0 + vpn.huge_offset()), value)?;
+            return Ok(Some(FaultOutcome::CowReuse));
+        }
+        self.pt.demote_block(vpn, cycles, &cost)?;
+        phys.note_thp_demoted();
+        Ok(None)
+    }
+
     fn mark_dirty(&mut self, vpn: Vpn) {
         if let Some(mut pte) = self.pt.translate(vpn) {
             if !pte.is_present() {
+                return;
+            }
+            if pte.is_huge() {
+                // Hardware tracks dirtiness per TLB entry, which for a
+                // huge mapping is the whole block.
+                let base = vpn.huge_base();
+                let mut block = self.pt.huge_block(vpn).expect("translated above");
+                block.flags = block.flags.union(PteFlags::DIRTY | PteFlags::ACCESSED);
+                let _ = self.pt.update(base, block);
                 return;
             }
             pte.flags = pte.flags.union(PteFlags::DIRTY | PteFlags::ACCESSED);

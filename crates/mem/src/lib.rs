@@ -31,13 +31,13 @@ pub mod swap;
 pub mod tlb;
 pub mod vma;
 
-pub use addr::{pages_for, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
+pub use addr::{pages_for, Pfn, PhysAddr, VirtAddr, Vpn, HUGE_PAGES, HUGE_PAGE_SIZE, PAGE_SIZE};
 pub use address_space::{AddressSpace, AsStats, ForkMode};
 pub use cost::{CostModel, Cycles, CYCLES_PER_US};
 pub use error::{MemError, MemResult};
 pub use fault::FaultOutcome;
 pub use overcommit::{CommitAccount, OvercommitPolicy};
-pub use phys::{PhysMemory, PressureLevel, Watermarks};
+pub use phys::{PhysMemory, PressureLevel, ThpStats, Watermarks};
 pub use pte::{Pte, PteFlags};
 pub use swap::{SwapDevice, SwapStats};
 pub use tlb::TlbModel;

@@ -21,7 +21,7 @@
 //!   Disabled by default; when disabled every cost is byte-identical to
 //!   the plain allocator path.
 
-use crate::addr::Pfn;
+use crate::addr::{Pfn, HUGE_PAGES};
 use crate::buddy::BuddyAllocator;
 use crate::cost::{CostModel, Cycles};
 use crate::error::{MemError, MemResult};
@@ -80,6 +80,20 @@ struct FrameMeta {
     content: u64,
 }
 
+/// Machine-wide transparent-huge-page counters (`/proc/meminfo`'s THP
+/// line). Promotion failures are *absorbed* — the mapping proceeds with
+/// small pages — so `failed` counts fallbacks, not errors.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ThpStats {
+    /// Blocks collapsed into 2 MiB huge leaves.
+    pub promoted: u64,
+    /// Huge leaves split back into small PTEs.
+    pub demoted: u64,
+    /// Promotion attempts that fell back to small pages (fragmentation
+    /// or an injected `pt_promote` fault).
+    pub failed: u64,
+}
+
 /// Opt-in per-CPU free-list magazines over the buddy allocator.
 #[derive(Debug, Clone)]
 struct FrameCache {
@@ -117,6 +131,8 @@ pub struct PhysMemory {
     stall_events_total: u64,
     /// The swap device (capacity 0 = no swap configured).
     swap: SwapDevice,
+    /// Machine-wide THP promotion/demotion counters.
+    thp: ThpStats,
 }
 
 impl PhysMemory {
@@ -137,6 +153,7 @@ impl PhysMemory {
             stall_cycles_total: 0,
             stall_events_total: 0,
             swap: SwapDevice::new(0),
+            thp: ThpStats::default(),
         }
     }
 
@@ -429,6 +446,77 @@ impl PhysMemory {
         }
     }
 
+    /// Machine-wide THP promotion/demotion counters.
+    pub fn thp_stats(&self) -> ThpStats {
+        self.thp
+    }
+
+    /// Records a successful huge-page promotion.
+    pub fn note_thp_promoted(&mut self) {
+        self.thp.promoted += 1;
+        metrics::incr("mem.thp.promote");
+    }
+
+    /// Records a huge-page demotion (split back to small PTEs).
+    pub fn note_thp_demoted(&mut self) {
+        self.thp.demoted += 1;
+        metrics::incr("mem.thp.demote");
+    }
+
+    /// Records a promotion attempt that fell back to small pages.
+    pub fn note_thp_promote_failed(&mut self) {
+        self.thp.failed += 1;
+        metrics::incr("mem.thp.promote_failed_fragmented");
+    }
+
+    /// Allocates a naturally aligned, physically contiguous run of 512
+    /// zeroed frames for one 2 MiB huge mapping, returning the head frame.
+    /// Every frame of the run has its own reference count and can be freed
+    /// individually (demotion hands each page its own PTE), so the run is
+    /// taken with [`BuddyAllocator::alloc_run`], bypassing the per-CPU
+    /// magazines — contiguity is the whole point.
+    ///
+    /// Fails with [`MemError::Fragmented`] when no aligned run exists; the
+    /// caller falls back to small pages. No fault site is crossed here —
+    /// promotion attempts are guarded by `pt_promote` at the call site and
+    /// a natural allocation failure is already an absorbed fallback.
+    pub fn alloc_zeroed_huge_run(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
+        let order = HUGE_PAGES.trailing_zeros() as usize;
+        let run = self.alloc.alloc_run(order)?;
+        // One global-allocator acquisition for the whole run, then the
+        // data cost of zeroing 2 MiB.
+        cycles.charge(self.cost.frame_alloc);
+        if self.contenders > 0 {
+            cycles.charge(self.cost.frame_alloc_contended * self.contenders as u64);
+        }
+        cycles.charge(self.cost.page_zero * HUGE_PAGES);
+        let head = run[0];
+        debug_assert_eq!(head.0 % HUGE_PAGES, 0, "huge run must be aligned");
+        for pfn in run {
+            self.meta.insert(pfn.0, FrameMeta { refs: 1, content: 0 });
+        }
+        self.frames_allocated_total += HUGE_PAGES;
+        metrics::add("mem.frame_alloc", HUGE_PAGES);
+        Ok(head)
+    }
+
+    /// Increments the reference count of each frame in `[head, head+n)`.
+    pub fn inc_ref_run(&mut self, head: Pfn, n: u64) -> MemResult<()> {
+        for i in 0..n {
+            self.inc_ref(Pfn(head.0 + i))?;
+        }
+        Ok(())
+    }
+
+    /// Decrements the reference count of each frame in `[head, head+n)`,
+    /// freeing those that reach zero.
+    pub fn dec_ref_run(&mut self, head: Pfn, n: u64, cycles: &mut Cycles) -> MemResult<()> {
+        for i in 0..n {
+            self.dec_ref(Pfn(head.0 + i), cycles)?;
+        }
+        Ok(())
+    }
+
     /// Allocates a zeroed frame with reference count 1.
     pub fn alloc_zeroed(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
         fpr_faults::cross(FaultSite::FrameAlloc).map_err(|_| MemError::OutOfMemory)?;
@@ -655,6 +743,57 @@ mod tests {
         p.alloc_zeroed(&mut c).unwrap(); // hit
         assert_eq!(c.total() - before, cost.frame_cache_hit + cost.page_zero);
         assert!(cost.frame_cache_hit < cost.frame_alloc);
+    }
+
+    #[test]
+    fn huge_run_is_aligned_contiguous_and_individually_freeable() {
+        let (mut p, mut c) = pm(2048);
+        let head = p.alloc_zeroed_huge_run(&mut c).unwrap();
+        assert_eq!(head.0 % HUGE_PAGES, 0);
+        assert_eq!(p.used_frames(), HUGE_PAGES);
+        for i in 0..HUGE_PAGES {
+            assert_eq!(p.refs(Pfn(head.0 + i)), Ok(1));
+            assert_eq!(p.content(Pfn(head.0 + i)), Ok(0));
+        }
+        // Free half individually; the rest survives.
+        for i in 0..HUGE_PAGES / 2 {
+            assert_eq!(p.dec_ref(Pfn(head.0 + i), &mut c), Ok(true));
+        }
+        assert_eq!(p.used_frames(), HUGE_PAGES / 2);
+        p.dec_ref_run(Pfn(head.0 + HUGE_PAGES / 2), HUGE_PAGES / 2, &mut c)
+            .unwrap();
+        assert_eq!(p.used_frames(), 0);
+    }
+
+    #[test]
+    fn huge_run_fails_fragmented_not_oom_when_frames_exist() {
+        let (mut p, mut c) = pm(1024);
+        // Take one small frame: the window at 0 is now fragmented.
+        let a = p.alloc_zeroed(&mut c).unwrap();
+        assert_eq!(a.0, 0, "buddy hands out frame 0 first");
+        // The second 512-aligned window is still whole.
+        match p.alloc_zeroed_huge_run(&mut c) {
+            Ok(h) => assert_eq!(h.0, 512),
+            Err(e) => panic!("second window should be free: {e:?}"),
+        }
+        // 511 free frames remain, none forming an aligned run: the mapping
+        // must fall back to small pages rather than fail, so the error
+        // distinguishes fragmentation from true exhaustion.
+        let err = p.alloc_zeroed_huge_run(&mut c).unwrap_err();
+        assert!(matches!(err, MemError::Fragmented | MemError::OutOfMemory));
+        assert!(p.alloc_zeroed(&mut c).is_ok(), "small pages still available");
+    }
+
+    #[test]
+    fn thp_stats_accumulate() {
+        let (mut p, _c) = pm(16);
+        assert_eq!(p.thp_stats(), ThpStats::default());
+        p.note_thp_promoted();
+        p.note_thp_promoted();
+        p.note_thp_demoted();
+        p.note_thp_promote_failed();
+        let s = p.thp_stats();
+        assert_eq!((s.promoted, s.demoted, s.failed), (2, 1, 1));
     }
 
     #[test]

@@ -30,6 +30,10 @@ impl PteFlags {
     /// swap-slot index, not a frame number (real kernels encode swap
     /// entries in the non-present PTE format the same way).
     pub const SWAP: PteFlags = PteFlags(1 << 8);
+    /// The entry maps a 2 MiB huge page (x86-64's PS bit): `pfn` is the
+    /// head of a naturally aligned 512-frame run and the translation
+    /// covers the whole block.
+    pub const HUGE: PteFlags = PteFlags(1 << 9);
 
     /// Empty flag set.
     pub const fn empty() -> PteFlags {
@@ -114,6 +118,11 @@ impl Pte {
         self.flags.contains(PteFlags::SWAP)
     }
 
+    /// Returns true if the entry maps a 2 MiB huge page.
+    pub fn is_huge(self) -> bool {
+        self.flags.contains(PteFlags::HUGE)
+    }
+
     /// The swap-slot index of a swap entry.
     ///
     /// # Panics
@@ -163,6 +172,15 @@ mod tests {
         let p = Pte::new(Pfn(7), PteFlags::USER);
         assert!(p.is_present());
         assert!(!p.is_swap());
+    }
+
+    #[test]
+    fn huge_flag_roundtrips() {
+        let h = Pte::new(Pfn(512), PteFlags::USER | PteFlags::HUGE);
+        assert!(h.is_huge());
+        assert!(h.is_present());
+        let s = Pte::new(Pfn(1), PteFlags::USER);
+        assert!(!s.is_huge());
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct TlbModel {
     pub range_flushes: u64,
     /// Total pages covered by batched ranged flushes.
     pub range_pages_flushed: u64,
+    /// Total TLB *entries* invalidated by entry-granular flushes: one per
+    /// small page plus one per 2 MiB huge leaf (a huge mapping occupies a
+    /// single TLB entry, so flushing it costs one invalidation, not 512).
+    pub entries_flushed: u64,
+    /// Of [`TlbModel::entries_flushed`], the entries that were huge leaves.
+    pub huge_entries_flushed: u64,
 }
 
 impl Default for TlbModel {
@@ -44,6 +50,8 @@ impl Default for TlbModel {
             remote_acks: 0,
             range_flushes: 0,
             range_pages_flushed: 0,
+            entries_flushed: 0,
+            huge_entries_flushed: 0,
         }
     }
 }
@@ -103,6 +111,39 @@ impl TlbModel {
         cycles.charge(cost.tlb_range_flush_page * pages.min(RANGE_FLUSH_CEILING));
         metrics::incr("mem.tlb.range_flush");
         metrics::add("mem.tlb.range_pages", pages);
+        self.shootdown(cpus_running, cycles, cost);
+    }
+
+    /// Huge-aware ranged flush: one batched shootdown round invalidating
+    /// `small_pages` single-page entries plus `huge_entries` 2 MiB-leaf
+    /// entries. Each huge leaf costs *one* entry invalidation — the whole
+    /// point of huge mappings is that a block occupies one TLB entry — so
+    /// tearing down a fully-huge region charges 512× fewer per-entry
+    /// invalidations than the same region mapped with small pages. The
+    /// per-entry term is capped at [`RANGE_FLUSH_CEILING`] like
+    /// [`TlbModel::shootdown_range`].
+    ///
+    /// With no entries at all nothing is flushed and nothing is charged.
+    pub fn shootdown_entries(
+        &mut self,
+        cpus_running: u32,
+        small_pages: u64,
+        huge_entries: u64,
+        cycles: &mut Cycles,
+        cost: &CostModel,
+    ) {
+        let entries = small_pages + huge_entries;
+        if entries == 0 {
+            return;
+        }
+        self.range_flushes += 1;
+        self.range_pages_flushed += small_pages;
+        self.entries_flushed += entries;
+        self.huge_entries_flushed += huge_entries;
+        cycles.charge(cost.tlb_range_flush_page * entries.min(RANGE_FLUSH_CEILING));
+        metrics::incr("mem.tlb.range_flush");
+        metrics::add("mem.tlb.entries_flushed", entries);
+        metrics::add("mem.tlb.huge_entries_flushed", huge_entries);
         self.shootdown(cpus_running, cycles, cost);
     }
 }
@@ -179,6 +220,35 @@ mod tests {
         t.shootdown_range(8, 0, &mut cy, &cost);
         assert_eq!(cy.total(), 0);
         assert_eq!(t.range_flushes, 0);
+        assert_eq!(t.shootdowns, 0);
+    }
+
+    #[test]
+    fn huge_entry_flush_costs_one_entry_per_leaf() {
+        let cost = CostModel::default();
+        let mut t = TlbModel::new();
+        let mut huge = Cycles::new();
+        // Four huge leaves: 4 entry invalidations, not 2048.
+        t.shootdown_entries(2, 0, 4, &mut huge, &cost);
+        assert_eq!(
+            huge.total(),
+            cost.tlb_shootdown_base + cost.tlb_shootdown_per_cpu + 4 * cost.tlb_range_flush_page
+        );
+        assert_eq!(t.entries_flushed, 4);
+        assert_eq!(t.huge_entries_flushed, 4);
+        // Mixed: 3 small + 1 huge = 4 entries.
+        t.shootdown_entries(1, 3, 1, &mut huge, &cost);
+        assert_eq!(t.entries_flushed, 8);
+        assert_eq!(t.range_pages_flushed, 3);
+    }
+
+    #[test]
+    fn entry_flush_of_nothing_is_free() {
+        let cost = CostModel::default();
+        let mut t = TlbModel::new();
+        let mut cy = Cycles::new();
+        t.shootdown_entries(8, 0, 0, &mut cy, &cost);
+        assert_eq!(cy.total(), 0);
         assert_eq!(t.shootdowns, 0);
     }
 
