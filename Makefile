@@ -6,9 +6,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy doc doctest leakcheck bench-smoke bench-tables trace-demo clean
+.PHONY: verify build test clippy doc doctest doclinks leakcheck bench-smoke bench-tables trace-demo clean
 
-verify: build test clippy doc doctest bench-smoke
+verify: build test clippy doc doctest doclinks bench-smoke
 
 build:
 	$(CARGO) build --release
@@ -27,6 +27,12 @@ doc:
 # Runnable documentation examples are tests too.
 doctest:
 	$(CARGO) test --workspace --doc -q
+
+# Markdown is documentation too: every relative link in README/docs
+# must resolve and the README <-> ARCHITECTURE <-> OBSERVABILITY <->
+# BENCHMARKS cross-reference web must stay intact.
+doclinks:
+	$(CARGO) test -q -p forkroad --test doc_links
 
 # The fault-injection acceptance gate on its own: every fail point of
 # every creation API and of the swap tier (slot alloc, swap-out,

@@ -21,7 +21,7 @@
 use crate::spawn::{apply_attrs, apply_file_actions, posix_spawn_cached, FileAction, SpawnAttrs};
 use fpr_exec::{effective_file_id, load_cached, randomize, AslrConfig, Image, ImageCache, ImageRegistry};
 use fpr_kernel::{Errno, KResult, Kernel, LayoutInfo, Pid, OOM_SCORE_ADJ_MIN};
-use fpr_mem::Vpn;
+use fpr_mem::{PressureLevel, Vpn};
 use fpr_trace::{metrics, sink, Phase, TraceEvent};
 use std::collections::BTreeMap;
 
@@ -145,6 +145,46 @@ impl WarmPool {
             );
         }
         Ok(())
+    }
+
+    /// Pressure-driven pool sizing: tops the pool up to `target` parked
+    /// children of `path`, but only while memory is genuinely easy.
+    /// Under [`PressureLevel::High`] or worse (or a thrashing swap tier)
+    /// the refill is skipped entirely — growing the pool there would
+    /// fight the very reclaim pass that is draining it, and the classic
+    /// spawn fallback is the designed degradation. Returns the number of
+    /// children actually built.
+    ///
+    /// This is the hook a service loop calls on its maintenance tick
+    /// (E15 does, between requests): checkout consumes a parked child per
+    /// served request, so the pool trends to zero without it, and after a
+    /// pressure storm drains the pool this is what restores the fast
+    /// path.
+    pub fn autoscale(
+        &mut self,
+        kernel: &mut Kernel,
+        registry: &ImageRegistry,
+        cache: &mut ImageCache,
+        path: &str,
+        target: usize,
+    ) -> KResult<usize> {
+        let have = self.available(path);
+        if have >= target {
+            return Ok(0);
+        }
+        if kernel.memory_pressure() >= PressureLevel::High {
+            self.throttled += 1;
+            metrics::incr("api.pool.autoscale_skipped");
+            return Ok(0);
+        }
+        let want = target - have;
+        let before = self.refills;
+        self.prefill(kernel, registry, cache, path, want)?;
+        let built = (self.refills - before) as usize;
+        if built > 0 {
+            metrics::incr("api.pool.autoscale");
+        }
+        Ok(built)
     }
 
     /// Checks a parked child of `path` out to `parent`, or returns
@@ -915,6 +955,74 @@ mod tests {
         assert_eq!(pool.available("/bin/tool"), 0, "refill waits out the storm");
         assert_eq!(pool.throttled(), 1);
         assert_eq!(pool.refills(), 0);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn autoscale_tops_up_to_target_under_easy_memory() {
+        let (mut k, init, reg) = world();
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        let built = pool
+            .autoscale(&mut k, &reg, &mut cache, "/bin/tool", 4)
+            .unwrap();
+        assert_eq!(built, 4);
+        assert_eq!(pool.available("/bin/tool"), 4);
+        // At target: a second tick is a no-op.
+        let again = pool
+            .autoscale(&mut k, &reg, &mut cache, "/bin/tool", 4)
+            .unwrap();
+        assert_eq!(again, 0);
+        // One checkout later, the next tick replaces exactly the one.
+        let _ = spawn_fast(
+            &mut k,
+            init,
+            &reg,
+            "/bin/tool",
+            &[],
+            &SpawnAttrs::default(),
+            AslrConfig::default(),
+            31,
+            &mut cache,
+            &mut pool,
+        )
+        .unwrap();
+        let topped = pool
+            .autoscale(&mut k, &reg, &mut cache, "/bin/tool", 4)
+            .unwrap();
+        assert_eq!(topped, 1);
+        k.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn autoscale_refuses_to_grow_under_high_pressure() {
+        let mut k = Kernel::new(fpr_kernel::MachineConfig {
+            frames: 512,
+            overcommit: fpr_mem::OvercommitPolicy::Always,
+            ..fpr_kernel::MachineConfig::default()
+        });
+        let init = k.create_init("init").unwrap();
+        let mut reg = ImageRegistry::new();
+        reg.register("/bin/tool", Image::small("tool"));
+        // Eat frames until free memory drops below the low watermark.
+        let wm = k.phys.watermarks();
+        let eat = k.phys.free_frames() - wm.low + 8;
+        let base = k
+            .mmap_anon(init, eat, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+            .unwrap();
+        for i in 0..eat {
+            k.write_mem(init, Vpn(base.0 + i), 1).unwrap();
+        }
+        assert!(k.memory_pressure() >= PressureLevel::High);
+
+        let mut cache = ImageCache::new();
+        let mut pool = WarmPool::new(init);
+        let built = pool
+            .autoscale(&mut k, &reg, &mut cache, "/bin/tool", 4)
+            .unwrap();
+        assert_eq!(built, 0, "autoscale must not fight reclaim");
+        assert_eq!(pool.available("/bin/tool"), 0);
+        assert_eq!(pool.throttled(), 1);
         k.check_invariants().unwrap();
     }
 

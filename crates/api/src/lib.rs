@@ -16,6 +16,7 @@
 //!
 //! [`compare`] encodes the capability matrix contrasting them (E7).
 
+pub mod batch;
 pub mod clone;
 pub mod compare;
 pub mod fastpath;
@@ -25,6 +26,7 @@ pub mod spawn;
 pub mod vfork;
 pub mod xproc;
 
+pub use batch::{fork_exec, spawn_fast_batch, vfork_exec};
 pub use clone::{clone, CloneFlags, CloneResult};
 pub use compare::{coverage, render_matrix, supports, Api, Capability, CostClass, Support};
 pub use fastpath::{spawn_fast, WarmPool};

@@ -11,6 +11,7 @@
 //!    so the perf trajectory of the hot path is tracked in-repo from
 //!    this PR onward.
 
+use forkroad_core::experiments::service::{self, CreationPath};
 use forkroad_core::experiments::spawn_fastpath::{self, Mode};
 use forkroad_core::experiments::{
     aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
@@ -449,5 +450,108 @@ fn main() {
         small_entries as f64 / thp_entries.max(1) as f64
     );
     println!("[saved BENCH_thp.json]");
+
+    // E15 snapshot: the open-loop service workload. Two hard guarantees
+    // tracked in-repo: at the default offered rate the per-path tail
+    // latencies keep the paper's order — spawn(fastpath) < fork(OnDemand)
+    // < fork(Cow) at p99 — with zero OOM kills; and the degradation arm
+    // shows the pool draining to empty under pressure, the next spawn
+    // falling back to the cycle-identical classic path, and the pool
+    // recovering once the storm lifts, still with zero kills.
+    smoke_fig("fig_service", &service::run());
+    let outcome = service::run_service(&service::ServiceConfig::default());
+    assert_eq!(
+        outcome.oom_kills, 0,
+        "service workload at the default rate must not OOM-kill"
+    );
+    let p99 = |p: CreationPath| outcome.stats(p).hist.p99();
+    assert!(
+        p99(CreationPath::SpawnFast) < p99(CreationPath::ForkOnDemand),
+        "p99(spawn fastpath) {} must beat p99(fork OnDemand) {}",
+        p99(CreationPath::SpawnFast),
+        p99(CreationPath::ForkOnDemand)
+    );
+    assert!(
+        p99(CreationPath::ForkOnDemand) < p99(CreationPath::ForkCow),
+        "p99(fork OnDemand) {} must beat p99(fork Cow) {}",
+        p99(CreationPath::ForkOnDemand),
+        p99(CreationPath::ForkCow)
+    );
+
+    let d = service::run_degradation();
+    assert_eq!(d.oom_kills, 0, "degradation arm must not OOM-kill");
+    assert!(
+        d.pool_parked[0] > 0 && d.pool_parked[1] == 0 && d.pool_parked[2] > 0,
+        "pool must drain under pressure and recover: parked {:?}",
+        d.pool_parked
+    );
+    let fallback_ratio = d.spawn_latency[1] as f64 / d.classic_reference as f64;
+    assert!(
+        (0.9..=1.1).contains(&fallback_ratio),
+        "drained-pool spawn must cost the classic path: {} vs reference {} (ratio {:.3})",
+        d.spawn_latency[1],
+        d.classic_reference,
+        fallback_ratio
+    );
+    assert!(
+        d.spawn_latency[2] < d.spawn_latency[1],
+        "recovered spawn {} must beat the degraded spawn {}",
+        d.spawn_latency[2],
+        d.spawn_latency[1]
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_service\",\n");
+    json.push_str(&format!("  \"requests\": {},\n", outcome.completed));
+    json.push_str(&format!(
+        "  \"offered_rate_per_s\": {:.0},\n  \"sustained_rate_per_s\": {:.0},\n",
+        outcome.config.offered_rate, outcome.sustained_rate
+    ));
+    json.push_str(&format!("  \"oom_kills\": {},\n", outcome.oom_kills));
+    json.push_str("  \"per_path_cycles\": [\n");
+    for (i, st) in outcome.per_path.iter().enumerate() {
+        let comma = if i + 1 == outcome.per_path.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"served\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}{comma}\n",
+            st.path.label(),
+            st.served,
+            st.hist.p50(),
+            st.hist.p95(),
+            st.hist.p99()
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"degradation\": {{\"spawn_cycles\": [{}, {}, {}], \"pool_parked\": [{}, {}, {}], \
+         \"classic_reference_cycles\": {}, \"oom_kills\": {}}}\n",
+        d.spawn_latency[0],
+        d.spawn_latency[1],
+        d.spawn_latency[2],
+        d.pool_parked[0],
+        d.pool_parked[1],
+        d.pool_parked[2],
+        d.classic_reference,
+        d.oom_kills
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+
+    println!(
+        "\n# BENCH_service — {} requests at {:.0}/s: p99 spawn {} < ondemand {} < cow {} cycles, \
+         {} kills; degradation pool {} -> {} -> {} with spawn {} -> {} -> {} cycles",
+        outcome.completed,
+        outcome.config.offered_rate,
+        p99(CreationPath::SpawnFast),
+        p99(CreationPath::ForkOnDemand),
+        p99(CreationPath::ForkCow),
+        outcome.oom_kills,
+        d.pool_parked[0],
+        d.pool_parked[1],
+        d.pool_parked[2],
+        d.spawn_latency[0],
+        d.spawn_latency[1],
+        d.spawn_latency[2]
+    );
+    println!("[saved BENCH_service.json]");
     println!("\n=== bench smoke OK ===");
 }

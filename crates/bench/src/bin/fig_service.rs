@@ -1,0 +1,52 @@
+//! E15: open-loop service workload — per-creation-path p50/p95/p99
+//! latency under a Poisson arrival stream, sustained throughput against
+//! the offered rate, and the pool-drain → classic-fallback → recovery
+//! degradation series.
+
+use forkroad_core::experiments::service;
+use fpr_bench::emit;
+use fpr_mem::CYCLES_PER_US;
+
+fn main() {
+    // The workload is a fixed scenario, not a sweep: --quick runs the
+    // same figure (the default run is already seconds-fast).
+    let fig = service::run();
+    emit("fig_service", &fig.render(), &fig.to_json());
+
+    let outcome = service::run_service(&service::ServiceConfig::default());
+    let us = |c: u64| c as f64 / CYCLES_PER_US as f64;
+    println!(
+        "# service detail ({} requests at {:.0}/s offered, sustained {:.0}/s, {} autoscale refills)",
+        outcome.completed, outcome.config.offered_rate, outcome.sustained_rate, outcome.autoscaled
+    );
+    for st in &outcome.per_path {
+        println!(
+            "{:>22}: {:>4} served, p50 {:>7.2} us, p95 {:>7.2} us, p99 {:>7.2} us",
+            st.path.label(),
+            st.served,
+            us(st.hist.p50()),
+            us(st.hist.p95()),
+            us(st.hist.p99()),
+        );
+    }
+    println!(
+        "{:>22}: p50 {:.2} us, p99 {:.2} us, {} oom kills",
+        "sojourn",
+        us(outcome.sojourn.p50()),
+        us(outcome.sojourn.p99()),
+        outcome.oom_kills
+    );
+
+    let d = service::run_degradation();
+    println!(
+        "# degradation: spawn {:.2} -> {:.2} -> {:.2} us (classic ref {:.2}), pool {} -> {} -> {}, {} oom kills",
+        us(d.spawn_latency[0]),
+        us(d.spawn_latency[1]),
+        us(d.spawn_latency[2]),
+        us(d.classic_reference),
+        d.pool_parked[0],
+        d.pool_parked[1],
+        d.pool_parked[2],
+        d.oom_kills
+    );
+}

@@ -4,7 +4,7 @@
 
 use forkroad_core::experiments::{
     aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
-    spawn_fastpath, stdio, vma_sweep,
+    service, spawn_fastpath, stdio, vma_sweep,
 };
 use fpr_bench::emit;
 
@@ -58,6 +58,9 @@ fn main() {
 
     let f13 = pressure::run_swap();
     emit("fig_swap", &f13.render(), &f13.to_json());
+
+    let f15 = service::run();
+    emit("fig_service", &f15.render(), &f15.to_json());
 
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");

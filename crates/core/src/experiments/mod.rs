@@ -15,6 +15,7 @@ pub mod overcommit;
 pub mod pressure;
 pub mod robustness;
 pub mod scaling;
+pub mod service;
 pub mod spawn_fastpath;
 pub mod stdio;
 pub mod threads;

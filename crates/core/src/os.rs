@@ -137,6 +137,37 @@ impl Os {
         fpr_api::vfork(&mut self.kernel, parent)
     }
 
+    /// Fork-with-`mode` and exec `path` as one transactional call
+    /// ([`fpr_api::fork_exec`]): an exec failure reaps the half-made
+    /// child before the error returns. The request-serving entry point
+    /// the E15 service loop uses for its fork-family paths.
+    pub fn fork_exec(&mut self, parent: Pid, path: &str, mode: ForkMode) -> KResult<Pid> {
+        let seed = self.fresh_seed();
+        fpr_api::fork_exec(
+            &mut self.kernel,
+            parent,
+            &self.images,
+            path,
+            mode,
+            self.aslr,
+            seed,
+        )
+    }
+
+    /// vfork and exec `path` as one call ([`fpr_api::vfork_exec`]); the
+    /// parent is suspended only inside the call.
+    pub fn vfork_exec(&mut self, parent: Pid, path: &str) -> KResult<Pid> {
+        let seed = self.fresh_seed();
+        fpr_api::vfork_exec(
+            &mut self.kernel,
+            parent,
+            &self.images,
+            path,
+            self.aslr,
+            seed,
+        )
+    }
+
     /// `execve(2)` with a fresh random layout.
     pub fn exec(&mut self, pid: Pid, path: &str) -> KResult<()> {
         let seed = self.fresh_seed();
@@ -231,6 +262,24 @@ impl Os {
             &mut f.cache.borrow_mut(),
             path,
             n,
+        )
+    }
+
+    /// Pressure-gated pool sizing ([`WarmPool::autoscale`]): tops the
+    /// warm pool up to `target` children of `path` unless memory
+    /// pressure is [`fpr_mem::PressureLevel::High`] or worse. Returns
+    /// the number of children built (fails with [`Errno::Einval`] unless
+    /// the fast path is enabled). Service loops call this on their
+    /// maintenance tick; after a pressure storm drains the pool this is
+    /// what restores the fast path.
+    pub fn pool_autoscale(&mut self, path: &str, target: usize) -> KResult<usize> {
+        let f = self.fastpath.as_mut().ok_or(Errno::Einval)?;
+        f.pool.borrow_mut().autoscale(
+            &mut self.kernel,
+            &self.images,
+            &mut f.cache.borrow_mut(),
+            path,
+            target,
         )
     }
 

@@ -102,6 +102,79 @@ impl Histogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Inclusive value range `[lo, hi]` covered by bucket `i`.
+    ///
+    /// ```
+    /// use fpr_trace::metrics::Histogram;
+    /// assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+    /// assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+    /// assert_eq!(Histogram::bucket_bounds(11), (1024, 2047));
+    /// assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+    /// ```
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index {i} out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1u64 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Estimates the `p`-th percentile (`0 < p <= 100`) from the log2
+    /// buckets. Returns 0 when the histogram is empty.
+    ///
+    /// The estimate walks the cumulative bucket counts to the bucket
+    /// holding rank `ceil(p/100 * count)` and reports that bucket's
+    /// midpoint, clamped to the intersection of the bucket range and the
+    /// recorded `[min, max]`. Because the exact rank value lies in the
+    /// same bucket (and inside `[min, max]`), the estimate is always
+    /// within one power-of-two bucket of the true percentile, and exact
+    /// for single-valued or extremal distributions.
+    ///
+    /// ```
+    /// use fpr_trace::metrics::Histogram;
+    /// let mut h = Histogram::default();
+    /// for v in 1..=1000u64 {
+    ///     h.record(v);
+    /// }
+    /// // The true p50 is 500; the estimate lands in the same [256, 512)
+    /// // bucket.
+    /// let est = h.percentile(50.0);
+    /// assert_eq!(Histogram::bucket_index(est), Histogram::bucket_index(500));
+    /// ```
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(lo.max(self.min), hi.min(self.max));
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate: `percentile(50.0)`.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile estimate: `percentile(95.0)`.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile estimate: `percentile(99.0)`.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
     /// Bucket-wise difference `self - earlier` (for snapshot deltas).
     fn delta(&self, earlier: &Histogram) -> Histogram {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
@@ -278,5 +351,38 @@ mod tests {
         assert_eq!(Histogram::bucket_index(u64::MAX), 64);
         assert_eq!(Histogram::bucket_index(1 << 63), 64);
         assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0);
+        let mut h = Histogram::default();
+        h.record(777);
+        // Clamping to [min, max] makes single-value histograms exact.
+        assert_eq!(h.p50(), 777);
+        assert_eq!(h.p99(), 777);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::default();
+        for v in [3u64, 17, 90, 1_000, 5_000, 5_001, 120_000] {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max);
+        assert!(h.min <= h.p50());
     }
 }

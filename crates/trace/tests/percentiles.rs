@@ -1,0 +1,116 @@
+//! Accuracy contract for log2-histogram percentile extraction: on known
+//! distributions the estimated p50/p95/p99 must land in the same
+//! power-of-two bucket as the exact order-statistic value — i.e. the
+//! estimate is within one bucket (a factor of two) of the truth, which is
+//! the resolution the histogram stores in the first place.
+
+use fpr_rng::Rng;
+use fpr_trace::metrics::Histogram;
+
+/// Exact percentile of a sorted sample using the same rank convention the
+/// histogram estimator uses: the value at rank `ceil(p/100 * n)`.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Asserts the histogram estimate for `p` sits in the exact value's
+/// bucket and inside the recorded range.
+fn assert_within_one_bucket(values: &[u64], p: f64, what: &str) {
+    let mut h = Histogram::default();
+    let mut sorted = values.to_vec();
+    for &v in values {
+        h.record(v);
+    }
+    sorted.sort_unstable();
+    let exact = exact_percentile(&sorted, p);
+    let est = h.percentile(p);
+    assert_eq!(
+        Histogram::bucket_index(est),
+        Histogram::bucket_index(exact),
+        "{what}: p{p} estimate {est} not in the exact value {exact}'s bucket"
+    );
+    assert!(
+        est >= h.min && est <= h.max,
+        "{what}: p{p} estimate {est} outside recorded range [{}, {}]",
+        h.min,
+        h.max
+    );
+}
+
+#[test]
+fn uniform_distribution_within_one_bucket() {
+    let values: Vec<u64> = (1..=1000).collect();
+    for p in [50.0, 95.0, 99.0] {
+        assert_within_one_bucket(&values, p, "uniform 1..=1000");
+    }
+}
+
+#[test]
+fn constant_distribution_is_exact() {
+    let values = vec![4096u64; 500];
+    let mut h = Histogram::default();
+    for &v in &values {
+        h.record(v);
+    }
+    // All mass in one bucket and min == max: clamping makes it exact.
+    assert_eq!(h.p50(), 4096);
+    assert_eq!(h.p95(), 4096);
+    assert_eq!(h.p99(), 4096);
+}
+
+#[test]
+fn geometric_spread_within_one_bucket() {
+    // Latency-shaped data spanning five orders of magnitude: mostly fast,
+    // a heavy tail — the case log2 buckets exist for.
+    let mut values = Vec::new();
+    for i in 0..900u64 {
+        values.push(900 + i); // fast path cluster near 2^10
+    }
+    for i in 0..90u64 {
+        values.push(20_000 + 17 * i); // slow path cluster near 2^14
+    }
+    for i in 0..10u64 {
+        values.push(1_000_000 + 1_000 * i); // rare outliers near 2^20
+    }
+    for p in [50.0, 95.0, 99.0] {
+        assert_within_one_bucket(&values, p, "bimodal-with-tail");
+    }
+}
+
+#[test]
+fn seeded_random_samples_within_one_bucket() {
+    // Deterministic pseudo-random samples over a wide dynamic range.
+    for seed in [1u64, 42, 77] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let values: Vec<u64> = (0..2000)
+            .map(|_| {
+                // Roughly log-uniform over [1, 2^30): pick a magnitude,
+                // then a value at that magnitude.
+                let bits = 1 + rng.gen_below(30);
+                1u64.max(rng.gen_below(1 << bits))
+            })
+            .collect();
+        for p in [50.0, 90.0, 95.0, 99.0, 99.9] {
+            assert_within_one_bucket(&values, p, "log-uniform seeded");
+        }
+    }
+}
+
+#[test]
+fn zero_heavy_distribution() {
+    // Zeros occupy the dedicated bucket 0; a zero-heavy distribution must
+    // report zero for low percentiles and the tail for high ones.
+    let mut values = vec![0u64; 95];
+    values.extend([1 << 20; 5]);
+    let mut h = Histogram::default();
+    for &v in &values {
+        h.record(v);
+    }
+    assert_eq!(h.p50(), 0);
+    assert_eq!(
+        Histogram::bucket_index(h.p99()),
+        Histogram::bucket_index(1 << 20)
+    );
+}
