@@ -6,9 +6,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify build test clippy doc doctest doclinks leakcheck bench-smoke bench-tables trace-demo clean
+.PHONY: verify build test clippy doc doctest doclinks leakcheck stress bench-smoke bench-tables trace-demo clean
 
-verify: build test clippy doc doctest doclinks bench-smoke
+verify: build test clippy doc doctest doclinks stress bench-smoke
 
 build:
 	$(CARGO) build --release
@@ -45,6 +45,15 @@ leakcheck:
 	$(CARGO) test -q -p fpr-kernel --test proptest_faults
 	$(CARGO) test -q -p fpr-mem --test proptest_faults
 	$(CARGO) test -q -p forkroad-core --test pressure_property
+
+# The SMP gate on its own: four real OS threads hammer the shared
+# machine with a seeded fork/vfork/spawn/exec storm, then every cell
+# must pass check_invariants + leak_check and the shared frame pool
+# must conserve; plus the determinism regression — the single-threaded
+# E15 service figure must replay byte-identical to the checked-in
+# seed results. Release mode: the storm is the slow part.
+stress:
+	$(CARGO) test --release -q -p forkroad-core --test smp_stress
 
 # Non-timing smoke: every fig*/tab* driver runs at reduced size into a
 # scratch results dir, each emitted JSON must round-trip through the

@@ -216,8 +216,7 @@ mod tests {
         use crate::fastpath::WarmPool;
         use fpr_exec::{Image, ImageCache, ImageRegistry};
         use fpr_kernel::{MachineConfig, ShrinkerHandle};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let mut k = Kernel::new(MachineConfig {
             frames: 64,
@@ -227,8 +226,8 @@ mod tests {
         let mut reg = ImageRegistry::new();
         reg.register("/bin/tool", Image::small("tool"));
         let mut cache = ImageCache::new();
-        let pool = Rc::new(RefCell::new(WarmPool::new(init)));
-        pool.borrow_mut()
+        let pool = Arc::new(Mutex::new(WarmPool::new(init)));
+        pool.lock().unwrap()
             .prefill(&mut k, &reg, &mut cache, "/bin/tool", 2)
             .unwrap();
         k.register_shrinker(&(pool.clone() as ShrinkerHandle));
@@ -255,7 +254,7 @@ mod tests {
         });
         assert!(r.is_ok(), "reclaimed pool frames let the retry succeed: {r:?}");
         assert_eq!(stats.attempts, 2);
-        assert!(pool.borrow().reclaims() > 0, "the wait was spent reclaiming");
+        assert!(pool.lock().unwrap().reclaims() > 0, "the wait was spent reclaiming");
         assert!(k.reclaim_stats().frames_reclaimed > 0);
         for f in hog {
             k.phys.dec_ref(f, &mut k.cycles).unwrap();
@@ -268,8 +267,7 @@ mod tests {
         use crate::fastpath::WarmPool;
         use fpr_exec::{Image, ImageCache, ImageRegistry};
         use fpr_kernel::{MachineConfig, ShrinkerHandle};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let mut k = Kernel::new(MachineConfig {
             frames: 64,
@@ -279,8 +277,8 @@ mod tests {
         let mut reg = ImageRegistry::new();
         reg.register("/bin/tool", Image::small("tool"));
         let mut cache = ImageCache::new();
-        let pool = Rc::new(RefCell::new(WarmPool::new(init)));
-        pool.borrow_mut()
+        let pool = Arc::new(Mutex::new(WarmPool::new(init)));
+        pool.lock().unwrap()
             .prefill(&mut k, &reg, &mut cache, "/bin/tool", 2)
             .unwrap();
         k.register_shrinker(&(pool.clone() as ShrinkerHandle));
@@ -295,7 +293,7 @@ mod tests {
             hog.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
         }
         assert_eq!(k.populate(init, base, 4), Ok(()), "direct reclaim saved it");
-        assert!(pool.borrow().reclaims() > 0);
+        assert!(pool.lock().unwrap().reclaims() > 0);
         assert!(k.reclaim_stats().frames_reclaimed > 0);
         for f in hog {
             k.phys.dec_ref(f, &mut k.cycles).unwrap();

@@ -411,15 +411,14 @@ fn pool_checkout_survives_every_fail_point() {
 #[test]
 fn reclaim_pass_survives_every_fail_point() {
     use fpr_kernel::ShrinkerHandle;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
     let label = "reclaim pass";
     let reclaim_world = || {
         let (mut k, init, reg) = world();
-        let cache = Rc::new(RefCell::new(ImageCache::new()));
-        let pool = Rc::new(RefCell::new(WarmPool::new(init)));
-        pool.borrow_mut()
-            .prefill(&mut k, &reg, &mut cache.borrow_mut(), "/bin/tool", 2)
+        let cache = Arc::new(Mutex::new(ImageCache::new()));
+        let pool = Arc::new(Mutex::new(WarmPool::new(init)));
+        pool.lock().unwrap()
+            .prefill(&mut k, &reg, &mut cache.lock().unwrap(), "/bin/tool", 2)
             .unwrap();
         k.register_shrinker(&(pool.clone() as ShrinkerHandle));
         k.register_shrinker(&(cache.clone() as ShrinkerHandle));
@@ -460,12 +459,12 @@ fn reclaim_pass_survives_every_fail_point() {
             "{label}: fault at {site}#{nth} surfaced as {err:?}"
         );
         assert_eq!(
-            pool.borrow().available("/bin/tool"),
+            pool.lock().unwrap().available("/bin/tool"),
             2,
             "{label}: fault at {site}#{nth} lost parked children"
         );
         assert!(
-            cache.borrow().cached_frames() > 0,
+            cache.lock().unwrap().cached_frames() > 0,
             "{label}: fault at {site}#{nth} dropped the cache early"
         );
         if let Err(v) = k.leak_check(&base) {
@@ -490,8 +489,8 @@ fn reclaim_pass_survives_every_fail_point() {
             .reclaim(u64::MAX)
             .unwrap_or_else(|e| panic!("{label}: retry after {site}#{nth} failed: {e:?}"));
         assert!(freed > 0, "{label}: retry after {site}#{nth} freed nothing");
-        assert_eq!(pool.borrow().available("/bin/tool"), 0);
-        assert_eq!(cache.borrow().cached_frames(), 0);
+        assert_eq!(pool.lock().unwrap().available("/bin/tool"), 0);
+        assert_eq!(cache.lock().unwrap().cached_frames(), 0);
         k.check_invariants()
             .unwrap_or_else(|v| panic!("{label}: post-retry invariants: {v:?}"));
     }

@@ -1,0 +1,24 @@
+//! E16: fork's multicore scaling collapse — process-creation throughput
+//! vs worker threads (real OS threads, virtual time), with the per-lock
+//! contention counters saying where each arm serialized.
+
+use forkroad_core::experiments::smp;
+use fpr_bench::{emit, quick_mode};
+
+fn main() {
+    let threads: &[usize] = if quick_mode() { &[1, 2, 4] } else { &smp::THREADS };
+    let out = smp::run_with(threads);
+    let fig = out.figure();
+    emit("fig_smp", &fig.render(), &fig.to_json());
+    let tab = out.contention_table();
+    emit("tab_smp_contention", &tab.render(), &tab.to_json());
+
+    println!("# speedup vs 1 thread (virtual time)");
+    for arm in ["fork_cow_shared", "fork_cow_private", "spawn_fast"] {
+        let per_t: Vec<String> = threads
+            .iter()
+            .map(|&t| format!("{t}t {:.2}x", out.speedup(arm, t)))
+            .collect();
+        println!("{arm:>18}: {}", per_t.join(", "));
+    }
+}

@@ -4,7 +4,7 @@
 
 use forkroad_core::experiments::{
     aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
-    service, spawn_fastpath, stdio, vma_sweep,
+    service, smp, spawn_fastpath, stdio, vma_sweep,
 };
 use fpr_bench::emit;
 
@@ -61,6 +61,12 @@ fn main() {
 
     let f15 = service::run();
     emit("fig_service", &f15.render(), &f15.to_json());
+
+    let e16 = smp::run_with(&[1, 2, 4]);
+    let f16 = e16.figure();
+    emit("fig_smp", &f16.render(), &f16.to_json());
+    let t16 = e16.contention_table();
+    emit("tab_smp_contention", &t16.render(), &t16.to_json());
 
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");

@@ -16,6 +16,7 @@ pub mod pressure;
 pub mod robustness;
 pub mod scaling;
 pub mod service;
+pub mod smp;
 pub mod spawn_fastpath;
 pub mod stdio;
 pub mod threads;

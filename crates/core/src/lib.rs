@@ -23,5 +23,7 @@
 
 pub mod experiments;
 pub mod os;
+pub mod smp;
 
 pub use os::{Os, OsConfig};
+pub use smp::SmpOs;

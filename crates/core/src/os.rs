@@ -12,8 +12,7 @@ use fpr_kernel::{Errno, KResult, Kernel, MachineConfig, Pid, ShrinkerHandle};
 use fpr_mem::{ForkMode, Prot, Share, Vpn};
 use fpr_trace::ProcessShape;
 use fpr_rng::Rng;
-use std::cell::{Ref, RefCell};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Configuration for [`Os::boot`].
 #[derive(Debug, Clone)]
@@ -38,28 +37,29 @@ impl Default for OsConfig {
 
 /// The spawn fast path's moving parts, owned by [`Os`] while enabled.
 ///
-/// Cache and pool are shared (`Rc<RefCell<…>>`) because the kernel holds
-/// weak handles to both as memory-pressure shrinkers: under pressure a
-/// reclaim pass drains warm children and evicts cold image entries
-/// instead of OOM-killing. Dropping this struct (fast-path disable)
-/// unregisters both automatically.
+/// Cache and pool are shared (`Arc<Mutex<…>>`, matching the kernel's
+/// `Send` registry) because the kernel holds weak handles to both as
+/// memory-pressure shrinkers: under pressure a reclaim pass drains warm
+/// children and evicts cold image entries instead of OOM-killing.
+/// Dropping this struct (fast-path disable) unregisters both
+/// automatically.
 #[derive(Debug)]
 pub struct SpawnFastpath {
     /// Exec image cache consulted by every spawn while enabled.
-    pub cache: Rc<RefCell<ImageCache>>,
+    pub cache: Arc<Mutex<ImageCache>>,
     /// Warm pool of pre-built children.
-    pub pool: Rc<RefCell<WarmPool>>,
+    pub pool: Arc<Mutex<WarmPool>>,
 }
 
 impl SpawnFastpath {
     /// Read access to the image cache (counters, occupancy).
-    pub fn cache(&self) -> Ref<'_, ImageCache> {
-        self.cache.borrow()
+    pub fn cache(&self) -> MutexGuard<'_, ImageCache> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Read access to the warm pool (counters, occupancy).
-    pub fn pool(&self) -> Ref<'_, WarmPool> {
-        self.pool.borrow()
+    pub fn pool(&self) -> MutexGuard<'_, WarmPool> {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -85,8 +85,24 @@ impl Os {
     /// (`/bin/sh`, `/bin/cat`, `/bin/grep`, `/bin/wc`, `/bin/tool`,
     /// `/bin/server`).
     pub fn boot(cfg: OsConfig) -> Os {
-        let mut kernel = Kernel::new(cfg.machine);
+        let mut kernel = Kernel::new(cfg.machine.clone());
         let init = kernel.create_init("init").expect("fresh machine boots");
+        Os::assemble(kernel, init, &cfg)
+    }
+
+    /// Boots one SMP *cell*: the same facade as [`Os::boot`], but the
+    /// kernel draws frames, PIDs, TLB rounds and the OOM trigger from the
+    /// machine-wide [`fpr_kernel::SmpShared`] instead of owning them.
+    /// Cells booted from one `SmpShared` can run on different OS threads
+    /// (see `crate::smp::SmpOs`) while every machine-wide resource stays
+    /// conserved.
+    pub fn boot_smp(cfg: OsConfig, shared: &fpr_kernel::SmpShared, cell: usize) -> Os {
+        let mut kernel = fpr_kernel::Kernel::new_smp(cfg.machine.clone(), shared, cell);
+        let init = kernel.create_init("init").expect("fresh cell boots");
+        Os::assemble(kernel, init, &cfg)
+    }
+
+    fn assemble(kernel: Kernel, init: Pid, cfg: &OsConfig) -> Os {
         let mut images = ImageRegistry::new();
         for name in ["sh", "cat", "grep", "wc", "tool"] {
             images.register(&format!("/bin/{name}"), Image::small(name));
@@ -195,8 +211,8 @@ impl Os {
                 attrs,
                 self.aslr,
                 seed,
-                &mut f.cache.borrow_mut(),
-                &mut f.pool.borrow_mut(),
+                &mut f.cache.lock().unwrap_or_else(|p| p.into_inner()),
+                &mut f.pool.lock().unwrap_or_else(|p| p.into_inner()),
             ),
             None => fpr_api::posix_spawn(
                 &mut self.kernel,
@@ -220,8 +236,8 @@ impl Os {
     pub fn enable_spawn_fastpath(&mut self) -> KResult<()> {
         self.ensure_vfs_backing()?;
         if self.fastpath.is_none() {
-            let cache = Rc::new(RefCell::new(ImageCache::new()));
-            let pool = Rc::new(RefCell::new(WarmPool::new(self.init)));
+            let cache = Arc::new(Mutex::new(ImageCache::new()));
+            let pool = Arc::new(Mutex::new(WarmPool::new(self.init)));
             self.kernel
                 .register_shrinker(&(pool.clone() as ShrinkerHandle));
             self.kernel
@@ -236,8 +252,14 @@ impl Os {
     /// dropping the strong handles unregisters both shrinkers.
     pub fn disable_spawn_fastpath(&mut self) -> KResult<()> {
         if let Some(f) = self.fastpath.take() {
-            f.pool.borrow_mut().drain(&mut self.kernel)?;
-            f.cache.borrow_mut().clear(&mut self.kernel);
+            f.pool
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .drain(&mut self.kernel)?;
+            f.cache
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clear(&mut self.kernel);
         }
         Ok(())
     }
@@ -256,10 +278,10 @@ impl Os {
     /// [`Errno::Einval`] unless the fast path is enabled).
     pub fn pool_prefill(&mut self, path: &str, n: usize) -> KResult<()> {
         let f = self.fastpath.as_mut().ok_or(Errno::Einval)?;
-        f.pool.borrow_mut().prefill(
+        f.pool.lock().unwrap_or_else(|p| p.into_inner()).prefill(
             &mut self.kernel,
             &self.images,
-            &mut f.cache.borrow_mut(),
+            &mut f.cache.lock().unwrap_or_else(|p| p.into_inner()),
             path,
             n,
         )
@@ -274,10 +296,10 @@ impl Os {
     /// what restores the fast path.
     pub fn pool_autoscale(&mut self, path: &str, target: usize) -> KResult<usize> {
         let f = self.fastpath.as_mut().ok_or(Errno::Einval)?;
-        f.pool.borrow_mut().autoscale(
+        f.pool.lock().unwrap_or_else(|p| p.into_inner()).autoscale(
             &mut self.kernel,
             &self.images,
-            &mut f.cache.borrow_mut(),
+            &mut f.cache.lock().unwrap_or_else(|p| p.into_inner()),
             path,
             target,
         )

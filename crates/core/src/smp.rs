@@ -1,0 +1,227 @@
+//! The SMP driver: several [`Os`] cells over one shared machine, driven
+//! by real OS threads.
+//!
+//! The tentpole claim of the multicore experiment (E16) is that the
+//! simulated kernel is genuinely `Send` — process creation can run on
+//! concurrent host threads — while *measured* time stays virtual: each
+//! worker thread carries its own [`fpr_trace::vclock`], every shared
+//! structure is guarded by a named [`VLock`] that prices hand-offs in
+//! virtual cycles, and throughput is computed from the slowest worker's
+//! virtual elapsed time, not from wall-clock (which on a 1-core CI host
+//! would measure the host scheduler, not the simulated machine).
+//!
+//! A cell is one `Os` facade whose kernel draws frames, PIDs, TLB rounds
+//! and the OOM trigger from a machine-wide [`SmpShared`]. The cell itself
+//! sits behind a `VLock` named `"mm"` — the per-address-space lock every
+//! fork-family call holds — so arms that funnel all workers into one cell
+//! reproduce fork's mm-serialization, and arms with a cell per worker
+//! show what independent address spaces buy.
+//!
+//! Lock order (documented in ARCHITECTURE.md): `mm` → `pid` → `buddy` →
+//! `tlb`. Workers only ever hold one `mm` lock at a time, and the shared
+//! subsystems never call back up into a cell, so the order is acyclic.
+
+use crate::os::{Os, OsConfig};
+use fpr_kernel::{Kernel, KernelBaseline, SmpShared};
+use fpr_trace::smp::VLock;
+use fpr_trace::vclock;
+use std::sync::Arc;
+
+// The whole point: a cell must be shippable to another OS thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Os>();
+    assert_send::<Kernel>();
+};
+
+/// A booted SMP machine: shared subsystems plus one lockable cell per
+/// logical core.
+#[derive(Debug)]
+pub struct SmpOs {
+    /// Machine-wide shared subsystems (frame pool, PID table, TLB bus,
+    /// OOM single-flight guard).
+    pub shared: SmpShared,
+    cells: Vec<Arc<VLock<Os>>>,
+    baselines: Vec<KernelBaseline>,
+}
+
+impl SmpOs {
+    /// Boots `ncells` cells over one shared machine. Cell `c` seeds its
+    /// ASLR stream with `cfg.seed + c`, so runs are deterministic but
+    /// cells don't mirror each other's layouts. The booting thread's
+    /// virtual clock is reset afterwards: virtual time zero is "machine
+    /// booted".
+    pub fn boot(cfg: OsConfig, ncells: usize) -> SmpOs {
+        let shared = SmpShared::new(&cfg.machine, ncells);
+        let cells: Vec<Arc<VLock<Os>>> = (0..ncells)
+            .map(|c| {
+                let cell_cfg = OsConfig {
+                    seed: cfg.seed.wrapping_add(c as u64),
+                    ..cfg.clone()
+                };
+                Arc::new(VLock::new("mm", Os::boot_smp(cell_cfg, &shared, c)))
+            })
+            .collect();
+        vclock::reset();
+        let baselines = cells.iter().map(|c| c.lock().kernel.baseline()).collect();
+        SmpOs {
+            shared,
+            cells,
+            baselines,
+        }
+    }
+
+    /// Number of cells.
+    pub fn ncells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The lock guarding cell `c` (panics if out of range). Workers hold
+    /// it for the duration of each kernel operation — it is the mm lock.
+    pub fn cell(&self, c: usize) -> &VLock<Os> {
+        &self.cells[c]
+    }
+
+    /// Runs `f(worker_index, self)` on `threads` real OS threads and
+    /// returns each worker's *virtual* elapsed cycles.
+    ///
+    /// Every worker's clock starts at the caller's current virtual time
+    /// (so release stamps written during setup never read as future
+    /// contention), and each worker flushes its thread-local metrics into
+    /// the global snapshot before finishing.
+    pub fn run<F>(&self, threads: usize, f: F) -> Vec<u64>
+    where
+        F: Fn(usize, &SmpOs) + Send + Sync,
+    {
+        let epoch = vclock::now();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let f = &f;
+                    s.spawn(move || {
+                        vclock::reset();
+                        vclock::advance_to(epoch);
+                        f(t, self);
+                        fpr_trace::metrics::flush();
+                        vclock::now() - epoch
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("smp worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Structural violations right now: every cell's
+    /// [`Kernel::check_invariants`] plus machine-wide frame conservation
+    /// (every frame is free in the pool or drawn by exactly one cell).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut drawn = 0u64;
+        for (i, cell) in self.cells.iter().enumerate() {
+            let os = cell.lock();
+            if let Err(errs) = os.kernel.check_invariants() {
+                v.extend(errs.into_iter().map(|e| format!("cell {i}: {e}")));
+            }
+            drawn += os.kernel.phys.drawn_frames();
+        }
+        let pool = &self.shared.pool;
+        if drawn + pool.free_frames() != pool.total_frames() {
+            v.push(format!(
+                "frame conservation: {} drawn + {} pool-free != {} total",
+                drawn,
+                pool.free_frames(),
+                pool.total_frames()
+            ));
+        }
+        v
+    }
+
+    /// Quiesce check for workloads that destroyed everything they made:
+    /// no structural violations, and every cell back at its boot
+    /// baseline (no leaked frames, PIDs, descriptions, pipes or commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the full violation list otherwise.
+    pub fn check_quiesced(&self) {
+        let v = self.violations();
+        assert!(
+            v.is_empty(),
+            "smp invariants violated at quiesce:\n  {}",
+            v.join("\n  ")
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            let os = cell.lock();
+            if let Err(errs) = os.kernel.leak_check(&self.baselines[i]) {
+                panic!("cell {i} leaked:\n  {}", errs.join("\n  "));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpr_api::SpawnAttrs;
+
+    #[test]
+    fn cells_boot_and_quiesce_clean() {
+        let smp = SmpOs::boot(OsConfig::default(), 2);
+        assert_eq!(smp.ncells(), 2);
+        assert!(smp.violations().is_empty());
+        smp.check_quiesced();
+    }
+
+    #[test]
+    fn workers_create_and_destroy_concurrently() {
+        let smp = SmpOs::boot(OsConfig::default(), 4);
+        let elapsed = smp.run(4, |t, smp| {
+            let mut os = smp.cell(t).lock();
+            let init = os.init;
+            for _ in 0..8 {
+                let c = os.fork(init).expect("fork");
+                os.kernel.exit(c, 0).expect("exit");
+                os.kernel.waitpid(init, Some(c)).expect("reap");
+            }
+        });
+        assert_eq!(elapsed.len(), 4);
+        assert!(elapsed.iter().all(|&e| e > 0), "workers did virtual work");
+        smp.check_quiesced();
+    }
+
+    #[test]
+    fn workers_sharing_one_cell_serialize() {
+        let smp = SmpOs::boot(OsConfig::default(), 1);
+        let solo = smp.run(1, |_, smp| {
+            let mut os = smp.cell(0).lock();
+            let init = os.init;
+            for _ in 0..8 {
+                let c = os.spawn(init, "/bin/sh", &[], &SpawnAttrs::default()).expect("spawn");
+                os.kernel.exit(c, 0).expect("exit");
+                os.kernel.waitpid(init, Some(c)).expect("reap");
+            }
+        });
+        // Four workers hammering the same cell: the slowest worker's
+        // virtual time covers (almost) all the work, because every op
+        // holds the one mm lock.
+        let four = smp.run(4, |_, smp| {
+            for _ in 0..8 {
+                let mut os = smp.cell(0).lock();
+                let init = os.init;
+                let c = os.spawn(init, "/bin/sh", &[], &SpawnAttrs::default()).expect("spawn");
+                os.kernel.exit(c, 0).expect("exit");
+                os.kernel.waitpid(init, Some(c)).expect("reap");
+            }
+        });
+        let wall_solo = solo.iter().max().copied().unwrap();
+        let wall_four = four.iter().max().copied().unwrap();
+        assert!(
+            wall_four > wall_solo * 3,
+            "4 workers on one mm lock must serialize: {wall_four} vs {wall_solo}"
+        );
+        smp.check_quiesced();
+    }
+}

@@ -1,0 +1,129 @@
+//! Seeded multithread stress: N real OS threads hammer the SMP machine
+//! with a random mix of fork/vfork/spawn/exec ops, then the whole
+//! machine must quiesce clean — every cell's invariants hold, nothing
+//! leaked, and every frame is back in the shared pool or accounted to a
+//! cell. Plus the determinism regression the SMP work must not break:
+//! the single-threaded E15 service figure replays byte-identical to the
+//! checked-in seed results.
+
+use forkroad_core::experiments::service;
+use forkroad_core::os::OsConfig;
+use forkroad_core::smp::SmpOs;
+use fpr_api::SpawnAttrs;
+use fpr_kernel::{MachineConfig, Pid};
+use fpr_mem::OvercommitPolicy;
+use fpr_rng::Rng;
+
+const THREADS: usize = 4;
+const OPS: usize = 120;
+const SEED: u64 = 0xF02C_AD5E;
+
+fn stress_machine() -> MachineConfig {
+    MachineConfig {
+        frames: 65_536,
+        overcommit: OvercommitPolicy::Always,
+        ..MachineConfig::default()
+    }
+}
+
+/// One worker's random walk: mostly on its home cell, sometimes raiding
+/// a neighbour's, keeping a small set of live children and reaping them
+/// in random order. Everything it creates it destroys.
+fn storm(worker: usize, smp: &SmpOs) {
+    let mut rng = Rng::seed_from_u64(SEED.wrapping_add(worker as u64));
+    // Live children per cell (a child must be reaped through the cell
+    // that owns it).
+    let mut live: Vec<Vec<Pid>> = vec![Vec::new(); smp.ncells()];
+    for _ in 0..OPS {
+        let cell = if rng.gen_bool(0.25) {
+            rng.gen_index(smp.ncells())
+        } else {
+            worker % smp.ncells()
+        };
+        let mut os = smp.cell(cell).lock();
+        let init = os.init;
+        match rng.gen_index(5) {
+            0 => {
+                let c = os.fork(init).expect("fork");
+                live[cell].push(c);
+            }
+            1 => {
+                // vfork borrows the parent's space; give it back at once.
+                let c = os.vfork(init).expect("vfork");
+                os.kernel.exit(c, 0).expect("exit");
+                os.kernel.waitpid(init, Some(c)).expect("reap");
+            }
+            2 => {
+                let c = os
+                    .spawn(init, "/bin/cat", &[], &SpawnAttrs::default())
+                    .expect("spawn");
+                live[cell].push(c);
+            }
+            3 => {
+                let c = os
+                    .fork_exec(init, "/bin/grep", fpr_mem::ForkMode::Cow)
+                    .expect("fork_exec");
+                live[cell].push(c);
+            }
+            _ => {
+                if !live[cell].is_empty() {
+                    let i = rng.gen_index(live[cell].len());
+                    let c = live[cell].swap_remove(i);
+                    os.kernel.exit(c, 0).expect("exit");
+                    os.kernel.waitpid(init, Some(c)).expect("reap");
+                }
+            }
+        }
+        // Cap the live set so the storm churns instead of hoarding.
+        while live[cell].len() > 8 {
+            let i = rng.gen_index(live[cell].len());
+            let c = live[cell].swap_remove(i);
+            os.kernel.exit(c, 0).expect("exit");
+            os.kernel.waitpid(init, Some(c)).expect("reap");
+        }
+    }
+    // Quiesce: destroy everything this worker still owns.
+    for (cell, pids) in live.into_iter().enumerate() {
+        if pids.is_empty() {
+            continue;
+        }
+        let mut os = smp.cell(cell).lock();
+        let init = os.init;
+        for c in pids {
+            os.kernel.exit(c, 0).expect("exit");
+            os.kernel.waitpid(init, Some(c)).expect("reap");
+        }
+    }
+}
+
+#[test]
+fn seeded_multithread_storm_quiesces_clean() {
+    let smp = SmpOs::boot(
+        OsConfig {
+            machine: stress_machine(),
+            ..Default::default()
+        },
+        THREADS,
+    );
+    let elapsed = smp.run(THREADS, storm);
+    assert_eq!(elapsed.len(), THREADS);
+    assert!(elapsed.iter().all(|&e| e > 0), "every worker did work");
+    // check_invariants + leak_check per cell, plus machine-wide frame
+    // conservation — the whole point of the exercise.
+    smp.check_quiesced();
+}
+
+#[test]
+fn single_thread_service_replays_byte_identical_to_seed() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/fig_service.json"
+    );
+    let want = std::fs::read_to_string(path).expect("checked-in fig_service.json");
+    let got = service::run().to_json();
+    assert_eq!(
+        got, want,
+        "E15 must replay byte-identical to the checked-in seed figure; \
+         the SMP machinery must stay inert on the single-threaded path"
+    );
+}

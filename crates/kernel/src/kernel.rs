@@ -10,7 +10,8 @@
 use crate::error::{Errno, KResult};
 use crate::fdtable::{Fd, FdEntry, FdTable};
 use crate::file::{FileObject, OfdTable, OpenFlags};
-use crate::pid::{Pid, PidAllocator, Tid, TidAllocator};
+use crate::lifecycle::OomGuard;
+use crate::pid::{Pid, PidAllocator, ShardedPidTable, Tid, TidAllocator};
 use crate::pipe::PipeTable;
 use crate::rlimit::Resource;
 use crate::sched::{Scheduler, Task};
@@ -19,11 +20,12 @@ use crate::time::Clock;
 use crate::vfs::Vfs;
 use fpr_mem::{
     AddressSpace, CommitAccount, CostModel, Cycles, FaultOutcome, OvercommitPolicy, Pfn,
-    PhysMemory, Prot, Pte, Share, TlbModel, VmArea, VmaKind, Vpn,
+    PhysMemory, Prot, Pte, Share, SharedFramePool, TlbBus, TlbModel, VmArea, VmaKind, Vpn,
 };
 use fpr_trace::metrics;
 use fpr_trace::sink;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Default base VPN for the mmap arena when a process has no recorded
 /// layout (0x4000_0000 bytes ≫ 12).
@@ -105,11 +107,51 @@ pub struct Kernel {
     pub(crate) user_counts: BTreeMap<u32, u64>,
     /// Registered shrinkers, held weakly: subsystems own the strong
     /// handles and dropping them unregisters (see `reclaim`).
-    pub(crate) shrinkers: Vec<std::rc::Weak<std::cell::RefCell<dyn crate::reclaim::Shrinker>>>,
+    pub(crate) shrinkers: Vec<std::sync::Weak<std::sync::Mutex<dyn crate::reclaim::Shrinker + Send>>>,
     /// Cumulative reclaim-pass statistics.
     pub(crate) reclaim_stats: crate::reclaim::ReclaimStats,
     /// Whether new address spaces get transparent huge pages.
     pub(crate) thp: bool,
+    /// The machine-wide PID table and this cell's home shard, when this
+    /// kernel is one SMP cell. `None` (the default) keeps PID allocation
+    /// on the private [`PidAllocator`], byte-identical to the
+    /// single-kernel machine.
+    pub(crate) pid_table: Option<(Arc<ShardedPidTable>, usize)>,
+    /// The machine-wide OOM single-flight guard, when SMP. `None` keeps
+    /// [`Kernel::oom_kill_guarded`] unconditional, like the single-kernel
+    /// machine.
+    pub(crate) oom_guard: Option<Arc<OomGuard>>,
+}
+
+/// The services one multi-cell (SMP) machine shares across its cells:
+/// every cell is a [`Kernel`] on its own OS thread, drawing frames from
+/// one pool, PIDs from one striped table, shootdowns over one
+/// interconnect, and OOM decisions through one single-flight guard.
+///
+/// Build one `SmpShared`, then boot each cell with [`Kernel::new_smp`].
+#[derive(Debug, Clone)]
+pub struct SmpShared {
+    /// The machine-wide frame pool cells draw magazines from.
+    pub pool: Arc<SharedFramePool>,
+    /// The striped PID space (one home shard per cell).
+    pub pids: Arc<ShardedPidTable>,
+    /// The TLB-shootdown interconnect.
+    pub tlb: Arc<TlbBus>,
+    /// The OOM-killer single-flight guard.
+    pub oom: Arc<OomGuard>,
+}
+
+impl SmpShared {
+    /// Builds the shared services for a machine of `cells` cells using
+    /// `cfg`'s frame and PID capacities.
+    pub fn new(cfg: &MachineConfig, cells: usize) -> SmpShared {
+        SmpShared {
+            pool: Arc::new(SharedFramePool::new(cfg.frames)),
+            pids: Arc::new(ShardedPidTable::new(cells.max(1), cfg.max_pids)),
+            tlb: Arc::new(TlbBus::new()),
+            oom: Arc::new(OomGuard::new()),
+        }
+    }
 }
 
 impl Kernel {
@@ -142,12 +184,55 @@ impl Kernel {
             shrinkers: Vec::new(),
             reclaim_stats: crate::reclaim::ReclaimStats::default(),
             thp: cfg.thp,
+            pid_table: None,
+            oom_guard: None,
         }
     }
 
     /// Boots with the default configuration.
     pub fn boot() -> Kernel {
         Kernel::new(MachineConfig::default())
+    }
+
+    /// Boots cell `cell` of a multi-cell machine: a full kernel whose
+    /// physical memory is a magazine over `shared.pool`, whose PIDs come
+    /// from `shared.pids` (home shard `cell`), whose remote shootdowns
+    /// serialize on `shared.tlb`, and whose OOM kills go through
+    /// `shared.oom`. Everything else (process table, VFS, scheduler) is
+    /// private to the cell, so cells only meet at the explicitly shared
+    /// services — exactly where real SMP kernels contend.
+    pub fn new_smp(cfg: MachineConfig, shared: &SmpShared, cell: usize) -> Kernel {
+        let mut k = Kernel::new(cfg.clone());
+        let mut phys = PhysMemory::new_cell(Arc::clone(&shared.pool), cfg.cost);
+        phys.set_swap_capacity(cfg.swap_slots);
+        k.phys = phys;
+        k.tlb.bus = Some(Arc::clone(&shared.tlb));
+        k.pid_table = Some((Arc::clone(&shared.pids), cell));
+        k.oom_guard = Some(Arc::clone(&shared.oom));
+        k
+    }
+
+    /// Allocates a PID: from the machine-wide table when this kernel is
+    /// an SMP cell (adopting it into the private allocator so per-cell
+    /// invariants keep holding), from the private allocator otherwise.
+    pub(crate) fn alloc_pid(&mut self) -> KResult<Pid> {
+        match self.pid_table.as_ref() {
+            Some((table, home)) => {
+                let pid = table.alloc(*home)?;
+                self.pids.adopt(pid);
+                Ok(pid)
+            }
+            None => self.pids.alloc(),
+        }
+    }
+
+    /// Frees a PID allocated by [`Kernel::alloc_pid`], returning it to
+    /// the machine-wide table as well when SMP.
+    pub(crate) fn free_pid(&mut self, pid: Pid) {
+        self.pids.free(pid);
+        if let Some((table, _)) = self.pid_table.as_ref() {
+            table.free(pid);
+        }
     }
 
     /// Charges one syscall entry/exit.
@@ -174,7 +259,7 @@ impl Kernel {
     /// Creates the init process (PID 1) with stdio descriptors on the
     /// console.
     pub fn create_init(&mut self, name: &str) -> KResult<Pid> {
-        let pid = self.pids.alloc()?;
+        let pid = self.alloc_pid()?;
         let tid = self.tids.alloc();
         let mut proc = Process::new(pid, pid, name, tid, self.vfs.root());
         proc.aspace.set_thp(self.thp);
@@ -261,7 +346,7 @@ impl Kernel {
         if self.nproc_of(uid) >= nproc_limit {
             return Err(Errno::Eagain);
         }
-        let pid = self.pids.alloc()?;
+        let pid = self.alloc_pid()?;
         let tid = self.tids.alloc();
         let mut proc = Process::new(pid, ppid, name, tid, cwd);
         proc.aspace.set_thp(self.thp);
@@ -607,7 +692,7 @@ impl Kernel {
             *c = c.saturating_sub(1);
         }
         self.procs.remove(&child);
-        self.pids.free(child);
+        self.free_pid(child);
         Ok(())
     }
 
@@ -1137,5 +1222,62 @@ mod tests {
             .unwrap()
             .is_schedulable());
         k.lock_acquire(init, t2, lock).unwrap();
+    }
+
+    #[test]
+    fn smp_cells_share_one_pool_and_conserve_frames() {
+        let cfg = MachineConfig {
+            frames: 1024,
+            ..Default::default()
+        };
+        let shared = SmpShared::new(&cfg, 2);
+        let mut cells: Vec<Kernel> = (0..2)
+            .map(|c| Kernel::new_smp(cfg.clone(), &shared, c))
+            .collect();
+        let mut pids = Vec::new();
+        for k in &mut cells {
+            let init = k.create_init("init").unwrap();
+            let child = k.allocate_process(init, "worker").unwrap();
+            let b = k
+                .mmap_anon(child, 32, fpr_mem::Prot::RW, fpr_mem::Share::Private)
+                .unwrap();
+            k.populate(child, b, 32).unwrap();
+            pids.extend([init, child]);
+        }
+        let unique: std::collections::BTreeSet<Pid> = pids.iter().copied().collect();
+        assert_eq!(unique.len(), pids.len(), "shared pid table never collides");
+        assert_eq!(shared.pids.live(), pids.len());
+
+        // Machine-wide conservation: every frame is either free in the
+        // pool or drawn by exactly one cell (resident or magazine-parked).
+        let drawn: u64 = cells.iter().map(|k| k.phys.drawn_frames()).sum();
+        assert_eq!(drawn + shared.pool.free_frames(), shared.pool.total_frames());
+
+        for k in &cells {
+            k.check_invariants().unwrap();
+        }
+
+        // Tearing a cell down returns its frames to the pool.
+        for k in &mut cells {
+            let victims: Vec<Pid> = k
+                .procs
+                .values()
+                .filter(|p| p.ppid != p.pid) // init is its own parent
+                .map(|p| p.pid)
+                .collect();
+            for pid in victims {
+                let _ = k.kill(pid, crate::signal::Sig::Kill);
+            }
+            k.phys.disable_frame_cache();
+        }
+        let drawn_after: u64 = cells.iter().map(|k| k.phys.drawn_frames()).sum();
+        assert!(
+            drawn_after < drawn,
+            "killing workers must return frames to the shared pool"
+        );
+        assert_eq!(
+            drawn_after + shared.pool.free_frames(),
+            shared.pool.total_frames()
+        );
     }
 }

@@ -49,13 +49,14 @@ pub use fdtable::{Fd, FdEntry, FdTable, STDERR, STDIN, STDOUT};
 pub use file::{FileObject, OfdId, OpenFlags};
 pub use invariants::KernelBaseline;
 pub use io::ReadResult;
-pub use kernel::{Kernel, MachineConfig};
-pub use lifecycle::{OOM_EXIT_STATUS, SIGBUS_EXIT_STATUS};
+pub use kernel::{Kernel, MachineConfig, SmpShared};
+pub use lifecycle::{OomDecision, OomGuard, OOM_EXIT_STATUS, SIGBUS_EXIT_STATUS};
 pub use mm::Madvice;
 pub use pgroup::{Pgid, Sid};
-pub use pid::{Pid, Tid};
+pub use pid::{Pid, ShardedPidTable, Tid};
 pub use reclaim::{ReclaimStats, Shrinker, ShrinkerHandle};
 pub use rlimit::{Resource, Rlimit, RlimitSet};
+pub use sched::{PerCpuQueues, Scheduler, Task};
 pub use signal::{Disposition, HandlerId, Sig, SignalState};
 pub use stdio::{BufMode, UserStream};
 pub use sync::{LockId, LockTable};

@@ -5,6 +5,8 @@ use crate::kernel::Kernel;
 use crate::pid::Pid;
 use crate::signal::{DefaultAction, Disposition, Sig};
 use crate::task::{ProcState, SpaceRef};
+use fpr_trace::metrics;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Exit status the OOM killer assigns (128 + SIGKILL).
 pub const OOM_EXIT_STATUS: i32 = 137;
@@ -13,6 +15,58 @@ pub const OOM_EXIT_STATUS: i32 = 137;
 /// the fate of a process whose swapped-out page the device fails to read
 /// back.
 pub const SIGBUS_EXIT_STATUS: i32 = 135;
+
+/// Single-flight guard for the OOM killer on a multi-cell machine.
+///
+/// Memory pressure on a shared frame pool is machine-wide, so under a
+/// concurrent allocation storm several cells can conclude "someone must
+/// die" from the *same* exhaustion — and a naive per-cell killer would
+/// shoot one victim per cell where one kill machine-wide was enough. The
+/// guard is an epoch counter: a caller records the epoch when it first
+/// sees `ENOMEM`, and a kill only proceeds if it can advance that exact
+/// epoch ([`OomGuard::try_acquire`] is a compare-and-swap). Every
+/// concurrent attempt that observed the same exhaustion loses the race
+/// and retries its allocation against the memory the winner's kill just
+/// freed.
+#[derive(Debug, Default)]
+pub struct OomGuard {
+    epoch: AtomicU64,
+}
+
+impl OomGuard {
+    /// A fresh guard at epoch zero.
+    pub fn new() -> OomGuard {
+        OomGuard::default()
+    }
+
+    /// The current kill epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Attempts to claim the kill for `observed` — exactly one caller per
+    /// epoch succeeds.
+    pub fn try_acquire(&self, observed: u64) -> bool {
+        self.epoch
+            .compare_exchange(observed, observed + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// What a guarded OOM-kill attempt did (see [`Kernel::oom_kill_guarded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OomDecision {
+    /// This caller won the epoch and killed the victim.
+    Killed(Pid),
+    /// This caller won the epoch but every process is exempt.
+    NoVictim,
+    /// Pressure already cleared — someone else's kill or reclaim freed
+    /// the frames; retry the allocation.
+    Relieved,
+    /// Another cell killed for the same observed exhaustion; retry the
+    /// allocation.
+    Raced,
+}
 
 impl Kernel {
     /// Installs a signal disposition (`sigaction`).
@@ -177,7 +231,7 @@ impl Kernel {
             ProcState::Zombie(s) => s,
             ProcState::Running => return Err(Errno::Ebusy),
         };
-        self.pids.free(pid);
+        self.free_pid(pid);
         Ok(status)
     }
 
@@ -240,6 +294,46 @@ impl Kernel {
         let swapped = p.aspace.swapped_pages() as i64;
         let score = (resident - pinned) + swapped + p.aspace.commit_pages() as i64 + p.oom_score_adj;
         Some(score.max(0))
+    }
+
+    /// The OOM killer, routed through the machine-wide single-flight
+    /// guard when this kernel is an SMP cell. `observed_epoch` is the
+    /// guard epoch the caller read ([`Kernel::oom_epoch`]) when it first
+    /// hit `ENOMEM`: if another cell has killed since (the epoch moved),
+    /// or pressure has already cleared, or a concurrent attempt wins the
+    /// epoch race, no second process dies — the caller gets
+    /// [`OomDecision::Raced`] / [`OomDecision::Relieved`] and should
+    /// simply retry its allocation. Without a guard (the single-kernel
+    /// machine) this is exactly [`Kernel::oom_kill`].
+    pub fn oom_kill_guarded(&mut self, observed_epoch: u64) -> OomDecision {
+        let Some(guard) = self.oom_guard.clone() else {
+            return match self.oom_kill() {
+                Some(pid) => OomDecision::Killed(pid),
+                None => OomDecision::NoVictim,
+            };
+        };
+        // Re-check under the shared pool's pressure: a kill on another
+        // cell frees frames machine-wide, and killing again on stale
+        // information is exactly the double-fire this guard exists to
+        // prevent.
+        if self.phys.pressure() < fpr_mem::PressureLevel::Critical {
+            metrics::incr("kernel.oom.relieved");
+            return OomDecision::Relieved;
+        }
+        if !guard.try_acquire(observed_epoch) {
+            metrics::incr("kernel.oom.raced");
+            return OomDecision::Raced;
+        }
+        match self.oom_kill() {
+            Some(pid) => OomDecision::Killed(pid),
+            None => OomDecision::NoVictim,
+        }
+    }
+
+    /// The OOM guard epoch to observe before attempting a guarded kill
+    /// (0 on a single-kernel machine, where the guard is absent).
+    pub fn oom_epoch(&self) -> u64 {
+        self.oom_guard.as_ref().map_or(0, |g| g.epoch())
     }
 
     /// The OOM killer: kills the process with the highest badness (see
@@ -461,6 +555,59 @@ mod tests {
         k.process_mut(a).unwrap().oom_score_adj = crate::task::OOM_SCORE_ADJ_MIN;
         assert_eq!(k.oom_badness(a), None);
         assert_eq!(k.oom_kill(), None, "init and the exempt child survive");
+    }
+
+    #[test]
+    fn guarded_oom_kill_is_single_flight_across_cells() {
+        let cfg = crate::kernel::MachineConfig {
+            frames: 256,
+            ..Default::default()
+        };
+        let shared = crate::kernel::SmpShared::new(&cfg, 2);
+        let mut k1 = Kernel::new_smp(cfg.clone(), &shared, 0);
+        let mut k2 = Kernel::new_smp(cfg, &shared, 1);
+        let i1 = k1.create_init("init").unwrap();
+        let i2 = k2.create_init("init").unwrap();
+        assert_ne!(i1, i2, "cells draw disjoint pids from the shared table");
+
+        // Grows `pid` in 4-page bites until the shared pool hits the
+        // Critical watermark (min = 4 for 256 frames, so a bite always
+        // fits while pressure is still below Critical).
+        fn drive_critical(k: &mut Kernel, pid: Pid) {
+            while k.phys.pressure() < fpr_mem::PressureLevel::Critical {
+                let b = k.mmap_anon(pid, 4, Prot::RW, Share::Private).unwrap();
+                k.populate(pid, b, 4).unwrap();
+            }
+        }
+
+        let hog = k1.allocate_process(i1, "hog").unwrap();
+        drive_critical(&mut k1, hog);
+
+        // Both cells observed the emergency at the same guard epoch.
+        let stale = k1.oom_epoch();
+        assert_eq!(stale, k2.oom_epoch());
+
+        // Cell 0 wins and kills its hog.
+        assert_eq!(k1.oom_kill_guarded(stale), OomDecision::Killed(hog));
+        assert_eq!(k1.oom_kills, vec![hog]);
+
+        // That kill freed frames machine-wide: cell 1's attempt at the
+        // same (now stale) epoch finds pressure relieved and does nothing.
+        assert_eq!(k2.oom_kill_guarded(stale), OomDecision::Relieved);
+        assert!(k2.oom_kills.is_empty(), "no double kill after relief");
+
+        // Re-create pressure from cell 1. An attempt still quoting the
+        // old epoch loses the CAS — someone already acted on that
+        // sighting — so it must not fire a second kill either.
+        let hog2 = k2.allocate_process(i2, "hog2").unwrap();
+        drive_critical(&mut k2, hog2);
+        assert_eq!(k2.oom_kill_guarded(stale), OomDecision::Raced);
+        assert!(k2.oom_kills.is_empty(), "raced attempt must not kill");
+        assert!(!k2.process(hog2).unwrap().is_zombie());
+
+        // Quoting the current epoch is a fresh sighting: the kill fires.
+        let fresh = k2.oom_epoch();
+        assert_eq!(k2.oom_kill_guarded(fresh), OomDecision::Killed(hog2));
     }
 
     #[test]

@@ -25,19 +25,19 @@
 //! ## Re-entrancy
 //!
 //! Shrinkers live above the kernel (`fpr-exec`, `fpr-api`) and are shared
-//! via `Rc<RefCell<…>>`; the kernel holds only [`Weak`] references, so
-//! dropping the owning subsystem (e.g. `Os::disable_spawn_fastpath`)
-//! unregisters automatically. Direct reclaim can fire while the fast path
-//! itself holds a cache borrow (spawn under pressure); `try_borrow_mut`
-//! skips busy shrinkers instead of panicking.
+//! via `Arc<Mutex<…>>` (the registry is part of the kernel's `Send`
+//! surface); the kernel holds only [`Weak`] references, so dropping the
+//! owning subsystem (e.g. `Os::disable_spawn_fastpath`) unregisters
+//! automatically. Direct reclaim can fire while the fast path itself
+//! holds the cache lock (spawn under pressure); `try_lock` skips busy
+//! shrinkers instead of deadlocking.
 
 use crate::error::KResult;
 use crate::kernel::Kernel;
 use fpr_faults::FaultSite;
 use fpr_mem::PressureLevel;
 use fpr_trace::{metrics, sink};
-use std::cell::RefCell;
-use std::rc::{Rc, Weak};
+use std::sync::{Arc, Mutex, Weak};
 
 /// A subsystem that can give frames back to the kernel under memory
 /// pressure.
@@ -61,7 +61,7 @@ pub trait Shrinker {
 
 /// Strong handle to a registered shrinker; the owning subsystem keeps
 /// this alive, the kernel only holds a [`Weak`].
-pub type ShrinkerHandle = Rc<RefCell<dyn Shrinker>>;
+pub type ShrinkerHandle = Arc<Mutex<dyn Shrinker + Send>>;
 
 /// Cumulative reclaim statistics, for experiments and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -84,7 +84,7 @@ impl Kernel {
     /// Registers a shrinker. The kernel keeps a weak reference: dropping
     /// every strong handle unregisters it on the next pass.
     pub fn register_shrinker(&mut self, shrinker: &ShrinkerHandle) {
-        self.shrinkers.push(Rc::downgrade(shrinker));
+        self.shrinkers.push(Arc::downgrade(shrinker));
     }
 
     /// Drops every registered shrinker (the E12 baseline arm: reclaimable
@@ -123,10 +123,10 @@ impl Kernel {
         let handles: Vec<ShrinkerHandle> =
             self.shrinkers.iter().filter_map(Weak::upgrade).collect();
         // Phase 0: who can participate? Busy shrinkers (the fast path is
-        // mid-spawn holding the borrow) and empty ones sit the pass out.
+        // mid-spawn holding the lock) and empty ones sit the pass out.
         let mut ready: Vec<ShrinkerHandle> = Vec::new();
         for h in handles {
-            let can = match h.try_borrow_mut() {
+            let can = match h.try_lock() {
                 Ok(guard) => guard.reclaimable(self) > 0,
                 Err(_) => false,
             };
@@ -139,7 +139,7 @@ impl Kernel {
         }
         // Phase 1: cross every fault site before any mutation.
         for h in &ready {
-            let site = h.borrow().fault_site();
+            let site = h.lock().unwrap_or_else(|p| p.into_inner()).fault_site();
             if let Err(e) = fpr_faults::cross(site).map_err(|_| crate::error::Errno::Enomem) {
                 self.reclaim_stats.aborted_passes += 1;
                 metrics::incr("kernel.reclaim.aborted");
@@ -155,7 +155,7 @@ impl Kernel {
                 break;
             }
             let got = {
-                let mut guard = h.borrow_mut();
+                let mut guard = h.lock().unwrap_or_else(|p| p.into_inner());
                 let got = guard.shrink(self, target - freed);
                 metrics::add(
                     match guard.name() {
@@ -339,7 +339,7 @@ impl Kernel {
         }
         let handles: Vec<ShrinkerHandle> =
             self.shrinkers.iter().filter_map(Weak::upgrade).collect();
-        handles.iter().any(|h| match h.try_borrow() {
+        handles.iter().any(|h| match h.try_lock() {
             Ok(guard) => guard.reclaimable(self) > 0,
             Err(_) => false,
         })
@@ -415,12 +415,12 @@ mod tests {
         })
     }
 
-    fn bag_with(k: &mut Kernel, n: usize) -> Rc<RefCell<FrameBag>> {
+    fn bag_with(k: &mut Kernel, n: usize) -> Arc<Mutex<FrameBag>> {
         let mut frames = Vec::new();
         for _ in 0..n {
             frames.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
         }
-        Rc::new(RefCell::new(FrameBag { frames }))
+        Arc::new(Mutex::new(FrameBag { frames }))
     }
 
     #[test]
@@ -429,7 +429,7 @@ mod tests {
         let bag = bag_with(&mut k, 16);
         k.register_shrinker(&(bag.clone() as ShrinkerHandle));
         assert_eq!(k.reclaim(10), Ok(10));
-        assert_eq!(bag.borrow().frames.len(), 6);
+        assert_eq!(bag.lock().unwrap().frames.len(), 6);
         assert_eq!(k.reclaim_stats().frames_reclaimed, 10);
         assert_eq!(k.reclaim_stats().passes, 1);
     }
@@ -461,7 +461,7 @@ mod tests {
         let mut k = small_kernel(64);
         let bag = bag_with(&mut k, 4);
         k.register_shrinker(&(bag.clone() as ShrinkerHandle));
-        let guard = bag.borrow_mut(); // the subsystem is mid-operation
+        let guard = bag.lock().unwrap(); // the subsystem is mid-operation
         assert_eq!(k.reclaim(4), Ok(0));
         drop(guard);
         assert_eq!(k.reclaim(4), Ok(4));
@@ -479,7 +479,7 @@ mod tests {
         );
         assert_eq!(trace.injected().len(), 1);
         assert!(res.is_err());
-        assert_eq!(bag.borrow().frames.len(), 8, "no shrinker mutated");
+        assert_eq!(bag.lock().unwrap().frames.len(), 8, "no shrinker mutated");
         assert_eq!(k.phys.free_frames(), free_before);
         assert_eq!(k.reclaim_stats().aborted_passes, 1);
         assert_eq!(k.reclaim_stats().passes, 0);
@@ -650,7 +650,7 @@ mod tests {
         let before = k.cycles.total();
         assert_eq!(k.balance_pressure(), 0);
         assert_eq!(k.cycles.total(), before);
-        assert_eq!(bag.borrow().frames.len(), 8);
+        assert_eq!(bag.lock().unwrap().frames.len(), 8);
         assert_eq!(k.reclaim(8), Ok(8)); // cleanup
     }
 
@@ -663,7 +663,7 @@ mod tests {
         while k.phys.free_frames() >= w.low {
             frames.push(k.phys.alloc_zeroed(&mut k.cycles).unwrap());
         }
-        let bag = Rc::new(RefCell::new(FrameBag { frames }));
+        let bag = Arc::new(Mutex::new(FrameBag { frames }));
         k.register_shrinker(&(bag.clone() as ShrinkerHandle));
         assert!(k.memory_pressure() >= PressureLevel::High);
         let freed = k.balance_pressure();
@@ -671,7 +671,7 @@ mod tests {
         assert!(k.phys.free_frames() >= w.high);
         assert_eq!(k.memory_pressure(), PressureLevel::None);
         // Drain the rest for a clean world.
-        let rest = bag.borrow().frames.len() as u64;
+        let rest = bag.lock().unwrap().frames.len() as u64;
         assert_eq!(k.reclaim(rest), Ok(rest));
     }
 }

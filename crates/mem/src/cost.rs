@@ -178,9 +178,13 @@ impl Cycles {
         Self::default()
     }
 
-    /// Adds `n` cycles.
+    /// Adds `n` cycles. Also advances this OS thread's virtual clock
+    /// ([`fpr_trace::vclock`]) by the same amount, so a multithreaded
+    /// driver sees every thread's simulated work as elapsed virtual
+    /// time; single-threaded callers never read that clock.
     pub fn charge(&mut self, n: u64) {
         self.total = self.total.saturating_add(n);
+        fpr_trace::vclock::advance(n);
     }
 
     /// Returns the cycles accumulated so far.

@@ -37,8 +37,10 @@ pub use cost::{CostModel, Cycles, CYCLES_PER_US};
 pub use error::{MemError, MemResult};
 pub use fault::FaultOutcome;
 pub use overcommit::{CommitAccount, OvercommitPolicy};
-pub use phys::{PhysMemory, PressureLevel, ThpStats, Watermarks};
+pub use phys::{
+    PhysMemory, PressureLevel, SharedFramePool, ThpStats, Watermarks, CELL_MAGAZINE_BATCH,
+};
 pub use pte::{Pte, PteFlags};
 pub use swap::{SwapDevice, SwapStats};
-pub use tlb::TlbModel;
+pub use tlb::{TlbBus, TlbModel};
 pub use vma::{Backing, ForkPolicy, Prot, Share, VmArea, VmaKind};

@@ -28,7 +28,10 @@ use crate::error::{MemError, MemResult};
 use crate::swap::SwapDevice;
 use fpr_faults::FaultSite;
 use fpr_trace::metrics;
+use fpr_trace::smp::VLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Free-frame watermarks, mirroring Linux's per-zone `min`/`low`/`high`.
 ///
@@ -78,6 +81,99 @@ pub enum PressureLevel {
 struct FrameMeta {
     refs: u32,
     content: u64,
+}
+
+/// Refill batch for the per-cell magazine a shared-pool cell boots with
+/// (see [`PhysMemory::new_cell`]).
+pub const CELL_MAGAZINE_BATCH: u64 = 64;
+
+/// A buddy core shared by several kernel cells on different OS threads.
+///
+/// This is the SMP promotion of the per-CPU magazines: each cell keeps a
+/// genuinely private free-list (its [`PhysMemory`] magazine, touched
+/// only by the cell's own thread) and refills it with *batched*
+/// allocations from this locked buddy core, so concurrent creators pay
+/// the global serialization once per [`CELL_MAGAZINE_BATCH`] frames
+/// instead of once per frame. The lock is a [`VLock`] named `"buddy"`,
+/// so every contended refill is visible in
+/// [`fpr_trace::metrics::lock_stats`] and priced in virtual time.
+///
+/// A free-count mirror is kept in an atomic so pressure reads
+/// ([`PhysMemory::pressure`], [`PhysMemory::free_frames`]) never touch
+/// the lock.
+#[derive(Debug)]
+pub struct SharedFramePool {
+    core: VLock<BuddyAllocator>,
+    free: AtomicU64,
+    total: u64,
+}
+
+impl SharedFramePool {
+    /// A pool of `total_frames` frames, all free.
+    pub fn new(total_frames: u64) -> SharedFramePool {
+        SharedFramePool {
+            core: VLock::new("buddy", BuddyAllocator::new(Pfn(0), total_frames)),
+            free: AtomicU64::new(total_frames),
+            total: total_frames,
+        }
+    }
+
+    /// Total frames in the pool.
+    pub fn total_frames(&self) -> u64 {
+        self.total
+    }
+
+    /// Frames currently free in the pool core (excluding frames parked
+    /// in any cell's magazine). Lock-free read of the atomic mirror.
+    pub fn free_frames(&self) -> u64 {
+        self.free.load(Ordering::Relaxed)
+    }
+
+    /// One frame off the locked core.
+    fn alloc_one(&self) -> MemResult<Pfn> {
+        let mut core = self.core.lock();
+        let pfn = core.alloc(0)?;
+        self.free.fetch_sub(1, Ordering::Relaxed);
+        Ok(pfn)
+    }
+
+    /// A refill run of up to `2^max_order` frames, degrading to smaller
+    /// runs under fragmentation — the whole descent happens under one
+    /// lock acquisition, unlike a naive per-order retry loop.
+    fn alloc_run_best(&self, max_order: usize) -> MemResult<Vec<Pfn>> {
+        let mut core = self.core.lock();
+        let mut order = max_order;
+        loop {
+            match core.alloc_run(order) {
+                Ok(run) => {
+                    self.free.fetch_sub(run.len() as u64, Ordering::Relaxed);
+                    return Ok(run);
+                }
+                Err(_) if order > 0 => order -= 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// An exactly-`2^order` naturally aligned run (huge mappings).
+    fn alloc_aligned_run(&self, order: usize) -> MemResult<Vec<Pfn>> {
+        let mut core = self.core.lock();
+        let run = core.alloc_run(order)?;
+        self.free.fetch_sub(run.len() as u64, Ordering::Relaxed);
+        Ok(run)
+    }
+
+    /// Returns `pfns` to the core under one lock acquisition.
+    fn free_many(&self, pfns: &[Pfn]) {
+        if pfns.is_empty() {
+            return;
+        }
+        let mut core = self.core.lock();
+        for &pfn in pfns {
+            core.free(pfn);
+        }
+        self.free.fetch_add(pfns.len() as u64, Ordering::Relaxed);
+    }
 }
 
 /// Machine-wide transparent-huge-page counters (`/proc/meminfo`'s THP
@@ -133,6 +229,14 @@ pub struct PhysMemory {
     swap: SwapDevice,
     /// Machine-wide THP promotion/demotion counters.
     thp: ThpStats,
+    /// Shared frame pool this cell draws from (SMP mode). `None` keeps
+    /// the cell on its private buddy allocator, byte-identical to the
+    /// pre-SMP behaviour.
+    shared: Option<Arc<SharedFramePool>>,
+    /// Frames currently drawn from the shared pool by this cell —
+    /// resident (in `meta`) plus magazine-parked. Unused (zero) in
+    /// private mode.
+    drawn: u64,
 }
 
 impl PhysMemory {
@@ -154,7 +258,37 @@ impl PhysMemory {
             stall_events_total: 0,
             swap: SwapDevice::new(0),
             thp: ThpStats::default(),
+            shared: None,
+            drawn: 0,
         }
+    }
+
+    /// Creates the physical-memory view of one SMP *cell*: no private
+    /// buddy of its own, all frames drawn from `pool` through a
+    /// single-magazine per-thread free-list (batch
+    /// [`CELL_MAGAZINE_BATCH`]). Watermarks and pressure are judged
+    /// against the *pool's* free count, so every cell sees machine-wide
+    /// pressure.
+    pub fn new_cell(pool: Arc<SharedFramePool>, cost: CostModel) -> Self {
+        let total = pool.total_frames();
+        let mut pm = PhysMemory::new(0, cost);
+        pm.watermarks = Watermarks::for_total(total);
+        pm.shared = Some(pool);
+        pm.enable_frame_cache(1, CELL_MAGAZINE_BATCH);
+        pm
+    }
+
+    /// The shared frame pool this cell draws from, if any.
+    pub fn shared_pool(&self) -> Option<&Arc<SharedFramePool>> {
+        self.shared.as_ref()
+    }
+
+    /// Frames this cell currently holds out of its shared pool (resident
+    /// plus magazine-parked). Zero in private mode. The SMP driver's
+    /// conservation check sums this across cells against the pool's free
+    /// count.
+    pub fn drawn_frames(&self) -> u64 {
+        self.drawn
     }
 
     /// Attaches a swap device of `slots` one-page slots (replacing the
@@ -219,19 +353,35 @@ impl PhysMemory {
         self.cost = cost;
     }
 
-    /// Number of frames currently free (buddy free list + magazines).
+    /// Number of frames currently free (buddy free list + magazines; in
+    /// shared mode, the pool's free count + this cell's magazines).
     pub fn free_frames(&self) -> u64 {
-        self.alloc.free_frames() + self.cache.as_ref().map_or(0, |c| c.cached)
+        let cached = self.cache.as_ref().map_or(0, |c| c.cached);
+        match self.shared.as_ref() {
+            Some(pool) => pool.free_frames() + cached,
+            None => self.alloc.free_frames() + cached,
+        }
     }
 
-    /// Total number of frames in the machine.
+    /// Total number of frames in the machine (the pool's, in shared
+    /// mode).
     pub fn total_frames(&self) -> u64 {
-        self.alloc.total_frames()
+        match self.shared.as_ref() {
+            Some(pool) => pool.total_frames(),
+            None => self.alloc.total_frames(),
+        }
     }
 
-    /// Number of frames currently in use.
+    /// Number of frames currently in use *by this cell*. In private mode
+    /// that is everything not free; in shared mode it is the frames
+    /// drawn from the pool minus those parked in the magazine — i.e.
+    /// exactly the frames carrying live metadata — so the per-cell
+    /// invariant (PTE references = used frames) holds unchanged.
     pub fn used_frames(&self) -> u64 {
-        self.total_frames() - self.free_frames()
+        match self.shared.as_ref() {
+            Some(_) => self.drawn - self.cache.as_ref().map_or(0, |c| c.cached),
+            None => self.total_frames() - self.free_frames(),
+        }
     }
 
     /// The active free-frame watermarks.
@@ -302,12 +452,21 @@ impl PhysMemory {
     }
 
     /// Disables per-CPU caching, draining every magazine back to the
-    /// buddy allocator.
+    /// buddy allocator (or the shared pool, in shared mode).
     pub fn disable_frame_cache(&mut self) {
         if let Some(cache) = self.cache.take() {
-            for mag in cache.magazines {
-                for pfn in mag {
-                    self.alloc.free(pfn);
+            match self.shared.as_ref() {
+                Some(pool) => {
+                    let drained: Vec<Pfn> = cache.magazines.into_iter().flatten().collect();
+                    self.drawn -= drained.len() as u64;
+                    pool.free_many(&drained);
+                }
+                None => {
+                    for mag in cache.magazines {
+                        for pfn in mag {
+                            self.alloc.free(pfn);
+                        }
+                    }
                 }
             }
         }
@@ -336,7 +495,14 @@ impl PhysMemory {
 
     /// One frame off the global (buddy) path, paying serialization.
     fn take_global(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
-        let pfn = self.alloc.alloc(0)?;
+        let pfn = match self.shared.as_ref() {
+            Some(pool) => {
+                let pfn = pool.alloc_one()?;
+                self.drawn += 1;
+                pfn
+            }
+            None => self.alloc.alloc(0)?,
+        };
         cycles.charge(self.cost.frame_alloc);
         if self.contenders > 0 {
             cycles.charge(self.cost.frame_alloc_contended * self.contenders as u64);
@@ -365,37 +531,48 @@ impl PhysMemory {
         }
         // Refill: one batched buddy acquisition pays the global
         // serialization once for the whole batch. Fall back to smaller
-        // runs under fragmentation or near-exhaustion.
+        // runs under fragmentation or near-exhaustion. In shared mode
+        // the pool does the order descent under a single acquisition.
         let mut order = 63 - batch.leading_zeros() as usize;
-        let run = loop {
-            match self.alloc.alloc_run(order) {
-                Ok(run) => break run,
-                Err(_) if order > 0 => order -= 1,
-                Err(e) => {
-                    // Global pool dry: steal from the fullest other
-                    // magazine before reporting exhaustion.
-                    let stolen = {
-                        let cache = self.cache.as_mut().expect("checked above");
-                        let victim = (0..cache.magazines.len())
-                            .max_by_key(|&i| cache.magazines[i].len())
-                            .expect("at least one magazine");
-                        let p = cache.magazines[victim].pop();
-                        if p.is_some() {
-                            cache.cached -= 1;
-                        }
-                        p
-                    };
-                    return match stolen {
-                        Some(pfn) => {
-                            cycles.charge(self.cost.frame_cache_hit);
-                            metrics::incr("mem.frame_cache.steal");
-                            Ok(pfn)
-                        }
-                        None => Err(e),
-                    };
+        let got = match self.shared.as_ref() {
+            Some(pool) => pool.alloc_run_best(order),
+            None => loop {
+                match self.alloc.alloc_run(order) {
+                    Ok(run) => break Ok(run),
+                    Err(_) if order > 0 => order -= 1,
+                    Err(e) => break Err(e),
                 }
+            },
+        };
+        let run = match got {
+            Ok(run) => run,
+            Err(e) => {
+                // Global pool dry: steal from the fullest other
+                // magazine before reporting exhaustion.
+                let stolen = {
+                    let cache = self.cache.as_mut().expect("checked above");
+                    let victim = (0..cache.magazines.len())
+                        .max_by_key(|&i| cache.magazines[i].len())
+                        .expect("at least one magazine");
+                    let p = cache.magazines[victim].pop();
+                    if p.is_some() {
+                        cache.cached -= 1;
+                    }
+                    p
+                };
+                return match stolen {
+                    Some(pfn) => {
+                        cycles.charge(self.cost.frame_cache_hit);
+                        metrics::incr("mem.frame_cache.steal");
+                        Ok(pfn)
+                    }
+                    None => Err(e),
+                };
             }
         };
+        if self.shared.is_some() {
+            self.drawn += run.len() as u64;
+        }
         cycles.charge(self.cost.frame_cache_refill);
         if self.contenders > 0 {
             cycles.charge(self.cost.frame_alloc_contended * self.contenders as u64);
@@ -414,7 +591,13 @@ impl PhysMemory {
     /// Returns one freed frame to the magazine (cache on) or buddy.
     fn release_frame(&mut self, pfn: Pfn) {
         if self.cache.is_none() {
-            self.alloc.free(pfn);
+            match self.shared.as_ref() {
+                Some(pool) => {
+                    self.drawn -= 1;
+                    pool.free_many(&[pfn]);
+                }
+                None => self.alloc.free(pfn),
+            }
             return;
         }
         let drained = {
@@ -439,8 +622,16 @@ impl PhysMemory {
             }
         };
         if !drained.is_empty() {
-            for p in drained {
-                self.alloc.free(p);
+            match self.shared.as_ref() {
+                Some(pool) => {
+                    self.drawn -= drained.len() as u64;
+                    pool.free_many(&drained);
+                }
+                None => {
+                    for p in drained {
+                        self.alloc.free(p);
+                    }
+                }
             }
             metrics::incr("mem.frame_cache.drain");
         }
@@ -482,7 +673,14 @@ impl PhysMemory {
     /// a natural allocation failure is already an absorbed fallback.
     pub fn alloc_zeroed_huge_run(&mut self, cycles: &mut Cycles) -> MemResult<Pfn> {
         let order = HUGE_PAGES.trailing_zeros() as usize;
-        let run = self.alloc.alloc_run(order)?;
+        let run = match self.shared.as_ref() {
+            Some(pool) => {
+                let run = pool.alloc_aligned_run(order)?;
+                self.drawn += run.len() as u64;
+                run
+            }
+            None => self.alloc.alloc_run(order)?,
+        };
         // One global-allocator acquisition for the whole run, then the
         // data cost of zeroing 2 MiB.
         cycles.charge(self.cost.frame_alloc);
@@ -907,5 +1105,98 @@ mod tests {
         let before = c.total();
         p.alloc_zeroed(&mut c).unwrap(); // hit: no contention
         assert_eq!(c.total() - before, cost.frame_cache_hit + cost.page_zero);
+    }
+
+    /// Σ cell.drawn + pool.free == pool.total — the conservation law the
+    /// SMP driver asserts at quiesce.
+    fn assert_conserved(pool: &SharedFramePool, cells: &[&PhysMemory]) {
+        let drawn: u64 = cells.iter().map(|c| c.drawn_frames()).sum();
+        assert_eq!(
+            drawn + pool.free_frames(),
+            pool.total_frames(),
+            "shared-pool frame conservation"
+        );
+    }
+
+    #[test]
+    fn shared_cells_draw_from_one_pool_and_conserve_frames() {
+        let pool = Arc::new(SharedFramePool::new(1024));
+        let mut a = PhysMemory::new_cell(Arc::clone(&pool), CostModel::free());
+        let mut b = PhysMemory::new_cell(Arc::clone(&pool), CostModel::free());
+        let mut c = Cycles::new();
+        let fa = a.alloc_zeroed(&mut c).unwrap();
+        let fb = b.alloc_zeroed(&mut c).unwrap();
+        assert_ne!(fa, fb, "cells never hand out the same frame");
+        assert_eq!(a.used_frames(), 1);
+        assert_eq!(b.used_frames(), 1);
+        // Each cell's first allocation pulled a whole magazine batch.
+        assert_eq!(a.drawn_frames(), CELL_MAGAZINE_BATCH);
+        assert_conserved(&pool, &[&a, &b]);
+        a.dec_ref(fa, &mut c).unwrap();
+        b.dec_ref(fb, &mut c).unwrap();
+        assert_eq!(a.used_frames(), 0);
+        assert_eq!(b.used_frames(), 0);
+        assert_conserved(&pool, &[&a, &b]);
+        a.disable_frame_cache();
+        b.disable_frame_cache();
+        assert_eq!(a.drawn_frames(), 0);
+        assert_eq!(pool.free_frames(), 1024, "everything returned");
+    }
+
+    #[test]
+    fn shared_cell_exhaustion_is_machine_wide() {
+        let pool = Arc::new(SharedFramePool::new(CELL_MAGAZINE_BATCH));
+        let mut a = PhysMemory::new_cell(Arc::clone(&pool), CostModel::free());
+        let mut b = PhysMemory::new_cell(Arc::clone(&pool), CostModel::free());
+        let mut c = Cycles::new();
+        // Cell A drains the whole pool into its magazine and uses it up.
+        let mut held = Vec::new();
+        for _ in 0..CELL_MAGAZINE_BATCH {
+            held.push(a.alloc_zeroed(&mut c).unwrap());
+        }
+        assert_eq!(pool.free_frames(), 0);
+        // Cell B sees a dry machine (its own magazine is empty and it
+        // cannot reach into A's).
+        assert_eq!(b.alloc_zeroed(&mut c), Err(MemError::OutOfMemory));
+        // A freeing one frame parks it in A's magazine; only a drain or
+        // disable returns it to the pool where B can see it.
+        a.dec_ref(held.pop().unwrap(), &mut c).unwrap();
+        a.disable_frame_cache();
+        assert_eq!(pool.free_frames(), 1);
+        let f = b.alloc_zeroed(&mut c).unwrap();
+        b.dec_ref(f, &mut c).unwrap();
+        assert_conserved(&pool, &[&a, &b]);
+    }
+
+    #[test]
+    fn shared_cell_watermarks_track_pool_pressure() {
+        let pool = Arc::new(SharedFramePool::new(256));
+        let mut a = PhysMemory::new_cell(Arc::clone(&pool), CostModel::free());
+        let mut c = Cycles::new();
+        assert_eq!(a.pressure(), PressureLevel::None);
+        let mut held = Vec::new();
+        while a.free_frames() > 2 {
+            held.push(a.alloc_zeroed(&mut c).unwrap());
+        }
+        assert_eq!(
+            a.pressure(),
+            PressureLevel::Critical,
+            "pool-wide pressure visible from the cell"
+        );
+        for f in held {
+            a.dec_ref(f, &mut c).unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_huge_run_draws_aligned_frames_from_pool() {
+        let pool = Arc::new(SharedFramePool::new(2 * HUGE_PAGES));
+        let mut a = PhysMemory::new_cell(Arc::clone(&pool), CostModel::free());
+        let mut c = Cycles::new();
+        let head = a.alloc_zeroed_huge_run(&mut c).unwrap();
+        assert_eq!(head.0 % HUGE_PAGES, 0);
+        assert_eq!(a.used_frames(), HUGE_PAGES);
+        a.dec_ref_run(head, HUGE_PAGES, &mut c).unwrap();
+        assert_conserved(&pool, &[&a]);
     }
 }

@@ -10,13 +10,62 @@
 use crate::cost::{CostModel, Cycles};
 use fpr_trace::metrics;
 use fpr_trace::sink;
+use fpr_trace::smp::VLock;
 use fpr_trace::{Phase, TraceEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Pages above which a ranged flush stops paying per-page invalidation
 /// cost: past this many entries a full-context flush is cheaper, so the
 /// per-page term is capped (Linux's `tlb_single_page_flush_ceiling` plays
 /// the same role).
 pub const RANGE_FLUSH_CEILING: u64 = 64;
+
+/// The machine-wide shootdown interconnect SMP cells share.
+///
+/// On real hardware, remote TLB shootdowns from different cores contend
+/// for the same interrupt fabric and for each target core's attention:
+/// an IPI round is not private to its initiator. The bus models that
+/// serialization with a [`VLock`] named `"tlb"` — each shootdown that
+/// actually reaches remote CPUs holds the bus for its IPI round, so
+/// concurrent fork storms on different cells queue up in virtual time
+/// and the contention shows in [`fpr_trace::metrics::lock_stats`].
+/// Machine-wide tallies are atomics so any cell can read them lock-free.
+#[derive(Debug)]
+pub struct TlbBus {
+    round: VLock<()>,
+    shootdowns: AtomicU64,
+    remote_acks: AtomicU64,
+}
+
+impl TlbBus {
+    /// A fresh bus with zeroed tallies.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> TlbBus {
+        TlbBus {
+            round: VLock::new("tlb", ()),
+            shootdowns: AtomicU64::new(0),
+            remote_acks: AtomicU64::new(0),
+        }
+    }
+
+    /// Machine-wide count of shootdown rounds that reached remote CPUs.
+    pub fn shootdowns_total(&self) -> u64 {
+        self.shootdowns.load(Ordering::Relaxed)
+    }
+
+    /// Machine-wide count of remote acknowledgements.
+    pub fn remote_acks_total(&self) -> u64 {
+        self.remote_acks.load(Ordering::Relaxed)
+    }
+
+    /// Serializes one IPI round of `remote` acknowledgements on the bus.
+    fn serialize_round(&self, remote: u64) {
+        let _guard = self.round.lock();
+        self.shootdowns.fetch_add(1, Ordering::Relaxed);
+        self.remote_acks.fetch_add(remote, Ordering::Relaxed);
+    }
+}
 
 /// TLB accounting for one simulated machine.
 #[derive(Debug, Clone)]
@@ -39,6 +88,10 @@ pub struct TlbModel {
     pub entries_flushed: u64,
     /// Of [`TlbModel::entries_flushed`], the entries that were huge leaves.
     pub huge_entries_flushed: u64,
+    /// The shared shootdown interconnect, when this model belongs to an
+    /// SMP cell. `None` (the default) keeps shootdowns private to the
+    /// cell — byte-identical to the pre-SMP model.
+    pub bus: Option<Arc<TlbBus>>,
 }
 
 impl Default for TlbModel {
@@ -52,6 +105,7 @@ impl Default for TlbModel {
             range_pages_flushed: 0,
             entries_flushed: 0,
             huge_entries_flushed: 0,
+            bus: None,
         }
     }
 }
@@ -79,6 +133,11 @@ impl TlbModel {
             self.remote_acks += remote;
             metrics::add("mem.tlb.remote_ack", remote);
             cycles.charge(cost.tlb_shootdown_per_cpu * remote);
+            // IPI rounds that reach remote CPUs serialize on the shared
+            // interconnect when one exists.
+            if let Some(bus) = self.bus.as_ref() {
+                bus.serialize_round(remote);
+            }
         }
         metrics::incr("mem.tlb.shootdown");
         if sink::is_active() {
@@ -250,6 +309,26 @@ mod tests {
         t.shootdown_entries(8, 0, 0, &mut cy, &cost);
         assert_eq!(cy.total(), 0);
         assert_eq!(t.shootdowns, 0);
+    }
+
+    #[test]
+    fn shared_bus_tallies_remote_rounds_machine_wide() {
+        let cost = CostModel::default();
+        let bus = Arc::new(TlbBus::new());
+        let mut a = TlbModel::new();
+        a.bus = Some(Arc::clone(&bus));
+        let mut b = TlbModel::new();
+        b.bus = Some(Arc::clone(&bus));
+        let mut cy = Cycles::new();
+        a.shootdown(1, &mut cy, &cost); // local only: never touches the bus
+        assert_eq!(bus.shootdowns_total(), 0);
+        a.shootdown(4, &mut cy, &cost);
+        b.shootdown(2, &mut cy, &cost);
+        assert_eq!(bus.shootdowns_total(), 2);
+        assert_eq!(bus.remote_acks_total(), 3 + 1);
+        // Per-model tallies still accumulate independently.
+        assert_eq!(a.remote_acks, 3);
+        assert_eq!(b.remote_acks, 1);
     }
 
     #[test]

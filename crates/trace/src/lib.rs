@@ -11,7 +11,13 @@
 //!     `fpr_faults` crossing as a `fault.<site>` event, and costs one
 //!     flag check when inactive;
 //!   - [`metrics`]: always-on counters and log-scale histograms, read by
-//!     snapshot-diff ([`metrics::Snapshot::delta`]);
+//!     snapshot-diff ([`metrics::Snapshot::delta`]); thread-local on the
+//!     hot path, with a process-wide merge ([`metrics::flush`] /
+//!     [`metrics::global_snapshot`]) and per-named-lock contention
+//!     tallies ([`metrics::lock_stats`]) for multithreaded drivers;
+//!   - [`vclock`] and [`smp`]: the per-thread virtual clock and the
+//!     named virtual-time lock ([`smp::VLock`]) the SMP experiments
+//!     price contention with;
 //!   - [`chrome`]: a Chrome trace-event / Perfetto JSON exporter;
 //!   - [`report`]: a flamegraph-style text cost-attribution report.
 //!
@@ -48,6 +54,8 @@ pub mod metrics;
 pub mod records;
 pub mod report;
 pub mod sink;
+pub mod smp;
+pub mod vclock;
 pub mod workload;
 
 pub use chrome::CYCLES_PER_US;

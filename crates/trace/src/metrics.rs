@@ -18,6 +18,15 @@
 //! Updating a metric charges **zero** simulated cycles: the cycle model
 //! is never touched from this module.
 //!
+//! The registry is `Sync` in layers: the hot path stays thread-local
+//! (no atomics on per-page counters), and two process-wide surfaces sit
+//! behind it for the SMP driver — [`flush`] merges a thread's registry
+//! into a global [`Snapshot`] (worker threads flush before joining, the
+//! driver reads [`global_snapshot`]), and [`lock_contended`] /
+//! [`lock_stats`] keep per-named-lock contention tallies (`mm`, `pid`,
+//! `buddy`, `tlb`) that [`crate::smp::VLock`] records into on every
+//! contended acquisition.
+//!
 //! ```
 //! use fpr_trace::metrics;
 //!
@@ -33,6 +42,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of log2 buckets: one for zero, one per bit position of `u64`.
 pub const HISTOGRAM_BUCKETS: usize = 65;
@@ -175,6 +185,24 @@ impl Histogram {
         self.percentile(99.0)
     }
 
+    /// Folds `other` into `self`: counts and buckets add, extrema widen.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Bucket-wise difference `self - earlier` (for snapshot deltas).
     fn delta(&self, earlier: &Histogram) -> Histogram {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
@@ -245,6 +273,16 @@ impl Snapshot {
             histograms,
         }
     }
+
+    /// Folds `other` into `self`: counters add, histograms merge.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
 }
 
 thread_local! {
@@ -283,6 +321,89 @@ pub fn snapshot() -> Snapshot {
 /// Clears every counter and histogram on this thread.
 pub fn reset() {
     REGISTRY.with(|r| *r.borrow_mut() = Snapshot::default());
+}
+
+// ---------------------------------------------------------------------
+// The process-wide (`Sync`) layer: a merge target for worker-thread
+// registries, and per-named-lock contention tallies for the SMP driver.
+// ---------------------------------------------------------------------
+
+fn global() -> &'static Mutex<Snapshot> {
+    static GLOBAL: OnceLock<Mutex<Snapshot>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Snapshot::default()))
+}
+
+/// Merges this thread's registry into the process-wide snapshot and
+/// clears the thread-local state. Worker threads call this before they
+/// join so no per-thread counters are lost; the driver then reads the
+/// union with [`global_snapshot`].
+pub fn flush() {
+    let local = REGISTRY.with(|r| std::mem::take(&mut *r.borrow_mut()));
+    global()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .merge(&local);
+}
+
+/// The union of every [`flush`]ed registry since the last
+/// [`reset_global`].
+pub fn global_snapshot() -> Snapshot {
+    global()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Clears the process-wide snapshot (not any thread's local registry).
+pub fn reset_global() {
+    *global()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Snapshot::default();
+}
+
+/// Contention tallies for one named lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Acquisitions that found the lock virtually held.
+    pub contended_acquires: u64,
+    /// Total virtual cycles spent waiting across those acquisitions.
+    pub wait_cycles: u64,
+}
+
+fn lock_registry() -> &'static Mutex<BTreeMap<&'static str, LockStats>> {
+    static LOCKS: OnceLock<Mutex<BTreeMap<&'static str, LockStats>>> = OnceLock::new();
+    LOCKS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Records one contended acquisition of the lock named `name` that
+/// waited `wait_cycles` of virtual time. Called by
+/// [`crate::smp::VLock`] only on contention, so the uncontended fast
+/// path touches no shared state.
+pub fn lock_contended(name: &'static str, wait_cycles: u64) {
+    let mut m = lock_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let s = m.entry(name).or_default();
+    s.contended_acquires += 1;
+    s.wait_cycles = s.wait_cycles.saturating_add(wait_cycles);
+}
+
+/// Per-lock contention tallies since the last [`reset_lock_stats`], in
+/// name order. Locks never contended are absent.
+pub fn lock_stats() -> BTreeMap<&'static str, LockStats> {
+    lock_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Clears every lock's contention tally (storm drivers call this
+/// between arms).
+pub fn reset_lock_stats() {
+    lock_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
 }
 
 #[cfg(test)]
@@ -372,6 +493,60 @@ mod tests {
         // Clamping to [min, max] makes single-value histograms exact.
         assert_eq!(h.p50(), 777);
         assert_eq!(h.p99(), 777);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts_and_widens_extrema() {
+        let mut a = Histogram::default();
+        a.record(4);
+        a.record(100);
+        let mut b = Histogram::default();
+        b.record(1);
+        b.record(4000);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 4105);
+        assert_eq!((a.min, a.max), (1, 4000));
+        let mut empty = Histogram::default();
+        empty.merge(&a);
+        assert_eq!(empty, a, "merge into empty copies");
+        a.merge(&Histogram::default());
+        assert_eq!(a.count, 4, "merging empty is a no-op");
+    }
+
+    #[test]
+    fn flush_merges_thread_registries_into_global() {
+        // Names are unique to this test, so the exact values survive
+        // concurrent flushes from sibling tests.
+        incr("t.global.main");
+        flush();
+        std::thread::spawn(|| {
+            add("t.global.worker", 5);
+            observe("t.global.hist", 32);
+            flush();
+        })
+        .join()
+        .unwrap();
+        let g = global_snapshot();
+        assert_eq!(g.counter("t.global.main"), 1);
+        assert_eq!(g.counter("t.global.worker"), 5);
+        assert_eq!(g.histogram("t.global.hist").unwrap().count, 1);
+        assert_eq!(
+            snapshot().counter("t.global.main"),
+            0,
+            "flush clears the local registry"
+        );
+    }
+
+    #[test]
+    fn lock_stats_accumulate_per_name() {
+        lock_contended("t.lock.a", 100);
+        lock_contended("t.lock.a", 50);
+        let s = lock_stats();
+        let a = s.get("t.lock.a").unwrap();
+        assert_eq!(a.contended_acquires, 2);
+        assert_eq!(a.wait_cycles, 150);
+        assert!(!s.contains_key("t.lock.never"), "uncontended locks absent");
     }
 
     #[test]

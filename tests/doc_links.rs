@@ -144,6 +144,7 @@ fn benchmarks_doc_covers_every_gate() {
         "BENCH_swap.json",
         "BENCH_thp.json",
         "BENCH_service.json",
+        "BENCH_smp.json",
     ] {
         assert!(
             text.contains(gate),
