@@ -39,21 +39,27 @@ doclinks:
 # swap-in) must produce a clean error — or, for a swap-in I/O failure,
 # kill only the faulting process — and leave an intact kernel. The
 # pressure proptests replay random swap/reclaim schedules under the
-# same leak checks.
+# same leak checks, and the SMP sweep (E17) repeats the exercise with
+# injections landing concurrently on four real OS threads.
 leakcheck:
 	$(CARGO) test -q -p fpr-api --test faultsweep
 	$(CARGO) test -q -p fpr-kernel --test proptest_faults
 	$(CARGO) test -q -p fpr-mem --test proptest_faults
 	$(CARGO) test -q -p forkroad-core --test pressure_property
+	$(CARGO) test --release -q -p forkroad-core --test smp_faults
 
 # The SMP gate on its own: four real OS threads hammer the shared
 # machine with a seeded fork/vfork/spawn/exec storm, then every cell
 # must pass check_invariants + leak_check and the shared frame pool
 # must conserve; plus the determinism regression — the single-threaded
 # E15 service figure must replay byte-identical to the checked-in
-# seed results. Release mode: the storm is the slow part.
+# seed results. smp_faults adds E17: the same storm under concurrent
+# fault injection (all contained, zero lock-order violations) and a
+# mid-storm cell fail-stop that must recover to a clean N-1 quiesce.
+# Release mode: the storms are the slow part.
 stress:
 	$(CARGO) test --release -q -p forkroad-core --test smp_stress
+	$(CARGO) test --release -q -p forkroad-core --test smp_faults
 
 # Non-timing smoke: every fig*/tab* driver runs at reduced size into a
 # scratch results dir, each emitted JSON must round-trip through the

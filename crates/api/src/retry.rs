@@ -36,6 +36,19 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Cycles charged before the first retry; doubles per attempt.
     pub base_backoff_cycles: u64,
+    /// Deterministic backoff jitter. `None` (the default) reproduces the
+    /// exact exponential schedule, byte-identically. `Some(seed)` adds a
+    /// SplitMix64-derived offset in `[0, base_backoff_cycles)` to every
+    /// wait, keyed on `(seed, attempt)` — two cells retrying the same
+    /// contended resource desynchronise instead of colliding again on
+    /// the next doubling, and a fixed seed replays the same waits.
+    pub jitter_seed: Option<u64>,
+    /// Hard ceiling on *cumulative* backoff cycles. Once the next wait
+    /// would push past it, the retry loop returns the last transient
+    /// error instead of charging more — a deterministic timeout, so a
+    /// permanently contended resource yields a clean `Err` rather than
+    /// an unbounded spin. `u64::MAX` (the default) disables it.
+    pub total_backoff_cap: u64,
 }
 
 impl Default for RetryPolicy {
@@ -43,6 +56,8 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 4,
             base_backoff_cycles: 1_000,
+            jitter_seed: None,
+            total_backoff_cap: u64::MAX,
         }
     }
 }
@@ -64,6 +79,22 @@ impl RetryPolicy {
     pub fn backoff_for(&self, attempt: u32) -> u64 {
         let doublings = (attempt - 1).min(MAX_BACKOFF_DOUBLINGS);
         self.base_backoff_cycles.saturating_mul(1u64 << doublings)
+    }
+
+    /// Deterministic jitter added to the wait after failed attempt
+    /// number `attempt`: zero when [`RetryPolicy::jitter_seed`] is
+    /// `None`, otherwise a SplitMix64 hash of `(seed, attempt)` reduced
+    /// into `[0, base_backoff_cycles)`. Same seed, same attempt → same
+    /// jitter, always.
+    pub fn jitter_for(&self, attempt: u32) -> u64 {
+        let Some(seed) = self.jitter_seed else { return 0 };
+        if self.base_backoff_cycles == 0 {
+            return 0;
+        }
+        let mut z = seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % self.base_backoff_cycles
     }
 }
 
@@ -101,12 +132,21 @@ pub fn retry_with_backoff<T>(
                 if e == Errno::Enomem {
                     kernel.balance_pressure();
                 }
-                // Exponential backoff, charged as burnt CPU time; a
-                // thrashing swap tier stretches the wait so the refault
-                // storm can drain before the next attempt.
-                let mut wait = policy.backoff_for(stats.attempts);
+                // Exponential backoff with optional deterministic
+                // jitter, charged as burnt CPU time; a thrashing swap
+                // tier stretches the wait so the refault storm can
+                // drain before the next attempt.
+                let mut wait = policy
+                    .backoff_for(stats.attempts)
+                    .saturating_add(policy.jitter_for(stats.attempts));
                 if kernel.swap_thrashing() {
                     wait = wait.saturating_mul(THRASH_BACKOFF_FACTOR);
+                }
+                // Budget exhausted: a deterministic timeout. The op is
+                // transactional, so the kernel is clean — the caller
+                // gets the transient error instead of an endless spin.
+                if stats.backoff_cycles.saturating_add(wait) > policy.total_backoff_cap {
+                    return (Err(e), stats);
                 }
                 kernel.cycles.charge(wait);
                 stats.backoff_cycles += wait;
@@ -169,6 +209,7 @@ mod tests {
             RetryPolicy {
                 max_attempts: 4,
                 base_backoff_cycles: 100,
+                ..RetryPolicy::default()
             },
             |_| Err::<(), Errno>(Errno::Enomem),
         );
@@ -187,6 +228,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 200,
             base_backoff_cycles: 1 << 30,
+            ..RetryPolicy::default()
         };
         let mut waits = Vec::new();
         let mut last_total = k.cycles.total();
@@ -207,6 +249,7 @@ mod tests {
         let big = RetryPolicy {
             max_attempts: 3,
             base_backoff_cycles: u64::MAX / 2,
+            ..RetryPolicy::default()
         };
         assert_eq!(big.backoff_for(40), u64::MAX);
     }
@@ -325,6 +368,7 @@ mod tests {
         let policy = RetryPolicy {
             max_attempts: 2,
             base_backoff_cycles: 100,
+            ..RetryPolicy::default()
         };
         let (r, stats) = retry_with_backoff(&mut k, policy, |_| Err::<(), Errno>(Errno::Eagain));
         assert_eq!(r, Err(Errno::Eagain));
@@ -333,6 +377,110 @@ mod tests {
             100 * THRASH_BACKOFF_FACTOR,
             "thrash multiplies the base wait"
         );
+    }
+
+    #[test]
+    fn jittered_backoff_is_reproducible_and_bounded() {
+        let run = |seed: Option<u64>| {
+            let (mut k, _) = boot();
+            let policy = RetryPolicy {
+                max_attempts: 6,
+                base_backoff_cycles: 100,
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            };
+            let (r, stats) = retry_with_backoff(&mut k, policy, |_| Err::<(), Errno>(Errno::Eagain));
+            assert_eq!(r, Err(Errno::Eagain));
+            (stats.backoff_cycles, k.cycles.total())
+        };
+        let (plain, _) = run(None);
+        assert_eq!(plain, 100 + 200 + 400 + 800 + 1600, "unjittered schedule is exact");
+        let (a, cyc_a) = run(Some(0xE17));
+        let (b, cyc_b) = run(Some(0xE17));
+        assert_eq!(a, b, "a fixed seed replays the same waits");
+        assert_eq!(cyc_a, cyc_b, "…and charges the same cycles");
+        // Jitter only ever adds, and each addition is below the base.
+        assert!(a >= plain && a < plain + 5 * 100, "jitter bounded by [0, base) per wait");
+        let (c, _) = run(Some(0xF00D));
+        assert_ne!(a, c, "different seeds desynchronise the schedule");
+        // Per-attempt determinism is a policy property, not a loop
+        // accident.
+        let p = RetryPolicy {
+            jitter_seed: Some(7),
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..40 {
+            assert_eq!(p.jitter_for(attempt), p.jitter_for(attempt));
+            assert!(p.jitter_for(attempt) < p.base_backoff_cycles);
+        }
+        assert_eq!(
+            RetryPolicy::default().jitter_for(3),
+            0,
+            "no seed, no jitter: the legacy schedule is untouched"
+        );
+    }
+
+    #[test]
+    fn jitter_rides_on_top_of_the_saturation_plateau() {
+        // The 2^20 doubling cap must hold with jitter enabled: late waits
+        // sit at `base << 20` plus a sub-base offset, never wrapping.
+        let policy = RetryPolicy {
+            max_attempts: 60,
+            base_backoff_cycles: 1 << 30,
+            jitter_seed: Some(42),
+            ..RetryPolicy::default()
+        };
+        let plateau = (1u64 << 30) << 20;
+        assert_eq!(policy.backoff_for(200), plateau, "cap unchanged by jitter");
+        let (mut k, _) = boot();
+        let mut last_total = k.cycles.total();
+        let mut waits = Vec::new();
+        let (_, stats) = retry_with_backoff(&mut k, policy, |k| {
+            waits.push(k.cycles.total() - last_total);
+            last_total = k.cycles.total();
+            Err::<(), Errno>(Errno::Eagain)
+        });
+        assert_eq!(stats.attempts, 60);
+        for (i, w) in waits.iter().enumerate().skip(25) {
+            assert!(
+                *w >= plateau && *w < plateau + (1u64 << 30),
+                "attempt {i}: wait {w} off the plateau"
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_contention_times_out_cleanly_at_the_backoff_cap() {
+        // A permanently contended resource (every attempt EAGAIN) with an
+        // effectively unbounded attempt budget: the cycle cap, not the
+        // attempt count, must end the loop — finitely, deterministically,
+        // and with the transient error surfaced to the caller.
+        let (mut k, _) = boot();
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_cycles: 100,
+            total_backoff_cap: 10_000,
+            ..RetryPolicy::default()
+        };
+        let before = k.cycles.total();
+        let mut calls = 0u64;
+        let (r, stats) = retry_with_backoff(&mut k, policy, |_| {
+            calls += 1;
+            assert!(calls < 1_000, "the cap failed to bound the spin");
+            Err::<(), Errno>(Errno::Eagain)
+        });
+        assert_eq!(r, Err(Errno::Eagain), "timeout surfaces the transient error");
+        // 100+200+400+800+1600+3200 = 6300; the next doubling (6400)
+        // would cross 10_000, so the loop stops after the 7th attempt.
+        assert_eq!(stats.attempts, 7);
+        assert_eq!(stats.backoff_cycles, 6_300);
+        assert!(stats.backoff_cycles <= policy.total_backoff_cap);
+        assert_eq!(
+            k.cycles.total() - before,
+            stats.backoff_cycles,
+            "no cycles charged beyond the cap"
+        );
+        k.check_invariants().unwrap();
     }
 
     #[test]

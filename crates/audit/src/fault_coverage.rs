@@ -23,6 +23,15 @@ pub fn audit_fault_coverage() -> Report {
     audit_sites(&coverage())
 }
 
+/// Audits the machine-wide counters aggregated across every thread that
+/// called [`fpr_faults::flush_coverage`] — the entry point for auditing
+/// a multi-threaded SMP storm, where each worker's crossings land in its
+/// own thread-local table. Call [`fpr_faults::reset_global_coverage`]
+/// before the workload you want audited.
+pub fn audit_global_fault_coverage() -> Report {
+    audit_sites(&fpr_faults::global_coverage())
+}
+
 /// Audits an explicit counter snapshot (testable without thread state).
 pub fn audit_sites(sites: &[(FaultSite, SiteCoverage)]) -> Report {
     let mut report = Report::new();
@@ -78,6 +87,57 @@ mod tests {
         assert_eq!(r.count(Severity::Critical), 0);
         assert_eq!(r.count(Severity::Info), 1);
         assert!(r.is_safe());
+    }
+
+    #[test]
+    fn smp_sites_flow_through_the_lint() {
+        // The E17 sites are ordinary citizens of the lint: crossing
+        // pool_refill without ever failing it is exactly the untested
+        // cross-cell error path the concurrent sweep exists to kill.
+        let r = audit_sites(&[
+            (FaultSite::PoolRefill, cov(40, 0)),
+            (FaultSite::CellEvacuate, cov(3, 1)),
+        ]);
+        assert_eq!(r.count(Severity::Critical), 1);
+        assert!(r.findings[0].message.contains("pool_refill"));
+        let r = audit_sites(&[
+            (FaultSite::PoolRefill, cov(40, 2)),
+            (FaultSite::CellEvacuate, cov(3, 1)),
+        ]);
+        assert!(r.is_safe());
+    }
+
+    #[test]
+    fn global_coverage_from_worker_threads_feeds_the_audit() {
+        fpr_faults::reset_global_coverage();
+        // Two workers cross cell_evacuate; one of them gets injected.
+        // Their thread-local counters only reach the audit through the
+        // flush → global merge path.
+        let w1 = std::thread::spawn(|| {
+            let _ = with_plan(FaultPlan::passive(), || {
+                fpr_faults::cross(FaultSite::CellEvacuate)
+            });
+            fpr_faults::flush_coverage();
+        });
+        let w2 = std::thread::spawn(|| {
+            let _ = with_plan(
+                FaultPlan::passive().fail_at(FaultSite::CellEvacuate, 0),
+                || fpr_faults::cross(FaultSite::CellEvacuate),
+            );
+            fpr_faults::flush_coverage();
+        });
+        w1.join().unwrap();
+        w2.join().unwrap();
+        let r = audit_global_fault_coverage();
+        assert!(
+            r.findings
+                .iter()
+                .filter(|f| f.code == "UNTESTED_ERROR_PATH")
+                .all(|f| !f.message.contains("cell_evacuate")),
+            "cell_evacuate was injected on a worker thread: not untested"
+        );
+        assert_eq!(r.count(Severity::Info), FaultSite::ALL.len() - 1);
+        fpr_faults::reset_global_coverage();
     }
 
     #[test]

@@ -15,7 +15,7 @@ use forkroad_core::experiments::service::{self, CreationPath};
 use forkroad_core::experiments::spawn_fastpath::{self, Mode};
 use forkroad_core::experiments::{
     aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
-    smp, stdio, threads, vma_sweep,
+    smp, smp_faults, stdio, threads, vma_sweep,
 };
 use forkroad_core::{Os, OsConfig};
 use fpr_api::SpawnAttrs;
@@ -624,5 +624,89 @@ fn main() {
         mm_stats.contended_acquires
     );
     println!("[saved BENCH_smp.json]");
+
+    // E17 snapshot: concurrent fault injection and cell fail-stop. Hard
+    // guarantees tracked in-repo: every fault injected during the
+    // 4-thread storm is contained (the arm panics at quiesce otherwise),
+    // the documented mm -> pid -> buddy -> tlb lock order sees zero
+    // violations across both arms, and fail_cell recovers the machine to
+    // a clean N-1 quiesce with zero leaked frames or PIDs and the OOM
+    // lease broken.
+    let e17 = smp_faults::run();
+    smoke_fig("fig_cell_failure", &e17.figure());
+    smoke_tab("tab_cell_failure", &e17.table());
+    assert!(
+        e17.sweep.injected_ops > 0,
+        "the concurrent sweep must inject"
+    );
+    assert!(
+        e17.sweep.sites_injected() >= 5,
+        "injection must spread across the creation surface: {} sites",
+        e17.sweep.sites_injected()
+    );
+    assert_eq!(
+        e17.sweep.order_violations, 0,
+        "lock-order violations under concurrent injection"
+    );
+    assert_eq!(
+        e17.failstop.live_cells,
+        smp_faults::THREADS - 1,
+        "fail-stop must degrade to exactly N-1 live cells"
+    );
+    assert!(
+        e17.failstop.failure.lease_was_stuck,
+        "the fail-stop arm must exercise the stuck-lease worst case"
+    );
+    assert!(
+        e17.failstop.ops_after_failure > 0,
+        "survivors must keep working after the failure"
+    );
+    assert_eq!(
+        e17.failstop.order_violations, 0,
+        "lock-order violations through fail-stop recovery"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"id\": \"BENCH_faults_smp\",\n");
+    json.push_str(&format!(
+        "  \"threads\": {},\n  \"ops_per_worker\": {},\n  \"inject_per_1024\": {},\n",
+        smp_faults::THREADS,
+        smp_faults::OPS_PER_WORKER,
+        smp_faults::INJECT_PER_1024
+    ));
+    json.push_str(&format!(
+        "  \"sweep\": {{\"ops\": {}, \"injected_ops\": {}, \"sites_crossed\": {}, \
+         \"sites_injected\": {}, \"order_violations\": {}, \"contained\": true}},\n",
+        e17.sweep.ops,
+        e17.sweep.injected_ops,
+        e17.sweep.sites_crossed(),
+        e17.sweep.sites_injected(),
+        e17.sweep.order_violations
+    ));
+    json.push_str(&format!(
+        "  \"fail_stop\": {{\"site\": \"{}\", \"evacuated\": {}, \"lease_was_stuck\": {}, \
+         \"ops_after_failure\": {}, \"live_cells\": {}, \"order_violations\": {}, \
+         \"clean_quiesce\": true}}\n",
+        e17.failstop.failure.site.name(),
+        e17.failstop.failure.evacuated,
+        e17.failstop.failure.lease_was_stuck,
+        e17.failstop.ops_after_failure,
+        e17.failstop.live_cells,
+        e17.failstop.order_violations
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_faults_smp.json", &json).expect("write BENCH_faults_smp.json");
+
+    println!(
+        "\n# BENCH_faults_smp — sweep: {}/{} ops injected over {} sites (0 order violations); \
+         fail-stop: cell 0 died at {}, {} evacuated, {} live cells, clean quiesce",
+        e17.sweep.injected_ops,
+        e17.sweep.ops,
+        e17.sweep.sites_injected(),
+        e17.failstop.failure.site.name(),
+        e17.failstop.failure.evacuated,
+        e17.failstop.live_cells
+    );
+    println!("[saved BENCH_faults_smp.json]");
     println!("\n=== bench smoke OK ===");
 }

@@ -4,7 +4,7 @@
 
 use forkroad_core::experiments::{
     aslr, breakdown, cow, fig1, forkbomb, odf_storm, overcommit, pressure, robustness, scaling,
-    service, smp, spawn_fastpath, stdio, vma_sweep,
+    service, smp, smp_faults, spawn_fastpath, stdio, vma_sweep,
 };
 use fpr_bench::emit;
 
@@ -67,6 +67,12 @@ fn main() {
     emit("fig_smp", &f16.render(), &f16.to_json());
     let t16 = e16.contention_table();
     emit("tab_smp_contention", &t16.render(), &t16.to_json());
+
+    let e17 = smp_faults::run();
+    let f17 = e17.figure();
+    emit("fig_cell_failure", &f17.render(), &f17.to_json());
+    let t17 = e17.table();
+    emit("tab_cell_failure", &t17.render(), &t17.to_json());
 
     if let Ok(rows) = fpr_native::run_native_cow(8, &[0.0, 0.5, 1.0], 5) {
         println!("# fig_cow_native — host kernel COW storm");

@@ -17,6 +17,7 @@ pub mod robustness;
 pub mod scaling;
 pub mod service;
 pub mod smp;
+pub mod smp_faults;
 pub mod spawn_fastpath;
 pub mod stdio;
 pub mod threads;

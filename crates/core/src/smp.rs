@@ -20,11 +20,30 @@
 //! Lock order (documented in ARCHITECTURE.md): `mm` → `pid` → `buddy` →
 //! `tlb`. Workers only ever hold one `mm` lock at a time, and the shared
 //! subsystems never call back up into a cell, so the order is acyclic.
+//! The order is *enforced* at runtime by [`VLock`]'s per-thread rank
+//! tracker; any out-of-order acquisition bumps a process-global counter
+//! the E17 gate asserts is zero.
+//!
+//! ## Fail-stop (E17)
+//!
+//! [`SmpOs::fail_cell`] models a cell dying mid-operation at a chosen
+//! fault site: the cell takes one last doomed operation with the site
+//! armed, is marked dead, and is then *recovered* — its processes
+//! reaped (returning their PIDs to the shared table), its frame
+//! magazine drained back to the [`SharedFramePool`], and its stuck
+//! machine-wide OOM lease broken — so the machine degrades from N cells
+//! to N−1 with zero leaked frames and zero stuck locks. Dead cells are
+//! thereafter held to a stricter quiesce standard than survivors: not
+//! "back at boot baseline" but *empty*.
+//!
+//! [`SharedFramePool`]: fpr_mem::SharedFramePool
 
 use crate::os::{Os, OsConfig};
+use fpr_faults::{FaultPlan, FaultSite};
 use fpr_kernel::{Kernel, KernelBaseline, SmpShared};
 use fpr_trace::smp::VLock;
 use fpr_trace::vclock;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 // The whole point: a cell must be shippable to another OS thread.
@@ -43,6 +62,27 @@ pub struct SmpOs {
     pub shared: SmpShared,
     cells: Vec<Arc<VLock<Os>>>,
     baselines: Vec<KernelBaseline>,
+    /// `dead[c]` is set by [`SmpOs::fail_cell`]; workers poll
+    /// [`SmpOs::is_dead`] and route around a failed cell.
+    dead: Vec<AtomicBool>,
+}
+
+/// What [`SmpOs::fail_cell`] did, for assertions and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Which cell died.
+    pub cell: usize,
+    /// The fault site armed for the dying operation.
+    pub site: FaultSite,
+    /// Whether the dying operation actually reached (and was killed at)
+    /// the armed site — `false` means the op's path doesn't cross it,
+    /// and the cell was fail-stopped right after a clean op instead.
+    pub died_at_site: bool,
+    /// Processes reaped during evacuation.
+    pub evacuated: u64,
+    /// Whether the dead cell held the machine-wide OOM lease at death
+    /// (recovery broke it; survivors' OOM kills were never blocked).
+    pub lease_was_stuck: bool,
 }
 
 impl SmpOs {
@@ -64,10 +104,12 @@ impl SmpOs {
             .collect();
         vclock::reset();
         let baselines = cells.iter().map(|c| c.lock().kernel.baseline()).collect();
+        let dead = (0..ncells).map(|_| AtomicBool::new(false)).collect();
         SmpOs {
             shared,
             cells,
             baselines,
+            dead,
         }
     }
 
@@ -80,6 +122,86 @@ impl SmpOs {
     /// it for the duration of each kernel operation — it is the mm lock.
     pub fn cell(&self, c: usize) -> &VLock<Os> {
         &self.cells[c]
+    }
+
+    /// True once [`SmpOs::fail_cell`] has killed cell `c`. Storm workers
+    /// poll this and redirect work to a surviving cell.
+    pub fn is_dead(&self, c: usize) -> bool {
+        self.dead[c].load(Ordering::Acquire)
+    }
+
+    /// Number of cells still alive.
+    pub fn live_cells(&self) -> usize {
+        self.dead
+            .iter()
+            .filter(|d| !d.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Fail-stops cell `c` at fault site `site` and recovers the shared
+    /// machine (E17's crash arm). Safe to call while other threads storm
+    /// the surviving cells; must not be called inside
+    /// [`fpr_faults::with_plan`] (the dying gasp installs its own plan).
+    ///
+    /// The sequence, all under cell `c`'s mm lock:
+    ///
+    /// 1. **Die**: one last `fork` runs with `site` armed to inject on
+    ///    first crossing — the cell's final operation fails mid-flight
+    ///    exactly where the sweep points. (Creation ops are
+    ///    transactional, so even the dying gasp leaves no half-made
+    ///    state for recovery to trip over.)
+    /// 2. **Stick the lease**: if the machine-wide OOM lease is free,
+    ///    the dying cell grabs it — modelling the worst case, death
+    ///    while holding a cross-cell resource.
+    /// 3. **Mark dead** so storm workers stop routing work here.
+    /// 4. **Recover**: drain the spawn fast path (warm children are
+    ///    real processes), then [`Kernel::evacuate`] — every process
+    ///    reaped (PIDs back to the shared table), the frame magazine
+    ///    drained back to the shared pool — then break the stuck lease.
+    ///
+    /// Afterwards [`SmpOs::check_quiesced`] holds the dead cell to the
+    /// *empty* standard: zero processes, zero drawn frames.
+    pub fn fail_cell(&self, c: usize, site: FaultSite) -> CellFailure {
+        let mut os = self.cells[c].lock();
+        let init = os.init;
+        let (dying_gasp, trace) =
+            fpr_faults::with_plan(FaultPlan::passive().fail_at(site, 0), || {
+                os.fork(init)
+            });
+        let died_at_site = !trace.injected().is_empty();
+        if let Ok(orphan) = dying_gasp {
+            // The armed site wasn't on fork's path: the op survived its
+            // own death. The child dies with the cell — evacuation
+            // reaps it below.
+            let _ = orphan;
+        }
+        debug_assert!(
+            !died_at_site || dying_gasp.is_err(),
+            "an injected fault must fail the dying operation"
+        );
+        let lease_was_stuck = self.shared.oom.try_lease(c);
+        self.dead[c].store(true, Ordering::Release);
+        fpr_trace::metrics::incr("smp.cell.failed");
+        // Recovery. Evacuation crosses its own fault site; no plan is
+        // armed on this thread anymore, so it cannot be injected here.
+        let _ = os.disable_spawn_fastpath();
+        let evacuated = os
+            .kernel
+            .evacuate()
+            .expect("evacuation runs outside any armed fault plan");
+        if lease_was_stuck {
+            assert!(
+                self.shared.oom.release_lease(c),
+                "recovery breaks the dead cell's OOM lease"
+            );
+        }
+        CellFailure {
+            cell: c,
+            site,
+            died_at_site,
+            evacuated,
+            lease_was_stuck,
+        }
     }
 
     /// Runs `f(worker_index, self)` on `threads` real OS threads and
@@ -125,6 +247,22 @@ impl SmpOs {
             if let Err(errs) = os.kernel.check_invariants() {
                 v.extend(errs.into_iter().map(|e| format!("cell {i}: {e}")));
             }
+            if self.is_dead(i) {
+                // A recovered dead cell must be *empty*, not merely
+                // consistent: anything it still holds is leaked for the
+                // rest of the machine's lifetime.
+                let procs = os.kernel.process_count();
+                if procs != 0 {
+                    v.push(format!("dead cell {i}: {procs} processes not reaped"));
+                }
+                let held = os.kernel.phys.drawn_frames();
+                if held != 0 {
+                    v.push(format!("dead cell {i}: {held} frames not returned"));
+                }
+                if self.shared.oom.lease_holder() == Some(i) {
+                    v.push(format!("dead cell {i}: OOM lease still stuck"));
+                }
+            }
             drawn += os.kernel.phys.drawn_frames();
         }
         let pool = &self.shared.pool;
@@ -140,8 +278,11 @@ impl SmpOs {
     }
 
     /// Quiesce check for workloads that destroyed everything they made:
-    /// no structural violations, and every cell back at its boot
-    /// baseline (no leaked frames, PIDs, descriptions, pipes or commit).
+    /// no structural violations, and every *surviving* cell back at its
+    /// boot baseline (no leaked frames, PIDs, descriptions, pipes or
+    /// commit). Dead cells are instead held to the empty standard
+    /// enforced by [`SmpOs::violations`] — a fail-stopped cell can never
+    /// return to baseline, but it must hold nothing at all.
     ///
     /// # Panics
     ///
@@ -154,6 +295,9 @@ impl SmpOs {
             v.join("\n  ")
         );
         for (i, cell) in self.cells.iter().enumerate() {
+            if self.is_dead(i) {
+                continue;
+            }
             let os = cell.lock();
             if let Err(errs) = os.kernel.leak_check(&self.baselines[i]) {
                 panic!("cell {i} leaked:\n  {}", errs.join("\n  "));
@@ -189,6 +333,61 @@ mod tests {
         });
         assert_eq!(elapsed.len(), 4);
         assert!(elapsed.iter().all(|&e| e > 0), "workers did virtual work");
+        smp.check_quiesced();
+    }
+
+    #[test]
+    fn failed_cell_recovers_to_empty_and_survivors_to_baseline() {
+        let smp = SmpOs::boot(OsConfig::default(), 3);
+        // Give the doomed cell something to lose: live children, a warm
+        // pool, resident memory.
+        {
+            let mut os = smp.cell(0).lock();
+            let init = os.init;
+            os.enable_spawn_fastpath().unwrap();
+            os.pool_prefill("/bin/sh", 2).unwrap();
+            for _ in 0..3 {
+                os.fork(init).unwrap();
+            }
+            assert!(os.kernel.phys.drawn_frames() > 0);
+        }
+        let shared_live_before = smp.shared.pids.live();
+
+        let f = smp.fail_cell(0, fpr_faults::FaultSite::PidAlloc);
+        assert_eq!(f.cell, 0);
+        assert!(f.died_at_site, "every fork crosses pid_alloc");
+        assert!(f.evacuated >= 4, "init + 3 children at least: {f:?}");
+        assert!(f.lease_was_stuck, "the lease was free, so the dying cell stuck it");
+        assert!(smp.is_dead(0));
+        assert!(!smp.is_dead(1) && !smp.is_dead(2));
+        assert_eq!(smp.live_cells(), 2);
+        assert!(
+            smp.shared.pids.live() < shared_live_before,
+            "the dead cell's PIDs went back to the shared table"
+        );
+        assert_eq!(smp.shared.oom.lease_holder(), None, "no stuck lease");
+
+        // Survivors keep working after the failure…
+        let mut os = smp.cell(1).lock();
+        let init = os.init;
+        let c = os.fork(init).unwrap();
+        os.kernel.exit(c, 0).unwrap();
+        os.kernel.waitpid(init, Some(c)).unwrap();
+        drop(os);
+        // …and the machine quiesces clean at N−1.
+        smp.check_quiesced();
+    }
+
+    #[test]
+    fn fail_cell_at_an_uncrossed_site_still_fail_stops_clean() {
+        let smp = SmpOs::boot(OsConfig::default(), 2);
+        // fork never touches the evacuation site, so the dying gasp
+        // succeeds — the cell must die (and clean up the gasp's child)
+        // all the same.
+        let f = smp.fail_cell(1, fpr_faults::FaultSite::CellEvacuate);
+        assert!(!f.died_at_site);
+        assert!(f.evacuated >= 2, "init plus the dying gasp's child");
+        assert!(smp.is_dead(1));
         smp.check_quiesced();
     }
 

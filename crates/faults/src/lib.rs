@@ -34,7 +34,14 @@
 //! executed.
 //!
 //! The state is thread-local; the simulator is single-threaded per
-//! kernel, and this keeps parallel test binaries from interfering.
+//! kernel, and this keeps parallel test binaries from interfering. SMP
+//! storms get a machine-wide view on top: workers call
+//! [`flush_coverage`] before finishing and the driver reads
+//! [`global_coverage`] after join, so a concurrent sweep can assert
+//! which sites the whole machine crossed and injected. Per-cell plans
+//! derive from one root seed via [`derive_cell_seed`] /
+//! [`FaultPlan::random_for_cell`], keeping every thread's schedule
+//! deterministic and replayable.
 //!
 //! ## Observers
 //!
@@ -165,6 +172,15 @@ fault_sites! {
     /// so an injected failure fails the enclosing operation cleanly with
     /// the huge mapping intact.
     PtDemote => "pt_demote",
+    /// Refilling a cell's frame magazine from the machine-wide
+    /// `SharedFramePool` (`fpr-mem::phys`), crossed before the buddy
+    /// lock is taken. SMP-only: single-kernel machines never refill a
+    /// magazine, so the single-threaded world replays byte-identically.
+    PoolRefill => "pool_refill",
+    /// Evacuating a fail-stopped kernel cell (`fpr-kernel::lifecycle`),
+    /// crossed before any process is killed, so an injected failure
+    /// leaves the dying cell untouched and cleanly retryable.
+    CellEvacuate => "cell_evacuate",
 }
 
 impl std::fmt::Display for FaultSite {
@@ -234,6 +250,15 @@ impl FaultPlan {
             }),
             ..FaultPlan::default()
         }
+    }
+
+    /// A [`FaultPlan::random`] plan for one SMP cell, seeded from a
+    /// single machine-wide root seed via [`derive_cell_seed`]. Every
+    /// cell's schedule is deterministic, distinct, and reconstructible
+    /// from `(root_seed, cell)` alone — the concurrent faultsweep logs
+    /// only the root seed.
+    pub fn random_for_cell(root_seed: u64, cell: usize, per_1024: u16) -> FaultPlan {
+        FaultPlan::random(derive_cell_seed(root_seed, cell), per_1024)
     }
 
     /// True if the plan can never inject.
@@ -476,6 +501,76 @@ pub fn reset_coverage() {
     STATE.with(|s| s.borrow_mut().coverage.clear());
 }
 
+/// Derives a per-cell fault seed from one machine-wide root seed: a
+/// single SplitMix64 step keyed by `(root_seed, cell + 1)`, the same
+/// mixer [`FaultPlan::random`] uses per crossing. Cells get decorrelated
+/// schedules while the whole storm remains replayable from `root_seed`.
+pub fn derive_cell_seed(root_seed: u64, cell: usize) -> u64 {
+    let mut z = root_seed.wrapping_add((cell as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn global_coverage_registry() -> &'static std::sync::Mutex<BTreeMap<FaultSite, SiteCoverage>> {
+    static REGISTRY: std::sync::OnceLock<std::sync::Mutex<BTreeMap<FaultSite, SiteCoverage>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| std::sync::Mutex::new(BTreeMap::new()))
+}
+
+/// Merges this thread's cumulative coverage into the process-wide
+/// registry and clears the thread-local counters. SMP storm workers call
+/// this before finishing so [`global_coverage`] sees the whole machine;
+/// single-threaded code never needs it.
+pub fn flush_coverage() {
+    let local = STATE.with(|s| std::mem::take(&mut s.borrow_mut().coverage));
+    if local.is_empty() {
+        return;
+    }
+    let mut global = global_coverage_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for (site, cov) in local {
+        let g = global.entry(site).or_default();
+        g.crossings += cov.crossings;
+        g.injections += cov.injections;
+    }
+}
+
+/// Machine-wide coverage: the sum of every [`flush_coverage`] call plus
+/// the calling thread's (unflushed) counters, keyed by site in stable
+/// order. The SMP analogue of [`coverage`].
+pub fn global_coverage() -> Vec<(FaultSite, SiteCoverage)> {
+    let global = global_coverage_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    STATE.with(|s| {
+        let st = s.borrow();
+        FaultSite::ALL
+            .iter()
+            .map(|&site| {
+                let mut cov = global.get(&site).copied().unwrap_or_default();
+                if let Some(local) = st.coverage.get(&site) {
+                    cov.crossings += local.crossings;
+                    cov.injections += local.injections;
+                }
+                (site, cov)
+            })
+            .collect()
+    })
+}
+
+/// Clears the process-wide coverage registry *and* the calling thread's
+/// counters (other threads' unflushed counters are untouched).
+pub fn reset_global_coverage() {
+    global_coverage_registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    reset_coverage();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +589,13 @@ mod tests {
                 site.index()
             );
         }
+        // The SMP sites (E17) are registered like any other: reachable
+        // by index, named, and therefore swept by every harness that
+        // iterates `ALL`.
+        assert!(FaultSite::ALL.contains(&FaultSite::PoolRefill));
+        assert!(FaultSite::ALL.contains(&FaultSite::CellEvacuate));
+        assert_eq!(FaultSite::PoolRefill.name(), "pool_refill");
+        assert_eq!(FaultSite::CellEvacuate.name(), "cell_evacuate");
     }
 
     #[test]
@@ -660,6 +762,66 @@ mod tests {
         cross(FaultSite::VfsOp).unwrap();
         set_observer(prev);
         assert_eq!(last.get(), 1, "second cumulative crossing is occurrence 1");
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_decorrelated() {
+        assert_eq!(derive_cell_seed(42, 3), derive_cell_seed(42, 3));
+        let seeds: BTreeSet<u64> = (0..16).map(|c| derive_cell_seed(42, c)).collect();
+        assert_eq!(seeds.len(), 16, "16 cells must get 16 distinct seeds");
+        assert_ne!(derive_cell_seed(42, 0), derive_cell_seed(43, 0));
+    }
+
+    #[test]
+    fn random_for_cell_matches_explicit_derivation() {
+        let run = |plan: FaultPlan| {
+            with_plan(plan, || {
+                (0..64)
+                    .map(|_| cross(FaultSite::FrameAlloc).is_err())
+                    .collect::<Vec<_>>()
+            })
+            .0
+        };
+        let derived = run(FaultPlan::random(derive_cell_seed(7, 2), 256));
+        let for_cell = run(FaultPlan::random_for_cell(7, 2, 256));
+        assert_eq!(derived, for_cell);
+        assert_ne!(
+            run(FaultPlan::random_for_cell(7, 0, 256)),
+            run(FaultPlan::random_for_cell(7, 1, 256)),
+            "sibling cells must not mirror each other's schedules"
+        );
+    }
+
+    #[test]
+    fn flushed_coverage_sums_across_threads() {
+        reset_global_coverage();
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    reset_coverage();
+                    let plan = FaultPlan::passive().fail_at(FaultSite::CellEvacuate, 0);
+                    let _ = with_plan(plan, || {
+                        for _ in 0..=t {
+                            let _ = cross(FaultSite::CellEvacuate);
+                        }
+                    });
+                    flush_coverage();
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let cov = global_coverage()
+            .into_iter()
+            .find(|(s, _)| *s == FaultSite::CellEvacuate)
+            .unwrap()
+            .1;
+        assert_eq!(cov.crossings, 1 + 2 + 3 + 4);
+        assert_eq!(cov.injections, 4, "each worker injected its first crossing");
+        // flush_coverage cleared the workers' locals; the registry holds all.
+        reset_global_coverage();
+        assert!(global_coverage().iter().all(|(_, c)| c.crossings == 0));
     }
 
     #[test]

@@ -28,9 +28,19 @@ pub const SIGBUS_EXIT_STATUS: i32 = 135;
 /// concurrent attempt that observed the same exhaustion loses the race
 /// and retries its allocation against the memory the winner's kill just
 /// freed.
+///
+/// On top of the epoch sits a *lease*: the cell actually executing a
+/// kill holds it for the duration ([`OomGuard::try_lease`] /
+/// [`OomGuard::release_lease`]). The lease exists for the failure
+/// model: a cell that fail-stops mid-kill leaves it held, and recovery
+/// must explicitly release it (the SMP driver's `fail_cell` does) or
+/// the machine's OOM killer is wedged forever — exactly the "stuck
+/// lock" class of bug E17 tests for.
 #[derive(Debug, Default)]
 pub struct OomGuard {
     epoch: AtomicU64,
+    /// 0 = free; `cell + 1` = the cell currently executing a kill.
+    owner: AtomicU64,
 }
 
 impl OomGuard {
@@ -50,6 +60,31 @@ impl OomGuard {
         self.epoch
             .compare_exchange(observed, observed + 1, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
+    }
+
+    /// Attempts to take the kill lease for `cell`. Fails if any cell
+    /// (including a dead one) holds it.
+    pub fn try_lease(&self, cell: usize) -> bool {
+        self.owner
+            .compare_exchange(0, cell as u64 + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Releases the lease if — and only if — `cell` holds it. Recovery
+    /// calls this on behalf of a fail-stopped cell; the normal kill path
+    /// calls it for itself. Returns whether anything was released.
+    pub fn release_lease(&self, cell: usize) -> bool {
+        self.owner
+            .compare_exchange(cell as u64 + 1, 0, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The cell currently holding the kill lease, if any.
+    pub fn lease_holder(&self) -> Option<usize> {
+        match self.owner.load(Ordering::Acquire) {
+            0 => None,
+            c => Some(c as usize - 1),
+        }
     }
 }
 
@@ -320,14 +355,77 @@ impl Kernel {
             metrics::incr("kernel.oom.relieved");
             return OomDecision::Relieved;
         }
-        if !guard.try_acquire(observed_epoch) {
+        // Take the kill lease for the duration of the kill. A held lease
+        // means another cell is mid-kill (or died mid-kill and has not
+        // been recovered): treat it like losing the epoch race — retry
+        // the allocation rather than stacking a second victim.
+        let cell = self.cell_id().unwrap_or(0);
+        if !guard.try_lease(cell) {
             metrics::incr("kernel.oom.raced");
             return OomDecision::Raced;
         }
-        match self.oom_kill() {
-            Some(pid) => OomDecision::Killed(pid),
-            None => OomDecision::NoVictim,
+        let decision = if !guard.try_acquire(observed_epoch) {
+            metrics::incr("kernel.oom.raced");
+            OomDecision::Raced
+        } else {
+            match self.oom_kill() {
+                Some(pid) => OomDecision::Killed(pid),
+                None => OomDecision::NoVictim,
+            }
+        };
+        guard.release_lease(cell);
+        decision
+    }
+
+    /// This kernel's SMP cell index (its home PID shard), `None` on a
+    /// single-kernel machine.
+    pub fn cell_id(&self) -> Option<usize> {
+        self.pid_table.as_ref().map(|&(_, cell)| cell)
+    }
+
+    /// Evacuates a fail-stopped cell: kills every process (including
+    /// init), reaps every zombie, and drains the frame magazine back to
+    /// the shared pool, so the machine continues degraded with nothing
+    /// leaked — no frames, no PIDs, no swap slots.
+    ///
+    /// Crosses [`fpr_faults::FaultSite::CellEvacuate`] *before* touching
+    /// anything, so an injected failure leaves the cell exactly as it
+    /// was and the recovery is cleanly retryable ([`Errno::Eagain`]).
+    ///
+    /// Processes die youngest-PID-first, which exits every vfork
+    /// borrower before its lender and leaves init (the oldest) for last;
+    /// init self-reaps on exit (`ppid == pid`), and a final sweep reaps
+    /// any zombie stranded by its parent's earlier death. Returns the
+    /// number of processes evacuated.
+    pub fn evacuate(&mut self) -> KResult<u64> {
+        fpr_faults::cross(fpr_faults::FaultSite::CellEvacuate).map_err(|_| Errno::Eagain)?;
+        metrics::incr("kernel.cell.evacuated");
+        let mut evacuated = 0u64;
+        let mut victims: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| !p.is_zombie())
+            .map(|(&pid, _)| pid)
+            .collect();
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        for pid in victims {
+            // A vfork cascade may have taken this process down along
+            // with an earlier victim; skip what is already dead.
+            let alive = self.procs.get(&pid).map(|p| !p.is_zombie()).unwrap_or(false);
+            if alive && self.exit(pid, OOM_EXIT_STATUS).is_ok() {
+                evacuated += 1;
+            }
         }
+        // Zombies whose parent died unreaping (the parent's exit removed
+        // it from the table before it could wait) are swept here.
+        let stranded: Vec<Pid> = self.procs.keys().copied().collect();
+        for pid in stranded {
+            let _ = self.reap(pid);
+        }
+        // Give the cell's magazine frames back to the shared pool; after
+        // the kills above this leaves the cell drawing zero frames.
+        self.phys.disable_frame_cache();
+        Ok(evacuated)
     }
 
     /// The OOM guard epoch to observe before attempting a guarded kill
@@ -608,6 +706,123 @@ mod tests {
         // Quoting the current epoch is a fresh sighting: the kill fires.
         let fresh = k2.oom_epoch();
         assert_eq!(k2.oom_kill_guarded(fresh), OomDecision::Killed(hog2));
+    }
+
+    #[test]
+    fn oom_lease_is_exclusive_and_releasable_by_owner_only() {
+        let g = OomGuard::new();
+        assert_eq!(g.lease_holder(), None);
+        assert!(g.try_lease(2));
+        assert_eq!(g.lease_holder(), Some(2));
+        assert!(!g.try_lease(0), "lease is exclusive");
+        assert!(!g.release_lease(0), "only the holder's cell releases");
+        assert!(g.release_lease(2));
+        assert_eq!(g.lease_holder(), None);
+        assert!(g.try_lease(0), "released lease is takeable again");
+    }
+
+    #[test]
+    fn stuck_lease_makes_guarded_kill_race_until_broken() {
+        let cfg = crate::kernel::MachineConfig {
+            frames: 256,
+            ..Default::default()
+        };
+        let shared = crate::kernel::SmpShared::new(&cfg, 2);
+        let mut k1 = Kernel::new_smp(cfg, &shared, 0);
+        let i1 = k1.create_init("init").unwrap();
+        let hog = k1.allocate_process(i1, "hog").unwrap();
+        while k1.phys.pressure() < fpr_mem::PressureLevel::Critical {
+            let b = k1.mmap_anon(hog, 4, Prot::RW, Share::Private).unwrap();
+            k1.populate(hog, b, 4).unwrap();
+        }
+        // Cell 1 died mid-kill: its lease is stuck.
+        assert!(shared.oom.try_lease(1));
+        let epoch = k1.oom_epoch();
+        assert_eq!(
+            k1.oom_kill_guarded(epoch),
+            OomDecision::Raced,
+            "a stuck lease must not let a second kill stack"
+        );
+        assert!(k1.oom_kills.is_empty());
+        // Recovery breaks the dead cell's lease; the survivor proceeds.
+        assert!(shared.oom.release_lease(1));
+        assert_eq!(k1.oom_kill_guarded(epoch), OomDecision::Killed(hog));
+        assert_eq!(shared.oom.lease_holder(), None, "kill path releases after itself");
+    }
+
+    #[test]
+    fn evacuate_returns_the_cell_to_zero_without_touching_neighbours() {
+        let cfg = crate::kernel::MachineConfig {
+            frames: 4096,
+            ..Default::default()
+        };
+        let shared = crate::kernel::SmpShared::new(&cfg, 2);
+        let mut k1 = Kernel::new_smp(cfg.clone(), &shared, 0);
+        let mut k2 = Kernel::new_smp(cfg, &shared, 1);
+        let i1 = k1.create_init("init").unwrap();
+        let i2 = k2.create_init("init").unwrap();
+
+        // Cell 0: live children with resident memory, plus an unreaped
+        // zombie and a grandchild whose parent will die before it.
+        let a = k1.allocate_process(i1, "a").unwrap();
+        let b = k1.allocate_process(i1, "b").unwrap();
+        let grand = k1.allocate_process(a, "grand").unwrap();
+        for pid in [a, b, grand] {
+            let base = k1.mmap_anon(pid, 16, Prot::RW, Share::Private).unwrap();
+            k1.populate(pid, base, 16).unwrap();
+        }
+        k1.exit(b, 0).unwrap(); // zombie until someone waits — nobody will
+        // Cell 1: a bystander with memory of its own.
+        let n = k2.allocate_process(i2, "bystander").unwrap();
+        let base = k2.mmap_anon(n, 8, Prot::RW, Share::Private).unwrap();
+        k2.populate(n, base, 8).unwrap();
+        let neighbour_live_before = 2; // i2 + n
+
+        let evacuated = k1.evacuate().unwrap();
+        assert!(evacuated >= 3, "init, a, grand all exited here");
+        assert!(k1.procs.is_empty(), "no process survives evacuation");
+        assert_eq!(k1.phys.drawn_frames(), 0, "magazine drained, nothing resident");
+        assert_eq!(k1.pids.live(), 0, "cell-local pid accounting emptied");
+        assert_eq!(
+            shared.pids.live(),
+            neighbour_live_before,
+            "only the dead cell's pids were returned to the shared table"
+        );
+        k1.check_invariants().unwrap();
+        // Machine-wide conservation: the survivor still holds its frames.
+        assert_eq!(
+            k1.phys.drawn_frames() + k2.phys.drawn_frames() + shared.pool.free_frames(),
+            shared.pool.total_frames()
+        );
+        assert!(k2.process(n).is_ok(), "the neighbour cell is untouched");
+    }
+
+    #[test]
+    fn injected_evacuation_fault_is_clean_and_retryable() {
+        let cfg = crate::kernel::MachineConfig::default();
+        let shared = crate::kernel::SmpShared::new(&cfg, 1);
+        let mut k = Kernel::new_smp(cfg, &shared, 0);
+        let init = k.create_init("init").unwrap();
+        let c = k.allocate_process(init, "c").unwrap();
+        let base = k.mmap_anon(c, 8, Prot::RW, Share::Private).unwrap();
+        k.populate(c, base, 8).unwrap();
+        let procs_before = k.procs.len();
+        let drawn_before = k.phys.drawn_frames();
+
+        let (res, trace) = fpr_faults::with_plan(
+            fpr_faults::FaultPlan::passive().fail_at(fpr_faults::FaultSite::CellEvacuate, 0),
+            || k.evacuate(),
+        );
+        assert_eq!(res, Err(Errno::Eagain), "injected failure surfaces cleanly");
+        assert_eq!(trace.injected().len(), 1);
+        assert_eq!(k.procs.len(), procs_before, "nothing was killed");
+        assert_eq!(k.phys.drawn_frames(), drawn_before, "nothing was freed");
+        k.check_invariants().unwrap();
+
+        // The retry completes the evacuation.
+        assert!(k.evacuate().unwrap() >= 2);
+        assert!(k.procs.is_empty());
+        assert_eq!(k.phys.drawn_frames(), 0);
     }
 
     #[test]

@@ -535,7 +535,15 @@ impl PhysMemory {
         // the pool does the order descent under a single acquisition.
         let mut order = 63 - batch.leading_zeros() as usize;
         let got = match self.shared.as_ref() {
-            Some(pool) => pool.alloc_run_best(order),
+            // Cross the SMP-only refill site before touching the buddy
+            // lock: an injected failure models a dry/contended pool and
+            // falls through to the magazine-steal path, exactly like a
+            // real exhaustion — the cell stays consistent and the caller
+            // sees an ordinary transient OutOfMemory.
+            Some(pool) => match fpr_faults::cross(FaultSite::PoolRefill) {
+                Ok(()) => pool.alloc_run_best(order),
+                Err(_) => Err(MemError::OutOfMemory),
+            },
             None => loop {
                 match self.alloc.alloc_run(order) {
                     Ok(run) => break Ok(run),

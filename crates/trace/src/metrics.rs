@@ -343,6 +343,7 @@ pub fn flush() {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .merge(&local);
+    flush_lock_stats();
 }
 
 /// The union of every [`flush`]ed registry since the last
@@ -375,35 +376,107 @@ fn lock_registry() -> &'static Mutex<BTreeMap<&'static str, LockStats>> {
     LOCKS.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+fn merge_lock_stats(into: &mut BTreeMap<&'static str, LockStats>, name: &'static str, s: LockStats) {
+    let e = into.entry(name).or_default();
+    e.contended_acquires += s.contended_acquires;
+    e.wait_cycles = e.wait_cycles.saturating_add(s.wait_cycles);
+}
+
+/// Per-thread contention buffer. Like the counter registry, the hot
+/// path stays thread-local: events merge into the global registry only
+/// on [`flush`] — or, as a backstop for threads that never flush, from
+/// the buffer's TLS destructor, which runs before `join` returns.
+struct LocalLockStats(RefCell<BTreeMap<&'static str, LockStats>>);
+
+impl Drop for LocalLockStats {
+    fn drop(&mut self) {
+        let local = std::mem::take(&mut *self.0.borrow_mut());
+        if local.is_empty() {
+            return;
+        }
+        let mut global = lock_registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, s) in local {
+            merge_lock_stats(&mut global, name, s);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL_LOCKS: LocalLockStats =
+        const { LocalLockStats(RefCell::new(BTreeMap::new())) };
+}
+
 /// Records one contended acquisition of the lock named `name` that
 /// waited `wait_cycles` of virtual time. Called by
-/// [`crate::smp::VLock`] only on contention, so the uncontended fast
-/// path touches no shared state.
+/// [`crate::smp::VLock`] only on contention. Buffered thread-locally
+/// (no shared state touched); [`flush`] — or thread exit — publishes
+/// the buffer into the global registry exactly once, so concurrent
+/// flushes can neither lose nor double-count an event.
 pub fn lock_contended(name: &'static str, wait_cycles: u64) {
-    let mut m = lock_registry()
+    let event = LockStats {
+        contended_acquires: 1,
+        wait_cycles,
+    };
+    let buffered = LOCAL_LOCKS.try_with(|l| {
+        merge_lock_stats(&mut l.0.borrow_mut(), name, event);
+    });
+    if buffered.is_err() {
+        // TLS already destroyed (a lock released during thread teardown):
+        // fall back to the global registry directly.
+        merge_lock_stats(
+            &mut lock_registry()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            name,
+            event,
+        );
+    }
+}
+
+/// Publishes this thread's buffered lock-contention events into the
+/// global registry and clears the buffer. Called from [`flush`].
+fn flush_lock_stats() {
+    let local = LOCAL_LOCKS
+        .try_with(|l| std::mem::take(&mut *l.0.borrow_mut()))
+        .unwrap_or_default();
+    if local.is_empty() {
+        return;
+    }
+    let mut global = lock_registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let s = m.entry(name).or_default();
-    s.contended_acquires += 1;
-    s.wait_cycles = s.wait_cycles.saturating_add(wait_cycles);
+    for (name, s) in local {
+        merge_lock_stats(&mut global, name, s);
+    }
 }
 
 /// Per-lock contention tallies since the last [`reset_lock_stats`], in
-/// name order. Locks never contended are absent.
+/// name order: everything published to the global registry plus the
+/// calling thread's unflushed buffer. Locks never contended are absent.
 pub fn lock_stats() -> BTreeMap<&'static str, LockStats> {
-    lock_registry()
+    let mut m = lock_registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .clone()
+        .clone();
+    let _ = LOCAL_LOCKS.try_with(|l| {
+        for (name, s) in l.0.borrow().iter() {
+            merge_lock_stats(&mut m, name, *s);
+        }
+    });
+    m
 }
 
-/// Clears every lock's contention tally (storm drivers call this
-/// between arms).
+/// Clears every lock's contention tally — the global registry and the
+/// calling thread's buffer (storm drivers call this between arms;
+/// other threads' unflushed buffers are untouched).
 pub fn reset_lock_stats() {
     lock_registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clear();
+    let _ = LOCAL_LOCKS.try_with(|l| l.0.borrow_mut().clear());
 }
 
 #[cfg(test)]

@@ -16,6 +16,28 @@
 //! waits — its clock is already at or past every `free_at` it wrote —
 //! so single-threaded arms report zero contention by construction.
 //!
+//! ## Lock-order validation
+//!
+//! The SMP machine documents one lock order — `mm` → `pid` → `buddy` →
+//! `tlb` (ARCHITECTURE.md) — and this module *enforces* it at runtime
+//! for exactly those four names. Each thread tracks which ranked locks
+//! it holds; acquiring a ranked lock whose rank is not strictly greater
+//! than every rank already held (which also catches taking two `mm`
+//! locks at once) counts one violation in [`order_violations`] and in
+//! the `lock.order.violation` metric, then proceeds. The E17 gate
+//! asserts the counter stays at zero across every storm. Locks with any
+//! other name (tests, scratch structures) are exempt.
+//!
+//! ## Deadlock detection
+//!
+//! Ranked acquisitions that would block first register a waiting edge in
+//! a process-wide wait-for graph (thread → lock → holding thread) and
+//! look for a cycle. A cycle means the machine *would* hang; instead of
+//! hanging, the acquirer increments [`deadlocks_detected`], and panics
+//! with the full cycle — a deterministic, reportable event. The unwind
+//! releases the acquirer's own locks, so surviving threads keep running
+//! (and the test harness reports the panic instead of timing out).
+//!
 //! ```
 //! use fpr_trace::{metrics, smp::VLock, vclock};
 //!
@@ -33,13 +55,105 @@
 //! ```
 
 use crate::{metrics, vclock};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, OnceLock, TryLockError};
+
+/// The documented SMP lock order; a ranked lock may only be acquired
+/// while every held ranked lock has a strictly smaller rank.
+const LOCK_ORDER: [&str; 4] = ["mm", "pid", "buddy", "tlb"];
+
+/// Rank of `name` in the documented order, `None` for exempt names.
+fn rank_of(name: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|&n| n == name)
+}
+
+/// Process-wide count of lock-order violations (see module docs).
+static ORDER_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of would-block cycles caught by the detector.
+static DEADLOCKS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone ids: one per [`VLock`], one per thread (thread ids are
+/// assigned lazily, the first time a thread touches a ranked lock).
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ranked locks this thread currently holds, as `(lock id, rank)`.
+    static HELD: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-wide wait-for graph over *ranked* locks: who holds what,
+/// who is blocked on what. Edges are only mutated under the graph mutex,
+/// so a cycle found while holding it is a consistent snapshot: every
+/// thread on the cycle holds its lock and has registered its wait.
+#[derive(Default)]
+struct WaitGraph {
+    /// lock id → (holder thread id, lock name).
+    holders: BTreeMap<u64, (u64, &'static str)>,
+    /// thread id → (lock id it is blocked on, lock name).
+    waiting: BTreeMap<u64, (u64, &'static str)>,
+}
+
+impl WaitGraph {
+    /// Follows `start`'s wait chain; returns the lock names on the cycle
+    /// if the chain leads back to `start`.
+    fn find_cycle(&self, start: u64) -> Option<Vec<&'static str>> {
+        let mut path = Vec::new();
+        let mut cur = start;
+        loop {
+            let &(lock, name) = self.waiting.get(&cur)?;
+            path.push(name);
+            let &(holder, _) = self.holders.get(&lock)?;
+            if holder == start {
+                return Some(path);
+            }
+            if path.len() > self.waiting.len() {
+                return None; // a loop not involving `start`
+            }
+            cur = holder;
+        }
+    }
+}
+
+fn wait_graph() -> &'static Mutex<WaitGraph> {
+    static GRAPH: OnceLock<Mutex<WaitGraph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(WaitGraph::default()))
+}
+
+fn graph_lock() -> std::sync::MutexGuard<'static, WaitGraph> {
+    wait_graph()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Process-wide count of lock-order violations since the last
+/// [`reset_order_violations`]. The E17 gate requires zero.
+pub fn order_violations() -> u64 {
+    ORDER_VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// Clears the process-wide violation counter.
+pub fn reset_order_violations() {
+    ORDER_VIOLATIONS.store(0, Ordering::Relaxed);
+}
+
+/// Process-wide count of would-block cycles the deadlock detector has
+/// turned into panics.
+pub fn deadlocks_detected() -> u64 {
+    DEADLOCKS.load(Ordering::Relaxed)
+}
 
 /// A named mutex that models contention in virtual time.
 #[derive(Debug, Default)]
 pub struct VLock<T> {
     name: &'static str,
+    /// Unique id for the wait-for graph (0 for unranked locks, which
+    /// never enter the graph).
+    id: u64,
     /// Virtual time at which the last holder released the lock.
     free_at: AtomicU64,
     inner: Mutex<T>,
@@ -48,8 +162,14 @@ pub struct VLock<T> {
 impl<T> VLock<T> {
     /// Wraps `value` in a lock whose contention is recorded under `name`.
     pub fn new(name: &'static str, value: T) -> VLock<T> {
+        let id = if rank_of(name).is_some() {
+            NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
         VLock {
             name,
+            id,
             free_at: AtomicU64::new(0),
             inner: Mutex::new(value),
         }
@@ -63,21 +183,81 @@ impl<T> VLock<T> {
     /// Acquires the lock, advancing this thread's virtual clock to the
     /// lock's release time and recording the wait if it had to "spin".
     ///
+    /// For the four ranked names the acquisition also checks the
+    /// documented lock order and registers in the wait-for graph; see
+    /// the module docs.
+    ///
     /// Poisoning is ignored: the simulated kernel's own invariants are
     /// checked explicitly at quiesce, and a panicking test thread must
     /// not cascade into every other cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics (deterministically, with the cycle) if blocking here would
+    /// deadlock the machine.
     pub fn lock(&self) -> VLockGuard<'_, T> {
-        let guard = self
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let rank = rank_of(self.name);
+        let guard = match rank {
+            None => self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            Some(rank) => self.lock_ranked(rank),
+        };
         let now = vclock::now();
         let free_at = self.free_at.load(Ordering::Acquire);
         if free_at > now {
             vclock::advance_to(free_at);
             metrics::lock_contended(self.name, free_at - now);
         }
-        VLockGuard { lock: self, guard }
+        VLockGuard {
+            lock: self,
+            ranked: rank.is_some(),
+            guard,
+        }
+    }
+
+    /// The ranked path: order check, then acquire with the wait-for
+    /// graph kept current so a would-block cycle is caught.
+    fn lock_ranked(&self, rank: usize) -> MutexGuard<'_, T> {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if held.iter().any(|&(_, r)| r >= rank) {
+                ORDER_VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+                metrics::incr("lock.order.violation");
+            }
+        });
+        let me = THREAD_ID.with(|&t| t);
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                {
+                    let mut g = graph_lock();
+                    g.waiting.insert(me, (self.id, self.name));
+                    if let Some(cycle) = g.find_cycle(me) {
+                        g.waiting.remove(&me);
+                        drop(g);
+                        DEADLOCKS.fetch_add(1, Ordering::Relaxed);
+                        metrics::incr("lock.deadlock.detected");
+                        panic!(
+                            "deadlock detected: blocking on \"{}\" closes the wait cycle [{}]",
+                            self.name,
+                            cycle.join(" -> ")
+                        );
+                    }
+                }
+                let guard = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                graph_lock().waiting.remove(&me);
+                guard
+            }
+        };
+        graph_lock().holders.insert(self.id, (me, self.name));
+        HELD.with(|h| h.borrow_mut().push((self.id, rank)));
+        guard
     }
 
     /// Consumes the lock, returning the inner value.
@@ -92,6 +272,7 @@ impl<T> VLock<T> {
 /// from the holder's virtual clock on drop.
 pub struct VLockGuard<'a, T> {
     lock: &'a VLock<T>,
+    ranked: bool,
     guard: MutexGuard<'a, T>,
 }
 
@@ -113,6 +294,13 @@ impl<T> Drop for VLockGuard<'_, T> {
         // Store before the mutex is released (the field drops after this
         // body), so the next acquirer always observes our release time.
         self.lock.free_at.store(vclock::now(), Ordering::Release);
+        if self.ranked {
+            // Drop the graph/held entries before the mutex releases too:
+            // a holder entry present implies the mutex is genuinely held,
+            // which is what makes a found cycle trustworthy.
+            graph_lock().holders.remove(&self.lock.id);
+            HELD.with(|h| h.borrow_mut().retain(|&(id, _)| id != self.lock.id));
+        }
     }
 }
 
@@ -120,6 +308,14 @@ impl<T> Drop for VLockGuard<'_, T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    /// The violation/deadlock counters are process-global; tests that
+    /// read them as before/after deltas must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn uncontended_same_thread_records_nothing() {
@@ -176,5 +372,104 @@ mod tests {
     fn into_inner_returns_value() {
         let l = VLock::new("t.smp.inner", 7u64);
         assert_eq!(l.into_inner(), 7);
+    }
+
+    #[test]
+    fn documented_order_is_violation_free() {
+        let _s = serial();
+        let before = order_violations();
+        let mm = VLock::new("mm", ());
+        let pid = VLock::new("pid", ());
+        let buddy = VLock::new("buddy", ());
+        let tlb = VLock::new("tlb", ());
+        let _a = mm.lock();
+        let _b = pid.lock();
+        let _c = buddy.lock();
+        let _d = tlb.lock();
+        assert_eq!(
+            order_violations(),
+            before,
+            "mm -> pid -> buddy -> tlb is the documented order"
+        );
+    }
+
+    #[test]
+    fn inverted_acquisition_counts_a_violation() {
+        let _s = serial();
+        let before = order_violations();
+        let mm = VLock::new("mm", ());
+        let buddy = VLock::new("buddy", ());
+        let _b = buddy.lock();
+        let _a = mm.lock(); // buddy held while taking mm: inversion
+        assert_eq!(order_violations(), before + 1);
+    }
+
+    #[test]
+    fn two_same_rank_locks_count_a_violation() {
+        let _s = serial();
+        let before = order_violations();
+        let a = VLock::new("mm", ());
+        let b = VLock::new("mm", ());
+        let _ga = a.lock();
+        let _gb = b.lock(); // second mm while the first is held
+        assert_eq!(order_violations(), before + 1);
+    }
+
+    #[test]
+    fn release_clears_held_tracking() {
+        let _s = serial();
+        let before = order_violations();
+        let a = VLock::new("pid", ());
+        let b = VLock::new("pid", ());
+        drop(a.lock());
+        drop(b.lock()); // sequential same-rank acquisitions are fine
+        assert_eq!(order_violations(), before);
+    }
+
+    #[test]
+    fn unranked_names_are_exempt() {
+        let _s = serial();
+        let before = order_violations();
+        let x = VLock::new("t.smp.x", ());
+        let y = VLock::new("t.smp.y", ());
+        let _gy = y.lock();
+        let _gx = x.lock();
+        assert_eq!(order_violations(), before, "unranked locks have no order");
+    }
+
+    #[test]
+    fn would_block_cycle_panics_deterministically_instead_of_hanging() {
+        use std::sync::Barrier;
+        let _s = serial();
+        let a = Arc::new(VLock::new("mm", 0u32));
+        let b = Arc::new(VLock::new("mm", 0u32));
+        let gate = Arc::new(Barrier::new(2));
+        let before = deadlocks_detected();
+        let spawn = |first: Arc<VLock<u32>>, second: Arc<VLock<u32>>, gate: Arc<Barrier>| {
+            std::thread::spawn(move || {
+                let _g1 = first.lock();
+                gate.wait(); // both threads hold their first lock
+                let _g2 = second.lock(); // ... and cross over
+            })
+        };
+        let t1 = spawn(Arc::clone(&a), Arc::clone(&b), Arc::clone(&gate));
+        let t2 = spawn(Arc::clone(&b), Arc::clone(&a), Arc::clone(&gate));
+        let r1 = t1.join();
+        let r2 = t2.join();
+        assert!(
+            r1.is_err() ^ r2.is_err(),
+            "exactly one thread panics out of the cycle; the other completes"
+        );
+        assert_eq!(deadlocks_detected(), before + 1);
+        let panicked = if r1.is_err() { r1 } else { r2 };
+        let msg = panicked.unwrap_err();
+        let msg = msg
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("deadlock detected"),
+            "panic names the event: {msg}"
+        );
     }
 }

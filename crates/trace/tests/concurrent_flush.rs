@@ -1,0 +1,168 @@
+//! Property test for the metrics flush discipline under real threads:
+//! whatever interleaving the host scheduler produces, the global
+//! snapshot and the global lock-stats registry must equal the exact sum
+//! of every thread's locally recorded events — nothing lost to a
+//! concurrent `flush()`, nothing double-counted by the thread-exit
+//! backstop after an explicit flush.
+//!
+//! The workload is seeded (one SplitMix64 stream per thread per round),
+//! so a failing schedule's *event content* replays exactly; the
+//! interleaving varies, which is the point — the totals must not.
+
+use fpr_trace::metrics;
+
+/// SplitMix64: the same mixer the fault planner uses; good enough to
+/// decorrelate per-thread event streams without external dependencies.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+const LOCK_NAMES: [&str; 4] = ["cf.mm", "cf.pid", "cf.buddy", "cf.tlb"];
+const COUNTERS: [&str; 3] = ["cf.ops", "cf.forks", "cf.faults"];
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: usize = 400;
+const ROUNDS: u64 = 3;
+
+/// What one thread recorded, tallied independently of the metrics
+/// machinery so the assertion has a ground truth to compare against.
+#[derive(Default, Clone)]
+struct Expected {
+    lock_acquires: [u64; LOCK_NAMES.len()],
+    lock_waits: [u64; LOCK_NAMES.len()],
+    counters: [u64; COUNTERS.len()],
+}
+
+impl Expected {
+    fn merge(&mut self, other: &Expected) {
+        for i in 0..LOCK_NAMES.len() {
+            self.lock_acquires[i] += other.lock_acquires[i];
+            self.lock_waits[i] += other.lock_waits[i];
+        }
+        for i in 0..COUNTERS.len() {
+            self.counters[i] += other.counters[i];
+        }
+    }
+}
+
+/// One worker: a seeded stream of lock-contention events and counter
+/// bumps, with `flush()` interleaved mid-stream at seed-chosen points —
+/// the exact hazard the buffered design must survive.
+fn worker(seed: u64) -> Expected {
+    let mut rng = SplitMix(seed);
+    let mut exp = Expected::default();
+    for _ in 0..EVENTS_PER_THREAD {
+        match rng.next() % 8 {
+            0..=3 => {
+                let which = (rng.next() % LOCK_NAMES.len() as u64) as usize;
+                let wait = rng.next() % 10_000;
+                metrics::lock_contended(LOCK_NAMES[which], wait);
+                exp.lock_acquires[which] += 1;
+                exp.lock_waits[which] += wait;
+            }
+            4..=6 => {
+                let which = (rng.next() % COUNTERS.len() as u64) as usize;
+                let n = 1 + rng.next() % 100;
+                metrics::add(COUNTERS[which], n);
+                exp.counters[which] += n;
+            }
+            _ => {
+                // Mid-stream flush: races against every other thread's
+                // flushes and recordings.
+                metrics::flush();
+            }
+        }
+    }
+    // The worker contract: flush before joining (counters have no
+    // exit backstop). A flush after mid-stream flushes must publish
+    // only the still-buffered remainder — no double-counting.
+    metrics::flush();
+    exp
+}
+
+/// Both tests read/reset the process-global registries; they must not
+/// interleave with each other.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn concurrent_flushes_neither_lose_nor_double_count() {
+    let _s = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    for round in 0..ROUNDS {
+        let root = 0xE17_C0FF_EE00 + round;
+        metrics::reset_lock_stats();
+        metrics::reset_global();
+        metrics::reset();
+
+        let mut want = Expected::default();
+        let per_thread: Vec<Expected> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| s.spawn(move || worker(root.wrapping_add(t as u64))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for exp in &per_thread {
+            want.merge(exp);
+        }
+
+        let locks = metrics::lock_stats();
+        for (i, name) in LOCK_NAMES.iter().enumerate() {
+            let got = locks.get(name).copied().unwrap_or_default();
+            assert_eq!(
+                got.contended_acquires, want.lock_acquires[i],
+                "round {round}: {name} acquires lost or double-counted"
+            );
+            assert_eq!(
+                got.wait_cycles, want.lock_waits[i],
+                "round {round}: {name} wait cycles lost or double-counted"
+            );
+        }
+        let g = metrics::global_snapshot();
+        for (i, name) in COUNTERS.iter().enumerate() {
+            assert_eq!(
+                g.counter(name),
+                want.counters[i],
+                "round {round}: counter {name} diverged from the per-thread sum"
+            );
+        }
+    }
+}
+
+/// Lock-contention events alone *do* have an exit backstop: a thread
+/// that records contention and exits without flushing must still be
+/// counted exactly once (the TLS destructor publishes the buffer before
+/// `join` returns).
+#[test]
+fn lock_stats_survive_thread_exit_without_flush() {
+    let _s = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    metrics::reset_lock_stats();
+    const NAME: &str = "cf.exit.backstop";
+    let workers: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..=t {
+                    metrics::lock_contended(NAME, 10 * (i + 1));
+                }
+                // No flush: the TLS destructor must publish.
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let s = metrics::lock_stats();
+    let got = s.get(NAME).copied().unwrap_or_default();
+    assert_eq!(got.contended_acquires, 1 + 2 + 3 + 4);
+    // Thread t records 10+20+..+10*(t+1).
+    let want_wait: u64 = (0..4u64).map(|t| (1..=t + 1).map(|i| 10 * i).sum::<u64>()).sum();
+    assert_eq!(got.wait_cycles, want_wait);
+}

@@ -145,6 +145,7 @@ fn benchmarks_doc_covers_every_gate() {
         "BENCH_thp.json",
         "BENCH_service.json",
         "BENCH_smp.json",
+        "BENCH_faults_smp.json",
     ] {
         assert!(
             text.contains(gate),
